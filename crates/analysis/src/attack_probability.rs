@@ -1,0 +1,278 @@
+//! Success probabilities of the paper's attacks — Table 1 and Section 4.
+//!
+//! Each function returns the probability that one *uniformly random*
+//! candidate item satisfies the adversary's predicate; the expected number of
+//! brute-force trials is the reciprocal. The table (for a filter of Hamming
+//! weight `W`):
+//!
+//! | Attack | Probability |
+//! |---|---|
+//! | Second pre-image (hash function) | `1 / 2^l` |
+//! | Second pre-image (Bloom filter) | `1 / m^k` |
+//! | Pollution | `C(m - W, k) / m^k` |
+//! | False-positive forgery | `(W/m)^k` (between `(k/m)^k` and `(1/2)^k`) |
+//! | Deletion | `Σ_{i=1..k} C(k,i) (m-i)^k / m^k` |
+
+/// Probability that a random item is a second pre-image of a given digest
+/// under an `l`-bit hash function: `2^{-l}`.
+pub fn second_preimage_hash(l_bits: u32) -> f64 {
+    2f64.powi(-(l_bits as i32))
+}
+
+/// Probability that a random item produces exactly the same index set as a
+/// given item in an `(m, k)` Bloom filter: `m^{-k}`.
+pub fn second_preimage_bloom(m: u64, k: u32) -> f64 {
+    (m as f64).powi(-(k as i32))
+}
+
+/// Probability that a random item is a *polluting* item for a filter of
+/// Hamming weight `w`: all `k` of its indexes must land on distinct unset
+/// bits, i.e. `C(m - w, k) / m^k` (falling-factorial counting of ordered
+/// choices divided by `k!`… the paper counts unordered choices over ordered
+/// index tuples; we follow the paper's expression).
+pub fn pollution(m: u64, w: u64, k: u32) -> f64 {
+    if w >= m {
+        return 0.0;
+    }
+    binomial(m - w, u64::from(k)) / (m as f64).powi(k as i32)
+}
+
+/// Exact probability that a random item is a polluting item: its `k`
+/// (ordered, independent) indexes must all be distinct and all land on unset
+/// bits, i.e. the falling factorial `(m-w)(m-w-1)…(m-w-k+1) / m^k`.
+///
+/// The paper's Table 1 expression ([`pollution`]) divides the *unordered*
+/// count `C(m-w, k)` by the ordered space `m^k`, undercounting by `k!`; this
+/// function gives the probability actually observed by the brute-force
+/// search (and verified by the Monte-Carlo experiment for Table 1).
+pub fn pollution_exact(m: u64, w: u64, k: u32) -> f64 {
+    if w >= m {
+        return 0.0;
+    }
+    let free = m - w;
+    if u64::from(k) > free {
+        return 0.0;
+    }
+    let mut p = 1.0f64;
+    for i in 0..u64::from(k) {
+        p *= (free - i) as f64 / m as f64;
+    }
+    p
+}
+
+/// Probability that a random item is a false positive for a filter of
+/// Hamming weight `w`: `(w/m)^k`.
+pub fn false_positive_forgery(m: u64, w: u64, k: u32) -> f64 {
+    assert!(w <= m, "Hamming weight cannot exceed filter size");
+    ((w as f64) / m as f64).powi(k as i32)
+}
+
+/// Lower bound of the forgery probability quoted in Table 1: `(k/m)^k`
+/// (a filter holding a single item has weight at most `k`).
+pub fn false_positive_forgery_lower_bound(m: u64, k: u32) -> f64 {
+    ((k as f64) / m as f64).powi(k as i32)
+}
+
+/// Upper bound of the forgery probability quoted in Table 1: `(1/2)^k`
+/// (an optimally loaded filter has weight `m/2`).
+pub fn false_positive_forgery_upper_bound(k: u32) -> f64 {
+    0.5f64.powi(k as i32)
+}
+
+/// Probability that a random item shares at least one index with a given
+/// target item — the deletion-adversary predicate:
+/// `Σ_{i=1..k} C(k,i) (m-i)^k / m^k`.
+///
+/// The expression follows the paper; it upper-bounds the exact
+/// inclusion–exclusion value and converges to it for `m >> k`.
+pub fn deletion(m: u64, k: u32) -> f64 {
+    let mk = (m as f64).powi(k as i32);
+    let mut total = 0.0;
+    for i in 1..=u64::from(k) {
+        total += binomial(u64::from(k), i) * ((m - i) as f64).powi(k as i32) / mk;
+    }
+    total.min(1.0)
+}
+
+/// Exact probability that a random item's index set intersects a given
+/// target item's index set (assuming the target's `k` indexes are distinct):
+/// `1 - ((m-k)/m)^k`. Provided alongside [`deletion`] so experiments can
+/// compare the paper's expression with the exact overlap probability.
+pub fn deletion_exact_overlap(m: u64, k: u32) -> f64 {
+    assert!(u64::from(k) <= m, "k cannot exceed m");
+    1.0 - (((m - u64::from(k)) as f64) / m as f64).powi(k as i32)
+}
+
+/// Probability that a random item is a worst-case-latency query: its first
+/// `k - 1` indexes hit set bits and its last index hits an unset bit —
+/// `(w/m)^{k-1} * (1 - w/m)` (Section 4.2, dummy queries).
+pub fn latency_query(m: u64, w: u64, k: u32) -> f64 {
+    assert!(w <= m, "Hamming weight cannot exceed filter size");
+    assert!(k >= 1, "k must be at least 1");
+    let fill = w as f64 / m as f64;
+    fill.powi(k as i32 - 1) * (1.0 - fill)
+}
+
+/// Expected number of uniformly random candidates an adversary must try to
+/// find one item with success probability `p` (geometric distribution mean).
+pub fn expected_trials(p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "probability must be in (0, 1]");
+    1.0 / p
+}
+
+/// Binomial coefficient `C(n, r)` as an `f64` (exact for the small `r` used
+/// throughout the paper's formulas).
+pub fn binomial(n: u64, r: u64) -> f64 {
+    if r > n {
+        return 0.0;
+    }
+    let r = r.min(n - r);
+    let mut result = 1.0f64;
+    for i in 0..r {
+        result *= (n - i) as f64;
+        result /= (i + 1) as f64;
+    }
+    result
+}
+
+/// The ordering of attacks by feasibility stated at the end of Section 4:
+/// pollution is easiest, deletion hardest, forgery in between (for a filter
+/// that is neither empty nor saturated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Chosen-insertion pollution.
+    Pollution,
+    /// Query-only false-positive forgery.
+    FalsePositiveForgery,
+    /// Deletion of a targeted item.
+    Deletion,
+}
+
+/// Returns the attacks ordered from highest to lowest success probability for
+/// the given filter state.
+pub fn rank_attacks(m: u64, w: u64, k: u32) -> Vec<(AttackKind, f64)> {
+    let mut ranked = vec![
+        (AttackKind::Pollution, pollution_exact(m, w, k)),
+        (AttackKind::FalsePositiveForgery, false_positive_forgery(m, w, k)),
+        (AttackKind::Deletion, deletion_success_for_target(m, w, k)),
+    ];
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("probabilities are comparable"));
+    ranked
+}
+
+/// Probability that a random insertion into a *counting* filter decrements at
+/// least one counter of a specific target item when later deleted, expressed
+/// for the current weight `w`: the candidate must overlap the target's `k`
+/// cells, all of which are among the `w` set cells.
+fn deletion_success_for_target(m: u64, _w: u64, k: u32) -> f64 {
+    deletion_exact_overlap(m, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(10, 3), 120.0);
+        assert_eq!(binomial(3, 5), 0.0);
+        assert_eq!(binomial(52, 5), 2_598_960.0);
+    }
+
+    #[test]
+    fn second_preimage_probabilities() {
+        assert_eq!(second_preimage_hash(32), 1.0 / 4_294_967_296.0);
+        assert!((second_preimage_bloom(3200, 4) - (3200f64).powi(-4)).abs() < 1e-30);
+        // The Bloom second pre-image is far easier than a 128-bit hash one.
+        assert!(second_preimage_bloom(3200, 4) > second_preimage_hash(128));
+    }
+
+    #[test]
+    fn pollution_is_easiest_on_an_empty_filter() {
+        let p_empty = pollution_exact(3200, 0, 4);
+        let p_half = pollution_exact(3200, 1600, 4);
+        let p_full = pollution_exact(3200, 3200, 4);
+        assert!(p_empty > p_half);
+        assert_eq!(p_full, 0.0);
+        // On an empty filter almost any random item pollutes (indexes rarely
+        // collide with each other).
+        assert!(p_empty > 0.95);
+    }
+
+    #[test]
+    fn paper_pollution_formula_differs_by_k_factorial() {
+        // Table 1 counts unordered index choices; the observable probability
+        // is k! times larger when the filter is lightly loaded.
+        let (m, w, k) = (1u64 << 20, 1000u64, 4u32);
+        let ratio = pollution_exact(m, w, k) / pollution(m, w, k);
+        assert!((ratio - 24.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn forgery_bounds_hold() {
+        let m = 3200;
+        let k = 4;
+        for w in [k as u64, 100, 800, 1600] {
+            let p = false_positive_forgery(m, w, k);
+            assert!(p >= false_positive_forgery_lower_bound(m, k) - 1e-15);
+            assert!(p <= false_positive_forgery_upper_bound(k) + 1e-15 || w > m / 2);
+        }
+    }
+
+    #[test]
+    fn forgery_on_half_full_filter_is_2_to_minus_k() {
+        let p = false_positive_forgery(1 << 20, 1 << 19, 10);
+        assert!((p - 0.5f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deletion_probability_close_to_exact_for_large_m() {
+        let m = 1 << 20;
+        let k = 4;
+        let paper = deletion(m, k);
+        let exact = deletion_exact_overlap(m, k);
+        // The paper's expression is an over-count; it approaches k^2/m-ish
+        // values while the exact one is ~k^2/m as well for large m.
+        assert!(paper >= exact * 0.9);
+        assert!(exact < 1e-3);
+    }
+
+    #[test]
+    fn deletion_is_hardest_forgery_in_between() {
+        // For a lightly loaded filter (the state in which pollution happens),
+        // the Section 4 ordering holds: pollution > forgery > deletion
+        // (removing a *chosen* item needs an index overlap, which is rare
+        // for large m).
+        let (m, w, k) = (1 << 16, 1 << 14, 4u32);
+        let ranked = rank_attacks(m, w, k);
+        assert_eq!(ranked[0].0, AttackKind::Pollution);
+        assert_eq!(ranked[2].0, AttackKind::Deletion);
+        assert!(ranked[0].1 >= ranked[1].1 && ranked[1].1 >= ranked[2].1);
+    }
+
+    #[test]
+    fn latency_query_peaks_below_full() {
+        let m = 1000;
+        let k = 4;
+        assert_eq!(latency_query(m, 0, k), 0.0);
+        assert_eq!(latency_query(m, m, k), 0.0);
+        assert!(latency_query(m, 750, k) > 0.0);
+    }
+
+    #[test]
+    fn expected_trials_is_reciprocal() {
+        assert_eq!(expected_trials(0.5), 2.0);
+        assert_eq!(expected_trials(1.0), 1.0);
+        let p = false_positive_forgery(3200, 1600, 4);
+        assert!((expected_trials(p) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in")]
+    fn expected_trials_rejects_zero() {
+        expected_trials(0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! False-positive probability of a Bloom filter under *honest* (uniform)
+//! insertions — Section 3 of the paper.
+
+/// Exact false-positive probability after `n` uniform insertions into a
+/// filter of `m` bits using `k` hash functions:
+///
+/// `f = (1 - (1 - 1/m)^{kn})^k`
+pub fn false_positive_exact(m: u64, n: u64, k: u32) -> f64 {
+    assert!(m > 0, "filter size must be positive");
+    if n == 0 || k == 0 {
+        return 0.0;
+    }
+    let one_minus = 1.0 - 1.0 / m as f64;
+    let p_zero = one_minus.powf((k as f64) * (n as f64));
+    (1.0 - p_zero).powi(k as i32)
+}
+
+/// The standard approximation `f ≈ (1 - e^{-kn/m})^k` — Equation (1) of the
+/// paper, the formula "often used in software implementations".
+pub fn false_positive_approx(m: u64, n: u64, k: u32) -> f64 {
+    assert!(m > 0, "filter size must be positive");
+    if n == 0 || k == 0 {
+        return 0.0;
+    }
+    let exponent = -((k as f64) * (n as f64)) / m as f64;
+    (1.0 - exponent.exp()).powi(k as i32)
+}
+
+/// False-positive probability of a filter whose current fraction of set bits
+/// is `fill` (`wH(z)/m`), for a query with `k` indexes: `fill^k`.
+///
+/// This is the quantity an adversary manipulates: pollution raises `fill`
+/// above the honest expectation.
+pub fn false_positive_for_fill(fill: f64, k: u32) -> f64 {
+    assert!((0.0..=1.0).contains(&fill), "fill ratio must be within [0, 1]");
+    fill.powi(k as i32)
+}
+
+/// Expected number of zero bits after `n` uniform insertions — Equation (4):
+/// `E[X] = m * (1 - 1/m)^{kn} ≈ m e^{-kn/m}`.
+pub fn expected_zero_bits(m: u64, n: u64, k: u32) -> f64 {
+    let one_minus = 1.0 - 1.0 / m as f64;
+    m as f64 * one_minus.powf((k as f64) * (n as f64))
+}
+
+/// Expected fill ratio (fraction of set bits) after `n` uniform insertions.
+pub fn expected_fill(m: u64, n: u64, k: u32) -> f64 {
+    1.0 - expected_zero_bits(m, n, k) / m as f64
+}
+
+/// Azuma–Hoeffding concentration bound — Equation (5): the probability that
+/// the number of zero bits deviates from its expectation by more than
+/// `epsilon * m` is at most `2 e^{-2 m epsilon^2 / (nk)}`.
+pub fn concentration_bound(m: u64, n: u64, k: u32, epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    if n == 0 || k == 0 {
+        return 0.0;
+    }
+    let exponent = -2.0 * (m as f64) * epsilon * epsilon / ((n as f64) * (k as f64));
+    (2.0 * exponent.exp()).min(1.0)
+}
+
+/// Number of hash functions minimizing the honest false-positive probability
+/// for given `m` and `n` — Equation (2): `k_opt = (m/n) ln 2`.
+pub fn optimal_k(m: u64, n: u64) -> f64 {
+    assert!(n > 0, "capacity must be positive");
+    (m as f64 / n as f64) * core::f64::consts::LN_2
+}
+
+/// `optimal_k` rounded to the nearest usable (>= 1) integer.
+pub fn optimal_k_rounded(m: u64, n: u64) -> u32 {
+    optimal_k(m, n).round().max(1.0) as u32
+}
+
+/// The honest optimal false-positive probability — Equation (3):
+/// `ln f_opt = -(m/n) (ln 2)^2`.
+pub fn optimal_false_positive(m: u64, n: u64) -> f64 {
+    assert!(n > 0, "capacity must be positive");
+    (-(m as f64 / n as f64) * core::f64::consts::LN_2.powi(2)).exp()
+}
+
+/// Filter size needed to achieve a target false-positive probability `f` for
+/// `n` items with optimal `k` (inverse of Equation (3)):
+/// `m = -n ln f / (ln 2)^2`.
+pub fn required_bits_for(n: u64, f: f64) -> u64 {
+    assert!(n > 0, "capacity must be positive");
+    assert!(f > 0.0 && f < 1.0, "target probability must be in (0, 1)");
+    ((-(n as f64) * f.ln()) / core::f64::consts::LN_2.powi(2)).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_close_to_exact_for_large_m() {
+        let (m, n, k) = (1 << 20, 100_000, 7);
+        let exact = false_positive_exact(m, n, k);
+        let approx = false_positive_approx(m, n, k);
+        assert!((exact - approx).abs() < 1e-6, "exact {exact} approx {approx}");
+    }
+
+    #[test]
+    fn empty_filter_never_false_positives() {
+        assert_eq!(false_positive_exact(1024, 0, 4), 0.0);
+        assert_eq!(false_positive_approx(1024, 0, 4), 0.0);
+    }
+
+    #[test]
+    fn paper_figure3_parameters() {
+        // m = 3200, n = 600 gives k_opt ≈ 4 (the paper rounds 3.7 to 4) and
+        // f_opt = 0.077.
+        let k = optimal_k(3200, 600);
+        assert!((k - 3.70).abs() < 0.01, "k_opt {k}");
+        assert_eq!(optimal_k_rounded(3200, 600), 4);
+        let f = optimal_false_positive(3200, 600);
+        assert!((f - 0.077).abs() < 0.002, "f_opt {f}");
+    }
+
+    #[test]
+    fn paper_squid_example() {
+        // Squid: m = 5n+7 instead of the optimal 6n. For n = 200 the paper
+        // reports f ≈ 0.09 instead of ≈ 0.03.
+        let n = 200u64;
+        let m_squid = 5 * n + 7;
+        let f_squid = false_positive_approx(m_squid, n, 4);
+        assert!((f_squid - 0.09).abs() < 0.01, "squid f {f_squid}");
+        // With the "optimal" 6n-bit filter the probability drops noticeably
+        // (the paper quotes 0.03; the standard approximation gives ~0.056 —
+        // the qualitative factor-of-several gap is what the attack exploits).
+        let m_opt = 6 * n;
+        let k_opt = optimal_k_rounded(m_opt, n);
+        let f_opt = false_positive_approx(m_opt, n, k_opt);
+        assert!(f_opt < 0.06, "optimal f {f_opt}");
+        assert!(f_squid / f_opt > 1.5, "squid sizing must be clearly worse");
+    }
+
+    #[test]
+    fn fill_based_false_positive() {
+        assert_eq!(false_positive_for_fill(0.0, 4), 0.0);
+        assert_eq!(false_positive_for_fill(1.0, 4), 1.0);
+        assert!((false_positive_for_fill(0.5, 4) - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fill ratio must be within")]
+    fn fill_out_of_range_panics() {
+        false_positive_for_fill(1.5, 2);
+    }
+
+    #[test]
+    fn expected_zeros_half_at_optimum() {
+        // With optimal parameters the expected number of zeros is m/2.
+        let (m, n) = (10_000u64, 1_000u64);
+        let k = optimal_k_rounded(m, n);
+        let zeros = expected_zero_bits(m, n, k);
+        assert!((zeros / m as f64 - 0.5).abs() < 0.01, "zeros fraction {}", zeros / m as f64);
+    }
+
+    #[test]
+    fn expected_fill_complements_zeros() {
+        let (m, n, k) = (4096u64, 500u64, 4u32);
+        let fill = expected_fill(m, n, k);
+        let zeros = expected_zero_bits(m, n, k);
+        assert!((fill + zeros / m as f64 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentration_bound_decreases_with_epsilon() {
+        let (m, n, k) = (1_000_000u64, 1000u64, 5u32);
+        let loose = concentration_bound(m, n, k, 0.05);
+        let tight = concentration_bound(m, n, k, 0.1);
+        assert!(tight < loose, "tight {tight} loose {loose}");
+        assert!(loose < 1.0 && tight > 0.0);
+    }
+
+    #[test]
+    fn required_bits_round_trip() {
+        let n = 1_000_000u64;
+        for &f in &[1.0 / 32.0, 2f64.powi(-10), 2f64.powi(-20)] {
+            let m = required_bits_for(n, f);
+            let achieved = optimal_false_positive(m, n);
+            assert!(achieved <= f * 1.01, "m={m} achieved {achieved} target {f}");
+        }
+    }
+
+    #[test]
+    fn pybloom_table2_filter_size() {
+        // Table 2: n = 10^6, f = 2^-10 creates a filter of about 2.48 MB.
+        let m = required_bits_for(1_000_000, 2f64.powi(-10));
+        let mbytes = m as f64 / 8.0 / 1e6;
+        assert!((mbytes - 1.8).abs() < 0.05, "computed {mbytes} MB");
+        // The paper's 2.48 MB corresponds to pyBloom's slightly different
+        // sizing; the order of magnitude and shape is what matters here.
+    }
+
+    #[test]
+    fn monotonic_in_insertions() {
+        let mut last = 0.0;
+        for n in (0..=600).step_by(50) {
+            let f = false_positive_approx(3200, n, 4);
+            assert!(f >= last);
+            last = f;
+        }
+    }
+}

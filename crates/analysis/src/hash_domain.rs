@@ -1,0 +1,149 @@
+//! Domain of application of cryptographic hash functions — Figure 9.
+//!
+//! With digest recycling, one call to an `l`-bit hash covers a Bloom filter
+//! as long as `k * ceil(log2 m) <= l`. Figure 9 plots the required bits
+//! `k_opt * ceil(log2 m)` as a function of the filter size (up to 1 GByte)
+//! for the optimal `k` of several target false-positive probabilities, with
+//! the digest sizes of SHA-1/256/384/512 as horizontal thresholds.
+
+/// Digest sizes (bits) of the functions drawn as thresholds in Figure 9.
+pub const FIGURE9_DIGEST_SIZES: [(&str, u32); 4] =
+    [("SHA-1", 160), ("SHA-256", 256), ("SHA-384", 384), ("SHA-512", 512)];
+
+/// Optimal `k` for a filter of `m` bits holding the number of items that
+/// makes `f` the optimal false-positive probability, i.e.
+/// `k_opt = -log2(f)` (independent of `m` at the optimum).
+pub fn optimal_k_for_target(f: f64) -> u32 {
+    assert!(f > 0.0 && f < 1.0, "target probability must be in (0, 1)");
+    (-f.log2()).round().max(1.0) as u32
+}
+
+/// Digest bits required to derive all indexes of one item for a filter of
+/// `m_bits` bits at target probability `f`: `k_opt * ceil(log2 m)`.
+pub fn required_digest_bits(m_bits: u64, f: f64) -> u32 {
+    assert!(m_bits > 1, "filter must have at least two bits");
+    let k = optimal_k_for_target(f);
+    let index_bits = 64 - (m_bits - 1).leading_zeros();
+    k * index_bits
+}
+
+/// Whether a single digest of `digest_bits` suffices (no second hash call)
+/// for a filter of `m_bits` bits at target probability `f`.
+pub fn single_call_sufficient(digest_bits: u32, m_bits: u64, f: f64) -> bool {
+    required_digest_bits(m_bits, f) <= digest_bits
+}
+
+/// Number of digest invocations needed with recycling for the `(m, f)` point.
+pub fn calls_with_recycling(digest_bits: u32, m_bits: u64, f: f64) -> u32 {
+    let k = optimal_k_for_target(f);
+    let index_bits = 64 - (m_bits - 1).leading_zeros();
+    if index_bits > digest_bits {
+        return u32::MAX;
+    }
+    let per_call = digest_bits / index_bits;
+    k.div_ceil(per_call)
+}
+
+/// One row of the Figure 9 data: the required bits for a filter of
+/// `m_megabytes` MBytes at each of the paper's four target probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Figure9Row {
+    /// Filter size in megabytes (as on the figure's x axis).
+    pub m_megabytes: u64,
+    /// Required digest bits for f = 2^-5.
+    pub bits_f5: u32,
+    /// Required digest bits for f = 2^-10.
+    pub bits_f10: u32,
+    /// Required digest bits for f = 2^-15.
+    pub bits_f15: u32,
+    /// Required digest bits for f = 2^-20.
+    pub bits_f20: u32,
+}
+
+/// Generates the Figure 9 series for filter sizes from 1 MByte up to
+/// `max_megabytes` in steps of `step_megabytes`.
+pub fn figure9_series(max_megabytes: u64, step_megabytes: u64) -> Vec<Figure9Row> {
+    assert!(step_megabytes > 0, "step must be positive");
+    let mut rows = Vec::new();
+    let mut mb = step_megabytes;
+    while mb <= max_megabytes {
+        let m_bits = mb * 8 * 1024 * 1024;
+        rows.push(Figure9Row {
+            m_megabytes: mb,
+            bits_f5: required_digest_bits(m_bits, 2f64.powi(-5)),
+            bits_f10: required_digest_bits(m_bits, 2f64.powi(-10)),
+            bits_f15: required_digest_bits(m_bits, 2f64.powi(-15)),
+            bits_f20: required_digest_bits(m_bits, 2f64.powi(-20)),
+        });
+        mb += step_megabytes;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_k_is_minus_log2_f() {
+        assert_eq!(optimal_k_for_target(2f64.powi(-5)), 5);
+        assert_eq!(optimal_k_for_target(2f64.powi(-10)), 10);
+        assert_eq!(optimal_k_for_target(2f64.powi(-15)), 15);
+        assert_eq!(optimal_k_for_target(2f64.powi(-20)), 20);
+    }
+
+    #[test]
+    fn paper_claim_sha512_covers_f15_up_to_1_gbyte() {
+        // "A single call to SHA-512 ... is enough to compute any Bloom filter
+        // with optimal parameters for f >= 2^-15 and m smaller than one GByte."
+        let one_gbyte_bits = 8u64 * 1024 * 1024 * 1024;
+        for f in [2f64.powi(-5), 2f64.powi(-10), 2f64.powi(-15)] {
+            assert!(single_call_sufficient(512, one_gbyte_bits, f), "f = {f}");
+        }
+        // For f = 2^-20 several calls are needed.
+        assert!(!single_call_sufficient(512, one_gbyte_bits, 2f64.powi(-20)));
+        assert!(calls_with_recycling(512, one_gbyte_bits, 2f64.powi(-20)) >= 2);
+    }
+
+    #[test]
+    fn sha1_only_covers_small_filters_at_low_k() {
+        // SHA-1 (160 bits) with f = 2^-10 (k = 10) covers only filters with
+        // index width <= 16 bits, i.e. m <= 65536 bits = 8 KB.
+        assert!(single_call_sufficient(160, 1 << 16, 2f64.powi(-10)));
+        assert!(!single_call_sufficient(160, 1 << 17, 2f64.powi(-10)));
+    }
+
+    #[test]
+    fn required_bits_grow_with_m_and_k() {
+        let small = required_digest_bits(1 << 20, 2f64.powi(-5));
+        let bigger_m = required_digest_bits(1 << 30, 2f64.powi(-5));
+        let bigger_k = required_digest_bits(1 << 20, 2f64.powi(-20));
+        assert!(bigger_m > small);
+        assert!(bigger_k > small);
+        assert_eq!(small, 5 * 20);
+        assert_eq!(bigger_m, 5 * 30);
+        assert_eq!(bigger_k, 20 * 20);
+    }
+
+    #[test]
+    fn figure9_series_shape() {
+        let rows = figure9_series(1024, 128);
+        assert_eq!(rows.len(), 8);
+        // Curves are ordered by k and non-decreasing in m.
+        for row in &rows {
+            assert!(row.bits_f5 < row.bits_f10);
+            assert!(row.bits_f10 < row.bits_f15);
+            assert!(row.bits_f15 < row.bits_f20);
+        }
+        for pair in rows.windows(2) {
+            assert!(pair[0].bits_f20 <= pair[1].bits_f20);
+        }
+        // The largest point stays within the figure's y range (<= 700 bits).
+        assert!(rows.last().expect("non-empty").bits_f20 <= 700);
+    }
+
+    #[test]
+    fn tiny_digest_cannot_host_an_index() {
+        assert_eq!(calls_with_recycling(16, 1 << 30, 2f64.powi(-5)), u32::MAX);
+    }
+}

@@ -1,0 +1,73 @@
+//! # evilbloom-analysis
+//!
+//! Closed-form analysis of Bloom filters under honest and adversarial
+//! workloads, covering every expression used in *"The Power of Evil Choices
+//! in Bloom Filters"* (Gerbet, Kumar & Lauradoux, DSN 2015):
+//!
+//! * [`false_positive`] — the classic (honest) false-positive probability,
+//!   optimal parameters, expected fill and the Azuma–Hoeffding concentration
+//!   bound (Section 3);
+//! * [`worst_case`] — the adversarial false-positive probability
+//!   `f_adv = (nk/m)^k`, the worst-case-optimal parameters `k = m/(en)`, the
+//!   pollution/saturation economics and the Figure 3 threshold crossings
+//!   (Sections 4.1 and 8.1);
+//! * [`attack_probability`] — the per-candidate success probabilities of
+//!   Table 1 (pollution, false-positive forgery, deletion, second pre-images)
+//!   and the induced brute-force costs;
+//! * [`scalable`] — the compound false-positive probability of scalable /
+//!   Dablooms-style filter stacks and its behaviour under partial pollution
+//!   (Section 6, Figure 8);
+//! * [`hash_domain`] — the digest-bit budget `k ceil(log2 m)` behind the
+//!   recycling countermeasure and Figure 9 (Section 8.2).
+//!
+//! The crate is dependency-free and purely numerical; the concrete data
+//! structures live in `evilbloom-filters` and the attack engines in
+//! `evilbloom-attacks`.
+//!
+//! ## Example
+//!
+//! ```
+//! use evilbloom_analysis::{false_positive, worst_case};
+//!
+//! // Figure 3 of the paper: m = 3200, k = 4.
+//! let honest = false_positive::false_positive_approx(3200, 600, 4);
+//! let adversarial = worst_case::adversarial_false_positive(3200, 600, 4);
+//! assert!(adversarial > 4.0 * honest);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack_probability;
+pub mod false_positive;
+pub mod hash_domain;
+pub mod scalable;
+pub mod worst_case;
+
+pub use attack_probability::AttackKind;
+pub use hash_domain::Figure9Row;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_between_honest_and_adversarial_models() {
+        // For every load level the adversarial probability dominates the
+        // honest one once the birthday-free region is passed.
+        let (m, k) = (3200u64, 4u32);
+        for n in (50..600).step_by(50) {
+            let honest = false_positive::false_positive_approx(m, n, k);
+            let adv = worst_case::adversarial_false_positive(m, n, k);
+            assert!(adv + 1e-12 >= honest, "n={n} honest={honest} adv={adv}");
+        }
+    }
+
+    #[test]
+    fn worst_case_design_needs_fewer_hashes_than_honest_design() {
+        let (m, n) = (1 << 20, 100_000u64);
+        assert!(
+            worst_case::adversarial_optimal_k(m, n) < false_positive::optimal_k(m, n)
+        );
+    }
+}

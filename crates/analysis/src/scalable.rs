@@ -1,0 +1,139 @@
+//! Compound false-positive probability of scalable Bloom filters — Section 6.
+//!
+//! Dablooms stacks Bloom filters: the `i`-th sub-filter targets
+//! `f_i = f_0 * r^i` and the compound probability over `λ` sub-filters is
+//! `F = 1 - Π_{i}(1 - f_i)` (Almeida et al.). A pollution attack drives the
+//! attacked sub-filters to their adversarial probability instead of `f_i`,
+//! which is what Figure 8 plots.
+
+/// Per-sub-filter target false-positive probability `f_i = f_0 * r^i`.
+pub fn sub_filter_target(f0: f64, r: f64, i: u32) -> f64 {
+    assert!(f0 > 0.0 && f0 < 1.0, "f0 must be a probability");
+    assert!(r > 0.0 && r <= 1.0, "tightening ratio must be in (0, 1]");
+    f0 * r.powi(i as i32)
+}
+
+/// Compound false-positive probability `F = 1 - Π (1 - f_i)` of a stack of
+/// sub-filters with the given individual probabilities.
+pub fn compound_false_positive(per_filter: &[f64]) -> f64 {
+    let mut survive = 1.0f64;
+    for &f in per_filter {
+        assert!((0.0..=1.0).contains(&f), "per-filter probability out of range");
+        survive *= 1.0 - f;
+    }
+    1.0 - survive
+}
+
+/// Compound probability of an *unattacked* Dablooms-style stack of `lambda`
+/// sub-filters with base probability `f0` and tightening ratio `r`.
+pub fn compound_unattacked(f0: f64, r: f64, lambda: u32) -> f64 {
+    let per: Vec<f64> = (0..lambda).map(|i| sub_filter_target(f0, r, i)).collect();
+    compound_false_positive(&per)
+}
+
+/// Compound probability when the **last** `polluted` of the `lambda`
+/// sub-filters have been driven to `f_attacked` by a chosen-insertion
+/// adversary while the others stay at their targets — the "partial attacks"
+/// family of curves in Figure 8.
+pub fn compound_with_last_polluted(
+    f0: f64,
+    r: f64,
+    lambda: u32,
+    polluted: u32,
+    f_attacked: f64,
+) -> f64 {
+    assert!(polluted <= lambda, "cannot pollute more sub-filters than exist");
+    let per: Vec<f64> = (0..lambda)
+        .map(|i| {
+            if i >= lambda - polluted {
+                f_attacked
+            } else {
+                sub_filter_target(f0, r, i)
+            }
+        })
+        .collect();
+    compound_false_positive(&per)
+}
+
+/// Compound probability when **all** sub-filters are polluted to `f_attacked`
+/// — the "full attack" curve of Figure 8 as a function of how many
+/// sub-filters exist so far.
+pub fn compound_fully_polluted(lambda: u32, f_attacked: f64) -> f64 {
+    compound_false_positive(&vec![f_attacked; lambda as usize])
+}
+
+/// Adversarial per-sub-filter probability for a sub-filter sized for
+/// `capacity` items at target `f_target` with `k` hash functions, once the
+/// adversary has inserted `capacity` crafted items: `(capacity * k / m)^k`.
+pub fn attacked_sub_filter_probability(capacity: u64, f_target: f64, k: u32) -> f64 {
+    let m = crate::false_positive::required_bits_for(capacity, f_target);
+    crate::worst_case::adversarial_false_positive(m, capacity, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F0: f64 = 0.01;
+    const R: f64 = 0.9;
+    const LAMBDA: u32 = 10;
+
+    #[test]
+    fn sub_filter_targets_decrease() {
+        let mut last = 1.0;
+        for i in 0..LAMBDA {
+            let f = sub_filter_target(F0, R, i);
+            assert!(f < last);
+            last = f;
+        }
+        assert!((sub_filter_target(F0, R, 0) - 0.01).abs() < 1e-12);
+        assert!((sub_filter_target(F0, R, 9) - 0.01 * 0.9f64.powi(9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unattacked_compound_is_small() {
+        // Σ f_i ≈ f0 (1 - r^λ)/(1 - r) ≈ 0.065; F is slightly below that.
+        let f = compound_unattacked(F0, R, LAMBDA);
+        assert!(f > 0.06 && f < 0.07, "F {f}");
+    }
+
+    #[test]
+    fn full_attack_dominates_partial_attacks() {
+        let f_attacked = attacked_sub_filter_probability(10_000, F0, 7);
+        let full = compound_fully_polluted(LAMBDA, f_attacked);
+        for polluted in 1..=LAMBDA {
+            let partial = compound_with_last_polluted(F0, R, LAMBDA, polluted, f_attacked);
+            assert!(full >= partial - 1e-12, "polluted={polluted}");
+        }
+    }
+
+    #[test]
+    fn figure8_shape() {
+        // Figure 8: no attack ≈ 0.065; the full attack exceeds 0.5 once all
+        // ten sub-filters are polluted; partial attacks interpolate.
+        let f_attacked = attacked_sub_filter_probability(10_000, F0, 7);
+        assert!(f_attacked > 0.05, "attacked sub-filter {f_attacked}");
+        let no_attack = compound_unattacked(F0, R, LAMBDA);
+        let one = compound_with_last_polluted(F0, R, LAMBDA, 1, f_attacked);
+        let five = compound_with_last_polluted(F0, R, LAMBDA, 5, f_attacked);
+        let ten = compound_with_last_polluted(F0, R, LAMBDA, 10, f_attacked);
+        assert!(no_attack < one && one < five && five < ten);
+        assert!(ten > 0.4, "full pollution compound {ten}");
+    }
+
+    #[test]
+    fn compound_of_empty_stack_is_zero() {
+        assert_eq!(compound_false_positive(&[]), 0.0);
+    }
+
+    #[test]
+    fn compound_with_certain_filter_is_one() {
+        assert_eq!(compound_false_positive(&[0.1, 1.0, 0.2]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pollute more")]
+    fn polluting_too_many_sub_filters_panics() {
+        compound_with_last_polluted(F0, R, 3, 4, 0.5);
+    }
+}

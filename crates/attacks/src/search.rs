@@ -1,0 +1,222 @@
+//! Generic brute-force forgery search.
+//!
+//! Every attack in the paper reduces to the same loop: *enumerate candidate
+//! items, keep the ones whose index set satisfies a predicate*. This module
+//! provides that loop with cost accounting (candidates examined, wall-clock
+//! time) and an optional multi-threaded variant for the heavy searches of
+//! Figures 5 and 6.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Cost accounting of a forgery search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Number of candidate items examined.
+    pub attempts: u64,
+    /// Number of candidates accepted.
+    pub accepted: u64,
+    /// Wall-clock time spent searching.
+    pub elapsed: Duration,
+}
+
+impl SearchStats {
+    /// Average number of candidates examined per accepted item.
+    pub fn attempts_per_accepted(&self) -> f64 {
+        if self.accepted == 0 {
+            f64::INFINITY
+        } else {
+            self.attempts as f64 / self.accepted as f64
+        }
+    }
+
+    /// Accepted items per second of wall-clock search time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.accepted as f64 / secs
+        }
+    }
+}
+
+/// Outcome of a search: the forged items plus cost accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The accepted (forged) items, in acceptance order.
+    pub items: Vec<String>,
+    /// Cost accounting for the search.
+    pub stats: SearchStats,
+}
+
+/// Searches candidate items `generate(0), generate(1), …` and keeps those for
+/// which `accept` returns `true`, until `wanted` items are found or
+/// `max_attempts` candidates have been examined.
+///
+/// `accept` receives the candidate and may mutate external state (e.g. a
+/// shadow filter tracking bits claimed by previously accepted items).
+pub fn search<G, A>(
+    wanted: usize,
+    max_attempts: u64,
+    mut generate: G,
+    mut accept: A,
+) -> SearchOutcome
+where
+    G: FnMut(u64) -> String,
+    A: FnMut(&str) -> bool,
+{
+    let start = Instant::now();
+    let mut items = Vec::with_capacity(wanted);
+    let mut attempts = 0u64;
+    while items.len() < wanted && attempts < max_attempts {
+        let candidate = generate(attempts);
+        attempts += 1;
+        if accept(&candidate) {
+            items.push(candidate);
+        }
+    }
+    let stats =
+        SearchStats { attempts, accepted: items.len() as u64, elapsed: start.elapsed() };
+    SearchOutcome { items, stats }
+}
+
+/// Multi-threaded variant of [`search`] for predicates that only *read*
+/// shared state (query-only attacks): `threads` workers scan disjoint strides
+/// of the candidate space.
+///
+/// The accepted set may differ from the sequential search (acceptance order
+/// is non-deterministic across runs), but every returned item satisfies the
+/// predicate.
+pub fn parallel_search<G, A>(
+    wanted: usize,
+    max_attempts: u64,
+    threads: usize,
+    generate: G,
+    accept: A,
+) -> SearchOutcome
+where
+    G: Fn(u64) -> String + Sync,
+    A: Fn(&str) -> bool + Sync,
+{
+    assert!(threads >= 1, "need at least one worker thread");
+    let start = Instant::now();
+    let found: Mutex<Vec<String>> = Mutex::new(Vec::with_capacity(wanted));
+    let attempts = std::sync::atomic::AtomicU64::new(0);
+
+    crossbeam::scope(|scope| {
+        for worker in 0..threads {
+            let found = &found;
+            let attempts = &attempts;
+            let generate = &generate;
+            let accept = &accept;
+            scope.spawn(move |_| {
+                let mut i = worker as u64;
+                loop {
+                    if i >= max_attempts || found.lock().len() >= wanted {
+                        break;
+                    }
+                    let candidate = generate(i);
+                    attempts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if accept(&candidate) {
+                        let mut guard = found.lock();
+                        if guard.len() < wanted {
+                            guard.push(candidate);
+                        }
+                        if guard.len() >= wanted {
+                            break;
+                        }
+                    }
+                    i += threads as u64;
+                }
+            });
+        }
+    })
+    .expect("search workers never panic");
+
+    let items = found.into_inner();
+    let stats = SearchStats {
+        attempts: attempts.into_inner(),
+        accepted: items.len() as u64,
+        elapsed: start.elapsed(),
+    };
+    SearchOutcome { items, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_search_finds_matching_items() {
+        let outcome = search(
+            5,
+            10_000,
+            |i| format!("candidate-{i}"),
+            |c| c.ends_with('0'),
+        );
+        assert_eq!(outcome.items.len(), 5);
+        assert!(outcome.items.iter().all(|c| c.ends_with('0')));
+        assert!(outcome.stats.attempts >= 5);
+        assert_eq!(outcome.stats.accepted, 5);
+        assert!(outcome.stats.attempts_per_accepted() >= 1.0);
+    }
+
+    #[test]
+    fn search_gives_up_at_max_attempts() {
+        let outcome = search(1, 100, |i| format!("c{i}"), |_| false);
+        assert!(outcome.items.is_empty());
+        assert_eq!(outcome.stats.attempts, 100);
+        assert_eq!(outcome.stats.attempts_per_accepted(), f64::INFINITY);
+    }
+
+    #[test]
+    fn stateful_predicate_sees_previous_acceptances() {
+        let mut seen_lengths = std::collections::HashSet::new();
+        let outcome = search(
+            3,
+            1000,
+            |i| "x".repeat((i % 10) as usize + 1),
+            |c| seen_lengths.insert(c.len()),
+        );
+        assert_eq!(outcome.items.len(), 3);
+        let lengths: std::collections::HashSet<usize> =
+            outcome.items.iter().map(|c| c.len()).collect();
+        assert_eq!(lengths.len(), 3, "every accepted item has a distinct length");
+    }
+
+    #[test]
+    fn parallel_search_finds_valid_items() {
+        let outcome = parallel_search(
+            8,
+            100_000,
+            4,
+            |i| format!("candidate-{i}"),
+            |c| c.as_bytes().iter().map(|&b| u32::from(b)).sum::<u32>() % 7 == 0,
+        );
+        assert_eq!(outcome.items.len(), 8);
+        for item in &outcome.items {
+            assert_eq!(item.as_bytes().iter().map(|&b| u32::from(b)).sum::<u32>() % 7, 0);
+        }
+    }
+
+    #[test]
+    fn parallel_search_respects_max_attempts() {
+        let outcome = parallel_search(1, 50, 4, |i| format!("c{i}"), |_| false);
+        assert!(outcome.items.is_empty());
+        assert!(outcome.stats.attempts <= 60, "attempts {}", outcome.stats.attempts);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn parallel_search_rejects_zero_threads() {
+        parallel_search(1, 10, 0, |i| format!("{i}"), |_| true);
+    }
+
+    #[test]
+    fn throughput_reported() {
+        let outcome = search(10, 1000, |i| format!("{i}"), |_| true);
+        assert!(outcome.stats.throughput() > 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The adversary's view of a filter.
+//!
+//! The paper assumes the filter implementation is public and its state is
+//! known (fully or partially) to the adversary. [`TargetFilter`] captures
+//! exactly the information every attack needs: the geometry `(m, k)`, the
+//! index derivation, and which bits/cells are currently set.
+
+use evilbloom_filters::{BloomFilter, CacheDigest, CountingBloomFilter};
+
+/// Read-only adversarial view of a Bloom-filter-like structure.
+pub trait TargetFilter {
+    /// Number of bits / cells in the filter.
+    fn m(&self) -> u64;
+
+    /// Number of indexes per item.
+    fn k(&self) -> u32;
+
+    /// The indexes an item maps to — the adversary can compute this offline
+    /// because the index derivation is public and unkeyed.
+    fn indexes_of(&self, item: &[u8]) -> Vec<u64>;
+
+    /// Whether the bit / cell at `index` is currently set (non-zero).
+    fn is_set(&self, index: u64) -> bool;
+
+    /// Hamming weight (number of set bits / non-zero cells).
+    fn weight(&self) -> u64 {
+        (0..self.m()).filter(|&i| self.is_set(i)).count() as u64
+    }
+
+    /// Fill ratio `weight / m`.
+    fn fill_ratio(&self) -> f64 {
+        self.weight() as f64 / self.m() as f64
+    }
+}
+
+impl TargetFilter for BloomFilter {
+    fn m(&self) -> u64 {
+        BloomFilter::m(self)
+    }
+
+    fn k(&self) -> u32 {
+        BloomFilter::k(self)
+    }
+
+    fn indexes_of(&self, item: &[u8]) -> Vec<u64> {
+        self.indexes(item)
+    }
+
+    fn is_set(&self, index: u64) -> bool {
+        BloomFilter::is_set(self, index)
+    }
+
+    fn weight(&self) -> u64 {
+        self.hamming_weight()
+    }
+}
+
+impl TargetFilter for CountingBloomFilter {
+    fn m(&self) -> u64 {
+        CountingBloomFilter::m(self)
+    }
+
+    fn k(&self) -> u32 {
+        CountingBloomFilter::k(self)
+    }
+
+    fn indexes_of(&self, item: &[u8]) -> Vec<u64> {
+        self.indexes(item)
+    }
+
+    fn is_set(&self, index: u64) -> bool {
+        self.counter(index) > 0
+    }
+
+    fn weight(&self) -> u64 {
+        self.occupied_cells()
+    }
+}
+
+impl TargetFilter for CacheDigest {
+    fn m(&self) -> u64 {
+        self.size_bits()
+    }
+
+    fn k(&self) -> u32 {
+        evilbloom_filters::cache_digest::SQUID_HASH_COUNT
+    }
+
+    fn indexes_of(&self, item: &[u8]) -> Vec<u64> {
+        // Cache-digest keys are "METHOD URL"; the adversary controls the URL
+        // part and issues GET requests, so raw items here are full keys.
+        use evilbloom_hashes::IndexStrategy;
+        evilbloom_hashes::Md5Split.indexes(item, self.k(), self.m())
+    }
+
+    fn is_set(&self, index: u64) -> bool {
+        self.bits().get(index)
+    }
+
+    fn weight(&self) -> u64 {
+        self.bits().count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evilbloom_filters::FilterParams;
+    use evilbloom_hashes::{KirschMitzenmacher, Murmur3_128};
+
+    #[test]
+    fn bloom_filter_view_is_consistent() {
+        let mut filter = BloomFilter::new(
+            FilterParams::explicit(256, 3, 20),
+            KirschMitzenmacher::new(Murmur3_128),
+        );
+        filter.insert(b"item");
+        let view: &dyn TargetFilter = &filter;
+        assert_eq!(view.m(), 256);
+        assert_eq!(view.k(), 3);
+        assert_eq!(view.weight(), filter.hamming_weight());
+        assert_eq!(view.indexes_of(b"item"), filter.indexes(b"item"));
+        assert!(view.indexes_of(b"item").iter().all(|&i| view.is_set(i)));
+        assert!(view.fill_ratio() > 0.0);
+    }
+
+    #[test]
+    fn counting_filter_view_reports_occupied_cells() {
+        let mut filter = CountingBloomFilter::new(
+            FilterParams::explicit(128, 4, 10),
+            KirschMitzenmacher::new(Murmur3_128),
+        );
+        filter.insert(b"x");
+        let view: &dyn TargetFilter = &filter;
+        assert_eq!(view.weight(), filter.occupied_cells());
+        assert!(view.indexes_of(b"x").iter().all(|&i| view.is_set(i)));
+    }
+
+    #[test]
+    fn cache_digest_view_matches_squid_indexing() {
+        let digest = CacheDigest::build(["http://a.example/", "http://b.example/"]);
+        let view: &dyn TargetFilter = &digest;
+        assert_eq!(view.k(), 4);
+        assert_eq!(view.m(), digest.size_bits());
+        let key = evilbloom_filters::cache_digest::digest_key("GET", "http://a.example/");
+        assert_eq!(view.indexes_of(&key), digest.indexes_of("GET", "http://a.example/"));
+        assert!(view.indexes_of(&key).iter().all(|&i| view.is_set(i)));
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 6 — cost of forging ghost (false-positive) URLs as a function of
+//! the filter occupation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evilbloom_attacks::craft_false_positives;
+use evilbloom_bench::loaded_filter;
+use evilbloom_urlgen::UrlGenerator;
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_ghost_urls");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    for occupation in [20u64, 40, 60, 80] {
+        let filter = loaded_filter(1 << 16, 5, occupation as f64 / 100.0);
+        let generator = UrlGenerator::new("fig6-bench");
+        group.bench_with_input(
+            BenchmarkId::new("forge_5_ghosts", format!("{occupation}%_full")),
+            &occupation,
+            |b, _| {
+                b.iter(|| black_box(craft_false_positives(&filter, &generator, 5, u64::MAX)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

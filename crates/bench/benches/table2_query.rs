@@ -1,0 +1,60 @@
+//! Table 2 — time to derive all k Bloom-filter indexes of a 32-byte item:
+//! naive (k salted hash calls) versus digest recycling, per hash function.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evilbloom_bench::{derive, table2_params, ITEM_32B};
+use evilbloom_hashes::{
+    CryptoHash, Md5, Murmur2_32, RecycledCrypto, SaltedCrypto, SaltedHashes, Sha1, Sha256, Sha384,
+    Sha512, SipHash24, SipKey,
+};
+use std::hint::black_box;
+
+fn crypto_hashes() -> Vec<Box<dyn CryptoHash>> {
+    vec![Box::new(Md5), Box::new(Sha1), Box::new(Sha256), Box::new(Sha384), Box::new(Sha512)]
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let params = table2_params();
+    let mut group = c.benchmark_group("table2_query_time");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(700));
+    group.warm_up_time(std::time::Duration::from_millis(200));
+
+    group.bench_function("MurmurHash-32/naive", |b| {
+        let strategy = SaltedHashes::new(Murmur2_32);
+        b.iter(|| derive(black_box(&strategy), params))
+    });
+    group.bench_function("SipHash-2-4/naive", |b| {
+        let strategy = SaltedHashes::new(SipHash24::new(SipKey::new(7, 7)));
+        b.iter(|| derive(black_box(&strategy), params))
+    });
+
+    for hash in crypto_hashes() {
+        let name = hash.name();
+        group.bench_function(format!("{name}/naive"), |b| {
+            let strategy = SaltedCrypto::new(by_name(name));
+            b.iter(|| derive(black_box(&strategy), params))
+        });
+        group.bench_function(format!("{name}/recycling"), |b| {
+            let strategy = RecycledCrypto::new(by_name(name));
+            b.iter(|| derive(black_box(&strategy), params))
+        });
+    }
+    group.finish();
+
+    // Keep the 32-byte item alive so the setup matches the paper exactly.
+    black_box(ITEM_32B);
+}
+
+fn by_name(name: &str) -> Box<dyn CryptoHash> {
+    match name {
+        "MD5" => Box::new(Md5),
+        "SHA-1" => Box::new(Sha1),
+        "SHA-256" => Box::new(Sha256),
+        "SHA-384" => Box::new(Sha384),
+        _ => Box::new(Sha512),
+    }
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

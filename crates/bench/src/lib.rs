@@ -1,0 +1,57 @@
+//! # evilbloom-bench
+//!
+//! Criterion benchmarks regenerating the performance figures and tables of
+//! the paper. Helpers shared by the benches live here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use evilbloom_filters::{BloomFilter, FilterParams};
+use evilbloom_hashes::{IndexStrategy, KirschMitzenmacher, Murmur3_128};
+
+/// Builds a Bloom filter loaded to roughly `fill` fraction of set bits, used
+/// as the target of forgery benches.
+pub fn loaded_filter(m: u64, k: u32, fill: f64) -> BloomFilter {
+    assert!((0.0..1.0).contains(&fill), "fill must be in [0, 1)");
+    let mut filter = BloomFilter::new(
+        FilterParams::explicit(m, k, m / (2 * u64::from(k)).max(1)),
+        KirschMitzenmacher::new(Murmur3_128),
+    );
+    let mut i = 0u64;
+    while filter.fill_ratio() < fill {
+        filter.insert(format!("load-{i}").as_bytes());
+        i += 1;
+    }
+    filter
+}
+
+/// A fixed 32-byte item, matching the Table 2 setup.
+pub const ITEM_32B: [u8; 32] = [0xabu8; 32];
+
+/// The Table 2 filter parameters: n = 10^6 items at f = 2^-10.
+pub fn table2_params() -> FilterParams {
+    FilterParams::optimal(1_000_000, 2f64.powi(-10))
+}
+
+/// Derives indexes with a strategy once (convenience for benches).
+pub fn derive(strategy: &dyn IndexStrategy, params: FilterParams) -> u64 {
+    strategy.indexes(&ITEM_32B, params.k, params.m)[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loaded_filter_reaches_target_fill() {
+        let filter = loaded_filter(4096, 4, 0.5);
+        assert!(filter.fill_ratio() >= 0.5);
+        assert!(filter.fill_ratio() < 0.6);
+    }
+
+    #[test]
+    fn table2_params_match_paper_setup() {
+        let params = table2_params();
+        assert_eq!(params.k, 10);
+    }
+}

@@ -1,0 +1,58 @@
+//! Command-line entry point of the reproduction harness.
+//!
+//! ```text
+//! evilbloom-experiments [--paper] [EXPERIMENT...]
+//! ```
+//!
+//! Without arguments every experiment runs at quick scale. `--paper` switches
+//! to paper-scale parameters where practical. Individual experiments:
+//! `fig3`, `table1`, `fig5`, `fig6`, `scrapy`, `fig8`, `dablooms-overflow`,
+//! `squid`, `fig9`, `table2`, `worstcase`, `all`.
+
+use evilbloom_experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper" || a == "--full");
+    let scale = if paper { exp::Scale::Paper } else { exp::Scale::Quick };
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let run = |name: &str| -> Option<String> {
+        match name {
+            "fig3" => Some(exp::fig3_pollution_curve()),
+            "table1" => Some(exp::table1_attack_probabilities(scale)),
+            "fig5" => Some(exp::fig5_polluting_url_cost(scale)),
+            "fig6" => Some(exp::fig6_ghost_url_cost(scale)),
+            "scrapy" => Some(exp::scrapy_attack()),
+            "fig8" => Some(exp::fig8_dablooms_pollution()),
+            "dablooms-overflow" => Some(exp::dablooms_overflow()),
+            "squid" => Some(exp::squid_attack(scale)),
+            "fig9" => Some(exp::fig9_hash_domain()),
+            "table2" => Some(exp::table2_query_times(scale)),
+            "worstcase" => Some(exp::worst_case_parameters()),
+            "all" => Some(exp::run_all(scale)),
+            _ => None,
+        }
+    };
+
+    if selected.is_empty() {
+        println!("{}", exp::run_all(scale));
+        return;
+    }
+    for name in selected {
+        match run(name) {
+            Some(report) => println!("{report}"),
+            None => {
+                eprintln!("unknown experiment: {name}");
+                eprintln!(
+                    "available: fig3 table1 fig5 fig6 scrapy fig8 dablooms-overflow squid fig9 table2 worstcase all"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Compact bit vector used as the backing store of the classic Bloom filter.
+
+/// A fixed-size bit vector backed by `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use evilbloom_filters::bitvec::BitVec;
+///
+/// let mut bits = BitVec::new(12);
+/// bits.set(4);
+/// bits.set(7);
+/// assert!(bits.get(4));
+/// assert!(!bits.get(5));
+/// assert_eq!(bits.count_ones(), 2);
+/// assert_eq!(bits.support(), vec![4, 7]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: u64,
+}
+
+impl BitVec {
+    /// Creates a bit vector of `len` bits, all zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(len: u64) -> Self {
+        assert!(len > 0, "bit vector length must be positive");
+        let words = vec![0u64; len.div_ceil(64) as usize];
+        BitVec { words, len }
+    }
+
+    /// Number of bits in the vector (`m` in Bloom-filter notation).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Always `false`: the constructor rejects zero-length vectors.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn locate(&self, index: u64) -> (usize, u64) {
+        assert!(index < self.len, "bit index {index} out of range (len {})", self.len);
+        ((index / 64) as usize, 1u64 << (index % 64))
+    }
+
+    /// Returns the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn get(&self, index: u64) -> bool {
+        let (word, mask) = self.locate(index);
+        self.words[word] & mask != 0
+    }
+
+    /// Sets the bit at `index` to 1 and returns its previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn set(&mut self, index: u64) -> bool {
+        let (word, mask) = self.locate(index);
+        let was = self.words[word] & mask != 0;
+        self.words[word] |= mask;
+        was
+    }
+
+    /// Clears the bit at `index` and returns its previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn clear(&mut self, index: u64) -> bool {
+        let (word, mask) = self.locate(index);
+        let was = self.words[word] & mask != 0;
+        self.words[word] &= !mask;
+        was
+    }
+
+    /// Sets every bit to zero.
+    pub fn reset(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Sets every bit to one (used to model the LOAF-style "fake filter"
+    /// discussed in Section 4 of the paper).
+    pub fn saturate(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = u64::MAX);
+        self.mask_tail();
+    }
+
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// Number of set bits — the Hamming weight `wH(z)`.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Number of unset bits.
+    pub fn count_zeros(&self) -> u64 {
+        self.len - self.count_ones()
+    }
+
+    /// Fraction of set bits (`wH(z)/m`).
+    pub fn fill_ratio(&self) -> f64 {
+        self.count_ones() as f64 / self.len as f64
+    }
+
+    /// The support `supp(z)`: indices of all set bits, in increasing order.
+    pub fn support(&self) -> Vec<u64> {
+        self.iter_ones().collect()
+    }
+
+    /// Indices of all unset bits, in increasing order.
+    pub fn zero_positions(&self) -> Vec<u64> {
+        (0..self.len).filter(|&i| !self.get(i)).collect()
+    }
+
+    /// Iterator over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u64> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let base = wi as u64 * 64;
+            let mut bits = word;
+            core::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as u64;
+                    bits &= bits - 1;
+                    Some(base + tz)
+                }
+            })
+        })
+    }
+
+    /// Bitwise OR with another vector of the same length (used to merge
+    /// cache digests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn union_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "bit vectors must have equal length");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Returns true if every set bit of `self` is also set in `other`.
+    pub fn is_subset_of(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "bit vectors must have equal length");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Serialized size in bytes of the backing storage.
+    pub fn storage_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_vector_is_all_zero() {
+        let bits = BitVec::new(130);
+        assert_eq!(bits.len(), 130);
+        assert_eq!(bits.count_ones(), 0);
+        assert_eq!(bits.count_zeros(), 130);
+        assert_eq!(bits.fill_ratio(), 0.0);
+        assert!(!bits.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_rejected() {
+        BitVec::new(0);
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut bits = BitVec::new(200);
+        assert!(!bits.set(63));
+        assert!(!bits.set(64));
+        assert!(bits.set(64), "second set reports the bit was already set");
+        assert!(bits.get(63) && bits.get(64));
+        assert!(!bits.get(65));
+        assert!(bits.clear(64));
+        assert!(!bits.get(64));
+        assert!(!bits.clear(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        BitVec::new(10).get(10);
+    }
+
+    #[test]
+    fn support_and_iter_ones_agree() {
+        let mut bits = BitVec::new(300);
+        for i in [0u64, 1, 63, 64, 65, 128, 255, 299] {
+            bits.set(i);
+        }
+        assert_eq!(bits.support(), vec![0, 1, 63, 64, 65, 128, 255, 299]);
+        assert_eq!(bits.count_ones(), 8);
+        assert_eq!(bits.iter_ones().count(), 8);
+    }
+
+    #[test]
+    fn zero_positions_complement_support() {
+        let mut bits = BitVec::new(20);
+        for i in 0..10 {
+            bits.set(i * 2);
+        }
+        let zeros = bits.zero_positions();
+        assert_eq!(zeros.len(), 10);
+        assert!(zeros.iter().all(|i| i % 2 == 1));
+    }
+
+    #[test]
+    fn saturate_then_reset() {
+        let mut bits = BitVec::new(70);
+        bits.saturate();
+        assert_eq!(bits.count_ones(), 70, "tail bits beyond len must stay clear");
+        assert_eq!(bits.fill_ratio(), 1.0);
+        bits.reset();
+        assert_eq!(bits.count_ones(), 0);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let mut a = BitVec::new(100);
+        let mut b = BitVec::new(100);
+        a.set(3);
+        a.set(50);
+        b.set(50);
+        b.set(99);
+        assert!(!a.is_subset_of(&b));
+        let mut merged = a.clone();
+        merged.union_with(&b);
+        assert_eq!(merged.support(), vec![3, 50, 99]);
+        assert!(a.is_subset_of(&merged));
+        assert!(b.is_subset_of(&merged));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn union_length_mismatch_panics() {
+        let mut a = BitVec::new(10);
+        a.union_with(&BitVec::new(11));
+    }
+
+    #[test]
+    fn storage_is_word_aligned() {
+        assert_eq!(BitVec::new(1).storage_bytes(), 8);
+        assert_eq!(BitVec::new(64).storage_bytes(), 8);
+        assert_eq!(BitVec::new(65).storage_bytes(), 16);
+    }
+}

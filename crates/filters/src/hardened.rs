@@ -1,0 +1,219 @@
+//! Hardened Bloom filters — the countermeasures of Section 8 packaged as
+//! ready-to-use constructors.
+//!
+//! Three defence levels are provided:
+//!
+//! * [`HardeningLevel::WorstCaseParameters`] — keep a fast unkeyed hash but
+//!   choose `k = m/(en)` so the *adversarial* false-positive probability is
+//!   minimised (defeats chosen-insertion adversaries, not query-only ones);
+//! * [`HardeningLevel::KeyedSipHash`] — derive indexes with SipHash-2-4 under
+//!   a secret key (defeats every adversary, cheapest keyed option);
+//! * [`HardeningLevel::KeyedHmac`] — derive indexes from a recycled
+//!   HMAC-SHA-256 digest (defeats every adversary, strongest margin).
+
+use rand::RngCore;
+
+use evilbloom_hashes::{
+    Hmac, IndexStrategy, KeyedIndexes, Murmur3_128, SaltedHashes, Sha256, SipHash24, SipKey,
+};
+
+use crate::bloom::BloomFilter;
+use crate::params::FilterParams;
+
+/// Which countermeasure to apply when building a hardened filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HardeningLevel {
+    /// Worst-case parameters (Section 8.1) with a fast unkeyed hash.
+    WorstCaseParameters,
+    /// Secret-keyed SipHash-2-4 indexes (Section 8.2, Table 2).
+    KeyedSipHash,
+    /// Secret-keyed HMAC-SHA-256 indexes (Section 8.2, Table 2).
+    KeyedHmac,
+}
+
+/// A 256-bit secret key for the keyed countermeasures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FilterKey(pub [u8; 32]);
+
+impl FilterKey {
+    /// Draws a fresh random key from the given RNG.
+    pub fn generate<R: RngCore>(rng: &mut R) -> Self {
+        let mut key = [0u8; 32];
+        rng.fill_bytes(&mut key);
+        FilterKey(key)
+    }
+
+    /// Builds a key from explicit bytes (e.g. loaded from configuration).
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        FilterKey(bytes)
+    }
+
+    fn sip_key(&self) -> SipKey {
+        SipKey::new(
+            u64::from_le_bytes(self.0[0..8].try_into().expect("8-byte slice")),
+            u64::from_le_bytes(self.0[8..16].try_into().expect("8-byte slice")),
+        )
+    }
+}
+
+/// Builds a hardened Bloom filter for `capacity` items at target
+/// false-positive probability `target_fpp`.
+///
+/// The returned filter uses:
+///
+/// * worst-case parameters and MurmurHash3 when `level` is
+///   [`HardeningLevel::WorstCaseParameters`] (the key is ignored);
+/// * average-case parameters and a keyed strategy otherwise (the paper's
+///   point is that keyed hashing lets you *keep* the optimal parameters).
+pub fn hardened_filter(
+    capacity: u64,
+    target_fpp: f64,
+    level: HardeningLevel,
+    key: &FilterKey,
+) -> BloomFilter {
+    match level {
+        HardeningLevel::WorstCaseParameters => {
+            let params = FilterParams::worst_case(capacity, target_fpp);
+            BloomFilter::new(params, SaltedHashes::new(Murmur3_128))
+        }
+        HardeningLevel::KeyedSipHash => {
+            let params = FilterParams::optimal(capacity, target_fpp);
+            let prf = SipHash24::new(key.sip_key());
+            BloomFilter::new(params, KeyedIndexes::new(Box::new(prf)))
+        }
+        HardeningLevel::KeyedHmac => {
+            let params = FilterParams::optimal(capacity, target_fpp);
+            let prf = Hmac::new(Box::new(Sha256), &key.0);
+            BloomFilter::new(params, KeyedIndexes::new(Box::new(prf)))
+        }
+    }
+}
+
+/// Report comparing a deployment's exposure before and after hardening,
+/// produced by [`audit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardeningAudit {
+    /// Honest false-positive probability of the original parameters.
+    pub baseline_fpp: f64,
+    /// Adversarial false-positive probability of the original parameters.
+    pub baseline_adversarial_fpp: f64,
+    /// Whether the original index derivation is predictable by an adversary.
+    pub baseline_predictable: bool,
+    /// Honest false-positive probability after hardening.
+    pub hardened_fpp: f64,
+    /// Adversarial false-positive probability after hardening. For keyed
+    /// strategies the offline attack no longer applies, so this equals the
+    /// honest probability.
+    pub hardened_adversarial_fpp: f64,
+}
+
+/// Audits a `(params, strategy)` deployment against the chosen hardening
+/// level, returning the before/after false-positive exposure.
+pub fn audit(
+    params: FilterParams,
+    strategy: &dyn IndexStrategy,
+    level: HardeningLevel,
+) -> HardeningAudit {
+    let baseline_fpp = params.expected_fpp();
+    let baseline_adversarial_fpp = params.adversarial_fpp();
+    let baseline_predictable = strategy.is_predictable();
+
+    let hardened_params = match level {
+        HardeningLevel::WorstCaseParameters => {
+            FilterParams::worst_case_for_memory(params.m, params.capacity)
+        }
+        _ => params,
+    };
+    let hardened_fpp = hardened_params.expected_fpp();
+    let hardened_adversarial_fpp = match level {
+        HardeningLevel::WorstCaseParameters => hardened_params.adversarial_fpp(),
+        // A keyed strategy removes the adversary's ability to choose items,
+        // so the worst case collapses to the honest case.
+        _ => hardened_fpp,
+    };
+
+    HardeningAudit {
+        baseline_fpp,
+        baseline_adversarial_fpp,
+        baseline_predictable,
+        hardened_fpp,
+        hardened_adversarial_fpp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evilbloom_hashes::{KirschMitzenmacher, Murmur3_32};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> FilterKey {
+        FilterKey::generate(&mut StdRng::seed_from_u64(42))
+    }
+
+    #[test]
+    fn all_levels_build_working_filters() {
+        for level in [
+            HardeningLevel::WorstCaseParameters,
+            HardeningLevel::KeyedSipHash,
+            HardeningLevel::KeyedHmac,
+        ] {
+            let mut filter = hardened_filter(1000, 0.01, level, &key());
+            for i in 0..1000 {
+                filter.insert(format!("item-{i}").as_bytes());
+            }
+            for i in 0..1000 {
+                assert!(filter.contains(format!("item-{i}").as_bytes()), "{level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_levels_are_unpredictable() {
+        let sip = hardened_filter(100, 0.01, HardeningLevel::KeyedSipHash, &key());
+        let hmac = hardened_filter(100, 0.01, HardeningLevel::KeyedHmac, &key());
+        let worst = hardened_filter(100, 0.01, HardeningLevel::WorstCaseParameters, &key());
+        assert!(sip.strategy_name().contains("SipHash"));
+        assert!(hmac.strategy_name().contains("HMAC"));
+        assert!(worst.strategy_name().contains("Murmur"));
+    }
+
+    #[test]
+    fn different_keys_produce_different_layouts() {
+        let key_a = FilterKey::from_bytes([1u8; 32]);
+        let key_b = FilterKey::from_bytes([2u8; 32]);
+        let mut a = hardened_filter(100, 0.01, HardeningLevel::KeyedSipHash, &key_a);
+        let mut b = hardened_filter(100, 0.01, HardeningLevel::KeyedSipHash, &key_b);
+        a.insert(b"same item");
+        b.insert(b"same item");
+        assert_ne!(a.support(), b.support());
+    }
+
+    #[test]
+    fn worst_case_level_reduces_adversarial_exposure() {
+        let params = FilterParams::optimal(10_000, 0.001);
+        let strategy = KirschMitzenmacher::new(Murmur3_32);
+        let report = audit(params, &strategy, HardeningLevel::WorstCaseParameters);
+        assert!(report.baseline_predictable);
+        assert!(report.hardened_adversarial_fpp < report.baseline_adversarial_fpp);
+        // ...at the cost of a worse honest false-positive probability.
+        assert!(report.hardened_fpp > report.baseline_fpp);
+    }
+
+    #[test]
+    fn keyed_level_collapses_worst_case_to_honest_case() {
+        let params = FilterParams::optimal(10_000, 0.001);
+        let strategy = KirschMitzenmacher::new(Murmur3_32);
+        let report = audit(params, &strategy, HardeningLevel::KeyedSipHash);
+        assert_eq!(report.hardened_adversarial_fpp, report.hardened_fpp);
+        assert!(report.hardened_adversarial_fpp < report.baseline_adversarial_fpp);
+        assert_eq!(report.hardened_fpp, report.baseline_fpp);
+    }
+
+    #[test]
+    fn generated_keys_differ() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_ne!(FilterKey::generate(&mut rng), FilterKey::generate(&mut rng));
+    }
+}

@@ -1,0 +1,151 @@
+//! # evilbloom-filters
+//!
+//! The Bloom-filter family attacked and defended in *"The Power of Evil
+//! Choices in Bloom Filters"* (Gerbet, Kumar & Lauradoux, DSN 2015),
+//! implemented from scratch on top of `evilbloom-hashes`:
+//!
+//! * [`BloomFilter`] — the classic filter of Section 3, with a pluggable
+//!   [`evilbloom_hashes::IndexStrategy`] and full state introspection;
+//! * [`CountingBloomFilter`] — 4-bit-counter deletable variant (Fan et al.),
+//!   complete with the overflow semantics the deletion attack abuses;
+//! * [`ScalableBloomFilter`] — growing stack of filters (Almeida et al.);
+//! * [`Dablooms`] — Bitly's scaling *and* counting combination (Section 6);
+//! * [`cache_digest::CacheDigest`] — Squid's `5n + 7`-bit, `k = 4`, MD5-split
+//!   digest (Section 7);
+//! * [`PartitionedBloomFilter`] and [`TwoChoiceBloomFilter`] — common
+//!   variants used in the extension experiments;
+//! * [`hardened`] — the Section 8 countermeasures (worst-case parameters,
+//!   keyed SipHash / HMAC indexes) as ready-made constructors;
+//! * [`FilterParams`] — parameter derivation in the average case, the worst
+//!   case, and "as deployed by Squid";
+//! * [`stats`] — empirical false-positive measurement and fill trajectories
+//!   used by the figure-reproduction experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use evilbloom_filters::{BloomFilter, FilterParams};
+//! use evilbloom_hashes::{KirschMitzenmacher, Murmur3_128};
+//!
+//! let params = FilterParams::optimal(10_000, 0.01);
+//! let mut seen = BloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
+//! seen.insert(b"http://example.org/");
+//! assert!(seen.contains(b"http://example.org/"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod bloom;
+pub mod cache_digest;
+pub mod counting;
+pub mod dablooms;
+pub mod hardened;
+pub mod params;
+pub mod partitioned;
+pub mod power_of_two;
+pub mod scalable;
+pub mod stats;
+
+pub use bitvec::BitVec;
+pub use bloom::BloomFilter;
+pub use cache_digest::CacheDigest;
+pub use counting::CountingBloomFilter;
+pub use dablooms::Dablooms;
+pub use hardened::{audit, hardened_filter, FilterKey, HardeningAudit, HardeningLevel};
+pub use params::{FilterParams, ParamDerivation};
+pub use partitioned::PartitionedBloomFilter;
+pub use power_of_two::TwoChoiceBloomFilter;
+pub use scalable::{ScalableBloomFilter, ScalableConfig};
+pub use stats::{fill_trajectory, measure_false_positive_rate, FalsePositiveMeasurement};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use evilbloom_hashes::{KirschMitzenmacher, Murmur3_128, SaltedCrypto, Sha256};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// A Bloom filter never reports a false negative, whatever is
+        /// inserted.
+        #[test]
+        fn bloom_no_false_negatives(items in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 1..200)) {
+            let mut filter = BloomFilter::new(
+                FilterParams::optimal(items.len().max(1) as u64, 0.01),
+                KirschMitzenmacher::new(Murmur3_128),
+            );
+            for item in &items {
+                filter.insert(item);
+            }
+            for item in &items {
+                prop_assert!(filter.contains(item));
+            }
+        }
+
+        /// The Hamming weight never exceeds k bits per insertion and never
+        /// exceeds m.
+        #[test]
+        fn bloom_weight_bounds(items in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..32), 1..100)) {
+            let params = FilterParams::explicit(512, 3, 64);
+            let mut filter = BloomFilter::new(params, SaltedCrypto::new(Box::new(Sha256)));
+            for item in &items {
+                filter.insert(item);
+            }
+            prop_assert!(filter.hamming_weight() <= (items.len() as u64) * 3);
+            prop_assert!(filter.hamming_weight() <= 512);
+        }
+
+        /// Counting filters delete cleanly: inserting a batch and removing it
+        /// in any order leaves an empty filter (absent counter overflow).
+        #[test]
+        fn counting_insert_delete_symmetry(items in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..32), 1..50)) {
+            let params = FilterParams::optimal(128, 0.01);
+            let mut filter = CountingBloomFilter::new(
+                params, KirschMitzenmacher::new(Murmur3_128));
+            for item in &items {
+                filter.insert(item);
+            }
+            // Counters frozen at their maximum can never be decremented, so
+            // the symmetry only holds when no cell saturated.
+            if filter.saturated_cells() == 0 {
+                for item in items.iter().rev() {
+                    filter.delete(item);
+                }
+                prop_assert_eq!(filter.occupied_cells(), 0);
+            }
+        }
+
+        /// Scalable filters never report false negatives either, no matter
+        /// how many slices the load spreads over.
+        #[test]
+        fn scalable_no_false_negatives(count in 1usize..400) {
+            let mut filter = ScalableBloomFilter::new(
+                ScalableConfig { slice_capacity: 50, base_fpp: 0.02, tightening_ratio: 0.9 },
+                KirschMitzenmacher::new(Murmur3_128),
+            );
+            let items: Vec<String> = (0..count).map(|i| format!("item-{i}")).collect();
+            for item in &items {
+                filter.insert(item.as_bytes());
+            }
+            for item in &items {
+                prop_assert!(filter.contains(item.as_bytes()));
+            }
+        }
+
+        /// The parameter solver always meets (or beats) the requested
+        /// false-positive target.
+        #[test]
+        fn params_meet_target(capacity in 1u64..100_000, exponent in 2u32..24) {
+            let target = 2f64.powi(-(exponent as i32));
+            let params = FilterParams::optimal(capacity, target);
+            prop_assert!(params.expected_fpp() <= target * 1.1);
+            prop_assert!(params.k >= 1);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Fowler–Noll–Vo hashes (FNV-1a, 32- and 64-bit).
+//!
+//! FNV is one of the simplest non-cryptographic hash functions and a frequent
+//! "default" choice in Bloom-filter implementations. Its simplicity is exactly
+//! why the paper warns against it: pre-images for a target index can be found
+//! by a trivial brute-force loop, and the function is easily run backwards for
+//! short inputs.
+
+use crate::traits::Hasher64;
+
+const FNV32_PRIME: u32 = 0x0100_0193;
+const FNV32_OFFSET: u32 = 0x811c_9dc5;
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Raw 32-bit FNV-1a of `data` starting from the standard offset basis.
+pub fn fnv1a_32(data: &[u8]) -> u32 {
+    fnv1a_32_with_basis(data, FNV32_OFFSET)
+}
+
+/// 32-bit FNV-1a starting from a caller-provided basis (used for seeding).
+pub fn fnv1a_32_with_basis(data: &[u8], basis: u32) -> u32 {
+    let mut h = basis;
+    for &b in data {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(FNV32_PRIME);
+    }
+    h
+}
+
+/// Raw 64-bit FNV-1a of `data` starting from the standard offset basis.
+pub fn fnv1a_64(data: &[u8]) -> u64 {
+    fnv1a_64_with_basis(data, FNV64_OFFSET)
+}
+
+/// 64-bit FNV-1a starting from a caller-provided basis (used for seeding).
+pub fn fnv1a_64_with_basis(data: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// The 32-bit FNV-1a function as a seedable [`Hasher64`].
+///
+/// Seeding XORs the seed into the offset basis, mirroring how Bloom-filter
+/// libraries derive "independent" functions from one FNV core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fnv1a32;
+
+impl Hasher64 for Fnv1a32 {
+    fn hash_with_seed(&self, data: &[u8], seed: u64) -> u64 {
+        u64::from(fnv1a_32_with_basis(data, FNV32_OFFSET ^ (seed as u32)))
+    }
+
+    fn name(&self) -> &'static str {
+        "FNV-1a-32"
+    }
+
+    fn output_bits(&self) -> u32 {
+        32
+    }
+}
+
+/// The 64-bit FNV-1a function as a seedable [`Hasher64`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fnv1a64;
+
+impl Hasher64 for Fnv1a64 {
+    fn hash_with_seed(&self, data: &[u8], seed: u64) -> u64 {
+        fnv1a_64_with_basis(data, FNV64_OFFSET ^ seed)
+    }
+
+    fn name(&self) -> &'static str {
+        "FNV-1a-64"
+    }
+
+    fn output_bits(&self) -> u32 {
+        64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference values from the FNV specification (draft-eastlake-fnv) and
+    // the widely used test vectors of Landon Curt Noll's reference code.
+    #[test]
+    fn fnv1a_32_reference_vectors() {
+        assert_eq!(fnv1a_32(b""), 0x811c_9dc5);
+        assert_eq!(fnv1a_32(b"a"), 0xe40c_292c);
+        assert_eq!(fnv1a_32(b"foobar"), 0xbf9c_f968);
+    }
+
+    #[test]
+    fn fnv1a_64_reference_vectors() {
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        let h = Fnv1a64;
+        assert_ne!(h.hash_with_seed(b"abc", 0), h.hash_with_seed(b"abc", 1));
+        let h32 = Fnv1a32;
+        assert_ne!(h32.hash_with_seed(b"abc", 0), h32.hash_with_seed(b"abc", 1));
+    }
+
+    #[test]
+    fn thirty_two_bit_variant_fits_in_low_word() {
+        let h = Fnv1a32;
+        assert_eq!(h.hash(b"anything") >> 32, 0);
+        assert_eq!(h.output_bits(), 32);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        assert_ne!(Fnv1a32.name(), Fnv1a64.name());
+    }
+}

@@ -1,0 +1,221 @@
+//! Jenkins hash functions: `one_at_a_time` and `lookup3` (`hashlittle`).
+//!
+//! Bob Jenkins' functions are cited by the paper (reference [6]) as typical
+//! non-cryptographic choices. `lookup3` is the function historically used by
+//! several caching systems; `one_at_a_time` shows up in countless ad-hoc
+//! Bloom-filter implementations.
+
+use crate::traits::Hasher64;
+
+/// Jenkins "one-at-a-time" hash of `data`, starting from `seed`.
+pub fn one_at_a_time(data: &[u8], seed: u32) -> u32 {
+    let mut hash = seed;
+    for &b in data {
+        hash = hash.wrapping_add(u32::from(b));
+        hash = hash.wrapping_add(hash << 10);
+        hash ^= hash >> 6;
+    }
+    hash = hash.wrapping_add(hash << 3);
+    hash ^= hash >> 11;
+    hash = hash.wrapping_add(hash << 15);
+    hash
+}
+
+#[inline(always)]
+fn rot(x: u32, k: u32) -> u32 {
+    x.rotate_left(k)
+}
+
+#[inline(always)]
+fn mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *a = a.wrapping_sub(*c);
+    *a ^= rot(*c, 4);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot(*a, 6);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot(*b, 8);
+    *b = b.wrapping_add(*a);
+    *a = a.wrapping_sub(*c);
+    *a ^= rot(*c, 16);
+    *c = c.wrapping_add(*b);
+    *b = b.wrapping_sub(*a);
+    *b ^= rot(*a, 19);
+    *a = a.wrapping_add(*c);
+    *c = c.wrapping_sub(*b);
+    *c ^= rot(*b, 4);
+    *b = b.wrapping_add(*a);
+}
+
+#[inline(always)]
+fn final_mix(a: &mut u32, b: &mut u32, c: &mut u32) {
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 14));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot(*c, 11));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot(*a, 25));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 16));
+    *a ^= *c;
+    *a = a.wrapping_sub(rot(*c, 4));
+    *b ^= *a;
+    *b = b.wrapping_sub(rot(*a, 14));
+    *c ^= *b;
+    *c = c.wrapping_sub(rot(*b, 24));
+}
+
+#[inline]
+fn read_u32_le(data: &[u8], at: usize) -> u32 {
+    let mut word = [0u8; 4];
+    let take = (data.len() - at).min(4);
+    word[..take].copy_from_slice(&data[at..at + take]);
+    u32::from_le_bytes(word)
+}
+
+/// Jenkins `lookup3` `hashlittle`: 32-bit hash of `data` with an initial value.
+///
+/// This is a byte-oriented port of the reference implementation; it produces
+/// the same values as `hashlittle()` on little-endian machines (the case the
+/// reference test vectors cover).
+pub fn lookup3(data: &[u8], initval: u32) -> u32 {
+    let (c, _b) = lookup3_pair(data, initval, 0);
+    c
+}
+
+/// `hashlittle2`: returns both 32-bit results `(c, b)`, usable as two
+/// independent-looking hash values — exactly the trick Bloom-filter code uses
+/// to get two indexes from one invocation.
+pub fn lookup3_pair(data: &[u8], initval_c: u32, initval_b: u32) -> (u32, u32) {
+    let mut length = data.len();
+    let base = 0xdead_beef_u32.wrapping_add(length as u32).wrapping_add(initval_c);
+    let mut a = base;
+    let mut b = base;
+    let mut c = base.wrapping_add(initval_b);
+
+    let mut offset = 0usize;
+    while length > 12 {
+        a = a.wrapping_add(read_u32_le(data, offset));
+        b = b.wrapping_add(read_u32_le(data, offset + 4));
+        c = c.wrapping_add(read_u32_le(data, offset + 8));
+        mix(&mut a, &mut b, &mut c);
+        length -= 12;
+        offset += 12;
+    }
+
+    // Last block: affect all of (a, b, c). The reference implementation
+    // reads whole words and masks; reading byte-wise gives the same result.
+    if length == 0 {
+        // The reference returns (c, b) untouched for zero-length tails that
+        // follow at least one mixed block, and the initial state for empty
+        // input.
+        return (c, b);
+    }
+    let tail = &data[offset..];
+    if length > 8 {
+        a = a.wrapping_add(read_u32_le(tail, 0));
+        b = b.wrapping_add(read_u32_le(tail, 4));
+        c = c.wrapping_add(read_u32_le(tail, 8));
+    } else if length > 4 {
+        a = a.wrapping_add(read_u32_le(tail, 0));
+        b = b.wrapping_add(read_u32_le(tail, 4));
+    } else {
+        a = a.wrapping_add(read_u32_le(tail, 0));
+    }
+    final_mix(&mut a, &mut b, &mut c);
+    (c, b)
+}
+
+/// Jenkins `one_at_a_time` as a seedable [`Hasher64`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JenkinsOneAtATime;
+
+impl Hasher64 for JenkinsOneAtATime {
+    fn hash_with_seed(&self, data: &[u8], seed: u64) -> u64 {
+        u64::from(one_at_a_time(data, seed as u32))
+    }
+
+    fn name(&self) -> &'static str {
+        "Jenkins-OAAT"
+    }
+
+    fn output_bits(&self) -> u32 {
+        32
+    }
+}
+
+/// Jenkins `lookup3` as a seedable [`Hasher64`].
+///
+/// The 64-bit seed is split into the two 32-bit init values of `hashlittle2`
+/// and the two 32-bit results are concatenated, giving a 64-bit digest.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JenkinsLookup3;
+
+impl Hasher64 for JenkinsLookup3 {
+    fn hash_with_seed(&self, data: &[u8], seed: u64) -> u64 {
+        let (c, b) = lookup3_pair(data, seed as u32, (seed >> 32) as u32);
+        (u64::from(b) << 32) | u64::from(c)
+    }
+
+    fn name(&self) -> &'static str {
+        "Jenkins-lookup3"
+    }
+
+    fn output_bits(&self) -> u32 {
+        64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_at_a_time_known_values() {
+        // Values computed with the canonical C implementation.
+        assert_eq!(one_at_a_time(b"", 0), 0);
+        assert_eq!(one_at_a_time(b"a", 0), 0xca2e9442);
+        assert_eq!(one_at_a_time(b"The quick brown fox jumps over the lazy dog", 0), 0x519e91f5);
+    }
+
+    // lookup3 self-test from the reference lookup3.c: hashlittle("", 0) = 0xdeadbeef,
+    // hashlittle("", 0xdeadbeef) = 0xbd5b7dde,
+    // hashlittle("Four score and seven years ago", 0) = 0x17770551.
+    #[test]
+    fn lookup3_reference_vectors() {
+        assert_eq!(lookup3(b"", 0), 0xdead_beef);
+        assert_eq!(lookup3(b"", 0xdead_beef), 0xbd5b_7dde);
+        assert_eq!(lookup3(b"Four score and seven years ago", 0), 0x1777_0551);
+        assert_eq!(lookup3(b"Four score and seven years ago", 1), 0xcd62_8161);
+    }
+
+    #[test]
+    fn lookup3_pair_gives_two_values() {
+        let (c, b) = lookup3_pair(b"hello world", 0, 0);
+        assert_ne!(c, b);
+    }
+
+    #[test]
+    fn hasher64_wrappers_are_seed_sensitive() {
+        assert_ne!(
+            JenkinsOneAtATime.hash_with_seed(b"x", 1),
+            JenkinsOneAtATime.hash_with_seed(b"x", 2)
+        );
+        assert_ne!(
+            JenkinsLookup3.hash_with_seed(b"x", 1),
+            JenkinsLookup3.hash_with_seed(b"x", 2)
+        );
+    }
+
+    #[test]
+    fn lookup3_handles_all_tail_lengths() {
+        // Exercise every `length % 12` branch; values just need to be stable
+        // and distinct for distinct inputs.
+        let data: Vec<u8> = (0u8..64).collect();
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..=data.len() {
+            assert!(seen.insert(lookup3(&data[..len], 7)) || len == 0);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! MurmurHash3: the x86 32-bit and x64 128-bit variants.
+//!
+//! MurmurHash3 is the function Bitly's Dablooms uses, combined with the
+//! Kirsch–Mitzenmacher trick, to derive all Bloom-filter indexes. Like its
+//! predecessor it offers no resistance against a motivated adversary, which
+//! is the crux of the Dablooms attacks in Section 6 of the paper.
+
+use crate::traits::Hasher64;
+
+/// Finalization mix of MurmurHash3 (32-bit) — forces avalanche.
+#[inline]
+pub fn fmix32(mut h: u32) -> u32 {
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85eb_ca6b);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xc2b2_ae35);
+    h ^= h >> 16;
+    h
+}
+
+/// Finalization mix of MurmurHash3 (64-bit lanes).
+#[inline]
+pub fn fmix64(mut k: u64) -> u64 {
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    k ^= k >> 33;
+    k = k.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    k ^= k >> 33;
+    k
+}
+
+/// MurmurHash3 x86_32.
+pub fn murmur3_32(data: &[u8], seed: u32) -> u32 {
+    const C1: u32 = 0xcc9e_2d51;
+    const C2: u32 = 0x1b87_3593;
+
+    let mut h1 = seed;
+    let mut chunks = data.chunks_exact(4);
+    for chunk in &mut chunks {
+        let mut k1 = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+        h1 = h1.rotate_left(13);
+        h1 = h1.wrapping_mul(5).wrapping_add(0xe654_6b64);
+    }
+
+    let tail = chunks.remainder();
+    let mut k1: u32 = 0;
+    if tail.len() >= 3 {
+        k1 ^= u32::from(tail[2]) << 16;
+    }
+    if tail.len() >= 2 {
+        k1 ^= u32::from(tail[1]) << 8;
+    }
+    if !tail.is_empty() {
+        k1 ^= u32::from(tail[0]);
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(15);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= data.len() as u32;
+    fmix32(h1)
+}
+
+/// MurmurHash3 x64_128. Returns the 128-bit digest as `(low, high)` 64-bit
+/// halves, matching `out[0]`/`out[1]` of the reference implementation.
+pub fn murmur3_x64_128(data: &[u8], seed: u32) -> (u64, u64) {
+    const C1: u64 = 0x87c3_7b91_1142_53d5;
+    const C2: u64 = 0x4cf5_ad43_2745_937f;
+
+    let len = data.len();
+    let mut h1: u64 = u64::from(seed);
+    let mut h2: u64 = u64::from(seed);
+
+    let mut chunks = data.chunks_exact(16);
+    for chunk in &mut chunks {
+        let mut k1 = u64::from_le_bytes(chunk[0..8].try_into().expect("8-byte slice"));
+        let mut k2 = u64::from_le_bytes(chunk[8..16].try_into().expect("8-byte slice"));
+
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+        h1 = h1.rotate_left(27);
+        h1 = h1.wrapping_add(h2);
+        h1 = h1.wrapping_mul(5).wrapping_add(0x52dc_e729);
+
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+        h2 = h2.rotate_left(31);
+        h2 = h2.wrapping_add(h1);
+        h2 = h2.wrapping_mul(5).wrapping_add(0x3849_5ab5);
+    }
+
+    let tail = chunks.remainder();
+    let mut k1: u64 = 0;
+    let mut k2: u64 = 0;
+    let t = |i: usize| u64::from(tail[i]);
+    if tail.len() >= 15 {
+        k2 ^= t(14) << 48;
+    }
+    if tail.len() >= 14 {
+        k2 ^= t(13) << 40;
+    }
+    if tail.len() >= 13 {
+        k2 ^= t(12) << 32;
+    }
+    if tail.len() >= 12 {
+        k2 ^= t(11) << 24;
+    }
+    if tail.len() >= 11 {
+        k2 ^= t(10) << 16;
+    }
+    if tail.len() >= 10 {
+        k2 ^= t(9) << 8;
+    }
+    if tail.len() >= 9 {
+        k2 ^= t(8);
+        k2 = k2.wrapping_mul(C2);
+        k2 = k2.rotate_left(33);
+        k2 = k2.wrapping_mul(C1);
+        h2 ^= k2;
+    }
+    if tail.len() >= 8 {
+        k1 ^= t(7) << 56;
+    }
+    if tail.len() >= 7 {
+        k1 ^= t(6) << 48;
+    }
+    if tail.len() >= 6 {
+        k1 ^= t(5) << 40;
+    }
+    if tail.len() >= 5 {
+        k1 ^= t(4) << 32;
+    }
+    if tail.len() >= 4 {
+        k1 ^= t(3) << 24;
+    }
+    if tail.len() >= 3 {
+        k1 ^= t(2) << 16;
+    }
+    if tail.len() >= 2 {
+        k1 ^= t(1) << 8;
+    }
+    if !tail.is_empty() {
+        k1 ^= t(0);
+        k1 = k1.wrapping_mul(C1);
+        k1 = k1.rotate_left(31);
+        k1 = k1.wrapping_mul(C2);
+        h1 ^= k1;
+    }
+
+    h1 ^= len as u64;
+    h2 ^= len as u64;
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    h1 = fmix64(h1);
+    h2 = fmix64(h2);
+    h1 = h1.wrapping_add(h2);
+    h2 = h2.wrapping_add(h1);
+    (h1, h2)
+}
+
+/// MurmurHash3 x86_32 as a seedable [`Hasher64`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Murmur3_32;
+
+impl Hasher64 for Murmur3_32 {
+    fn hash_with_seed(&self, data: &[u8], seed: u64) -> u64 {
+        u64::from(murmur3_32(data, seed as u32))
+    }
+
+    fn name(&self) -> &'static str {
+        "MurmurHash3-x86-32"
+    }
+
+    fn output_bits(&self) -> u32 {
+        32
+    }
+}
+
+/// MurmurHash3 x64_128 truncated to its low 64 bits, as a seedable
+/// [`Hasher64`]. The full 128-bit digest is available through
+/// [`murmur3_x64_128`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Murmur3_128;
+
+impl Hasher64 for Murmur3_128 {
+    fn hash_with_seed(&self, data: &[u8], seed: u64) -> u64 {
+        murmur3_x64_128(data, seed as u32).0
+    }
+
+    fn name(&self) -> &'static str {
+        "MurmurHash3-x64-128"
+    }
+
+    fn output_bits(&self) -> u32 {
+        64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Widely published MurmurHash3 x86_32 test vectors.
+    #[test]
+    fn murmur3_32_reference_vectors() {
+        assert_eq!(murmur3_32(b"", 0), 0);
+        assert_eq!(murmur3_32(b"", 1), 0x514e_28b7);
+        assert_eq!(murmur3_32(b"", 0xffff_ffff), 0x81f1_6f39);
+        assert_eq!(murmur3_32(&[0xff, 0xff, 0xff, 0xff], 0), 0x7629_3b50);
+        assert_eq!(murmur3_32(&[0x21, 0x43, 0x65, 0x87], 0), 0xf55b_516b);
+        assert_eq!(murmur3_32(&[0x21, 0x43, 0x65, 0x87], 0x5082_edee), 0x2362_f9de);
+        assert_eq!(murmur3_32(b"Hello, world!", 0x9747_b28c), 0x24884cba);
+        assert_eq!(murmur3_32(b"aaaa", 0x9747_b28c), 0x5a97_808a);
+    }
+
+    #[test]
+    fn murmur3_128_known_values() {
+        // Values cross-checked against the reference MurmurHash3_x64_128.
+        assert_eq!(murmur3_x64_128(b"", 0), (0, 0));
+        let (lo, hi) = murmur3_x64_128(b"", 1);
+        assert_eq!(lo, 0x4610abe56eff5cb5);
+        assert_eq!(hi, 0x51622daa78f83583);
+        let (lo, hi) = murmur3_x64_128(b"The quick brown fox jumps over the lazy dog", 0);
+        assert_eq!(lo, 0xe34bbc7bbc071b6c);
+        assert_eq!(hi, 0x7a433ca9c49a9347);
+    }
+
+    #[test]
+    fn fmix_are_bijective_samples() {
+        // fmix is a bijection; spot check that distinct inputs stay distinct.
+        let mut seen32 = std::collections::HashSet::new();
+        let mut seen64 = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            assert!(seen32.insert(fmix32(i as u32)));
+            assert!(seen64.insert(fmix64(i)));
+        }
+    }
+
+    #[test]
+    fn every_tail_length_changes_the_digest() {
+        let data: Vec<u8> = (1u8..=40).collect();
+        let mut outputs = std::collections::HashSet::new();
+        for len in 0..=data.len() {
+            outputs.insert(murmur3_x64_128(&data[..len], 7));
+        }
+        assert_eq!(outputs.len(), data.len() + 1);
+    }
+
+    #[test]
+    fn hasher64_wrappers() {
+        assert_eq!(Murmur3_32.hash(b"abc"), u64::from(murmur3_32(b"abc", 0)));
+        assert_eq!(Murmur3_128.hash(b"abc"), murmur3_x64_128(b"abc", 0).0);
+    }
+}

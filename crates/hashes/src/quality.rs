@@ -1,0 +1,190 @@
+//! Statistical quality tests for hash functions (a miniature SMHasher).
+//!
+//! The paper stresses that non-cryptographic functions are designed to pass
+//! *statistical* tests — uniformity, avalanche — which say nothing about
+//! adversarial resistance. This module provides those tests so the
+//! distinction can be demonstrated: MurmurHash passes them with flying
+//! colours and is still trivially invertible (see [`crate::inversion`]).
+
+use crate::traits::Hasher64;
+
+/// Result of an avalanche test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvalancheReport {
+    /// For every input bit, the fraction of output bits that flipped when the
+    /// input bit was flipped (ideal: 0.5).
+    pub per_input_bit: Vec<f64>,
+    /// Worst absolute deviation from 0.5 across input bits.
+    pub worst_bias: f64,
+    /// Mean absolute deviation from 0.5.
+    pub mean_bias: f64,
+}
+
+/// Runs an avalanche test over `samples` random-ish inputs of `input_len`
+/// bytes, considering the low `output_bits` bits of the digest.
+///
+/// The test is deterministic: inputs are generated from a small internal
+/// counter-based generator so results are reproducible across runs.
+pub fn avalanche<H: Hasher64>(
+    hasher: &H,
+    input_len: usize,
+    samples: usize,
+    output_bits: u32,
+) -> AvalancheReport {
+    assert!(input_len > 0, "input length must be positive");
+    assert!(samples > 0, "sample count must be positive");
+    assert!((1..=64).contains(&output_bits), "output_bits must be in 1..=64");
+
+    let input_bits = input_len * 8;
+    let mut flip_counts = vec![0u64; input_bits];
+    let out_mask: u64 = if output_bits == 64 { u64::MAX } else { (1u64 << output_bits) - 1 };
+
+    let mut input = vec![0u8; input_len];
+    for sample in 0..samples {
+        // Fill the input from a cheap counter-based generator (SplitMix-like)
+        // so the test does not depend on the function under test.
+        let mut state = (sample as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        for byte in input.iter_mut() {
+            state ^= state >> 30;
+            state = state.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            state ^= state >> 27;
+            *byte = state as u8;
+        }
+
+        let base = hasher.hash(&input) & out_mask;
+        for bit in 0..input_bits {
+            input[bit / 8] ^= 1 << (bit % 8);
+            let flipped = hasher.hash(&input) & out_mask;
+            input[bit / 8] ^= 1 << (bit % 8);
+            flip_counts[bit] += u64::from((base ^ flipped).count_ones());
+        }
+    }
+
+    let denom = (samples as f64) * f64::from(output_bits);
+    let per_input_bit: Vec<f64> = flip_counts.iter().map(|&c| c as f64 / denom).collect();
+    let worst_bias = per_input_bit
+        .iter()
+        .map(|p| (p - 0.5).abs())
+        .fold(0.0f64, f64::max);
+    let mean_bias =
+        per_input_bit.iter().map(|p| (p - 0.5).abs()).sum::<f64>() / per_input_bit.len() as f64;
+
+    AvalancheReport { per_input_bit, worst_bias, mean_bias }
+}
+
+/// Result of a chi-square uniformity test over reduced digests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformityReport {
+    /// Number of buckets the digests were reduced into.
+    pub buckets: usize,
+    /// Number of hashed samples.
+    pub samples: usize,
+    /// Chi-square statistic of the observed bucket counts.
+    pub chi_square: f64,
+    /// Degrees of freedom (`buckets - 1`).
+    pub degrees_of_freedom: usize,
+}
+
+impl UniformityReport {
+    /// Rough acceptance test: the chi-square statistic of a uniform source
+    /// concentrates around `df` with standard deviation `sqrt(2 df)`; accept
+    /// anything within `sigmas` standard deviations.
+    pub fn is_uniform(&self, sigmas: f64) -> bool {
+        let df = self.degrees_of_freedom as f64;
+        (self.chi_square - df).abs() <= sigmas * (2.0 * df).sqrt()
+    }
+}
+
+/// Hashes `samples` distinct byte strings, reduces each digest modulo
+/// `buckets`, and computes the chi-square statistic of the bucket counts.
+pub fn uniformity<H: Hasher64>(hasher: &H, buckets: usize, samples: usize) -> UniformityReport {
+    assert!(buckets >= 2, "need at least two buckets");
+    assert!(samples >= buckets, "need at least as many samples as buckets");
+
+    let mut counts = vec![0u64; buckets];
+    for i in 0..samples {
+        let item = format!("item-{i}");
+        let idx = (hasher.hash(item.as_bytes()) % buckets as u64) as usize;
+        counts[idx] += 1;
+    }
+
+    let expected = samples as f64 / buckets as f64;
+    let chi_square = counts
+        .iter()
+        .map(|&c| {
+            let diff = c as f64 - expected;
+            diff * diff / expected
+        })
+        .sum();
+
+    UniformityReport { buckets, samples, chi_square, degrees_of_freedom: buckets - 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fnv1a64, Murmur3_32, Murmur64A, SipHash24, SipKey};
+
+    #[test]
+    fn murmur3_passes_avalanche() {
+        let report = avalanche(&Murmur3_32, 8, 200, 32);
+        assert!(report.worst_bias < 0.1, "worst bias {}", report.worst_bias);
+        assert!(report.mean_bias < 0.05, "mean bias {}", report.mean_bias);
+    }
+
+    #[test]
+    fn murmur64a_passes_avalanche() {
+        let report = avalanche(&Murmur64A, 8, 200, 64);
+        assert!(report.worst_bias < 0.1, "worst bias {}", report.worst_bias);
+    }
+
+    #[test]
+    fn siphash_passes_avalanche() {
+        let prf = SipHash24::new(SipKey::new(7, 11));
+        let report = avalanche(&prf, 8, 200, 64);
+        assert!(report.worst_bias < 0.1, "worst bias {}", report.worst_bias);
+    }
+
+    #[test]
+    fn fnv_has_weak_avalanche_in_high_bits() {
+        // FNV-1a mixes poorly: flipping the last input byte barely affects
+        // high output bits. The mini-SMHasher must be able to see that.
+        let murmur = avalanche(&Murmur3_32, 4, 300, 32);
+        let fnv = avalanche(&Fnv1a64, 4, 300, 64);
+        assert!(fnv.worst_bias > murmur.worst_bias, "fnv {} vs murmur {}", fnv.worst_bias, murmur.worst_bias);
+    }
+
+    #[test]
+    fn uniformity_of_good_hashes() {
+        for report in [
+            uniformity(&Murmur3_32, 64, 20_000),
+            uniformity(&Murmur64A, 64, 20_000),
+        ] {
+            assert!(report.is_uniform(4.0), "chi2 {} df {}", report.chi_square, report.degrees_of_freedom);
+        }
+    }
+
+    #[test]
+    fn constant_function_fails_uniformity() {
+        struct Constant;
+        impl Hasher64 for Constant {
+            fn hash_with_seed(&self, _data: &[u8], _seed: u64) -> u64 {
+                42
+            }
+            fn name(&self) -> &'static str {
+                "constant"
+            }
+            fn output_bits(&self) -> u32 {
+                64
+            }
+        }
+        let report = uniformity(&Constant, 16, 1600);
+        assert!(!report.is_uniform(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two buckets")]
+    fn uniformity_rejects_single_bucket() {
+        uniformity(&Murmur3_32, 1, 10);
+    }
+}

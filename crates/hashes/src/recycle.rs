@@ -1,0 +1,237 @@
+//! Digest recycling — deriving every Bloom-filter index from one (or as few
+//! as possible) cryptographic digests.
+//!
+//! Section 8.2 of the paper observes that a Bloom filter needs only
+//! `k * ceil(log2 m)` digest bits per item, so a single SHA-512 (or even
+//! SHA-1) call usually provides enough entropy for all `k` indexes. Instead
+//! of calling the hash `k` times with `k` salts (the "naive" column of
+//! Table 2), the **recycling** strategy slices the required bits out of one
+//! digest and only re-hashes with an incremented salt when the digest runs
+//! out. Figure 9 plots which function suffices for which `(m, f)` domain.
+
+use crate::traits::CryptoHash;
+
+/// Number of digest bits consumed per index for a filter of `m` bits/cells.
+pub fn bits_per_index(m: u64) -> u32 {
+    assert!(m > 1, "filter size must exceed one cell");
+    64 - (m - 1).leading_zeros()
+}
+
+/// Total digest bits required to derive `k` indexes for a filter of size `m`
+/// — the quantity `k * ceil(log2 m)` plotted in Figure 9 of the paper.
+pub fn required_bits(k: u32, m: u64) -> u32 {
+    k * bits_per_index(m)
+}
+
+/// Number of calls to a hash function with `digest_bits`-bit output needed to
+/// derive `k` indexes for a filter of size `m`.
+pub fn calls_needed(digest_bits: u32, k: u32, m: u64) -> u32 {
+    let per_index = bits_per_index(m);
+    if per_index > digest_bits {
+        // A single index does not even fit in one digest; the strategy is
+        // unusable (never the case for real filter sizes and SHA digests).
+        return u32::MAX;
+    }
+    let indexes_per_call = digest_bits / per_index;
+    k.div_ceil(indexes_per_call)
+}
+
+/// A bit-level cursor over one or more digests of the same item.
+///
+/// The reader consumes `width`-bit big-endian slices of the digest stream; it
+/// transparently requests a fresh digest (same item, incremented salt) when
+/// the current digest has fewer than `width` bits left. Partial leftovers at
+/// the end of a digest are discarded, matching the conservative reading of
+/// "reuse unused bits" in the paper: only whole, uniformly distributed
+/// windows are used.
+pub struct RecyclingReader<'a> {
+    hash: &'a dyn CryptoHash,
+    item: &'a [u8],
+    digest: Vec<u8>,
+    bit_pos: usize,
+    salt: u64,
+}
+
+impl<'a> RecyclingReader<'a> {
+    /// Starts reading recycled bits of `item` under `hash` (salt 0 first).
+    pub fn new(hash: &'a dyn CryptoHash, item: &'a [u8]) -> Self {
+        let digest = Self::salted_digest(hash, item, 0);
+        RecyclingReader { hash, item, digest, bit_pos: 0, salt: 0 }
+    }
+
+    fn salted_digest(hash: &dyn CryptoHash, item: &[u8], salt: u64) -> Vec<u8> {
+        if salt == 0 {
+            hash.digest(item)
+        } else {
+            let mut buf = Vec::with_capacity(item.len() + 8);
+            buf.extend_from_slice(item);
+            buf.extend_from_slice(&salt.to_le_bytes());
+            hash.digest(&buf)
+        }
+    }
+
+    /// Number of digest computations performed so far.
+    pub fn digests_computed(&self) -> u64 {
+        self.salt + 1
+    }
+
+    /// Reads the next `width` bits (1..=64) as a big-endian integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero, exceeds 64, or exceeds the digest length.
+    pub fn read_bits(&mut self, width: u32) -> u64 {
+        assert!(width >= 1 && width <= 64, "width must be in 1..=64");
+        let digest_bits = self.digest.len() * 8;
+        assert!(width as usize <= digest_bits, "width exceeds digest size");
+
+        if self.bit_pos + width as usize > digest_bits {
+            self.salt += 1;
+            self.digest = Self::salted_digest(self.hash, self.item, self.salt);
+            self.bit_pos = 0;
+        }
+
+        let mut value: u64 = 0;
+        for offset in 0..width as usize {
+            let bit_index = self.bit_pos + offset;
+            let byte = self.digest[bit_index / 8];
+            let bit = (byte >> (7 - (bit_index % 8))) & 1;
+            value = (value << 1) | u64::from(bit);
+        }
+        self.bit_pos += width as usize;
+        value
+    }
+
+    /// Reads the next index for a filter of size `m`, reduced modulo `m`.
+    pub fn read_index(&mut self, m: u64) -> u64 {
+        self.read_bits(bits_per_index(m)) % m
+    }
+}
+
+impl core::fmt::Debug for RecyclingReader<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RecyclingReader")
+            .field("hash", &self.hash.name())
+            .field("bit_pos", &self.bit_pos)
+            .field("salt", &self.salt)
+            .finish()
+    }
+}
+
+/// Derives `k` indexes for a filter of size `m` by recycling digest bits.
+///
+/// This is the workhorse behind the "Recycling" column of Table 2.
+pub fn recycled_indexes(hash: &dyn CryptoHash, item: &[u8], k: u32, m: u64) -> Vec<u64> {
+    let mut reader = RecyclingReader::new(hash, item);
+    (0..k).map(|_| reader.read_index(m)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Md5, Sha1, Sha256, Sha512};
+
+    #[test]
+    fn bits_per_index_matches_ceil_log2() {
+        assert_eq!(bits_per_index(2), 1);
+        assert_eq!(bits_per_index(3), 2);
+        assert_eq!(bits_per_index(4), 2);
+        assert_eq!(bits_per_index(5), 3);
+        assert_eq!(bits_per_index(1024), 10);
+        assert_eq!(bits_per_index(1025), 11);
+        assert_eq!(bits_per_index(3200), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter size must exceed")]
+    fn bits_per_index_rejects_degenerate_filter() {
+        bits_per_index(1);
+    }
+
+    #[test]
+    fn required_bits_fig9_examples() {
+        // A 2.48 MB filter (~20.8M bits) with k = 10 needs 10 * 25 = 250 bits:
+        // more than SHA-1 provides but a single SHA-256 digest covers it.
+        let m = 20_800_000u64;
+        assert_eq!(bits_per_index(m), 25);
+        assert_eq!(required_bits(10, m), 250);
+        assert!(required_bits(10, m) > 160);
+        assert!(required_bits(10, m) <= 256);
+    }
+
+    #[test]
+    fn calls_needed_counts_whole_digests() {
+        let m = 20_800_000u64; // 25 bits per index
+        assert_eq!(calls_needed(512, 10, m), 1); // SHA-512: 20 indexes per call
+        assert_eq!(calls_needed(256, 10, m), 1); // SHA-256: 10 indexes per call
+        assert_eq!(calls_needed(160, 10, m), 2); // SHA-1: 6 indexes per call
+        assert_eq!(calls_needed(128, 10, m), 2); // MD5: 5 indexes per call
+        assert_eq!(calls_needed(32, 10, m), 10); // 32-bit hash: one index per call
+        assert_eq!(calls_needed(16, 10, m), u32::MAX); // index does not fit at all
+    }
+
+    #[test]
+    fn reader_is_deterministic() {
+        let a = recycled_indexes(&Sha256, b"http://example.org/", 10, 4096);
+        let b = recycled_indexes(&Sha256, b"http://example.org/", 10, 4096);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indexes_are_in_range() {
+        for m in [2u64, 3, 100, 3200, 1 << 20] {
+            for idx in recycled_indexes(&Sha512, b"item", 16, m) {
+                assert!(idx < m, "index {idx} out of range for m={m}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_indexes_match_manual_bit_extraction() {
+        // With m = 65536 each index is exactly 16 bits, so the first index is
+        // the first two digest bytes read big-endian.
+        let digest = Sha1.digest(b"item");
+        let expected0 = u64::from(u16::from_be_bytes([digest[0], digest[1]]));
+        let expected1 = u64::from(u16::from_be_bytes([digest[2], digest[3]]));
+        let got = recycled_indexes(&Sha1, b"item", 2, 65536);
+        assert_eq!(got, vec![expected0, expected1]);
+    }
+
+    #[test]
+    fn reader_rolls_over_to_salted_digest() {
+        // MD5 has 128 bits; with 25-bit indexes only 5 fit per digest, so the
+        // sixth index must trigger a second (salted) digest computation.
+        let m = 20_800_000u64;
+        let mut reader = RecyclingReader::new(&Md5, b"item");
+        for _ in 0..5 {
+            reader.read_index(m);
+        }
+        assert_eq!(reader.digests_computed(), 1);
+        reader.read_index(m);
+        assert_eq!(reader.digests_computed(), 2);
+    }
+
+    #[test]
+    fn salted_continuation_differs_from_restart() {
+        // Indexes 5.. come from a different digest than indexes 0..5.
+        let m = 20_800_000u64;
+        let ten = recycled_indexes(&Md5, b"item", 10, m);
+        let five = recycled_indexes(&Md5, b"item", 5, m);
+        assert_eq!(&ten[..5], &five[..]);
+        assert_ne!(&ten[5..], &five[..]);
+    }
+
+    #[test]
+    fn distinct_items_get_distinct_index_sets() {
+        let a = recycled_indexes(&Sha256, b"url-a", 8, 1 << 22);
+        let b = recycled_indexes(&Sha256, b"url-b", 8, 1 << 22);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be in 1..=64")]
+    fn zero_width_read_panics() {
+        let mut reader = RecyclingReader::new(&Sha256, b"x");
+        reader.read_bits(0);
+    }
+}

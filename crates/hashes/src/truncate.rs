@@ -1,0 +1,153 @@
+//! Digest truncation and its security consequences.
+//!
+//! The paper's central observation about "misused hash functions" is that
+//! developers truncate cryptographic digests — explicitly, or implicitly by
+//! reducing them modulo a small filter size `m` — and that the security of a
+//! truncated digest collapses to the truncated length: pre-image and second
+//! pre-image cost `2^{l'}`, collisions `2^{l'/2}` (NIST SP 800-107).
+
+/// Security levels (in bits of work) implied by a digest of `bits` bits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecurityLevel {
+    /// Cost exponent of finding a pre-image: `2^preimage` work.
+    pub preimage: f64,
+    /// Cost exponent of finding a second pre-image.
+    pub second_preimage: f64,
+    /// Cost exponent of finding a collision (birthday bound).
+    pub collision: f64,
+}
+
+impl SecurityLevel {
+    /// Security level of an `bits`-bit digest under generic attacks.
+    pub fn for_bits(bits: u32) -> Self {
+        let b = f64::from(bits);
+        SecurityLevel { preimage: b, second_preimage: b, collision: b / 2.0 }
+    }
+
+    /// Whether every generic attack costs at least `2^threshold_bits` work.
+    pub fn is_at_least(&self, threshold_bits: f64) -> bool {
+        self.preimage >= threshold_bits
+            && self.second_preimage >= threshold_bits
+            && self.collision >= threshold_bits
+    }
+}
+
+/// Truncates a digest to its first `bits` bits, zeroing the spare low bits of
+/// the last byte (most-significant-bit-first convention, as in NIST SP
+/// 800-107 left-truncation).
+///
+/// # Panics
+///
+/// Panics if `bits` exceeds the digest length in bits.
+pub fn truncate_bits(digest: &[u8], bits: u32) -> Vec<u8> {
+    let total_bits = digest.len() as u32 * 8;
+    assert!(bits <= total_bits, "cannot truncate {total_bits}-bit digest to {bits} bits");
+    let full_bytes = (bits / 8) as usize;
+    let rem = bits % 8;
+    let mut out = digest[..full_bytes].to_vec();
+    if rem != 0 {
+        let mask = 0xffu8 << (8 - rem);
+        out.push(digest[full_bytes] & mask);
+    }
+    out
+}
+
+/// Interprets the first 8 bytes (or fewer) of a digest as a big-endian
+/// integer — the "take a prefix and reduce it" idiom found in Bloom-filter
+/// code.
+pub fn prefix_to_u64(digest: &[u8]) -> u64 {
+    let take = digest.len().min(8);
+    let mut word = [0u8; 8];
+    word[8 - take..].copy_from_slice(&digest[..take]);
+    u64::from_be_bytes(word)
+}
+
+/// Reads `count` consecutive big-endian `u32` words from a digest, the way
+/// Squid splits an MD5 digest into four filter indexes.
+///
+/// # Panics
+///
+/// Panics if the digest is shorter than `4 * count` bytes.
+pub fn split_u32_words(digest: &[u8], count: usize) -> Vec<u32> {
+    assert!(digest.len() >= count * 4, "digest too short to split into {count} u32 words");
+    (0..count)
+        .map(|i| u32::from_be_bytes(digest[i * 4..(i + 1) * 4].try_into().expect("4-byte word")))
+        .collect()
+}
+
+/// Effective security of using a digest *modulo m* as a Bloom-filter index:
+/// the adversary only needs to control `log2(m)` bits, so the work factor for
+/// hitting one chosen index is `m` trials regardless of the original digest
+/// length.
+pub fn effective_index_bits(m: u64) -> f64 {
+    (m as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_whole_bytes() {
+        let d = vec![0xAA, 0xBB, 0xCC, 0xDD];
+        assert_eq!(truncate_bits(&d, 16), vec![0xAA, 0xBB]);
+        assert_eq!(truncate_bits(&d, 32), d);
+        assert_eq!(truncate_bits(&d, 0), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn truncate_partial_byte_masks_low_bits() {
+        let d = vec![0b1111_1111, 0b1111_1111];
+        assert_eq!(truncate_bits(&d, 12), vec![0xFF, 0b1111_0000]);
+        assert_eq!(truncate_bits(&d, 3), vec![0b1110_0000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot truncate")]
+    fn truncate_beyond_length_panics() {
+        truncate_bits(&[0xAA], 9);
+    }
+
+    #[test]
+    fn security_level_halves_collisions() {
+        let lvl = SecurityLevel::for_bits(128);
+        assert_eq!(lvl.preimage, 128.0);
+        assert_eq!(lvl.collision, 64.0);
+        assert!(lvl.is_at_least(64.0));
+        assert!(!lvl.is_at_least(80.0));
+    }
+
+    #[test]
+    fn truncation_destroys_security() {
+        // A 512-bit digest truncated to 16 bits offers only 2^16 pre-image work.
+        let truncated = SecurityLevel::for_bits(16);
+        assert!(!truncated.is_at_least(20.0));
+    }
+
+    #[test]
+    fn prefix_to_u64_is_big_endian() {
+        assert_eq!(prefix_to_u64(&[0, 0, 0, 0, 0, 0, 0, 1]), 1);
+        assert_eq!(prefix_to_u64(&[1, 0, 0, 0, 0, 0, 0, 0]), 1 << 56);
+        assert_eq!(prefix_to_u64(&[0xAB]), 0xAB);
+        assert_eq!(prefix_to_u64(&[0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0xff]), 0x1234_5678_9abc_def0);
+    }
+
+    #[test]
+    fn split_u32_words_matches_manual_read() {
+        let digest: Vec<u8> = (0u8..16).collect();
+        let words = split_u32_words(&digest, 4);
+        assert_eq!(words, vec![0x0001_0203, 0x0405_0607, 0x0809_0a0b, 0x0c0d_0e0f]);
+    }
+
+    #[test]
+    #[should_panic(expected = "digest too short")]
+    fn split_too_many_words_panics() {
+        split_u32_words(&[0u8; 8], 3);
+    }
+
+    #[test]
+    fn effective_index_bits_for_typical_filters() {
+        assert_eq!(effective_index_bits(1 << 20), 20.0);
+        assert!((effective_index_bits(3200) - 11.64).abs() < 0.01);
+    }
+}

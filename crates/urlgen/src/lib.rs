@@ -1,0 +1,214 @@
+//! # evilbloom-urlgen
+//!
+//! Deterministic, human-readable fake URL generation.
+//!
+//! The paper's experiments forge URLs (`fake-factory` in the original Python
+//! tooling) to feed the brute-force searches: polluting URLs for Scrapy,
+//! phishing-looking URLs for Dablooms, and cache keys for Squid. This crate
+//! provides the equivalent generator: URLs look plausible (scheme, word-based
+//! domains, path segments) while being enumerable, unique and reproducible —
+//! which is all the attacks need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// Word list used for domain and path segments. Small on purpose: combined
+/// with counters it still yields an effectively unbounded URL space.
+const WORDS: &[&str] = &[
+    "alpha", "atlas", "aurora", "beacon", "binary", "breeze", "cedar", "cipher", "cobalt",
+    "comet", "coral", "crystal", "delta", "drift", "ember", "falcon", "fjord", "gamma", "garnet",
+    "glacier", "harbor", "hazel", "indigo", "ion", "jade", "juniper", "karma", "lagoon", "lumen",
+    "lunar", "maple", "meadow", "mesa", "nebula", "nectar", "nova", "onyx", "opal", "orbit",
+    "oxide", "pearl", "pixel", "plasma", "prism", "quartz", "quill", "raven", "ridge", "sable",
+    "sierra", "solar", "sparrow", "summit", "terra", "thorn", "tundra", "umbra", "vertex",
+    "violet", "vortex", "willow", "zephyr", "zenith", "zinc",
+];
+
+/// Top-level domains used by the generator.
+const TLDS: &[&str] = &["com", "net", "org", "io", "info", "biz"];
+
+/// Page-name suffixes used for leaf path segments.
+const PAGES: &[&str] = &["index", "home", "news", "blog", "shop", "login", "about", "item", "tag"];
+
+/// A deterministic fake-URL generator.
+///
+/// Two generation modes are offered:
+///
+/// * [`UrlGenerator::url`] — the `i`-th URL of an enumerable sequence (used
+///   by brute-force searches, which need to iterate candidates cheaply and
+///   reproducibly);
+/// * [`UrlGenerator::random_url`] — a URL drawn from an [`Rng`] (used to
+///   model honest workloads).
+///
+/// # Examples
+///
+/// ```
+/// use evilbloom_urlgen::UrlGenerator;
+///
+/// let generator = UrlGenerator::new("attack");
+/// let first = generator.url(0);
+/// assert!(first.starts_with("http://"));
+/// assert_ne!(first, generator.url(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UrlGenerator {
+    namespace: String,
+}
+
+impl UrlGenerator {
+    /// Creates a generator whose URLs are tagged with `namespace`, keeping
+    /// independently generated URL families disjoint.
+    pub fn new(namespace: &str) -> Self {
+        UrlGenerator { namespace: namespace.to_owned() }
+    }
+
+    /// The namespace this generator stamps into every URL.
+    pub fn namespace(&self) -> &str {
+        &self.namespace
+    }
+
+    /// Returns the `i`-th URL of the deterministic sequence.
+    ///
+    /// URLs are unique across `i` (the counter is embedded in the path) and
+    /// across namespaces, and they look like plausible crawlable pages.
+    pub fn url(&self, i: u64) -> String {
+        let word1 = WORDS[(i % WORDS.len() as u64) as usize];
+        let word2 = WORDS[((i / WORDS.len() as u64) % WORDS.len() as u64) as usize];
+        let tld = TLDS[((i / 7) % TLDS.len() as u64) as usize];
+        let page = PAGES[((i / 3) % PAGES.len() as u64) as usize];
+        format!(
+            "http://{word1}-{word2}.{tld}/{ns}/{page}/{i}",
+            ns = self.namespace,
+        )
+    }
+
+    /// Returns a batch of sequential URLs `[start, start + count)`.
+    pub fn batch(&self, start: u64, count: u64) -> Vec<String> {
+        (start..start + count).map(|i| self.url(i)).collect()
+    }
+
+    /// Draws a random URL using `rng`. Uniqueness is probabilistic (a 64-bit
+    /// nonce is embedded), which suffices for honest-workload simulation.
+    pub fn random_url<R: Rng>(&self, rng: &mut R) -> String {
+        let word1 = WORDS[rng.gen_range(0..WORDS.len())];
+        let word2 = WORDS[rng.gen_range(0..WORDS.len())];
+        let tld = TLDS[rng.gen_range(0..TLDS.len())];
+        let page = PAGES[rng.gen_range(0..PAGES.len())];
+        let nonce: u64 = rng.gen();
+        format!("http://{word1}{word2}.{tld}/{ns}/{page}-{nonce:016x}", ns = self.namespace)
+    }
+
+    /// Returns a URL on a fixed attacker-controlled domain (used to build the
+    /// adversary's link farm: all polluting links live on her own site).
+    pub fn on_domain(&self, domain: &str, i: u64) -> String {
+        let word = WORDS[(i % WORDS.len() as u64) as usize];
+        let page = PAGES[((i / 5) % PAGES.len() as u64) as usize];
+        format!("http://{domain}/{ns}/{word}/{page}-{i}", ns = self.namespace)
+    }
+}
+
+impl Default for UrlGenerator {
+    fn default() -> Self {
+        UrlGenerator::new("default")
+    }
+}
+
+/// An infinite iterator over the deterministic URL sequence of a generator.
+#[derive(Debug, Clone)]
+pub struct UrlStream {
+    generator: UrlGenerator,
+    next: u64,
+}
+
+impl UrlStream {
+    /// Starts streaming URLs of `generator` from index 0.
+    pub fn new(generator: UrlGenerator) -> Self {
+        UrlStream { generator, next: 0 }
+    }
+
+    /// Index of the next URL to be produced (i.e. how many have been drawn).
+    pub fn produced(&self) -> u64 {
+        self.next
+    }
+}
+
+impl Iterator for UrlStream {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        let url = self.generator.url(self.next);
+        self.next += 1;
+        Some(url)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn urls_are_unique_and_deterministic() {
+        let generator = UrlGenerator::new("test");
+        let batch_a = generator.batch(0, 10_000);
+        let batch_b = generator.batch(0, 10_000);
+        assert_eq!(batch_a, batch_b);
+        let unique: HashSet<&String> = batch_a.iter().collect();
+        assert_eq!(unique.len(), 10_000);
+    }
+
+    #[test]
+    fn urls_look_like_urls() {
+        let generator = UrlGenerator::new("crawl");
+        for i in [0u64, 1, 63, 64, 1000, 123_456] {
+            let url = generator.url(i);
+            assert!(url.starts_with("http://"), "{url}");
+            assert!(url.contains("crawl"), "{url}");
+            assert!(url.split('/').count() >= 6, "{url}");
+        }
+    }
+
+    #[test]
+    fn namespaces_keep_families_disjoint() {
+        let a = UrlGenerator::new("family-a");
+        let b = UrlGenerator::new("family-b");
+        let set_a: HashSet<String> = a.batch(0, 1000).into_iter().collect();
+        assert!(b.batch(0, 1000).iter().all(|u| !set_a.contains(u)));
+    }
+
+    #[test]
+    fn random_urls_are_mostly_unique() {
+        let generator = UrlGenerator::new("rand");
+        let mut rng = StdRng::seed_from_u64(3);
+        let urls: HashSet<String> = (0..5000).map(|_| generator.random_url(&mut rng)).collect();
+        assert_eq!(urls.len(), 5000);
+    }
+
+    #[test]
+    fn domain_pinned_urls_stay_on_the_domain() {
+        let generator = UrlGenerator::new("farm");
+        for i in 0..100 {
+            let url = generator.on_domain("evil.example", i);
+            assert!(url.starts_with("http://evil.example/"), "{url}");
+        }
+        assert_ne!(generator.on_domain("evil.example", 1), generator.on_domain("evil.example", 2));
+    }
+
+    #[test]
+    fn stream_enumerates_in_order() {
+        let generator = UrlGenerator::new("stream");
+        let mut stream = UrlStream::new(generator.clone());
+        let first_three: Vec<String> = stream.by_ref().take(3).collect();
+        assert_eq!(first_three, generator.batch(0, 3));
+        assert_eq!(stream.produced(), 3);
+    }
+
+    #[test]
+    fn default_namespace() {
+        assert_eq!(UrlGenerator::default().namespace(), "default");
+    }
+}

@@ -1,0 +1,23 @@
+//! Section 7 — polluting Squid cache digests.
+//!
+//! A malicious client fetches crafted URLs through proxy A. Once digests are
+//! exchanged, requests through proxy B suffer far more false sibling hits,
+//! each costing a wasted round trip.
+//!
+//! Run with: `cargo run --example cache_digest_attack`
+
+use evilbloom::webcache::{run_squid_experiment, NetworkModel};
+
+fn main() {
+    let network = NetworkModel::default();
+    let report = run_squid_experiment(51, 100, 5_000, network);
+    println!("cache digest size                : {} bits", report.digest_bits);
+    println!("false sibling hits (clean)       : {:.1}%", report.clean_false_hit_rate * 100.0);
+    println!("false sibling hits (polluted)    : {:.1}%", report.polluted_false_hit_rate * 100.0);
+    println!("added latency per false hit      : {:?}", report.wasted_probe_latency);
+    println!();
+    println!(
+        "the paper's LAN testbed reports 40% -> 79% unnecessary hits for the same \
+         51 clean + 100 polluting URLs"
+    );
+}

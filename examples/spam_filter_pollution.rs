@@ -1,0 +1,48 @@
+//! Section 6 — polluting a Dablooms-backed URL blocklist.
+//!
+//! The adversary reports crafted "phishing" URLs to the blocklist feed; once
+//! enough sub-filters are polluted, a large fraction of benign shortening
+//! requests are wrongly refused (Figure 8).
+//!
+//! Run with: `cargo run --example spam_filter_pollution`
+
+use evilbloom::spamfilter::{run_pollution_campaign, ShorteningService, Verdict};
+use evilbloom::filters::ScalableConfig;
+
+fn main() {
+    let mut service = ShorteningService::with_config(ScalableConfig {
+        slice_capacity: 500,
+        base_fpp: 0.01,
+        tightening_ratio: 0.9,
+    });
+
+    // Honest operation: some genuine phishing reports.
+    for i in 0..100 {
+        service.report_malicious(&format!("http://real-phish-{i}.example/"));
+    }
+    let benign: Vec<String> =
+        (0..2_000).map(|i| format!("http://legit-{i}.example/post")).collect();
+    let baseline = benign
+        .iter()
+        .filter(|u| service.shorten(u) == Verdict::Refused)
+        .count() as f64
+        / benign.len() as f64;
+    println!("false refusal rate before the attack : {:.2}%", baseline * 100.0);
+
+    // The adversary floods the feed with 2 000 crafted URLs.
+    let reported = run_pollution_campaign(&mut service, 2_000);
+    println!("crafted URLs reported as malicious   : {reported}");
+
+    let probe: Vec<String> =
+        (0..2_000).map(|i| format!("http://other-legit-{i}.example/page")).collect();
+    let polluted = probe
+        .iter()
+        .filter(|u| service.shorten(u) == Verdict::Refused)
+        .count() as f64
+        / probe.len() as f64;
+    println!("false refusal rate after the attack  : {:.2}%", polluted * 100.0);
+    println!(
+        "compound false-positive estimate     : {:.3}",
+        service.blocklist().current_false_positive_probability()
+    );
+}

@@ -1,0 +1,31 @@
+//! Section 5.2 / Figure 7 — hiding pages from a spider with ghost URLs.
+//!
+//! The adversary publishes decoy pages whose leaves link to "ghost" pages.
+//! The ghosts' URLs are forged false positives of the spider's visited-URL
+//! filter, so the spider never fetches them.
+//!
+//! Run with: `cargo run --example spider_ghost_pages`
+
+use evilbloom::webspider::{build_hidden_site, Crawler, DedupStore, WebGraph};
+
+fn main() {
+    // The spider has already crawled a sizeable honest site.
+    let (mut graph, root) = WebGraph::honest_site("honest.example", 800);
+    let mut crawler = Crawler::new(DedupStore::bloom(1_000, 0.05));
+    crawler.crawl(&graph, &root, 1_000_000);
+    println!("pages crawled before the attack : {}", crawler.report().fetched);
+
+    // The adversary hides 4 ghost pages behind a 3-level decoy chain.
+    let hidden = build_hidden_site(&crawler, &mut graph, "evil.example", 3, 4);
+    println!("decoy chain  : {:?}", hidden.decoys);
+    println!("ghost pages  : {:?}", hidden.ghosts);
+
+    // The spider crawls the adversary's site: decoys are fetched, ghosts are
+    // skipped as "already visited".
+    crawler.crawl(&graph, &hidden.decoys[0], 1_000_000);
+    for ghost in &hidden.ghosts {
+        let hidden_ok = !crawler.fetched_urls().contains(ghost);
+        println!("ghost {ghost} hidden: {hidden_ok}");
+    }
+    println!("total wrongly skipped URLs      : {}", crawler.report().wrongly_skipped);
+}

@@ -1,0 +1,36 @@
+//! Section 5.2 — blinding a Bloom-filter-backed web spider.
+//!
+//! The adversary's start page links to crafted URLs; crawling them pollutes
+//! the de-duplication filter so that an honest site is partly skipped as
+//! "already visited".
+//!
+//! Run with: `cargo run --example spider_pollution`
+
+use evilbloom::webspider::{build_link_farm, install_link_farm, Crawler, DedupStore, WebGraph};
+
+fn main() {
+    let capacity = 2_000u64;
+    let mut crawler = Crawler::new(DedupStore::bloom(capacity, 0.05));
+
+    // The adversary crafts a link farm against the (public) filter layout.
+    let farm = build_link_farm(&crawler, "evil.example", 1_800);
+    println!(
+        "crafted {} polluting URLs in {} candidate attempts",
+        farm.crafted_urls.len(),
+        farm.stats.attempts
+    );
+
+    // Crawl starts on the adversary's page, then proceeds to the honest site.
+    let (mut graph, honest_root) = WebGraph::honest_site("victim.example", 400);
+    install_link_farm(&mut graph, &farm);
+    let mut links = farm.crafted_urls.clone();
+    links.push(honest_root);
+    graph.add_page(farm.root.clone(), links);
+
+    let report = crawler.crawl(&graph, &farm.root, 1_000_000);
+    let filter = crawler.store().filter().expect("bloom store");
+    println!("pages fetched                  : {}", report.fetched);
+    println!("honest pages wrongly skipped   : {}", report.wrongly_skipped);
+    println!("filter fill ratio after attack : {:.3}", filter.fill_ratio());
+    println!("filter false-positive estimate : {:.3}", filter.current_false_positive_probability());
+}
