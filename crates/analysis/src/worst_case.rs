@@ -83,7 +83,7 @@ pub fn size_ratio_same_fpp() -> f64 {
 /// same ratio computed with `(log10 2)^2`. Kept so the experiment harness can
 /// show both the reported and the re-derived value side by side.
 pub fn size_ratio_as_reported() -> f64 {
-    0.433 / 0.301_029_995_663_981_2_f64.powi(2)
+    0.433 / core::f64::consts::LOG10_2.powi(2)
 }
 
 /// Number of chosen insertions needed to reach a target false-positive

@@ -6,9 +6,8 @@
 //! time) and an optional multi-threaded variant for the heavy searches of
 //! Figures 5 and 6.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
-
-use parking_lot::Mutex;
 
 /// Cost accounting of a forgery search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -104,25 +103,32 @@ where
     let start = Instant::now();
     let found: Mutex<Vec<String>> = Mutex::new(Vec::with_capacity(wanted));
     let attempts = std::sync::atomic::AtomicU64::new(0);
+    // Lock-free termination check: taking the mutex on every candidate just
+    // to read the length would serialize the workers on large searches.
+    let accepted = std::sync::atomic::AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for worker in 0..threads {
             let found = &found;
             let attempts = &attempts;
+            let accepted = &accepted;
             let generate = &generate;
             let accept = &accept;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut i = worker as u64;
                 loop {
-                    if i >= max_attempts || found.lock().len() >= wanted {
+                    if i >= max_attempts
+                        || accepted.load(std::sync::atomic::Ordering::Relaxed) >= wanted
+                    {
                         break;
                     }
                     let candidate = generate(i);
                     attempts.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if accept(&candidate) {
-                        let mut guard = found.lock();
+                        let mut guard = found.lock().expect("search lock never poisoned");
                         if guard.len() < wanted {
                             guard.push(candidate);
+                            accepted.store(guard.len(), std::sync::atomic::Ordering::Relaxed);
                         }
                         if guard.len() >= wanted {
                             break;
@@ -132,10 +138,9 @@ where
                 }
             });
         }
-    })
-    .expect("search workers never panic");
+    });
 
-    let items = found.into_inner();
+    let items = found.into_inner().expect("search lock never poisoned");
     let stats = SearchStats {
         attempts: attempts.into_inner(),
         accepted: items.len() as u64,

@@ -186,9 +186,13 @@ pub fn fig5_polluting_url_cost(scale: Scale) -> String {
 /// Figure 6: wall-clock cost of forging ghost (false-positive) URLs as a
 /// function of the filter occupation.
 pub fn fig6_ghost_url_cost(scale: Scale) -> String {
-    let (capacity, ghosts): (u64, usize) = match scale {
-        Scale::Quick => (20_000, 5),
-        Scale::Paper => (1_000_000, 20),
+    // The attempt budget bounds the worst cell (low occupation at f = 2^-10,
+    // where a ghost needs ~10^9 candidates in expectation): quick scale caps
+    // the search early and reports the attempts/URL trend instead of hanging
+    // for minutes on a cell that cannot succeed.
+    let (capacity, ghosts, max_attempts): (u64, usize, u64) = match scale {
+        Scale::Quick => (20_000, 5, 1_000_000),
+        Scale::Paper => (1_000_000, 20, 30_000_000),
     };
     let mut out = String::new();
     let _ = writeln!(out, "# Figure 6 — cost of forging {ghosts} ghost URLs (filter capacity {capacity})");
@@ -204,7 +208,7 @@ pub fn fig6_ghost_url_cost(scale: Scale) -> String {
             }
             let generator = UrlGenerator::new(&format!("fig6-{exponent}-{occupation}"));
             let start = Instant::now();
-            let outcome = craft_false_positives(&filter, &generator, ghosts, 30_000_000);
+            let outcome = craft_false_positives(&filter, &generator, ghosts, max_attempts);
             let elapsed = start.elapsed();
             let _ = writeln!(
                 out,

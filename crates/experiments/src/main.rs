@@ -9,7 +9,22 @@
 //! `fig3`, `table1`, `fig5`, `fig6`, `scrapy`, `fig8`, `dablooms-overflow`,
 //! `squid`, `fig9`, `table2`, `worstcase`, `all`.
 
+use std::io::Write;
+
 use evilbloom_experiments as exp;
+
+/// Prints a report, exiting quietly if stdout has gone away (e.g. the output
+/// is piped into `head`) instead of panicking with a broken-pipe backtrace.
+/// Other write failures (disk full, I/O error) still exit nonzero.
+fn emit(report: &str) {
+    if let Err(error) = writeln!(std::io::stdout(), "{report}") {
+        if error.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("failed to write report: {error}");
+        std::process::exit(1);
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,12 +55,12 @@ fn main() {
     };
 
     if selected.is_empty() {
-        println!("{}", exp::run_all(scale));
+        emit(&exp::run_all(scale));
         return;
     }
     for name in selected {
         match run(name) {
-            Some(report) => println!("{report}"),
+            Some(report) => emit(&report),
             None => {
                 eprintln!("unknown experiment: {name}");
                 eprintln!(

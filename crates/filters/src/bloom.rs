@@ -239,7 +239,7 @@ mod tests {
     fn insert_reports_fresh_bits() {
         let mut filter = small_filter();
         let fresh = filter.insert(b"first");
-        assert!(fresh >= 1 && fresh <= 3);
+        assert!((1..=3).contains(&fresh));
         // Re-inserting the same item sets nothing new.
         assert_eq!(filter.insert(b"first"), 0);
         assert_eq!(filter.inserted(), 2);

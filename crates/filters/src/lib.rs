@@ -62,18 +62,43 @@ pub use stats::{fill_trajectory, measure_false_positive_rate, FalsePositiveMeasu
 
 #[cfg(test)]
 mod proptests {
+    //! Randomized property tests. The environment has no network access, so
+    //! instead of `proptest` these drive the same properties from a seeded
+    //! [`rand::rngs::StdRng`]: every case is deterministic and reproducible
+    //! from the seed printed in the assertion message.
+
     use super::*;
     use evilbloom_hashes::{KirschMitzenmacher, Murmur3_128, SaltedCrypto, Sha256};
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    const CASES: u64 = 64;
 
-        /// A Bloom filter never reports a false negative, whatever is
-        /// inserted.
-        #[test]
-        fn bloom_no_false_negatives(items in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..64), 1..200)) {
+    /// Draws a batch of random byte-string items: `count` in `1..max_items`,
+    /// item length in `min_len..max_len`.
+    fn random_items(
+        rng: &mut StdRng,
+        max_items: usize,
+        min_len: usize,
+        max_len: usize,
+    ) -> Vec<Vec<u8>> {
+        let count = rng.gen_range(1..max_items);
+        (0..count)
+            .map(|_| {
+                let len = rng.gen_range(min_len..max_len);
+                let mut item = vec![0u8; len];
+                rng.fill(&mut item[..]);
+                item
+            })
+            .collect()
+    }
+
+    /// A Bloom filter never reports a false negative, whatever is inserted.
+    #[test]
+    fn bloom_no_false_negatives() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let items = random_items(&mut rng, 200, 0, 64);
             let mut filter = BloomFilter::new(
                 FilterParams::optimal(items.len().max(1) as u64, 0.01),
                 KirschMitzenmacher::new(Murmur3_128),
@@ -82,32 +107,38 @@ mod proptests {
                 filter.insert(item);
             }
             for item in &items {
-                prop_assert!(filter.contains(item));
+                assert!(filter.contains(item), "seed {seed}: false negative");
             }
         }
+    }
 
-        /// The Hamming weight never exceeds k bits per insertion and never
-        /// exceeds m.
-        #[test]
-        fn bloom_weight_bounds(items in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 1..32), 1..100)) {
+    /// The Hamming weight never exceeds k bits per insertion and never
+    /// exceeds m.
+    #[test]
+    fn bloom_weight_bounds() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let items = random_items(&mut rng, 100, 1, 32);
             let params = FilterParams::explicit(512, 3, 64);
             let mut filter = BloomFilter::new(params, SaltedCrypto::new(Box::new(Sha256)));
             for item in &items {
                 filter.insert(item);
             }
-            prop_assert!(filter.hamming_weight() <= (items.len() as u64) * 3);
-            prop_assert!(filter.hamming_weight() <= 512);
+            assert!(filter.hamming_weight() <= (items.len() as u64) * 3, "seed {seed}");
+            assert!(filter.hamming_weight() <= 512, "seed {seed}");
         }
+    }
 
-        /// Counting filters delete cleanly: inserting a batch and removing it
-        /// in any order leaves an empty filter (absent counter overflow).
-        #[test]
-        fn counting_insert_delete_symmetry(items in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 1..32), 1..50)) {
+    /// Counting filters delete cleanly: inserting a batch and removing it in
+    /// reverse order leaves an empty filter (absent counter overflow).
+    #[test]
+    fn counting_insert_delete_symmetry() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let items = random_items(&mut rng, 50, 1, 32);
             let params = FilterParams::optimal(128, 0.01);
-            let mut filter = CountingBloomFilter::new(
-                params, KirschMitzenmacher::new(Murmur3_128));
+            let mut filter =
+                CountingBloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
             for item in &items {
                 filter.insert(item);
             }
@@ -117,35 +148,66 @@ mod proptests {
                 for item in items.iter().rev() {
                     filter.delete(item);
                 }
-                prop_assert_eq!(filter.occupied_cells(), 0);
+                assert_eq!(filter.occupied_cells(), 0, "seed {seed}");
             }
         }
+    }
 
-        /// Scalable filters never report false negatives either, no matter
-        /// how many slices the load spreads over.
-        #[test]
-        fn scalable_no_false_negatives(count in 1usize..400) {
+    /// Scalable filters never report false negatives either, no matter how
+    /// many slices the load spreads over.
+    #[test]
+    fn scalable_no_false_negatives() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let count = rng.gen_range(1usize..400);
             let mut filter = ScalableBloomFilter::new(
                 ScalableConfig { slice_capacity: 50, base_fpp: 0.02, tightening_ratio: 0.9 },
                 KirschMitzenmacher::new(Murmur3_128),
             );
-            let items: Vec<String> = (0..count).map(|i| format!("item-{i}")).collect();
+            let items: Vec<String> = (0..count).map(|i| format!("item-{seed}-{i}")).collect();
             for item in &items {
                 filter.insert(item.as_bytes());
             }
             for item in &items {
-                prop_assert!(filter.contains(item.as_bytes()));
+                assert!(filter.contains(item.as_bytes()), "seed {seed}: {item}");
             }
         }
+    }
 
-        /// The parameter solver always meets (or beats) the requested
-        /// false-positive target.
-        #[test]
-        fn params_meet_target(capacity in 1u64..100_000, exponent in 2u32..24) {
+    /// Partitioned filters never report false negatives.
+    #[test]
+    fn partitioned_no_false_negatives() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let items = random_items(&mut rng, 150, 0, 48);
+            let mut filter = PartitionedBloomFilter::new(
+                FilterParams::optimal(items.len().max(1) as u64, 0.01),
+                KirschMitzenmacher::new(Murmur3_128),
+            );
+            for item in &items {
+                filter.insert(item);
+            }
+            for item in &items {
+                assert!(filter.contains(item), "seed {seed}: false negative");
+            }
+        }
+    }
+
+    /// The parameter solver always meets (or beats) the requested
+    /// false-positive target.
+    #[test]
+    fn params_meet_target() {
+        for seed in 0..CASES {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let capacity = rng.gen_range(1u64..100_000);
+            let exponent = rng.gen_range(2u32..24);
             let target = 2f64.powi(-(exponent as i32));
             let params = FilterParams::optimal(capacity, target);
-            prop_assert!(params.expected_fpp() <= target * 1.1);
-            prop_assert!(params.k >= 1);
+            assert!(
+                params.expected_fpp() <= target * 1.1,
+                "seed {seed}: capacity {capacity} target {target}"
+            );
+            assert!(params.k >= 1, "seed {seed}");
         }
     }
 }

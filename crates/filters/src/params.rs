@@ -11,10 +11,9 @@
 //! * [`FilterParams::explicit`] — whatever the caller says (for experiments).
 
 use evilbloom_analysis::{false_positive, worst_case};
-use serde::{Deserialize, Serialize};
 
 /// How a [`FilterParams`] instance was derived.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParamDerivation {
     /// Classic average-case optimal parameters.
     Optimal,
@@ -27,7 +26,7 @@ pub enum ParamDerivation {
 }
 
 /// Sizing parameters of a Bloom filter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FilterParams {
     /// Number of bits (or cells, for counting filters) in the filter.
     pub m: u64,

@@ -91,7 +91,7 @@ where
     for item in items {
         filter.insert(item);
         count += 1;
-        if count % sample_every == 0 {
+        if count.is_multiple_of(sample_every) {
             points.push(TrajectoryPoint {
                 inserted: count,
                 hamming_weight: filter.hamming_weight(),
@@ -99,7 +99,7 @@ where
             });
         }
     }
-    if count % sample_every != 0 {
+    if !count.is_multiple_of(sample_every) {
         points.push(TrajectoryPoint {
             inserted: count,
             hamming_weight: filter.hamming_weight(),

@@ -29,7 +29,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// assert_eq!(evilbloom_hashes::hex::decode("xyz"), None);
 /// ```
 pub fn decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let nibble = |c: u8| -> Option<u8> {

@@ -81,7 +81,7 @@ impl<'a> RecyclingReader<'a> {
     ///
     /// Panics if `width` is zero, exceeds 64, or exceeds the digest length.
     pub fn read_bits(&mut self, width: u32) -> u64 {
-        assert!(width >= 1 && width <= 64, "width must be in 1..=64");
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
         let digest_bits = self.digest.len() * 8;
         assert!(width as usize <= digest_bits, "width exceeds digest size");
 

@@ -1,0 +1,203 @@
+//! Known-answer tests against official test vectors.
+//!
+//! Every attack result in this workspace is only as trustworthy as the hash
+//! implementations underneath it, so the primitives are pinned here against
+//! published vectors:
+//!
+//! * MD5 — RFC 1321, appendix A.5;
+//! * SHA-1 / SHA-224 / SHA-256 / SHA-384 / SHA-512 — FIPS 180 examples
+//!   (the NIST "abc" / two-block / million-`a` messages);
+//! * MurmurHash3 (x86-32 and x64-128) — the canonical C++ reference
+//!   implementation outputs (verified against an independent from-spec
+//!   reimplementation);
+//! * SipHash-2-4 / SipHash-1-3 — the reference vectors of the SipHash paper
+//!   (key `00 01 … 0f`, messages `ε`, `00`, `00 01`, …).
+
+use evilbloom_hashes::{
+    hex, md5, murmur3_32, murmur3_x64_128, sha1, sha224, sha256, sha384, sha512, siphash13,
+    siphash24, SipKey,
+};
+
+/// RFC 1321 appendix A.5 — the full MD5 test suite.
+#[test]
+fn md5_rfc1321_suite() {
+    for (message, expected) in [
+        ("", "d41d8cd98f00b204e9800998ecf8427e"),
+        ("a", "0cc175b9c0f1b6a831c399e269772661"),
+        ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+        ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+        ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+        (
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+            "d174ab98d277d9f5a5611c2c9f419d9f",
+        ),
+        (
+            "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+            "57edf4a22be3c955ac49da2e2107b67a",
+        ),
+    ] {
+        assert_eq!(hex::encode(&md5(message.as_bytes())), expected, "MD5({message:?})");
+    }
+}
+
+/// FIPS 180 SHA-1 examples, including the million-`a` message.
+#[test]
+fn sha1_fips180_vectors() {
+    for (message, expected) in [
+        (String::new(), "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+        ("abc".to_owned(), "a9993e364706816aba3e25717850c26c9cd0d89d"),
+        (
+            "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq".to_owned(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+        ),
+        ("a".repeat(1_000_000), "34aa973cd4c4daa4f61eeb2bdbad27316534016f"),
+    ] {
+        assert_eq!(hex::encode(&sha1(message.as_bytes())), expected);
+    }
+}
+
+/// FIPS 180 SHA-256 examples, including the million-`a` message.
+#[test]
+fn sha256_fips180_vectors() {
+    for (message, expected) in [
+        (
+            String::new(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        ),
+        (
+            "abc".to_owned(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
+        ),
+        (
+            "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq".to_owned(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
+        ),
+        (
+            "a".repeat(1_000_000),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0",
+        ),
+    ] {
+        assert_eq!(hex::encode(&sha256(message.as_bytes())), expected);
+    }
+}
+
+/// FIPS 180 SHA-224 / SHA-384 / SHA-512 "abc" examples.
+#[test]
+fn sha2_family_abc_vectors() {
+    assert_eq!(
+        hex::encode(&sha224(b"abc")),
+        "23097d223405d8228642a477bda255b32aadbce4bda0b3f7e36c9da7"
+    );
+    assert_eq!(
+        hex::encode(&sha384(b"abc")),
+        "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed\
+         8086072ba1e7cc2358baeca134c825a7"
+    );
+    assert_eq!(
+        hex::encode(&sha512(b"abc")),
+        "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+         2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+    );
+}
+
+/// FIPS 180 two-block SHA-384/SHA-512 message
+/// (`abcdefgh…` 112 characters).
+#[test]
+fn sha2_family_two_block_vectors() {
+    let message = "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+                   hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+    assert_eq!(
+        hex::encode(&sha384(message.as_bytes())),
+        "09330c33f71147e83d192fc782cd1b4753111b173b3b05d22fa08086e3b0f712\
+         fcc7c71a557e2db966c3e9fa91746039"
+    );
+    assert_eq!(
+        hex::encode(&sha512(message.as_bytes())),
+        "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018\
+         501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909"
+    );
+}
+
+/// MurmurHash3 x86-32 vectors from the canonical C++ implementation.
+#[test]
+fn murmur3_32_reference_vectors() {
+    assert_eq!(murmur3_32(b"", 0), 0);
+    assert_eq!(murmur3_32(b"", 1), 0x514e_28b7);
+    assert_eq!(murmur3_32(b"", 0xffff_ffff), 0x81f1_6f39);
+    assert_eq!(murmur3_32(b"test", 0), 0xba6b_d213);
+    assert_eq!(
+        murmur3_32(b"The quick brown fox jumps over the lazy dog", 0),
+        0x2e4f_f723
+    );
+}
+
+/// MurmurHash3 x64-128 vectors from the canonical C++ implementation
+/// (cross-checked against an independent from-spec reimplementation).
+#[test]
+fn murmur3_x64_128_reference_vectors() {
+    assert_eq!(murmur3_x64_128(b"", 0), (0, 0));
+    assert_eq!(
+        murmur3_x64_128(b"The quick brown fox jumps over the lazy dog", 0),
+        (0xe34b_bc7b_bc07_1b6c, 0x7a43_3ca9_c49a_9347)
+    );
+    assert_eq!(
+        murmur3_x64_128(b"hello", 0),
+        (0xcbd8_a7b3_41bd_9b02, 0x5b1e_906a_48ae_1d19)
+    );
+    assert_eq!(
+        murmur3_x64_128(b"Hello, world!", 123),
+        (0x421c_8c73_8743_acad, 0xf197_32fd_d373_c3f5)
+    );
+}
+
+/// The SipHash paper's reference key: `00 01 02 … 0f`.
+fn sip_reference_key() -> SipKey {
+    let bytes: Vec<u8> = (0u8..16).collect();
+    SipKey::from_bytes(&bytes.try_into().expect("16 bytes"))
+}
+
+/// The SipHash paper's reference messages: `ε`, `00`, `00 01`, … (prefixes of
+/// the byte sequence 0, 1, 2, …).
+fn sip_reference_message(len: usize) -> Vec<u8> {
+    (0..len as u8).collect()
+}
+
+/// SipHash-2-4 against the official test-vector table of the SipHash paper.
+#[test]
+fn siphash24_paper_vectors() {
+    let key = sip_reference_key();
+    for (len, expected) in [
+        (0usize, 0x726f_db47_dd0e_0e31u64),
+        (1, 0x74f8_39c5_93dc_67fd),
+        (2, 0x0d6c_8009_d9a9_4f5a),
+        (3, 0x8567_6696_d7fb_7e2d),
+        (7, 0xab02_00f5_8b01_d137),
+        (8, 0x93f5_f579_9a93_2462),
+        (15, 0xa129_ca61_49be_45e5),
+        (63, 0x958a_324c_eb06_4572),
+    ] {
+        assert_eq!(
+            siphash24(key, &sip_reference_message(len)),
+            expected,
+            "SipHash-2-4, {len}-byte reference message"
+        );
+    }
+}
+
+/// SipHash-1-3 under the same reference key (vectors from the reference
+/// implementation's 1-3 parametrisation).
+#[test]
+fn siphash13_reference_vectors() {
+    let key = sip_reference_key();
+    for (len, expected) in [
+        (0usize, 0xabac_0158_050f_c4dcu64),
+        (1, 0xc9f4_9bf3_7d57_ca93),
+        (15, 0xd320_d86d_2a51_9956),
+    ] {
+        assert_eq!(
+            siphash13(key, &sip_reference_message(len)),
+            expected,
+            "SipHash-1-3, {len}-byte reference message"
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! Vendored, dependency-free subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no network access, so this workspace ships the
+//! slice of criterion its benches use: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`], [`black_box`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a plain
+//! warm-up + timed-samples loop reporting the mean and best time per
+//! iteration; there is no statistical analysis or HTML report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    defaults: Settings,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            defaults: Settings {
+                sample_size: 10,
+                measurement_time: Duration::from_millis(500),
+                warm_up_time: Duration::from_millis(100),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        let settings = self.defaults;
+        BenchmarkGroup { _criterion: self, name, settings, throughput: None }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into(), self.defaults, None, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings and a common name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the total time spent on timed samples per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Declares the amount of work per iteration, enabling throughput output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(&label, self.settings, self.throughput, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.settings, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark: a function name plus a
+/// parameter rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of the parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+/// Work performed per iteration, used to derive throughput figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness passed to every benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it for the number of iterations the harness
+    /// decided on for the current sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(label: &str, settings: Settings, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: also discovers roughly how long one iteration takes.
+    let warm_up_start = Instant::now();
+    let mut warm_up_iters = 0u64;
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    while warm_up_start.elapsed() < settings.warm_up_time {
+        f(&mut bencher);
+        warm_up_iters += bencher.iters;
+        bencher.iters = (bencher.iters * 2).min(1 << 20);
+    }
+    let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_up_iters.max(1) as f64;
+
+    // Size each sample so all samples together fill the measurement time.
+    let sample_time = settings.measurement_time.as_secs_f64() / settings.sample_size as f64;
+    let iters_per_sample = ((sample_time / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+    let mut best = f64::INFINITY;
+    let mut total = 0.0f64;
+    for _ in 0..settings.sample_size {
+        bencher.iters = iters_per_sample;
+        f(&mut bencher);
+        let per = bencher.elapsed.as_secs_f64() / iters_per_sample as f64;
+        best = best.min(per);
+        total += per;
+    }
+    let mean = total / settings.sample_size as f64;
+
+    let mut line = format!(
+        "{label:<60} mean {:>12}  best {:>12}  ({} samples x {} iters)",
+        format_time(mean),
+        format_time(best),
+        settings.sample_size,
+        iters_per_sample,
+    );
+    if let Some(tp) = throughput {
+        let (amount, unit) = match tp {
+            Throughput::Bytes(n) => (n as f64, "B"),
+            Throughput::Elements(n) => (n as f64, "elem"),
+        };
+        let rate = amount / mean;
+        line.push_str(&format!("  {:.1} M{unit}/s", rate / 1e6));
+    }
+    println!("{line}");
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.1} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} us", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declares a function running a list of benchmark targets with a default
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-selftest");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(2));
+        let mut runs = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_id_renders_both_parts() {
+        assert_eq!(BenchmarkId::new("forge", "f=2^-5").label, "forge/f=2^-5");
+        assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+}
