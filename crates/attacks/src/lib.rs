@@ -6,7 +6,7 @@
 //! `evilbloom-filters`.
 //!
 //! * [`target::TargetFilter`] — the adversary's (read-only) view of a filter;
-//! * [`search`] — the generic brute-force forgery loop with cost accounting,
+//! * [`mod@search`] — the generic brute-force forgery loop with cost accounting,
 //!   sequential and multi-threaded;
 //! * [`pollution`] — the chosen-insertion adversary: pollution plans,
 //!   saturation plans, and the Figure 3 insertion sweep;

@@ -5,7 +5,7 @@
 //! exactly the information every attack needs: the geometry `(m, k)`, the
 //! index derivation, and which bits/cells are currently set.
 
-use evilbloom_filters::{BloomFilter, CacheDigest, CountingBloomFilter};
+use evilbloom_filters::{BloomFilter, CacheDigest, ConcurrentBloomFilter, CountingBloomFilter};
 
 /// Read-only adversarial view of a Bloom-filter-like structure.
 pub trait TargetFilter {
@@ -48,6 +48,28 @@ impl TargetFilter for BloomFilter {
 
     fn is_set(&self, index: u64) -> bool {
         BloomFilter::is_set(self, index)
+    }
+
+    fn weight(&self) -> u64 {
+        self.hamming_weight()
+    }
+}
+
+impl TargetFilter for ConcurrentBloomFilter {
+    fn m(&self) -> u64 {
+        ConcurrentBloomFilter::m(self)
+    }
+
+    fn k(&self) -> u32 {
+        ConcurrentBloomFilter::k(self)
+    }
+
+    fn indexes_of(&self, item: &[u8]) -> Vec<u64> {
+        self.indexes(item)
+    }
+
+    fn is_set(&self, index: u64) -> bool {
+        ConcurrentBloomFilter::is_set(self, index)
     }
 
     fn weight(&self) -> u64 {
@@ -122,6 +144,28 @@ mod tests {
         assert_eq!(view.indexes_of(b"item"), filter.indexes(b"item"));
         assert!(view.indexes_of(b"item").iter().all(|&i| view.is_set(i)));
         assert!(view.fill_ratio() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_filter_view_matches_sequential_view() {
+        let params = FilterParams::explicit(256, 3, 20);
+        let mut sequential = BloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
+        let concurrent =
+            ConcurrentBloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
+        for i in 0..20 {
+            let item = format!("item-{i}");
+            sequential.insert(item.as_bytes());
+            concurrent.insert(item.as_bytes());
+        }
+        let seq_view: &dyn TargetFilter = &sequential;
+        let conc_view: &dyn TargetFilter = &concurrent;
+        assert_eq!(conc_view.m(), seq_view.m());
+        assert_eq!(conc_view.k(), seq_view.k());
+        assert_eq!(conc_view.weight(), seq_view.weight());
+        assert_eq!(conc_view.indexes_of(b"probe"), seq_view.indexes_of(b"probe"));
+        for i in 0..256 {
+            assert_eq!(conc_view.is_set(i), seq_view.is_set(i));
+        }
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Throughput and adversarial-degradation benchmark for the
+//! `evilbloom-store` serving layer, built on the shared traffic mixes in
+//! `evilbloom_store::harness` (the same code the `store_load` example
+//! demonstrates, so the asserted invariants cannot drift from it).
+//!
+//! Two measurements:
+//!
+//! * **honest-mix scaling** — ops/sec of mixed insert/query traffic at 1, 2
+//!   and 4 worker threads over a hardened store (the store is lock-free, so
+//!   on multi-core hardware throughput scales with threads; the report
+//!   notes when the machine has fewer cores than workers);
+//! * **adversarial mix** — observed false-positive rate after a
+//!   chosen-insertion (pollution) attack, on an unhardened store (degrades,
+//!   pollution alarms fire) versus a hardened one (holds the honest rate) —
+//!   the paper's Table 2 story at serving scale.
+//!
+//! Runs standalone (`harness = false`). Pass `--test` for the CI smoke mode:
+//! the same phases at a fraction of the size, with the adversarial
+//! invariants asserted, so the harness cannot silently rot.
+
+use evilbloom_store::harness::{adversarial_mix, honest_throughput, LoadScale};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let scale = if smoke { LoadScale::smoke() } else { LoadScale::full() };
+    if smoke {
+        println!("store_throughput: smoke mode (--test)");
+    }
+
+    println!("\n== store_throughput/honest_mix ==");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let single = honest_throughput(&scale, 1);
+    println!("threads=1 {single:>12.0} ops/sec");
+    let mut at4 = single;
+    for threads in [2usize, 4] {
+        let rate = honest_throughput(&scale, threads);
+        if threads == 4 {
+            at4 = rate;
+        }
+        let note = if cores < threads {
+            format!("  [only {cores} core(s) available: no hardware parallelism to win]")
+        } else {
+            String::new()
+        };
+        println!("threads={threads} {rate:>12.0} ops/sec  ({:.2}x){note}", rate / single);
+    }
+    if cores >= 4 && at4 < 2.0 * single {
+        println!(
+            "WARNING: expected >= 2x scaling at 4 threads on {cores} cores, got {:.2}x",
+            at4 / single
+        );
+    }
+
+    println!("\n== store_throughput/adversarial_mix ==");
+    let report = adversarial_mix(&scale, 4);
+    println!("honest baseline (same load) : {:.5}", report.baseline_fpp);
+    println!(
+        "unhardened after attack     : {:.5}  ({:.1}x honest)",
+        report.attacked_unhardened_fpp,
+        report.unhardened_ratio()
+    );
+    println!(
+        "hardened after attack       : {:.5}  ({:.1}x honest)",
+        report.attacked_hardened_fpp,
+        report.hardened_ratio()
+    );
+    println!(
+        "pollution alarms: unhardened {}/{}, hardened {}/{}",
+        report.unhardened_alarms, scale.shards, report.hardened_alarms, scale.shards
+    );
+
+    // The Table 2 invariants, asserted so CI catches a rotted harness:
+    // hardening pins the adversarial rate to the honest curve; no hardening
+    // lets the adversary blow past it.
+    assert!(
+        report.hardened_ratio() < 2.0,
+        "hardened store must hold observed FPP within 2x of honest (got {:.2}x)",
+        report.hardened_ratio()
+    );
+    assert!(
+        report.unhardened_ratio() > 2.0,
+        "unhardened store must degrade measurably under attack (got {:.2}x)",
+        report.unhardened_ratio()
+    );
+    assert!(
+        report.unhardened_alarms > 0,
+        "pollution alarms must fire on the attacked unhardened store"
+    );
+    assert_eq!(
+        report.hardened_alarms, 0,
+        "hardened store under the same traffic must stay quiet"
+    );
+    println!("adversarial-mix invariants: OK");
+}

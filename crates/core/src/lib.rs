@@ -34,7 +34,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use evilbloom_analysis::{attack_probability, worst_case};
-use evilbloom_filters::{hardened_filter, BloomFilter, FilterKey, FilterParams, HardeningLevel};
+use evilbloom_filters::{
+    hardened_concurrent_filter, hardened_filter, BloomFilter, ConcurrentBloomFilter, FilterKey,
+    FilterParams, HardeningLevel,
+};
 use evilbloom_hashes::{
     IndexStrategy, KirschMitzenmacher, Md5Split, Murmur3_128, RecycledCrypto, SaltedCrypto,
     Sha256, Sha512,
@@ -173,10 +176,25 @@ impl SecureBloomBuilder {
 
     /// Builds the hardened filter.
     pub fn build(&self) -> BloomFilter {
-        let key = self.key.unwrap_or_else(|| {
-            FilterKey::generate(&mut StdRng::from_entropy())
-        });
-        hardened_filter(self.capacity, self.target_fpp, self.level, &key)
+        hardened_filter(self.capacity, self.target_fpp, self.level, &self.effective_key())
+    }
+
+    /// Builds the concurrent (lock-free, `&self` insert/query) counterpart
+    /// of [`SecureBloomBuilder::build`] — the per-shard filter of the
+    /// `evilbloom-store` serving layer.
+    ///
+    /// The two builds are index-compatible (identical parameters and
+    /// strategy) **only when an explicit key was supplied with
+    /// [`SecureBloomBuilder::key`]**: without one, every call to `build` or
+    /// `build_concurrent` draws its own fresh random key, so the resulting
+    /// filters disagree by design — exactly as two independently keyed
+    /// deployments should.
+    pub fn build_concurrent(&self) -> ConcurrentBloomFilter {
+        hardened_concurrent_filter(self.capacity, self.target_fpp, self.level, &self.effective_key())
+    }
+
+    fn effective_key(&self) -> FilterKey {
+        self.key.unwrap_or_else(|| FilterKey::generate(&mut StdRng::from_entropy()))
     }
 }
 
@@ -245,6 +263,29 @@ mod tests {
             }
             for i in 0..500 {
                 assert!(filter.contains(format!("item-{i}").as_bytes()), "{level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_builder_matches_sequential_layout() {
+        for level in [
+            HardeningLevel::WorstCaseParameters,
+            HardeningLevel::KeyedSipHash,
+            HardeningLevel::KeyedHmac,
+        ] {
+            let builder =
+                SecureBloomBuilder::new(300, 0.01).level(level).key(FilterKey::from_bytes([7u8; 32]));
+            let mut sequential = builder.build();
+            let concurrent = builder.build_concurrent();
+            for i in 0..300 {
+                let item = format!("item-{i}");
+                sequential.insert(item.as_bytes());
+                concurrent.insert(item.as_bytes());
+            }
+            assert_eq!(concurrent.snapshot(), *sequential.bits(), "{level:?}");
+            for i in 0..300 {
+                assert!(concurrent.contains(format!("item-{i}").as_bytes()), "{level:?}");
             }
         }
     }

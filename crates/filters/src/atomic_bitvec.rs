@@ -1,0 +1,232 @@
+//! Lock-free bit vector backed by atomic words — the concurrent counterpart
+//! of [`crate::bitvec::BitVec`].
+//!
+//! Every operation takes `&self`: readers and writers proceed without locks.
+//! Bit writes use a `fetch_or` read-modify-write, so for every bit exactly
+//! one thread observes the 0 → 1 transition; that makes the running
+//! ones-counter exact once all writers are quiescent, while concurrent
+//! readers may see a value that lags in-flight writers by a few bits (hence
+//! "approximate" in the accessor names).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::bitvec::BitVec;
+
+/// A fixed-size bit vector of `AtomicU64` words supporting lock-free `&self`
+/// reads and writes.
+///
+/// Memory ordering: bit writes use [`Ordering::Release`] and bit reads
+/// [`Ordering::Acquire`], so a reader that observes a bit set also observes
+/// every write the setter performed before setting it. The running
+/// ones-counter uses relaxed updates — it is a statistic, not a
+/// synchronisation point.
+///
+/// # Examples
+///
+/// ```
+/// use evilbloom_filters::atomic_bitvec::AtomicBitVec;
+///
+/// let bits = AtomicBitVec::new(128);
+/// assert!(!bits.set(42)); // returns the previous value, like `BitVec::set`
+/// assert!(bits.get(42));
+/// assert_eq!(bits.count_ones_approx(), 1);
+/// ```
+#[derive(Debug)]
+pub struct AtomicBitVec {
+    words: Vec<AtomicU64>,
+    len: u64,
+    /// Running count of set bits, maintained by the thread that wins each
+    /// bit's 0 → 1 `fetch_or` race.
+    ones: AtomicU64,
+}
+
+impl AtomicBitVec {
+    /// Creates a bit vector of `len` bits, all zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(len: u64) -> Self {
+        assert!(len > 0, "bit vector length must be positive");
+        let words = (0..len.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        AtomicBitVec { words, len, ones: AtomicU64::new(0) }
+    }
+
+    /// Number of bits in the vector (`m` in Bloom-filter notation).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Always `false`: the constructor rejects zero-length vectors.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn locate(&self, index: u64) -> (usize, u64) {
+        assert!(index < self.len, "bit index {index} out of range (len {})", self.len);
+        ((index / 64) as usize, 1u64 << (index % 64))
+    }
+
+    /// Returns the bit at `index` (acquire load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn get(&self, index: u64) -> bool {
+        let (word, mask) = self.locate(index);
+        self.words[word].load(Ordering::Acquire) & mask != 0
+    }
+
+    /// Atomically sets the bit at `index` to 1 and returns its previous
+    /// value. Exactly one concurrent caller observes `false` for any given
+    /// bit, which keeps the ones-counter exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[inline]
+    pub fn set(&self, index: u64) -> bool {
+        let (word, mask) = self.locate(index);
+        let was = self.words[word].fetch_or(mask, Ordering::Release) & mask != 0;
+        if !was {
+            self.ones.fetch_add(1, Ordering::Relaxed);
+        }
+        was
+    }
+
+    /// Running count of set bits. Exact once all writers are quiescent;
+    /// during concurrent insertion it may lag in-flight writers.
+    pub fn count_ones_approx(&self) -> u64 {
+        self.ones.load(Ordering::Relaxed)
+    }
+
+    /// Exact count of set bits, obtained by scanning every word.
+    pub fn count_ones(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.load(Ordering::Acquire).count_ones())).sum()
+    }
+
+    /// Number of unset bits (exact scan).
+    pub fn count_zeros(&self) -> u64 {
+        self.len - self.count_ones()
+    }
+
+    /// Fraction of set bits based on the running counter (O(1)).
+    pub fn fill_ratio_approx(&self) -> f64 {
+        self.count_ones_approx() as f64 / self.len as f64
+    }
+
+    /// Fraction of set bits based on an exact scan.
+    pub fn fill_ratio(&self) -> f64 {
+        self.count_ones() as f64 / self.len as f64
+    }
+
+    /// Copies the current contents into a plain [`BitVec`] snapshot. The
+    /// snapshot is word-wise consistent; concurrent writers may land between
+    /// words.
+    pub fn snapshot(&self) -> BitVec {
+        let mut out = BitVec::new(self.len);
+        for (wi, word) in self.words.iter().enumerate() {
+            let mut bits = word.load(Ordering::Acquire);
+            let base = wi as u64 * 64;
+            while bits != 0 {
+                let tz = u64::from(bits.trailing_zeros());
+                bits &= bits - 1;
+                out.set(base + tz);
+            }
+        }
+        out
+    }
+}
+
+impl From<&BitVec> for AtomicBitVec {
+    /// Builds an atomic copy of a sequential bit vector (e.g. when promoting
+    /// a filter built offline onto the concurrent serving path).
+    fn from(bits: &BitVec) -> Self {
+        let atomic = AtomicBitVec::new(bits.len());
+        for index in bits.iter_ones() {
+            atomic.set(index);
+        }
+        atomic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_vector_is_all_zero() {
+        let bits = AtomicBitVec::new(130);
+        assert_eq!(bits.len(), 130);
+        assert_eq!(bits.count_ones(), 0);
+        assert_eq!(bits.count_ones_approx(), 0);
+        assert!(!bits.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_rejected() {
+        AtomicBitVec::new(0);
+    }
+
+    #[test]
+    fn set_get_roundtrip_with_shared_reference() {
+        let bits = AtomicBitVec::new(200);
+        assert!(!bits.set(63));
+        assert!(!bits.set(64));
+        assert!(bits.set(64), "second set reports the bit was already set");
+        assert!(bits.get(63) && bits.get(64));
+        assert!(!bits.get(65));
+        assert_eq!(bits.count_ones(), 2);
+        assert_eq!(bits.count_ones_approx(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        AtomicBitVec::new(10).get(10);
+    }
+
+    #[test]
+    fn snapshot_matches_sequential_bitvec() {
+        let atomic = AtomicBitVec::new(300);
+        let mut plain = BitVec::new(300);
+        for i in [0u64, 1, 63, 64, 65, 128, 255, 299] {
+            atomic.set(i);
+            plain.set(i);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn from_bitvec_copies_every_bit() {
+        let mut plain = BitVec::new(100);
+        for i in (0..100).step_by(7) {
+            plain.set(i);
+        }
+        let atomic = AtomicBitVec::from(&plain);
+        assert_eq!(atomic.snapshot(), plain);
+        assert_eq!(atomic.count_ones_approx(), plain.count_ones());
+    }
+
+    #[test]
+    fn concurrent_setters_count_exactly() {
+        // Four threads race to set the same 256 bits; the RMW guarantees the
+        // counter ends exact despite every bit being contended.
+        let bits = AtomicBitVec::new(256);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for i in 0..256 {
+                        bits.set(i);
+                    }
+                });
+            }
+        });
+        assert_eq!(bits.count_ones(), 256);
+        assert_eq!(bits.count_ones_approx(), 256);
+        assert_eq!(bits.fill_ratio(), 1.0);
+    }
+}

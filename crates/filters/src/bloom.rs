@@ -169,6 +169,25 @@ impl BloomFilter {
         &self.bits
     }
 
+    /// The shared index strategy (used to build a concurrent filter that is
+    /// bit-for-bit compatible with this one).
+    pub fn strategy_arc(&self) -> &Arc<dyn IndexStrategy> {
+        &self.strategy
+    }
+
+    /// Overwrites the filter's bits and insert counter from a snapshot taken
+    /// elsewhere (e.g. frozen from a concurrent filter with the same
+    /// strategy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length differs from `m`.
+    pub fn absorb_bits(&mut self, bits: &BitVec, inserted: u64) {
+        assert_eq!(bits.len(), self.params.m, "snapshot length must equal m");
+        self.bits = bits.clone();
+        self.inserted = inserted;
+    }
+
     /// Clears the filter.
     pub fn reset(&mut self) {
         self.bits.reset();

@@ -1,0 +1,346 @@
+//! A Bloom filter with `&self` insert and query, safe to share across
+//! threads — the building block of the `evilbloom-store` serving layer.
+//!
+//! The concurrent filter derives indexes exactly like [`BloomFilter`] with
+//! the same [`IndexStrategy`], so a concurrent filter and a sequential one
+//! built over the same strategy are bit-for-bit equivalent after the same
+//! insert set (see the property tests in `evilbloom-store`). Bloom filters
+//! are monotone — bits are only ever set — which is what makes the lock-free
+//! `fetch_or` formulation correct: there is no state a racing insert can
+//! corrupt, and a query that observes all `k` bits set would also have
+//! observed them under any serialisation of the inserts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use evilbloom_hashes::IndexStrategy;
+
+use crate::atomic_bitvec::AtomicBitVec;
+use crate::bitvec::BitVec;
+use crate::bloom::BloomFilter;
+use crate::params::FilterParams;
+
+/// A lock-free concurrent Bloom filter: `&self` insert/query over an
+/// [`AtomicBitVec`], plus O(1) approximate fill statistics.
+///
+/// # Examples
+///
+/// ```
+/// use evilbloom_filters::{ConcurrentBloomFilter, FilterParams};
+/// use evilbloom_hashes::{KirschMitzenmacher, Murmur3_128};
+///
+/// let filter = ConcurrentBloomFilter::new(
+///     FilterParams::optimal(1000, 0.01),
+///     KirschMitzenmacher::new(Murmur3_128),
+/// );
+/// std::thread::scope(|scope| {
+///     for t in 0..4 {
+///         let filter = &filter;
+///         scope.spawn(move || {
+///             for i in 0..250 {
+///                 filter.insert(format!("worker-{t}-item-{i}").as_bytes());
+///             }
+///         });
+///     }
+/// });
+/// assert!(filter.contains(b"worker-0-item-0"));
+/// assert_eq!(filter.inserted(), 1000);
+/// ```
+pub struct ConcurrentBloomFilter {
+    bits: AtomicBitVec,
+    params: FilterParams,
+    strategy: Arc<dyn IndexStrategy>,
+    inserted: AtomicU64,
+}
+
+impl ConcurrentBloomFilter {
+    /// Creates an empty filter with the given parameters and index strategy.
+    pub fn new<S: IndexStrategy + 'static>(params: FilterParams, strategy: S) -> Self {
+        Self::with_shared_strategy(params, Arc::new(strategy))
+    }
+
+    /// Creates an empty filter sharing an already-boxed strategy (used when
+    /// many filters must use the same keyed strategy instance).
+    pub fn with_shared_strategy(params: FilterParams, strategy: Arc<dyn IndexStrategy>) -> Self {
+        ConcurrentBloomFilter {
+            bits: AtomicBitVec::new(params.m),
+            params,
+            strategy,
+            inserted: AtomicU64::new(0),
+        }
+    }
+
+    /// The filter's sizing parameters.
+    pub fn params(&self) -> FilterParams {
+        self.params
+    }
+
+    /// Number of bits in the filter (`m`).
+    pub fn m(&self) -> u64 {
+        self.params.m
+    }
+
+    /// Number of indexes per item (`k`).
+    pub fn k(&self) -> u32 {
+        self.params.k
+    }
+
+    /// Number of `insert` calls performed so far (racing inserts are all
+    /// counted; the value is exact once writers are quiescent).
+    pub fn inserted(&self) -> u64 {
+        self.inserted.load(Ordering::Relaxed)
+    }
+
+    /// Name of the index-derivation strategy in use.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// The shared index strategy (used by the store to build query batches
+    /// that amortise hashing).
+    pub fn strategy(&self) -> &Arc<dyn IndexStrategy> {
+        &self.strategy
+    }
+
+    /// The `k` indexes of `item` under this filter's strategy.
+    pub fn indexes(&self, item: &[u8]) -> Vec<u64> {
+        self.strategy.indexes(item, self.params.k, self.params.m)
+    }
+
+    /// Inserts `item`. Returns the number of bits this call flipped from 0
+    /// to 1 (racing inserts of overlapping items split the credit — each
+    /// flipped bit is credited to exactly one caller).
+    pub fn insert(&self, item: &[u8]) -> u32 {
+        let indexes = self.indexes(item);
+        self.insert_indexes(&indexes)
+    }
+
+    /// Inserts an item by its pre-computed indexes (the batch APIs derive
+    /// indexes once and reuse them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn insert_indexes(&self, indexes: &[u64]) -> u32 {
+        let mut fresh = 0;
+        for &i in indexes {
+            if !self.bits.set(i) {
+                fresh += 1;
+            }
+        }
+        self.inserted.fetch_add(1, Ordering::Relaxed);
+        fresh
+    }
+
+    /// Membership query: true if every index of `item` is set. Positive
+    /// answers may be false positives; an item whose insert call returned
+    /// before this query began is always found.
+    pub fn contains(&self, item: &[u8]) -> bool {
+        self.indexes(item).iter().all(|&i| self.bits.get(i))
+    }
+
+    /// Membership query by pre-computed indexes.
+    pub fn contains_indexes(&self, indexes: &[u64]) -> bool {
+        indexes.iter().all(|&i| self.bits.get(i))
+    }
+
+    /// Whether the bit at `index` is set.
+    pub fn is_set(&self, index: u64) -> bool {
+        self.bits.get(index)
+    }
+
+    /// Exact Hamming weight (scans the whole vector).
+    pub fn hamming_weight(&self) -> u64 {
+        self.bits.count_ones()
+    }
+
+    /// O(1) approximate Hamming weight from the running counter.
+    pub fn hamming_weight_approx(&self) -> u64 {
+        self.bits.count_ones_approx()
+    }
+
+    /// O(1) approximate fraction of set bits.
+    pub fn fill_ratio_approx(&self) -> f64 {
+        self.bits.fill_ratio_approx()
+    }
+
+    /// Exact fraction of set bits.
+    pub fn fill_ratio(&self) -> f64 {
+        self.bits.fill_ratio()
+    }
+
+    /// Whether every bit is set (exact scan).
+    pub fn is_saturated(&self) -> bool {
+        self.bits.count_zeros() == 0
+    }
+
+    /// Empirical false-positive probability `(wH(z)/m)^k` from the O(1)
+    /// approximate fill — the statistic the store's saturation alarms watch.
+    pub fn current_false_positive_probability(&self) -> f64 {
+        evilbloom_analysis::false_positive::false_positive_for_fill(
+            self.fill_ratio_approx(),
+            self.params.k,
+        )
+    }
+
+    /// Word-wise consistent snapshot of the bit vector (for equivalence
+    /// tests, persistence, or shipping a digest to a peer).
+    pub fn snapshot(&self) -> BitVec {
+        self.bits.snapshot()
+    }
+
+    /// Freezes the current contents into a sequential [`BloomFilter`]
+    /// sharing the same strategy (e.g. to hand a stable copy to the
+    /// single-threaded analysis tooling).
+    pub fn to_sequential(&self) -> BloomFilter {
+        let mut filter =
+            BloomFilter::with_shared_strategy(self.params, Arc::clone(&self.strategy));
+        filter.absorb_bits(&self.snapshot(), self.inserted());
+        filter
+    }
+}
+
+impl From<&BloomFilter> for ConcurrentBloomFilter {
+    /// Promotes a sequential filter onto the concurrent path, sharing its
+    /// strategy and copying its bits.
+    fn from(filter: &BloomFilter) -> Self {
+        let concurrent = ConcurrentBloomFilter::with_shared_strategy(
+            filter.params(),
+            Arc::clone(filter.strategy_arc()),
+        );
+        for index in filter.bits().iter_ones() {
+            concurrent.bits.set(index);
+        }
+        concurrent.inserted.store(filter.inserted(), Ordering::Relaxed);
+        concurrent
+    }
+}
+
+impl core::fmt::Debug for ConcurrentBloomFilter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ConcurrentBloomFilter")
+            .field("m", &self.params.m)
+            .field("k", &self.params.k)
+            .field("inserted", &self.inserted())
+            .field("weight_approx", &self.hamming_weight_approx())
+            .field("strategy", &self.strategy.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evilbloom_hashes::{KirschMitzenmacher, Murmur3_128, SaltedCrypto, Sha256};
+
+    fn small_filter() -> ConcurrentBloomFilter {
+        ConcurrentBloomFilter::new(
+            FilterParams::explicit(512, 3, 40),
+            KirschMitzenmacher::new(Murmur3_128),
+        )
+    }
+
+    #[test]
+    fn no_false_negatives_single_thread() {
+        let filter = ConcurrentBloomFilter::new(
+            FilterParams::optimal(500, 0.01),
+            SaltedCrypto::new(Box::new(Sha256)),
+        );
+        let items: Vec<String> = (0..500).map(|i| format!("http://site{i}.example/")).collect();
+        for item in &items {
+            filter.insert(item.as_bytes());
+        }
+        for item in &items {
+            assert!(filter.contains(item.as_bytes()), "false negative for {item}");
+        }
+    }
+
+    #[test]
+    fn insert_reports_fresh_bits() {
+        let filter = small_filter();
+        let fresh = filter.insert(b"first");
+        assert!((1..=3).contains(&fresh));
+        assert_eq!(filter.insert(b"first"), 0);
+        assert_eq!(filter.inserted(), 2);
+    }
+
+    #[test]
+    fn matches_sequential_filter_bit_for_bit() {
+        let strategy: Arc<dyn IndexStrategy> =
+            Arc::new(KirschMitzenmacher::new(Murmur3_128));
+        let params = FilterParams::explicit(2048, 4, 200);
+        let concurrent =
+            ConcurrentBloomFilter::with_shared_strategy(params, Arc::clone(&strategy));
+        let mut sequential = BloomFilter::with_shared_strategy(params, strategy);
+        for i in 0..200 {
+            let item = format!("item-{i}");
+            concurrent.insert(item.as_bytes());
+            sequential.insert(item.as_bytes());
+        }
+        assert_eq!(concurrent.snapshot(), *sequential.bits());
+        assert_eq!(concurrent.hamming_weight(), sequential.hamming_weight());
+        assert_eq!(concurrent.hamming_weight_approx(), sequential.hamming_weight());
+    }
+
+    #[test]
+    fn parallel_inserts_have_no_false_negatives() {
+        let filter = ConcurrentBloomFilter::new(
+            FilterParams::optimal(2000, 0.01),
+            KirschMitzenmacher::new(Murmur3_128),
+        );
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let filter = &filter;
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        filter.insert(format!("t{t}-i{i}").as_bytes());
+                    }
+                });
+            }
+        });
+        for t in 0..4 {
+            for i in 0..500 {
+                assert!(filter.contains(format!("t{t}-i{i}").as_bytes()));
+            }
+        }
+        assert_eq!(filter.inserted(), 2000);
+        assert_eq!(filter.hamming_weight(), filter.hamming_weight_approx());
+    }
+
+    #[test]
+    fn round_trips_with_sequential_filter() {
+        let mut sequential = BloomFilter::new(
+            FilterParams::explicit(1024, 3, 50),
+            KirschMitzenmacher::new(Murmur3_128),
+        );
+        for i in 0..50 {
+            sequential.insert(format!("x{i}").as_bytes());
+        }
+        let concurrent = ConcurrentBloomFilter::from(&sequential);
+        assert_eq!(concurrent.snapshot(), *sequential.bits());
+        assert_eq!(concurrent.inserted(), sequential.inserted());
+        let back = concurrent.to_sequential();
+        assert_eq!(back.bits(), sequential.bits());
+        assert_eq!(back.inserted(), sequential.inserted());
+        for i in 0..50 {
+            assert!(back.contains(format!("x{i}").as_bytes()));
+        }
+    }
+
+    #[test]
+    fn fpp_estimate_tracks_approx_fill() {
+        let filter = small_filter();
+        assert_eq!(filter.current_false_positive_probability(), 0.0);
+        for i in 0..40 {
+            filter.insert(format!("y{i}").as_bytes());
+        }
+        let expected = filter.fill_ratio_approx().powi(3);
+        assert!((filter.current_false_positive_probability() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debug_output_mentions_strategy() {
+        let text = format!("{:?}", small_filter());
+        assert!(text.contains("Kirsch-Mitzenmacher"));
+    }
+}

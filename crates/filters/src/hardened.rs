@@ -18,6 +18,7 @@ use evilbloom_hashes::{
 };
 
 use crate::bloom::BloomFilter;
+use crate::concurrent::ConcurrentBloomFilter;
 use crate::params::FilterParams;
 
 /// Which countermeasure to apply when building a hardened filter.
@@ -32,8 +33,18 @@ pub enum HardeningLevel {
 }
 
 /// A 256-bit secret key for the keyed countermeasures.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The `Debug` implementation is deliberately redacted: the whole point of
+/// the Section 8.2 countermeasure is that the key never reaches the
+/// adversary, and keys have a way of reaching adversaries through logs.
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct FilterKey(pub [u8; 32]);
+
+impl core::fmt::Debug for FilterKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("FilterKey(..)")
+    }
+}
 
 impl FilterKey {
     /// Draws a fresh random key from the given RNG.
@@ -71,22 +82,55 @@ pub fn hardened_filter(
     level: HardeningLevel,
     key: &FilterKey,
 ) -> BloomFilter {
+    let (params, strategy) = hardened_parts(capacity, target_fpp, level, key);
+    BloomFilter::with_shared_strategy(params, strategy.into())
+}
+
+/// The concurrent counterpart of [`hardened_filter`]: same parameters, same
+/// index strategy, but with lock-free `&self` insert/query — what each shard
+/// of the `evilbloom-store` serving layer holds.
+pub fn hardened_concurrent_filter(
+    capacity: u64,
+    target_fpp: f64,
+    level: HardeningLevel,
+    key: &FilterKey,
+) -> ConcurrentBloomFilter {
+    let (params, strategy) = hardened_parts(capacity, target_fpp, level, key);
+    ConcurrentBloomFilter::with_shared_strategy(params, strategy.into())
+}
+
+/// The sizing parameters a hardened filter at `level` uses: worst-case
+/// parameters for the unkeyed level (the Section 8.1 trade), average-case
+/// optimal for the keyed levels (the paper's point being that keyed hashing
+/// lets you keep them).
+pub fn hardened_params(capacity: u64, target_fpp: f64, level: HardeningLevel) -> FilterParams {
     match level {
-        HardeningLevel::WorstCaseParameters => {
-            let params = FilterParams::worst_case(capacity, target_fpp);
-            BloomFilter::new(params, SaltedHashes::new(Murmur3_128))
-        }
-        HardeningLevel::KeyedSipHash => {
-            let params = FilterParams::optimal(capacity, target_fpp);
-            let prf = SipHash24::new(key.sip_key());
-            BloomFilter::new(params, KeyedIndexes::new(Box::new(prf)))
-        }
-        HardeningLevel::KeyedHmac => {
-            let params = FilterParams::optimal(capacity, target_fpp);
-            let prf = Hmac::new(Box::new(Sha256), &key.0);
-            BloomFilter::new(params, KeyedIndexes::new(Box::new(prf)))
+        HardeningLevel::WorstCaseParameters => FilterParams::worst_case(capacity, target_fpp),
+        HardeningLevel::KeyedSipHash | HardeningLevel::KeyedHmac => {
+            FilterParams::optimal(capacity, target_fpp)
         }
     }
+}
+
+/// Parameter + strategy selection shared by the sequential and concurrent
+/// hardened constructors, so the two stay index-compatible by construction.
+fn hardened_parts(
+    capacity: u64,
+    target_fpp: f64,
+    level: HardeningLevel,
+    key: &FilterKey,
+) -> (FilterParams, Box<dyn IndexStrategy>) {
+    let params = hardened_params(capacity, target_fpp, level);
+    let strategy: Box<dyn IndexStrategy> = match level {
+        HardeningLevel::WorstCaseParameters => Box::new(SaltedHashes::new(Murmur3_128)),
+        HardeningLevel::KeyedSipHash => {
+            Box::new(KeyedIndexes::new(Box::new(SipHash24::new(key.sip_key()))))
+        }
+        HardeningLevel::KeyedHmac => {
+            Box::new(KeyedIndexes::new(Box::new(Hmac::new(Box::new(Sha256), &key.0))))
+        }
+    };
+    (params, strategy)
 }
 
 /// Report comparing a deployment's exposure before and after hardening,
@@ -215,5 +259,39 @@ mod tests {
     fn generated_keys_differ() {
         let mut rng = StdRng::seed_from_u64(7);
         assert_ne!(FilterKey::generate(&mut rng), FilterKey::generate(&mut rng));
+    }
+
+    #[test]
+    fn key_debug_output_is_redacted() {
+        // A distinctive byte pattern: were any byte printed (decimal or hex),
+        // the rendering would contain "171", "0xab" or "ab".
+        let key = FilterKey::from_bytes([0xAB; 32]);
+        let text = format!("{key:?}");
+        assert_eq!(text, "FilterKey(..)");
+        assert!(!text.contains("171") && !text.to_lowercase().contains("ab"),
+            "debug output must not leak key bytes: {text}");
+        // The same holds inside composite debug output.
+        let nested = format!("{:?}", Some(key));
+        assert_eq!(nested, "Some(FilterKey(..))");
+    }
+
+    #[test]
+    fn concurrent_and_sequential_hardened_filters_agree() {
+        for level in [
+            HardeningLevel::WorstCaseParameters,
+            HardeningLevel::KeyedSipHash,
+            HardeningLevel::KeyedHmac,
+        ] {
+            let key = key();
+            let mut sequential = hardened_filter(400, 0.01, level, &key);
+            let concurrent = hardened_concurrent_filter(400, 0.01, level, &key);
+            assert_eq!(sequential.params(), concurrent.params(), "{level:?}");
+            for i in 0..400 {
+                let item = format!("item-{i}");
+                sequential.insert(item.as_bytes());
+                concurrent.insert(item.as_bytes());
+            }
+            assert_eq!(concurrent.snapshot(), *sequential.bits(), "{level:?}");
+        }
     }
 }

@@ -6,6 +6,10 @@
 //!
 //! * [`BloomFilter`] — the classic filter of Section 3, with a pluggable
 //!   [`evilbloom_hashes::IndexStrategy`] and full state introspection;
+//! * [`ConcurrentBloomFilter`] — the same filter with lock-free `&self`
+//!   insert/query over an [`AtomicBitVec`], bit-for-bit equivalent to the
+//!   sequential filter under the same strategy (the `evilbloom-store`
+//!   serving layer builds on it);
 //! * [`CountingBloomFilter`] — 4-bit-counter deletable variant (Fan et al.),
 //!   complete with the overflow semantics the deletion attack abuses;
 //! * [`ScalableBloomFilter`] — growing stack of filters (Almeida et al.);
@@ -36,9 +40,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomic_bitvec;
 pub mod bitvec;
 pub mod bloom;
 pub mod cache_digest;
+pub mod concurrent;
 pub mod counting;
 pub mod dablooms;
 pub mod hardened;
@@ -48,12 +54,17 @@ pub mod power_of_two;
 pub mod scalable;
 pub mod stats;
 
+pub use atomic_bitvec::AtomicBitVec;
 pub use bitvec::BitVec;
 pub use bloom::BloomFilter;
 pub use cache_digest::CacheDigest;
+pub use concurrent::ConcurrentBloomFilter;
 pub use counting::CountingBloomFilter;
 pub use dablooms::Dablooms;
-pub use hardened::{audit, hardened_filter, FilterKey, HardeningAudit, HardeningLevel};
+pub use hardened::{
+    audit, hardened_concurrent_filter, hardened_filter, hardened_params, FilterKey,
+    HardeningAudit, HardeningLevel,
+};
 pub use params::{FilterParams, ParamDerivation};
 pub use partitioned::PartitionedBloomFilter;
 pub use power_of_two::TwoChoiceBloomFilter;

@@ -1,6 +1,6 @@
 //! Jenkins hash functions: `one_at_a_time` and `lookup3` (`hashlittle`).
 //!
-//! Bob Jenkins' functions are cited by the paper (reference [6]) as typical
+//! Bob Jenkins' functions are cited by the paper (reference \[6\]) as typical
 //! non-cryptographic choices. `lookup3` is the function historically used by
 //! several caching systems; `one_at_a_time` shows up in countless ad-hoc
 //! Bloom-filter implementations.

@@ -1,7 +1,7 @@
 //! MurmurHash2 (32-bit) and MurmurHash64A.
 //!
 //! MurmurHash2 is the historical default of many Bloom-filter libraries. It
-//! is *not* collision resistant: Aumasson and Bernstein (paper reference [7])
+//! is *not* collision resistant: Aumasson and Bernstein (paper reference \[7\])
 //! showed practical inversion and multicollision attacks, and the paper's
 //! Dablooms deletion attack relies on the fact that "MurmurHash can be
 //! inverted in constant time". See [`crate::inversion`] for the inversion.

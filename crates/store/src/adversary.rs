@@ -1,0 +1,164 @@
+//! The adversary's view of an *unhardened* store, wired into the existing
+//! attack machinery of `evilbloom-attacks`.
+//!
+//! An unhardened store is just a bigger predictable Bloom filter: routing
+//! and index derivation are public, so the chosen-insertion adversary
+//! computes everything offline. [`AdversarialStoreView`] flattens the `N`
+//! shards into one virtual `N * m`-bit filter (an item's `k` indexes all
+//! fall inside its shard's window) and implements
+//! [`evilbloom_attacks::TargetFilter`], which makes
+//! [`evilbloom_attacks::pollution::craft_polluting_items`] — and every other
+//! offline search — work against the store unchanged.
+//!
+//! A hardened store refuses to produce a view at all: without the routing
+//! and filter keys there is nothing the offline searches can compute. That
+//! refusal *is* the paper's Section 8.2 defence.
+
+use evilbloom_attacks::pollution::{craft_polluting_items, PollutionPlan};
+use evilbloom_attacks::TargetFilter;
+use evilbloom_urlgen::UrlGenerator;
+
+use crate::store::BloomStore;
+
+/// Flattened adversarial view of an unhardened [`BloomStore`]: shard `s`
+/// occupies virtual bits `[s * m, (s + 1) * m)`.
+pub struct AdversarialStoreView<'a> {
+    store: &'a BloomStore,
+    shard_m: u64,
+}
+
+impl<'a> AdversarialStoreView<'a> {
+    /// Builds the view, or `None` if the store is hardened (keyed routing
+    /// and index derivation leave the adversary nothing to compute).
+    pub fn new(store: &'a BloomStore) -> Option<Self> {
+        if store.is_hardened() {
+            return None;
+        }
+        Some(AdversarialStoreView { store, shard_m: store.shard_params().m })
+    }
+}
+
+impl TargetFilter for AdversarialStoreView<'_> {
+    fn m(&self) -> u64 {
+        self.store.shard_count() as u64 * self.shard_m
+    }
+
+    fn k(&self) -> u32 {
+        self.store.shard_params().k
+    }
+
+    fn indexes_of(&self, item: &[u8]) -> Vec<u64> {
+        let shard = self.store.route(item) as u64;
+        let offset = shard * self.shard_m;
+        let strategy = self.store.public_strategy().expect("view exists only unhardened");
+        strategy
+            .indexes(item, self.store.shard_params().k, self.shard_m)
+            .into_iter()
+            .map(|index| offset + index)
+            .collect()
+    }
+
+    fn is_set(&self, index: u64) -> bool {
+        let shard = (index / self.shard_m) as usize;
+        let local = index % self.shard_m;
+        self.store.shard(shard).with_generations(|active, _| active.filter.is_set(local))
+    }
+
+    fn weight(&self) -> u64 {
+        (0..self.store.shard_count())
+            .map(|s| {
+                self.store
+                    .shard(s)
+                    .with_generations(|active, _| active.filter.hamming_weight())
+            })
+            .sum()
+    }
+}
+
+/// Crafts `count` polluting items against an unhardened store (each sets
+/// `k` fresh bits in whichever shard it routes to). Returns `None` for a
+/// hardened store — the offline search cannot even start.
+pub fn craft_store_pollution(
+    store: &BloomStore,
+    generator: &UrlGenerator,
+    count: usize,
+    max_attempts: u64,
+) -> Option<PollutionPlan> {
+    let view = AdversarialStoreView::new(store)?;
+    Some(craft_polluting_items(&view, generator, count, max_attempts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn unhardened_store() -> BloomStore {
+        BloomStore::new(
+            StoreConfig::unhardened(4, 2_000, 0.02),
+            &mut StdRng::seed_from_u64(9),
+        )
+    }
+
+    #[test]
+    fn hardened_store_yields_no_view() {
+        let store = BloomStore::new(
+            StoreConfig::hardened(4, 2_000, 0.02),
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert!(AdversarialStoreView::new(&store).is_none());
+        assert!(craft_store_pollution(&store, &UrlGenerator::new("x"), 5, 1_000).is_none());
+    }
+
+    #[test]
+    fn view_indexes_match_store_routing_and_state() {
+        let store = unhardened_store();
+        for i in 0..50 {
+            store.insert(format!("item-{i}").as_bytes());
+        }
+        let view = AdversarialStoreView::new(&store).expect("unhardened");
+        assert_eq!(view.m(), 4 * store.shard_params().m);
+        // Inserted items are fully set in the flattened view.
+        for i in 0..50 {
+            let item = format!("item-{i}");
+            let indexes = view.indexes_of(item.as_bytes());
+            assert_eq!(indexes.len() as u32, view.k());
+            let shard = store.route(item.as_bytes()) as u64;
+            let window = shard * store.shard_params().m..(shard + 1) * store.shard_params().m;
+            assert!(indexes.iter().all(|i| window.contains(i)), "indexes stay in shard window");
+            assert!(indexes.iter().all(|&i| view.is_set(i)));
+        }
+    }
+
+    #[test]
+    fn view_weight_sums_shards() {
+        let store = unhardened_store();
+        for i in 0..100 {
+            store.insert(format!("item-{i}").as_bytes());
+        }
+        let view = AdversarialStoreView::new(&store).expect("unhardened");
+        let per_shard: u64 = store
+            .stats()
+            .shards
+            .iter()
+            .map(|s| s.weight)
+            .sum();
+        assert_eq!(view.weight(), per_shard);
+    }
+
+    #[test]
+    fn crafted_pollution_sets_k_fresh_bits_per_item() {
+        let store = unhardened_store();
+        let generator = UrlGenerator::new("store-pollution");
+        let plan =
+            craft_store_pollution(&store, &generator, 100, 10_000_000).expect("unhardened");
+        assert_eq!(plan.items.len(), 100);
+        let k = store.shard_params().k;
+        for item in &plan.items {
+            let fresh = store.insert(item.as_bytes());
+            assert_eq!(fresh, k, "every crafted item must set exactly k fresh bits");
+        }
+    }
+}

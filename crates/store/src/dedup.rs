@@ -1,0 +1,100 @@
+//! A small de-duplication adapter over the store, for applications (like
+//! the `evilbloom-webspider` crawler) whose dedup logic was written against
+//! a single-threaded Bloom filter.
+//!
+//! The adapter pins down the two-method contract those applications use —
+//! mark an item visited, ask whether it was seen — and backs it with a
+//! shared [`BloomStore`], so many crawler workers can dedup against the same
+//! store concurrently.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::store::{BloomStore, StoreConfig};
+
+/// Concurrent de-duplication set backed by a shared [`BloomStore`].
+///
+/// Cloning is cheap (an [`Arc`] bump): hand one clone to each worker.
+#[derive(Debug, Clone)]
+pub struct ConcurrentDedup {
+    store: Arc<BloomStore>,
+}
+
+impl ConcurrentDedup {
+    /// Wraps an existing store.
+    pub fn from_store(store: Arc<BloomStore>) -> Self {
+        ConcurrentDedup { store }
+    }
+
+    /// Builds a hardened dedup store sized for `capacity` items at
+    /// false-positive probability `fpp`, spread over `shards` shards, with
+    /// keys drawn from a seeded RNG (deterministic for tests; production
+    /// callers should use [`BloomStore::new`] with an entropy-seeded RNG and
+    /// [`ConcurrentDedup::from_store`]).
+    pub fn hardened_seeded(shards: usize, capacity: u64, fpp: f64, seed: u64) -> Self {
+        let store = BloomStore::new(
+            StoreConfig::hardened(shards, capacity, fpp),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        ConcurrentDedup { store: Arc::new(store) }
+    }
+
+    /// Marks an item as visited.
+    pub fn mark_visited(&self, item: &[u8]) {
+        self.store.insert(item);
+    }
+
+    /// Whether an item was (probably) visited before; false positives occur
+    /// at the store's configured rate, false negatives never.
+    pub fn seen(&self, item: &[u8]) -> bool {
+        self.store.contains(item)
+    }
+
+    /// Memory footprint of the backing store in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.store.memory_bytes()
+    }
+
+    /// The backing store (e.g. to read [`BloomStore::stats`]).
+    pub fn store(&self) -> &Arc<BloomStore> {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_then_seen() {
+        let dedup = ConcurrentDedup::hardened_seeded(4, 1_000, 0.01, 1);
+        assert!(!dedup.seen(b"http://example.org/"));
+        dedup.mark_visited(b"http://example.org/");
+        assert!(dedup.seen(b"http://example.org/"));
+    }
+
+    #[test]
+    fn clones_share_the_same_store() {
+        let dedup = ConcurrentDedup::hardened_seeded(4, 1_000, 0.01, 2);
+        let clone = dedup.clone();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for i in 0..200 {
+                    clone.mark_visited(format!("url-{i}").as_bytes());
+                }
+            });
+        });
+        for i in 0..200 {
+            assert!(dedup.seen(format!("url-{i}").as_bytes()));
+        }
+        assert_eq!(dedup.store().stats().total_inserted, 200);
+    }
+
+    #[test]
+    fn memory_footprint_matches_store() {
+        let dedup = ConcurrentDedup::hardened_seeded(2, 500, 0.01, 3);
+        assert_eq!(dedup.memory_bytes(), dedup.store().memory_bytes());
+    }
+}

@@ -1,0 +1,79 @@
+//! # evilbloom-store
+//!
+//! A sharded, lock-free concurrent Bloom-filter store: the serving layer
+//! that keeps the hardened guarantees of `evilbloom-core` under
+//! multi-threaded — including adversarial — load.
+//!
+//! The paper's defences (worst-case parameters, keyed SipHash/HMAC indexes,
+//! Section 8) matter precisely in deployments that serve real traffic:
+//! Squid digests, Bitly's dablooms and Scrapy's dupe filter are all
+//! concurrent services. This crate provides:
+//!
+//! * [`BloomStore`] — `N` power-of-two shards of
+//!   [`evilbloom_filters::ConcurrentBloomFilter`], routed by a keyed shard
+//!   hash so an adversary cannot target one shard, with batch
+//!   [`BloomStore::insert_batch`] / [`BloomStore::query_batch`] APIs that
+//!   amortise routing and locking;
+//! * generation-based key rotation ([`BloomStore::begin_rotation`] /
+//!   [`BloomStore::complete_rotation`]): a shard re-keys and rebuilds in the
+//!   background while its old generation keeps answering queries;
+//! * [`StoreStats`] — per-shard fill, false-positive estimates, and
+//!   pollution alarms tied to the chosen-insertion analysis in
+//!   `evilbloom-analysis`;
+//! * [`AdversarialStoreView`] — the flattened [`TargetFilter`] view of an
+//!   *unhardened* store that lets the existing `evilbloom-attacks` engines
+//!   (pollution, saturation, forgery) attack the store unchanged — and that
+//!   a hardened store refuses to produce;
+//! * [`ConcurrentDedup`] — the small adapter that puts real applications
+//!   (the `evilbloom-webspider` crawler) on the concurrent path.
+//!
+//! ## Example
+//!
+//! ```
+//! use evilbloom_store::{BloomStore, StoreConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // 8 keyed shards sized for 8000 items at 1% false positives.
+//! let store = BloomStore::new(
+//!     StoreConfig::hardened(8, 8_000, 0.01),
+//!     &mut StdRng::seed_from_u64(42),
+//! );
+//!
+//! // Serve inserts from four workers sharing the store by reference.
+//! std::thread::scope(|scope| {
+//!     for worker in 0..4 {
+//!         let store = &store;
+//!         scope.spawn(move || {
+//!             for i in 0..100 {
+//!                 store.insert(format!("http://w{worker}.example/{i}").as_bytes());
+//!             }
+//!         });
+//!     }
+//! });
+//!
+//! assert!(store.contains(b"http://w0.example/0"));
+//! let stats = store.stats();
+//! assert_eq!(stats.total_inserted, 400);
+//! assert_eq!(stats.alarms, 0, "honest traffic raises no pollution alarm");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod dedup;
+pub mod harness;
+pub mod shard;
+pub mod stats;
+pub mod store;
+
+pub use adversary::{craft_store_pollution, AdversarialStoreView};
+pub use dedup::ConcurrentDedup;
+pub use shard::{Generation, Shard};
+pub use stats::{pollution_alarm, ShardStats, StoreStats, ALARM_MIN_INSERTIONS};
+pub use store::{BatchOutcome, BloomStore, StoreConfig, StoreHardening};
+
+// Re-exported so the doc examples and downstream callers can name the trait
+// the adversarial view implements without importing `evilbloom-attacks`.
+pub use evilbloom_attacks::TargetFilter;

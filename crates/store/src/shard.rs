@@ -1,0 +1,186 @@
+//! A single store shard: a concurrent Bloom filter wrapped in a generation
+//! pair so its secret key can be rotated without a service interruption.
+//!
+//! Rotation model: a Bloom filter cannot enumerate its items, so rotation is
+//! a two-phase hand-off driven by the application (which owns the source of
+//! truth):
+//!
+//! 1. [`Shard::begin_rotation`] installs a fresh (re-keyed) *active*
+//!    generation and demotes the old one to *draining*. Queries consult both
+//!    generations, so everything inserted before the rotation keeps
+//!    answering; new inserts go only to the active generation.
+//! 2. The application replays its item set into the store in the background
+//!    (the rebuild), then calls [`Shard::complete_rotation`] to drop the
+//!    drained generation — and with it every bit the adversary polluted
+//!    under the old key.
+
+use std::sync::RwLock;
+
+use evilbloom_filters::ConcurrentBloomFilter;
+
+/// One filter generation: the filter plus a monotonically increasing id.
+#[derive(Debug)]
+pub struct Generation {
+    /// The concurrent filter answering for this generation.
+    pub filter: ConcurrentBloomFilter,
+    /// Generation number (0 at shard creation, +1 per rotation).
+    pub id: u64,
+}
+
+#[derive(Debug)]
+struct GenerationPair {
+    active: Generation,
+    draining: Option<Generation>,
+}
+
+/// A store shard: an active filter generation, plus an optional draining
+/// generation while a key rotation's rebuild is in flight.
+///
+/// The `RwLock` only guards the *installation* of generations; inserts and
+/// queries take the read lock (shared, uncontended in steady state) and then
+/// operate lock-free on the `ConcurrentBloomFilter` inside.
+#[derive(Debug)]
+pub struct Shard {
+    generations: RwLock<GenerationPair>,
+}
+
+impl Shard {
+    /// Creates a shard serving `filter` as generation 0.
+    pub fn new(filter: ConcurrentBloomFilter) -> Self {
+        Shard {
+            generations: RwLock::new(GenerationPair {
+                active: Generation { filter, id: 0 },
+                draining: None,
+            }),
+        }
+    }
+
+    /// Runs `f` with the active generation and (if a rotation is draining)
+    /// the previous one. This is the primitive the store's batch APIs use to
+    /// amortise lock acquisition over many items.
+    pub fn with_generations<R>(&self, f: impl FnOnce(&Generation, Option<&Generation>) -> R) -> R {
+        let pair = self.generations.read().expect("shard lock poisoned");
+        f(&pair.active, pair.draining.as_ref())
+    }
+
+    /// Inserts `item` into the active generation; returns the number of
+    /// fresh bits set.
+    pub fn insert(&self, item: &[u8]) -> u32 {
+        self.with_generations(|active, _| active.filter.insert(item))
+    }
+
+    /// Membership query against the active generation, falling back to the
+    /// draining generation during a rotation (old data keeps answering until
+    /// the rebuild completes).
+    pub fn contains(&self, item: &[u8]) -> bool {
+        self.with_generations(|active, draining| {
+            active.filter.contains(item)
+                || draining.is_some_and(|g| g.filter.contains(item))
+        })
+    }
+
+    /// Starts a rotation: `fresh` (typically re-keyed and empty) becomes the
+    /// active generation and the current one drains. Returns the new
+    /// generation id, or `None` if a rotation is already in flight (finish
+    /// it first — dropping a draining generation early would lose answers).
+    pub fn begin_rotation(&self, fresh: ConcurrentBloomFilter) -> Option<u64> {
+        let mut pair = self.generations.write().expect("shard lock poisoned");
+        if pair.draining.is_some() {
+            return None;
+        }
+        let next_id = pair.active.id + 1;
+        let old = std::mem::replace(&mut pair.active, Generation { filter: fresh, id: next_id });
+        pair.draining = Some(old);
+        Some(next_id)
+    }
+
+    /// Finishes a rotation by dropping the draining generation. Returns
+    /// `false` if no rotation was in flight.
+    pub fn complete_rotation(&self) -> bool {
+        let mut pair = self.generations.write().expect("shard lock poisoned");
+        pair.draining.take().is_some()
+    }
+
+    /// Whether a rotation's rebuild is currently in flight.
+    pub fn is_rotating(&self) -> bool {
+        self.generations.read().expect("shard lock poisoned").draining.is_some()
+    }
+
+    /// Current active generation id.
+    pub fn generation_id(&self) -> u64 {
+        self.generations.read().expect("shard lock poisoned").active.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evilbloom_filters::FilterParams;
+    use evilbloom_hashes::{KirschMitzenmacher, Murmur3_128};
+
+    fn fresh_filter() -> ConcurrentBloomFilter {
+        ConcurrentBloomFilter::new(
+            FilterParams::optimal(200, 0.01),
+            KirschMitzenmacher::new(Murmur3_128),
+        )
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let shard = Shard::new(fresh_filter());
+        shard.insert(b"item");
+        assert!(shard.contains(b"item"));
+        assert!(!shard.contains(b"other"));
+        assert_eq!(shard.generation_id(), 0);
+        assert!(!shard.is_rotating());
+    }
+
+    #[test]
+    fn draining_generation_keeps_answering() {
+        let shard = Shard::new(fresh_filter());
+        for i in 0..100 {
+            shard.insert(format!("old-{i}").as_bytes());
+        }
+        assert_eq!(shard.begin_rotation(fresh_filter()), Some(1));
+        assert!(shard.is_rotating());
+        // Old items still answer via the draining generation…
+        for i in 0..100 {
+            assert!(shard.contains(format!("old-{i}").as_bytes()));
+        }
+        // …and new inserts land in the re-keyed active generation.
+        shard.insert(b"new-item");
+        assert!(shard.contains(b"new-item"));
+
+        // Rebuild: the application replays its items, then completes.
+        for i in 0..100 {
+            shard.insert(format!("old-{i}").as_bytes());
+        }
+        assert!(shard.complete_rotation());
+        for i in 0..100 {
+            assert!(shard.contains(format!("old-{i}").as_bytes()));
+        }
+        assert!(shard.contains(b"new-item"));
+        assert!(!shard.is_rotating());
+    }
+
+    #[test]
+    fn second_rotation_refused_while_draining() {
+        let shard = Shard::new(fresh_filter());
+        assert_eq!(shard.begin_rotation(fresh_filter()), Some(1));
+        assert_eq!(shard.begin_rotation(fresh_filter()), None);
+        assert!(shard.complete_rotation());
+        assert!(!shard.complete_rotation(), "nothing left to complete");
+        assert_eq!(shard.begin_rotation(fresh_filter()), Some(2));
+        assert_eq!(shard.generation_id(), 2);
+    }
+
+    #[test]
+    fn dropping_the_drained_generation_forgets_unreplayed_items() {
+        let shard = Shard::new(fresh_filter());
+        shard.insert(b"pollution");
+        shard.begin_rotation(fresh_filter());
+        shard.complete_rotation();
+        // The polluted bits lived only in the dropped generation.
+        assert!(!shard.contains(b"pollution"));
+    }
+}

@@ -1,0 +1,523 @@
+//! The sharded concurrent Bloom-filter store.
+
+use std::sync::Arc;
+
+use rand::RngCore;
+
+use evilbloom_filters::{
+    hardened_concurrent_filter, hardened_params, ConcurrentBloomFilter, FilterKey, FilterParams,
+    HardeningLevel,
+};
+use evilbloom_hashes::{
+    Hasher64, IndexStrategy, KeyedHash64, KirschMitzenmacher, Murmur3_128, SipHash24, SipKey,
+};
+
+use crate::shard::Shard;
+use crate::stats::{pollution_alarm, ShardStats, StoreStats};
+
+/// Domain-separation tweak for the shard-routing PRF, far outside the
+/// `0..k` tweak range the per-shard index derivation uses.
+const ROUTING_TWEAK: u64 = 0x5AAD_2017_0DD5_EED5;
+
+/// Whether (and how) the store's shards are hardened against the paper's
+/// adversaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreHardening {
+    /// Predictable everything: unkeyed Murmur-based shard routing and
+    /// Kirsch–Mitzenmacher index derivation, average-case parameters — the
+    /// deployment style of the attacked systems (Scrapy, Dablooms, Squid).
+    Unhardened,
+    /// Keyed shard routing (SipHash under a secret routing key, so an
+    /// adversary cannot target one shard) plus per-shard hardening at the
+    /// given [`HardeningLevel`].
+    Hardened(HardeningLevel),
+}
+
+/// Configuration of a [`BloomStore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoreConfig {
+    /// Number of shards; must be a power of two so routing is a mask.
+    pub shards: usize,
+    /// Total item capacity, split evenly across shards.
+    pub capacity: u64,
+    /// Target false-positive probability per shard.
+    pub target_fpp: f64,
+    /// Hardening posture.
+    pub hardening: StoreHardening,
+}
+
+impl StoreConfig {
+    /// A hardened store (keyed SipHash shards and routing) — the posture the
+    /// paper recommends for anything serving untrusted traffic.
+    pub fn hardened(shards: usize, capacity: u64, target_fpp: f64) -> Self {
+        StoreConfig {
+            shards,
+            capacity,
+            target_fpp,
+            hardening: StoreHardening::Hardened(HardeningLevel::KeyedSipHash),
+        }
+    }
+
+    /// An unhardened store mirroring the attacked deployments (useful as the
+    /// baseline in the adversarial load harness).
+    pub fn unhardened(shards: usize, capacity: u64, target_fpp: f64) -> Self {
+        StoreConfig { shards, capacity, target_fpp, hardening: StoreHardening::Unhardened }
+    }
+}
+
+/// Outcome of a batch insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchOutcome {
+    /// Items inserted.
+    pub items: usize,
+    /// Bits flipped 0 → 1 across all shards by this batch.
+    pub fresh_bits: u64,
+}
+
+enum Router {
+    /// Secret-keyed routing: the adversary cannot predict (or choose) which
+    /// shard an item lands on.
+    Keyed(SipHash24),
+    /// Public routing, computable offline by anyone with the source code.
+    Public(Murmur3_128),
+}
+
+impl Router {
+    fn route(&self, item: &[u8], mask: u64) -> usize {
+        let hash = match self {
+            Router::Keyed(prf) => prf.mac_with_tweak(item, ROUTING_TWEAK),
+            Router::Public(hasher) => hasher.hash_with_seed(item, ROUTING_TWEAK),
+        };
+        (hash & mask) as usize
+    }
+}
+
+/// A sharded, lock-free concurrent Bloom-filter store.
+///
+/// Items are routed to one of `N` power-of-two shards by a routing hash
+/// (secret-keyed unless the store is [`StoreHardening::Unhardened`]); each
+/// shard is a [`ConcurrentBloomFilter`] built by the Section 8 hardened
+/// constructors and wrapped in a generation pair so its key can be rotated
+/// without downtime (see [`crate::shard::Shard`]).
+///
+/// All serving operations take `&self`: share the store across worker
+/// threads by reference (`std::thread::scope`) or in an [`Arc`].
+pub struct BloomStore {
+    shards: Vec<Shard>,
+    router: Router,
+    config: StoreConfig,
+    shard_capacity: u64,
+    shard_params: FilterParams,
+    /// The shared predictable strategy of an unhardened store (what the
+    /// adversarial view uses to compute indexes offline); `None` when keyed.
+    public_strategy: Option<Arc<dyn IndexStrategy>>,
+}
+
+impl BloomStore {
+    /// Builds a store, drawing all secret key material (per-shard filter
+    /// keys and the shard-routing key) from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or not a power of two, or if the per-shard
+    /// capacity would be zero.
+    pub fn new<R: RngCore>(config: StoreConfig, rng: &mut R) -> Self {
+        assert!(
+            config.shards > 0 && config.shards.is_power_of_two(),
+            "shard count must be a power of two"
+        );
+        let shard_capacity = config.capacity.div_ceil(config.shards as u64);
+        assert!(shard_capacity > 0, "per-shard capacity must be positive");
+        let shard_params = match config.hardening {
+            StoreHardening::Hardened(level) => {
+                hardened_params(shard_capacity, config.target_fpp, level)
+            }
+            StoreHardening::Unhardened => FilterParams::optimal(shard_capacity, config.target_fpp),
+        };
+
+        let public_strategy: Option<Arc<dyn IndexStrategy>> = match config.hardening {
+            StoreHardening::Unhardened => {
+                Some(Arc::new(KirschMitzenmacher::new(Murmur3_128)))
+            }
+            StoreHardening::Hardened(_) => None,
+        };
+        let router = match config.hardening {
+            StoreHardening::Unhardened => Router::Public(Murmur3_128),
+            StoreHardening::Hardened(_) => {
+                Router::Keyed(SipHash24::new(SipKey::new(rng.next_u64(), rng.next_u64())))
+            }
+        };
+
+        let mut store = BloomStore {
+            shards: Vec::with_capacity(config.shards),
+            router,
+            config,
+            shard_capacity,
+            shard_params,
+            public_strategy,
+        };
+        for _ in 0..config.shards {
+            let filter = store.build_shard_filter(&FilterKey::generate(rng));
+            store.shards.push(Shard::new(filter));
+        }
+        store
+    }
+
+    /// Builds a fresh (empty) per-shard filter for construction or rotation.
+    fn build_shard_filter(&self, key: &FilterKey) -> ConcurrentBloomFilter {
+        match self.config.hardening {
+            StoreHardening::Hardened(level) => {
+                hardened_concurrent_filter(self.shard_capacity, self.config.target_fpp, level, key)
+            }
+            StoreHardening::Unhardened => ConcurrentBloomFilter::with_shared_strategy(
+                self.shard_params,
+                Arc::clone(self.public_strategy.as_ref().expect("unhardened strategy")),
+            ),
+        }
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The sizing parameters every shard uses.
+    pub fn shard_params(&self) -> FilterParams {
+        self.shard_params
+    }
+
+    /// Whether the store is hardened (keyed routing and indexes).
+    pub fn is_hardened(&self) -> bool {
+        matches!(self.config.hardening, StoreHardening::Hardened(_))
+    }
+
+    /// Shard an item routes to.
+    pub fn route(&self, item: &[u8]) -> usize {
+        self.router.route(item, self.shards.len() as u64 - 1)
+    }
+
+    pub(crate) fn shard(&self, index: usize) -> &Shard {
+        &self.shards[index]
+    }
+
+    /// The shared predictable index strategy of an unhardened store (`None`
+    /// when hardened — that is the defence).
+    pub(crate) fn public_strategy(&self) -> Option<&Arc<dyn IndexStrategy>> {
+        self.public_strategy.as_ref()
+    }
+
+    /// Inserts one item; returns the number of fresh bits it set.
+    pub fn insert(&self, item: &[u8]) -> u32 {
+        self.shards[self.route(item)].insert(item)
+    }
+
+    /// Membership query (positives may be false positives; during a shard
+    /// rotation the draining generation still answers).
+    pub fn contains(&self, item: &[u8]) -> bool {
+        self.shards[self.route(item)].contains(item)
+    }
+
+    /// Inserts a batch, routing every item first and then visiting each
+    /// shard exactly once — amortising routing hashes and shard-lock
+    /// acquisitions over the whole batch.
+    pub fn insert_batch<I: AsRef<[u8]>>(&self, items: &[I]) -> BatchOutcome {
+        let mut buckets: Vec<Vec<&[u8]>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for item in items {
+            let item = item.as_ref();
+            buckets[self.route(item)].push(item);
+        }
+        let mut fresh_bits = 0u64;
+        for (shard, bucket) in self.shards.iter().zip(&buckets) {
+            if bucket.is_empty() {
+                continue;
+            }
+            shard.with_generations(|active, _| {
+                for item in bucket {
+                    fresh_bits += u64::from(active.filter.insert(item));
+                }
+            });
+        }
+        BatchOutcome { items: items.len(), fresh_bits }
+    }
+
+    /// Batch membership query; answers are in input order. Like
+    /// [`BloomStore::insert_batch`], each shard lock is taken once.
+    pub fn query_batch<I: AsRef<[u8]>>(&self, items: &[I]) -> Vec<bool> {
+        let mut buckets: Vec<Vec<(usize, &[u8])>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (position, item) in items.iter().enumerate() {
+            let item = item.as_ref();
+            buckets[self.route(item)].push((position, item));
+        }
+        let mut answers = vec![false; items.len()];
+        for (shard, bucket) in self.shards.iter().zip(&buckets) {
+            if bucket.is_empty() {
+                continue;
+            }
+            shard.with_generations(|active, draining| {
+                for &(position, item) in bucket {
+                    answers[position] = active.filter.contains(item)
+                        || draining.is_some_and(|g| g.filter.contains(item));
+                }
+            });
+        }
+        answers
+    }
+
+    /// Starts a rotation on one shard: installs a fresh filter while the old
+    /// generation keeps answering queries. On a hardened store the fresh
+    /// filter is built under a new secret key drawn from `rng` (a true
+    /// re-key). On an unhardened store there is no key to rotate — the fresh
+    /// generation only clears accumulated (possibly polluted) bits, and an
+    /// adversary can re-craft pollution against the unchanged public
+    /// derivation at will; the durable defence is hardening, not rotation.
+    /// Returns the new generation id, or `None` if a rotation is already
+    /// draining on that shard.
+    pub fn begin_rotation<R: RngCore>(&self, shard: usize, rng: &mut R) -> Option<u64> {
+        let fresh = match self.config.hardening {
+            StoreHardening::Hardened(_) => self.build_shard_filter(&FilterKey::generate(rng)),
+            // No key material to draw: the public strategy is reused.
+            StoreHardening::Unhardened => self.build_shard_filter(&FilterKey::from_bytes([0; 32])),
+        };
+        self.shards[shard].begin_rotation(fresh)
+    }
+
+    /// Completes a rotation, dropping the drained generation (call after the
+    /// application has replayed its items into the new generation). Returns
+    /// `false` if no rotation was in flight.
+    pub fn complete_rotation(&self, shard: usize) -> bool {
+        self.shards[shard].complete_rotation()
+    }
+
+    /// Active generation id of a shard.
+    pub fn generation_id(&self, shard: usize) -> u64 {
+        self.shards[shard].generation_id()
+    }
+
+    /// Memory footprint in bytes of all active shard bit vectors.
+    pub fn memory_bytes(&self) -> u64 {
+        self.shards.len() as u64 * self.shard_params.memory_bytes()
+    }
+
+    /// Health snapshot: per-shard fill, false-positive estimates and
+    /// pollution alarms (see [`crate::stats`]).
+    pub fn stats(&self) -> StoreStats {
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(index, shard)| {
+                shard.with_generations(|active, draining| {
+                    let filter = &active.filter;
+                    let weight = filter.hamming_weight_approx();
+                    let fill = weight as f64 / filter.m() as f64;
+                    ShardStats {
+                        shard: index,
+                        generation: active.id,
+                        rotating: draining.is_some(),
+                        m: filter.m(),
+                        k: filter.k(),
+                        inserted: filter.inserted(),
+                        weight,
+                        fill,
+                        estimated_fpp: evilbloom_analysis::false_positive::false_positive_for_fill(
+                            fill,
+                            filter.k(),
+                        ),
+                        pollution_alarm: pollution_alarm(
+                            filter.m(),
+                            filter.k(),
+                            filter.inserted(),
+                            weight,
+                        ),
+                    }
+                })
+            })
+            .collect();
+        StoreStats::from_shards(shards)
+    }
+}
+
+impl core::fmt::Debug for BloomStore {
+    /// Deliberately redacted: no routing-key or filter-key material reaches
+    /// logs through this impl.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BloomStore")
+            .field("shards", &self.shards.len())
+            .field("shard_params", &self.shard_params)
+            .field("hardening", &self.config.hardening)
+            .field("keys", &"<redacted>")
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hardened_store(shards: usize) -> BloomStore {
+        BloomStore::new(
+            StoreConfig::hardened(shards, 4_000, 0.01),
+            &mut StdRng::seed_from_u64(42),
+        )
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let store = hardened_store(8);
+        for i in 0..1000 {
+            store.insert(format!("item-{i}").as_bytes());
+        }
+        for i in 0..1000 {
+            assert!(store.contains(format!("item-{i}").as_bytes()));
+        }
+        assert_eq!(store.stats().total_inserted, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_rejected() {
+        BloomStore::new(StoreConfig::hardened(3, 100, 0.01), &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn routing_spreads_items_across_shards() {
+        let store = hardened_store(8);
+        let mut seen = [false; 8];
+        for i in 0..200 {
+            seen[store.route(format!("item-{i}").as_bytes())] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "200 items must touch all 8 shards");
+    }
+
+    #[test]
+    fn routing_key_changes_routing() {
+        let a = BloomStore::new(
+            StoreConfig::hardened(16, 1000, 0.01),
+            &mut StdRng::seed_from_u64(1),
+        );
+        let b = BloomStore::new(
+            StoreConfig::hardened(16, 1000, 0.01),
+            &mut StdRng::seed_from_u64(2),
+        );
+        let differing = (0..100)
+            .filter(|i| {
+                let item = format!("item-{i}");
+                a.route(item.as_bytes()) != b.route(item.as_bytes())
+            })
+            .count();
+        assert!(differing > 50, "only {differing}/100 items routed differently");
+    }
+
+    #[test]
+    fn unhardened_routing_is_public_and_key_free() {
+        let a = BloomStore::new(
+            StoreConfig::unhardened(8, 1000, 0.01),
+            &mut StdRng::seed_from_u64(1),
+        );
+        let b = BloomStore::new(
+            StoreConfig::unhardened(8, 1000, 0.01),
+            &mut StdRng::seed_from_u64(2),
+        );
+        for i in 0..100 {
+            let item = format!("item-{i}");
+            assert_eq!(a.route(item.as_bytes()), b.route(item.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn batch_and_scalar_apis_agree() {
+        let scalar = hardened_store(4);
+        let batch = BloomStore::new(
+            StoreConfig::hardened(4, 4_000, 0.01),
+            &mut StdRng::seed_from_u64(42),
+        );
+        let items: Vec<String> = (0..500).map(|i| format!("item-{i}")).collect();
+        let mut scalar_fresh = 0u64;
+        for item in &items {
+            scalar_fresh += u64::from(scalar.insert(item.as_bytes()));
+        }
+        let outcome = batch.insert_batch(&items);
+        assert_eq!(outcome.items, 500);
+        assert_eq!(outcome.fresh_bits, scalar_fresh);
+
+        let probes: Vec<String> =
+            (0..500).map(|i| format!("item-{i}")).chain((0..100).map(|i| format!("absent-{i}"))).collect();
+        let batch_answers = batch.query_batch(&probes);
+        for (probe, answer) in probes.iter().zip(&batch_answers) {
+            assert_eq!(*answer, scalar.contains(probe.as_bytes()), "{probe}");
+        }
+        assert!(batch_answers[..500].iter().all(|&a| a), "no false negatives in batch");
+    }
+
+    #[test]
+    fn concurrent_writers_share_the_store_by_reference() {
+        let store = hardened_store(8);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        store.insert(format!("t{t}-i{i}").as_bytes());
+                    }
+                });
+            }
+        });
+        for t in 0..4 {
+            for i in 0..500 {
+                assert!(store.contains(format!("t{t}-i{i}").as_bytes()));
+            }
+        }
+        assert_eq!(store.stats().total_inserted, 2000);
+    }
+
+    #[test]
+    fn rotation_keeps_old_generation_answering() {
+        let store = hardened_store(4);
+        let items: Vec<String> = (0..400).map(|i| format!("item-{i}")).collect();
+        store.insert_batch(&items);
+        let mut rng = StdRng::seed_from_u64(7);
+        for shard in 0..4 {
+            assert_eq!(store.begin_rotation(shard, &mut rng), Some(1));
+        }
+        // Mid-rotation: every pre-rotation item still answers.
+        assert!(store.query_batch(&items).iter().all(|&a| a));
+        // Rebuild (replay), then complete.
+        store.insert_batch(&items);
+        for shard in 0..4 {
+            assert!(store.complete_rotation(shard));
+            assert_eq!(store.generation_id(shard), 1);
+        }
+        assert!(store.query_batch(&items).iter().all(|&a| a));
+    }
+
+    #[test]
+    fn stats_report_shard_geometry() {
+        let store = hardened_store(4);
+        let stats = store.stats();
+        assert_eq!(stats.shards.len(), 4);
+        assert_eq!(stats.alarms, 0);
+        for shard in &stats.shards {
+            assert_eq!(shard.m, store.shard_params().m);
+            assert_eq!(shard.k, store.shard_params().k);
+            assert!(!shard.rotating);
+        }
+    }
+
+    #[test]
+    fn debug_output_redacts_keys() {
+        let store = hardened_store(2);
+        let text = format!("{store:?}");
+        assert!(text.contains("<redacted>"), "{text}");
+        assert!(text.contains("KeyedSipHash"));
+        // No 32-byte key rendering can hide in there.
+        assert!(!text.contains("SipKey"), "{text}");
+    }
+}

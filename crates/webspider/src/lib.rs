@@ -22,6 +22,7 @@ use evilbloom_attacks::forgery::plan_ghost_pages;
 use evilbloom_attacks::pollution::craft_polluting_items;
 use evilbloom_filters::{BloomFilter, FilterParams};
 use evilbloom_hashes::{SaltedCrypto, Sha512};
+use evilbloom_store::ConcurrentDedup;
 use evilbloom_urlgen::UrlGenerator;
 
 /// A synthetic web graph: pages and their outgoing links.
@@ -84,6 +85,10 @@ pub enum DedupStore {
     Exact(HashSet<String>),
     /// Bloom-filter membership (small footprint, attackable).
     Bloom(BloomFilter),
+    /// Concurrent sharded-store membership (`evilbloom-store`): the same
+    /// probabilistic semantics as [`DedupStore::Bloom`], but shareable
+    /// across crawler workers and hardened/rotatable underneath.
+    Concurrent(ConcurrentDedup),
 }
 
 impl DedupStore {
@@ -104,6 +109,19 @@ impl DedupStore {
         DedupStore::Bloom(filter)
     }
 
+    /// Hardened concurrent store: `capacity` URLs at false-positive
+    /// probability `fpp` over `shards` keyed shards (keys drawn from
+    /// `seed` — deterministic for experiments).
+    pub fn concurrent(shards: usize, capacity: u64, fpp: f64, seed: u64) -> Self {
+        DedupStore::Concurrent(ConcurrentDedup::hardened_seeded(shards, capacity, fpp, seed))
+    }
+
+    /// Wraps an existing concurrent dedup adapter (e.g. one shared with
+    /// other crawler workers).
+    pub fn from_concurrent(dedup: ConcurrentDedup) -> Self {
+        DedupStore::Concurrent(dedup)
+    }
+
     /// Marks a URL as visited.
     pub fn mark_visited(&mut self, url: &str) {
         match self {
@@ -113,6 +131,7 @@ impl DedupStore {
             DedupStore::Bloom(filter) => {
                 filter.insert(url.as_bytes());
             }
+            DedupStore::Concurrent(dedup) => dedup.mark_visited(url.as_bytes()),
         }
     }
 
@@ -121,6 +140,7 @@ impl DedupStore {
         match self {
             DedupStore::Exact(set) => set.contains(url),
             DedupStore::Bloom(filter) => filter.contains(url.as_bytes()),
+            DedupStore::Concurrent(dedup) => dedup.seen(url.as_bytes()),
         }
     }
 
@@ -130,13 +150,16 @@ impl DedupStore {
         match self {
             DedupStore::Exact(set) => set.len() as u64 * 77,
             DedupStore::Bloom(filter) => filter.params().memory_bytes(),
+            DedupStore::Concurrent(dedup) => dedup.memory_bytes(),
         }
     }
 
-    /// Read-only access to the underlying Bloom filter, if any.
+    /// Read-only access to the underlying Bloom filter, if any. The
+    /// concurrent store deliberately returns `None`: its filters are keyed,
+    /// so the offline attack tooling has nothing to inspect.
     pub fn filter(&self) -> Option<&BloomFilter> {
         match self {
-            DedupStore::Exact(_) => None,
+            DedupStore::Exact(_) | DedupStore::Concurrent(_) => None,
             DedupStore::Bloom(filter) => Some(filter),
         }
     }
@@ -380,6 +403,53 @@ mod tests {
             assert!(!crawler.fetched_urls().contains(ghost), "ghost {ghost} must stay hidden");
         }
         assert!(report.wrongly_skipped >= report_before.wrongly_skipped + 4);
+    }
+
+    #[test]
+    fn concurrent_store_crawl_matches_single_threaded_filter() {
+        // The same honest site, crawled once with the classic single-threaded
+        // Bloom dedup and once with the concurrent sharded store: both must
+        // fetch exactly the same pages exactly once.
+        let (graph, root) = WebGraph::honest_site("honest.example", 600);
+
+        let mut bloom = Crawler::new(DedupStore::bloom(10_000, 0.01));
+        let bloom_report = bloom.crawl(&graph, &root, 10_000);
+
+        let mut concurrent = Crawler::new(DedupStore::concurrent(8, 10_000, 0.01, 42));
+        let concurrent_report = concurrent.crawl(&graph, &root, 10_000);
+
+        assert_eq!(concurrent_report.fetched, bloom_report.fetched);
+        assert_eq!(concurrent_report.wrongly_skipped, 0);
+        assert_eq!(concurrent_report.duplicate_skips, bloom_report.duplicate_skips);
+        assert_eq!(concurrent.fetched_urls(), bloom.fetched_urls());
+    }
+
+    #[test]
+    fn concurrent_store_dedups_across_sequential_crawls() {
+        // Two crawlers sharing one concurrent store model two spider workers:
+        // what the first fetched, the second skips as duplicates.
+        let dedup = ConcurrentDedup::hardened_seeded(4, 5_000, 0.01, 7);
+        let (graph, root) = WebGraph::honest_site("shared.example", 300);
+
+        let mut first = Crawler::new(DedupStore::from_concurrent(dedup.clone()));
+        let first_report = first.crawl(&graph, &root, 10_000);
+        assert_eq!(first_report.fetched, 300);
+
+        let mut second = Crawler::new(DedupStore::from_concurrent(dedup));
+        let second_report = second.crawl(&graph, &root, 10_000);
+        // Every page the first worker fetched is "already visited" now. The
+        // second crawler never fetched them itself, so its report counts the
+        // skips as wrongful — from the shared store's viewpoint they are the
+        // dedup working as intended.
+        assert_eq!(second_report.fetched, 0);
+        assert_eq!(second_report.wrongly_skipped, 1);
+    }
+
+    #[test]
+    fn concurrent_store_exposes_no_filter_to_attack_tooling() {
+        let crawler = Crawler::new(DedupStore::concurrent(4, 1_000, 0.01, 1));
+        assert!(crawler.store().filter().is_none());
+        assert!(crawler.store().memory_bytes() > 0);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Adversarial load harness for the `evilbloom-store` serving layer.
+//!
+//! Drives a sharded concurrent Bloom-filter store from `std::thread::scope`
+//! workers under three traffic mixes (implemented once, for this example and
+//! the `store_throughput` bench, in `evilbloom::store::harness`):
+//!
+//! * **honest** — workers insert and query plausible random URLs (the
+//!   deployment the average-case parameters were designed for);
+//! * **query-only adversary** — workers replay a probe set of non-member
+//!   URLs, hunting for false positives;
+//! * **chosen-insertion adversary** — the pollution engine of
+//!   `evilbloom-attacks` crafts items against the (unhardened) store and
+//!   workers insert them, then the observed false-positive rate is compared
+//!   between an unhardened and a hardened store — the paper's Table 2 story
+//!   at serving scale.
+//!
+//! Run with: `cargo run --release --example store_load`
+
+use evilbloom::store::harness::{
+    adversarial_mix, fresh_store, honest_throughput, observed_fpp, prefill, LoadScale,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = LoadScale::full();
+
+    println!("== honest mix: throughput scaling ==");
+    let single = honest_throughput(&scale, 1);
+    println!("  1 thread : {single:>10.0} ops/sec");
+    for threads in [2, 4, 8] {
+        let rate = honest_throughput(&scale, threads);
+        println!("  {threads} threads: {rate:>10.0} ops/sec  ({:.2}x)", rate / single);
+    }
+
+    println!("\n== query-only adversary: observed FPP under honest load ==");
+    let unhardened = fresh_store(&scale, false, 2);
+    let hardened = fresh_store(&scale, true, 2);
+    prefill(&unhardened, "prefill", scale.prefill);
+    prefill(&hardened, "prefill", scale.prefill);
+    println!("  unhardened store: {:.5}", observed_fpp(&scale, &unhardened, 4));
+    println!("  hardened store  : {:.5}", observed_fpp(&scale, &hardened, 4));
+
+    println!("\n== chosen-insertion adversary: {} crafted items ==", scale.crafted);
+    let report = adversarial_mix(&scale, 4);
+    println!("  crafting cost: {} hash evaluations", report.search_attempts);
+    println!("  honest baseline at same load : {:.5}", report.baseline_fpp);
+    println!(
+        "  unhardened store after attack: {:.5}  ({:.1}x honest)",
+        report.attacked_unhardened_fpp,
+        report.unhardened_ratio()
+    );
+    println!(
+        "  hardened store after attack  : {:.5}  ({:.1}x honest)",
+        report.attacked_hardened_fpp,
+        report.hardened_ratio()
+    );
+    println!(
+        "  pollution alarms: unhardened {}/{}, hardened {}/{}",
+        report.unhardened_alarms, scale.shards, report.hardened_alarms, scale.shards
+    );
+
+    // Rotation closes the incident: rotate every shard, replay the honest
+    // set, and the polluted bits are dropped with the old generations. (On
+    // an unhardened store this is damage control, not a re-key — the
+    // derivation stays public, so the adversary can simply re-craft; the
+    // durable fix is hardening.)
+    println!("\n== rotation: recovering the attacked unhardened store ==");
+    let polluted = report.unhardened;
+    let mut rng = StdRng::seed_from_u64(99);
+    for shard in 0..polluted.shard_count() {
+        polluted.begin_rotation(shard, &mut rng);
+    }
+    prefill(&polluted, "prefill", scale.prefill); // replay from the source of truth
+    for shard in 0..polluted.shard_count() {
+        polluted.complete_rotation(shard);
+    }
+    println!("  observed FPP after rotation: {:.5}", observed_fpp(&scale, &polluted, 4));
+}

@@ -20,6 +20,7 @@
 //! | [`spamfilter`] | `evilbloom-spamfilter` | Bitly/Dablooms simulation and attacks |
 //! | [`webcache`] | `evilbloom-webcache` | Squid sibling-proxy simulation and attacks |
 //! | [`core`] | `evilbloom-core` | deployment assessment and hardened-filter builder |
+//! | [`store`] | `evilbloom-store` | sharded lock-free concurrent serving layer: keyed routing, key rotation, pollution alarms |
 //!
 //! ## Quick start
 //!
@@ -44,6 +45,7 @@ pub use evilbloom_core as core;
 pub use evilbloom_filters as filters;
 pub use evilbloom_hashes as hashes;
 pub use evilbloom_spamfilter as spamfilter;
+pub use evilbloom_store as store;
 pub use evilbloom_urlgen as urlgen;
 pub use evilbloom_webcache as webcache;
 pub use evilbloom_webspider as webspider;
