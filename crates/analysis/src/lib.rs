@@ -14,6 +14,9 @@
 //! * [`attack_probability`] — the per-candidate success probabilities of
 //!   Table 1 (pollution, false-positive forgery, deletion, second pre-images)
 //!   and the induced brute-force costs;
+//! * [`blocked`] — the corrected (Poisson-mixture) false-positive probability
+//!   of cache-line blocked filters and their pollution trajectory — the
+//!   block-load variance the textbook formula ignores;
 //! * [`scalable`] — the compound false-positive probability of scalable /
 //!   Dablooms-style filter stacks and its behaviour under partial pollution
 //!   (Section 6, Figure 8);
@@ -39,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod attack_probability;
+pub mod blocked;
 pub mod false_positive;
 pub mod hash_domain;
 pub mod scalable;
@@ -66,8 +70,6 @@ mod tests {
     #[test]
     fn worst_case_design_needs_fewer_hashes_than_honest_design() {
         let (m, n) = (1 << 20, 100_000u64);
-        assert!(
-            worst_case::adversarial_optimal_k(m, n) < false_positive::optimal_k(m, n)
-        );
+        assert!(worst_case::adversarial_optimal_k(m, n) < false_positive::optimal_k(m, n));
     }
 }

@@ -44,13 +44,7 @@ pub fn compound_with_last_polluted(
 ) -> f64 {
     assert!(polluted <= lambda, "cannot pollute more sub-filters than exist");
     let per: Vec<f64> = (0..lambda)
-        .map(|i| {
-            if i >= lambda - polluted {
-                f_attacked
-            } else {
-                sub_filter_target(f0, r, i)
-            }
-        })
+        .map(|i| if i >= lambda - polluted { f_attacked } else { sub_filter_target(f0, r, i) })
         .collect();
     compound_false_positive(&per)
 }

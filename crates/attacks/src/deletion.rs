@@ -66,11 +66,7 @@ pub fn plan_targeted_deletion(
         items.push(candidate);
     }
 
-    let stats = SearchStats {
-        attempts,
-        accepted: items.len() as u64,
-        elapsed: start.elapsed(),
-    };
+    let stats = SearchStats { attempts, accepted: items.len() as u64, elapsed: start.elapsed() };
     DeletionPlan { items, covered_cells: covered, stats }
 }
 

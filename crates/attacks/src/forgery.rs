@@ -43,12 +43,7 @@ pub fn craft_false_positives<F: TargetFilter>(
         count,
         max_attempts,
         |i| generator.url(i),
-        |candidate| {
-            filter
-                .indexes_of(candidate.as_bytes())
-                .iter()
-                .all(|&idx| filter.is_set(idx))
-        },
+        |candidate| filter.indexes_of(candidate.as_bytes()).iter().all(|&idx| filter.is_set(idx)),
     );
     ForgeryOutcome { items: outcome.items, stats: outcome.stats, success_probability }
 }

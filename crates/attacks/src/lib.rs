@@ -104,12 +104,8 @@ mod integration {
         for i in 0..300 {
             filter.insert(format!("honest-{i}").as_bytes());
         }
-        let before = forgery::craft_false_positives(
-            &filter,
-            &UrlGenerator::new("before"),
-            10,
-            50_000_000,
-        );
+        let before =
+            forgery::craft_false_positives(&filter, &UrlGenerator::new("before"), 10, 50_000_000);
 
         let plan = pollution::craft_polluting_items(
             &filter,
@@ -120,12 +116,8 @@ mod integration {
         for item in &plan.items {
             filter.insert(item.as_bytes());
         }
-        let after = forgery::craft_false_positives(
-            &filter,
-            &UrlGenerator::new("after"),
-            10,
-            50_000_000,
-        );
+        let after =
+            forgery::craft_false_positives(&filter, &UrlGenerator::new("after"), 10, 50_000_000);
         assert!(
             after.stats.attempts_per_accepted() < before.stats.attempts_per_accepted(),
             "after {} vs before {}",

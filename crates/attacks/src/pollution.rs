@@ -55,9 +55,8 @@ pub fn craft_polluting_items<F: TargetFilter>(
             if distinct.len() != indexes.len() {
                 return false;
             }
-            let all_fresh = indexes
-                .iter()
-                .all(|&idx| !filter.is_set(idx) && !claimed.contains(&idx));
+            let all_fresh =
+                indexes.iter().all(|&idx| !filter.is_set(idx) && !claimed.contains(&idx));
             if all_fresh {
                 claimed.extend(indexes);
             }
@@ -121,7 +120,8 @@ pub fn insertion_sweep(
         } else {
             // After the honest prefix the filter holds the expected honest
             // fill; every further insertion adds k fresh bits.
-            let honest_fill = evilbloom_analysis::false_positive::expected_fill(m, honest_prefix, k);
+            let honest_fill =
+                evilbloom_analysis::false_positive::expected_fill(m, honest_prefix, k);
             let extra_bits = (n - honest_prefix) * u64::from(k);
             let fill = (honest_fill + extra_bits as f64 / m as f64).min(1.0);
             fill.powi(k as i32)
@@ -139,10 +139,7 @@ mod tests {
     use evilbloom_hashes::{KirschMitzenmacher, Murmur3_128, SaltedCrypto, Sha256};
 
     fn figure3_filter() -> BloomFilter {
-        BloomFilter::new(
-            FilterParams::explicit(3200, 4, 600),
-            SaltedCrypto::new(Box::new(Sha256)),
-        )
+        BloomFilter::new(FilterParams::explicit(3200, 4, 600), SaltedCrypto::new(Box::new(Sha256)))
     }
 
     #[test]

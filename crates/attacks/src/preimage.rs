@@ -97,17 +97,13 @@ mod tests {
         let outcome = truncated_preimage(&Sha256, &target, 12, "forged", 1_000_000);
         assert_eq!(outcome.items.len(), 1);
         let found = &outcome.items[0];
-        assert_eq!(
-            truncate_bits(&Sha256.digest(found.as_bytes()), 12),
-            truncate_bits(&target, 12)
-        );
+        assert_eq!(truncate_bits(&Sha256.digest(found.as_bytes()), 12), truncate_bits(&target, 12));
         assert!(outcome.stats.attempts < 200_000);
     }
 
     #[test]
     fn second_preimage_differs_from_original() {
-        let outcome =
-            truncated_second_preimage(&Md5, b"original-item", 10, "second", 1_000_000);
+        let outcome = truncated_second_preimage(&Md5, b"original-item", 10, "second", 1_000_000);
         assert_eq!(outcome.items.len(), 1);
         assert_ne!(outcome.items[0].as_bytes(), b"original-item");
     }

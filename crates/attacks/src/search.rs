@@ -76,8 +76,7 @@ where
             items.push(candidate);
         }
     }
-    let stats =
-        SearchStats { attempts, accepted: items.len() as u64, elapsed: start.elapsed() };
+    let stats = SearchStats { attempts, accepted: items.len() as u64, elapsed: start.elapsed() };
     SearchOutcome { items, stats }
 }
 
@@ -155,12 +154,7 @@ mod tests {
 
     #[test]
     fn sequential_search_finds_matching_items() {
-        let outcome = search(
-            5,
-            10_000,
-            |i| format!("candidate-{i}"),
-            |c| c.ends_with('0'),
-        );
+        let outcome = search(5, 10_000, |i| format!("candidate-{i}"), |c| c.ends_with('0'));
         assert_eq!(outcome.items.len(), 5);
         assert!(outcome.items.iter().all(|c| c.ends_with('0')));
         assert!(outcome.stats.attempts >= 5);

@@ -5,7 +5,9 @@
 //! exactly the information every attack needs: the geometry `(m, k)`, the
 //! index derivation, and which bits/cells are currently set.
 
-use evilbloom_filters::{BloomFilter, CacheDigest, ConcurrentBloomFilter, CountingBloomFilter};
+use evilbloom_filters::{
+    BlockedBloomFilter, BloomFilter, CacheDigest, ConcurrentBloomFilter, CountingBloomFilter,
+};
 
 /// Read-only adversarial view of a Bloom-filter-like structure.
 pub trait TargetFilter {
@@ -70,6 +72,33 @@ impl TargetFilter for ConcurrentBloomFilter {
 
     fn is_set(&self, index: u64) -> bool {
         ConcurrentBloomFilter::is_set(self, index)
+    }
+
+    fn weight(&self) -> u64 {
+        self.hamming_weight()
+    }
+}
+
+impl TargetFilter for BlockedBloomFilter {
+    /// The cache-line blocked fast path is *exactly* as attackable as the
+    /// classic filter when its pair source is predictable: the adversary
+    /// computes block and in-block offsets offline and every engine in this
+    /// crate applies unchanged — confinement to one block is a performance
+    /// trade, not a defence.
+    fn m(&self) -> u64 {
+        BlockedBloomFilter::m(self)
+    }
+
+    fn k(&self) -> u32 {
+        BlockedBloomFilter::k(self)
+    }
+
+    fn indexes_of(&self, item: &[u8]) -> Vec<u64> {
+        self.bit_positions(item)
+    }
+
+    fn is_set(&self, index: u64) -> bool {
+        BlockedBloomFilter::is_set(self, index)
     }
 
     fn weight(&self) -> u64 {
@@ -150,8 +179,7 @@ mod tests {
     fn concurrent_filter_view_matches_sequential_view() {
         let params = FilterParams::explicit(256, 3, 20);
         let mut sequential = BloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
-        let concurrent =
-            ConcurrentBloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
+        let concurrent = ConcurrentBloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
         for i in 0..20 {
             let item = format!("item-{i}");
             sequential.insert(item.as_bytes());
@@ -166,6 +194,42 @@ mod tests {
         for i in 0..256 {
             assert_eq!(conc_view.is_set(i), seq_view.is_set(i));
         }
+    }
+
+    #[test]
+    fn blocked_filter_view_is_consistent_and_attackable() {
+        use evilbloom_hashes::Murmur128Pair;
+
+        let mut filter =
+            BlockedBloomFilter::new(FilterParams::explicit(2048, 4, 100), Murmur128Pair);
+        filter.insert(b"item");
+        let view: &dyn TargetFilter = &filter;
+        assert_eq!(view.m(), 2048);
+        assert_eq!(view.k(), 4);
+        assert_eq!(view.weight(), filter.hamming_weight());
+        assert_eq!(view.indexes_of(b"item"), filter.bit_positions(b"item"));
+        assert!(view.indexes_of(b"item").iter().all(|&i| view.is_set(i)));
+    }
+
+    #[test]
+    fn pollution_engine_attacks_blocked_filter_unchanged() {
+        use evilbloom_hashes::Murmur128Pair;
+        use evilbloom_urlgen::UrlGenerator;
+
+        let mut filter =
+            BlockedBloomFilter::new(FilterParams::explicit(4096, 4, 800), Murmur128Pair);
+        let plan = crate::pollution::craft_polluting_items(
+            &filter,
+            &UrlGenerator::new("blocked-pollution"),
+            100,
+            5_000_000,
+        );
+        assert_eq!(plan.items.len(), 100);
+        for item in &plan.items {
+            let fresh = filter.insert(item.as_bytes());
+            assert_eq!(fresh, 4, "every crafted item must set exactly k new bits");
+        }
+        assert_eq!(filter.hamming_weight(), 400);
     }
 
     #[test]

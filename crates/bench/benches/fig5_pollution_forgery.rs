@@ -21,11 +21,7 @@ fn bench_fig5(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("forge_100_urls", format!("f=2^-{exponent}")),
             &exponent,
-            |b, _| {
-                b.iter(|| {
-                    black_box(craft_polluting_items(&filter, &generator, 100, u64::MAX))
-                })
-            },
+            |b, _| b.iter(|| black_box(craft_polluting_items(&filter, &generator, 100, u64::MAX))),
         );
     }
     group.finish();

@@ -19,9 +19,7 @@ fn bench_fig6(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("forge_5_ghosts", format!("{occupation}%_full")),
             &occupation,
-            |b, _| {
-                b.iter(|| black_box(craft_false_positives(&filter, &generator, 5, u64::MAX)))
-            },
+            |b, _| b.iter(|| black_box(craft_false_positives(&filter, &generator, 5, u64::MAX))),
         );
     }
     group.finish();

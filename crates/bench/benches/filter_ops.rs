@@ -28,13 +28,21 @@ fn bench_filter_ops(c: &mut Criterion) {
         b.iter(|| filter.contains(black_box(&ITEM_32B)))
     });
     group.bench_function("bloom_keyed_siphash/query", |b| {
-        let filter =
-            hardened_filter(100_000, 0.01, HardeningLevel::KeyedSipHash, &FilterKey::from_bytes([1; 32]));
+        let filter = hardened_filter(
+            100_000,
+            0.01,
+            HardeningLevel::KeyedSipHash,
+            &FilterKey::from_bytes([1; 32]),
+        );
         b.iter(|| filter.contains(black_box(&ITEM_32B)))
     });
     group.bench_function("bloom_keyed_hmac/query", |b| {
-        let filter =
-            hardened_filter(100_000, 0.01, HardeningLevel::KeyedHmac, &FilterKey::from_bytes([1; 32]));
+        let filter = hardened_filter(
+            100_000,
+            0.01,
+            HardeningLevel::KeyedHmac,
+            &FilterKey::from_bytes([1; 32]),
+        );
         b.iter(|| filter.contains(black_box(&ITEM_32B)))
     });
     group.bench_function("counting_murmur_km/insert_delete", |b| {

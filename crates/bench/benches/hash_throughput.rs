@@ -14,9 +14,7 @@ fn bench_hashes(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(data.len() as u64));
 
     for hasher in all_fast_hashers() {
-        group.bench_function(hasher.name(), |b| {
-            b.iter(|| hasher.hash(black_box(&data)))
-        });
+        group.bench_function(hasher.name(), |b| b.iter(|| hasher.hash(black_box(&data))));
     }
     for hash in all_crypto_hashes() {
         group.bench_function(hash.name(), |b| b.iter(|| hash.digest(black_box(&data))));

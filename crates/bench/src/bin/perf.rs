@@ -1,0 +1,648 @@
+//! The perf-lab runner: a fixed suite of workloads timed with warm-up +
+//! median-of-N sampling, emitted as a schema'd, machine-readable
+//! `BENCH_<n>.json` at the repo root and regression-gated against a
+//! committed baseline in CI.
+//!
+//! ```text
+//! cargo run --release -p evilbloom-bench --bin perf            # full suite
+//! cargo run --release -p evilbloom-bench --bin perf -- --quick # CI smoke
+//! cargo run --release -p evilbloom-bench --bin perf -- \
+//!     --quick --baseline bench/baseline.json                   # guarded
+//! ```
+//!
+//! See the README's "Performance lab" section for the JSON schema and the
+//! regression-guard semantics (calibration-normalised ns/op, default
+//! tolerance 25%).
+
+use std::time::Instant;
+
+use criterion::report::Json;
+use criterion::{black_box, measure, MeasureOptions, Measurement};
+
+use evilbloom_attacks::pollution::craft_polluting_items;
+use evilbloom_filters::{
+    hardened_filter, BlockedBloomFilter, BloomFilter, ConcurrentBloomFilter, FilterKey,
+    FilterParams, HardeningLevel, BLOCK_BITS,
+};
+use evilbloom_hashes::{
+    md5, sha256, siphash24, HashStrategy, KirschMitzenmacher, Murmur128Pair, Murmur3_128, SipKey,
+};
+use evilbloom_store::{BloomStore, StoreConfig};
+use evilbloom_urlgen::UrlGenerator;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Schema version of the emitted report. Bump when a field changes meaning.
+const SCHEMA_VERSION: f64 = 1.0;
+/// Workloads whose geometric-mean ns/op is the calibration unit every
+/// regression comparison is normalised by (see `compare_against_baseline`).
+/// Using the whole hash family (instead of a single workload) keeps the
+/// denominator stable when one hash regresses — and every hash workload is
+/// itself gated, so a calibration-member regression still trips the guard.
+const CALIBRATION_PREFIX: &str = "hash/";
+/// Default regression tolerance: fail on > 25% normalised ns/op growth.
+const DEFAULT_TOLERANCE: f64 = 0.25;
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut dir = ".".to_string();
+    let mut baseline: Option<String> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut list = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--list" => list = true,
+            "--out" => out = Some(expect_value(&args, &mut i, "--out")),
+            "--dir" => dir = expect_value(&args, &mut i, "--dir"),
+            "--baseline" => baseline = Some(expect_value(&args, &mut i, "--baseline")),
+            "--tolerance" => {
+                tolerance = expect_value(&args, &mut i, "--tolerance")
+                    .parse()
+                    .expect("--tolerance takes a fraction, e.g. 0.25");
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let suite = Suite::new(quick);
+    if list {
+        for id in suite.workload_ids() {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let started = Instant::now();
+    let report = suite.run();
+    eprintln!("\nsuite completed in {:.1}s", started.elapsed().as_secs_f64());
+
+    let path = out.unwrap_or_else(|| next_bench_path(&dir));
+    std::fs::write(&path, report.to_json().to_pretty()).expect("write report");
+    println!("\nreport written to {path}");
+
+    if let Some(baseline_path) = baseline {
+        let text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
+        let baseline_doc = Json::parse(&text).expect("parse baseline JSON");
+        if !compare_against_baseline(&report, &baseline_doc, tolerance) {
+            eprintln!(
+                "\nPERF REGRESSION against {baseline_path} (tolerance {:.0}%)",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "no perf regression against {baseline_path} (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+    }
+}
+
+fn expect_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i).unwrap_or_else(|| panic!("{flag} requires a value")).clone()
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: perf [--quick] [--out PATH] [--dir DIR] [--baseline PATH] \
+         [--tolerance FRAC] [--list]"
+    );
+}
+
+/// Next unused `BENCH_<n>.json` path in `dir` (n starts at 1).
+fn next_bench_path(dir: &str) -> String {
+    let mut max = 0u64;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(n) = name.strip_prefix("BENCH_").and_then(|r| r.strip_suffix(".json")) {
+                if let Ok(n) = n.parse::<u64>() {
+                    max = max.max(n);
+                }
+            }
+        }
+    }
+    format!("{}/BENCH_{}.json", dir.trim_end_matches('/'), max + 1)
+}
+
+/// One timed workload: median ns per *element* (a batch workload divides the
+/// per-call time by its batch size).
+struct TimingRecord {
+    id: String,
+    ns_per_op_median: f64,
+    ns_per_op_best: f64,
+    samples: usize,
+    iters_per_sample: u64,
+    elements_per_iter: u64,
+}
+
+impl TimingRecord {
+    fn from_measurement(m: Measurement, elements_per_iter: u64) -> Self {
+        let e = elements_per_iter as f64;
+        TimingRecord {
+            id: m.id,
+            ns_per_op_median: m.ns_per_op_median / e,
+            ns_per_op_best: m.ns_per_op_best / e,
+            samples: m.samples,
+            iters_per_sample: m.iters_per_sample,
+            elements_per_iter,
+        }
+    }
+
+    fn ops_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_op_median
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("kind", Json::Str("timing".to_string())),
+            ("ns_per_op_median", Json::Num(self.ns_per_op_median)),
+            ("ns_per_op_best", Json::Num(self.ns_per_op_best)),
+            ("ops_per_sec", Json::Num(self.ops_per_sec())),
+            ("samples", Json::Num(self.samples as f64)),
+            ("iters_per_sample", Json::Num(self.iters_per_sample as f64)),
+            ("elements_per_iter", Json::Num(self.elements_per_iter as f64)),
+        ])
+    }
+}
+
+/// One observable (non-timing) workload: named scalar metrics, e.g. the
+/// false-positive drift a pollution attack induces.
+struct ObservableRecord {
+    id: String,
+    metrics: Vec<(&'static str, f64)>,
+}
+
+impl ObservableRecord {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::Str(self.id.clone())),
+            ("kind", Json::Str("observable".to_string())),
+            (
+                "metrics",
+                Json::Obj(
+                    self.metrics.iter().map(|(k, v)| (k.to_string(), Json::Num(*v))).collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+struct Comparison {
+    id: &'static str,
+    baseline: &'static str,
+    candidate: &'static str,
+    /// `baseline_ns / candidate_ns` — above 1.0 the candidate wins.
+    speedup: f64,
+}
+
+struct Report {
+    quick: bool,
+    timings: Vec<TimingRecord>,
+    observables: Vec<ObservableRecord>,
+    comparisons: Vec<Comparison>,
+}
+
+impl Report {
+    fn to_json(&self) -> Json {
+        let mut workloads: Vec<Json> = self.timings.iter().map(TimingRecord::to_json).collect();
+        workloads.extend(self.observables.iter().map(ObservableRecord::to_json));
+        Json::obj(vec![
+            ("schema_version", Json::Num(SCHEMA_VERSION)),
+            ("suite", Json::Str("evilbloom-perf".to_string())),
+            ("mode", Json::Str(if self.quick { "quick" } else { "full" }.to_string())),
+            ("env", env_info()),
+            ("calibration", Json::Str(format!("geomean({CALIBRATION_PREFIX}*)"))),
+            ("workloads", Json::Arr(workloads)),
+            (
+                "comparisons",
+                Json::Arr(
+                    self.comparisons
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("id", Json::Str(c.id.to_string())),
+                                ("baseline", Json::Str(c.baseline.to_string())),
+                                ("candidate", Json::Str(c.candidate.to_string())),
+                                ("speedup", Json::Num(c.speedup)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+fn env_info() -> Json {
+    Json::obj(vec![
+        ("os", Json::Str(std::env::consts::OS.to_string())),
+        ("arch", Json::Str(std::env::consts::ARCH.to_string())),
+        ("cpus", Json::Num(std::thread::available_parallelism().map_or(0, |p| p.get()) as f64)),
+        ("debug_build", Json::Bool(cfg!(debug_assertions))),
+        ("crate_version", Json::Str(env!("CARGO_PKG_VERSION").to_string())),
+    ])
+}
+
+/// The fixed workload suite. `quick` shrinks data sizes and sampling budget
+/// (CI smoke mode); ids and shapes are identical in both modes so quick runs
+/// compare against quick baselines.
+struct Suite {
+    quick: bool,
+    opts: MeasureOptions,
+    filter_capacity: u64,
+    batch: usize,
+    pollution_attempts: u64,
+}
+
+impl Suite {
+    fn new(quick: bool) -> Self {
+        Suite {
+            quick,
+            opts: if quick { MeasureOptions::quick() } else { MeasureOptions::default() },
+            filter_capacity: if quick { 200_000 } else { 1_000_000 },
+            batch: 1024,
+            pollution_attempts: if quick { 3_000_000 } else { 30_000_000 },
+        }
+    }
+
+    fn workload_ids(&self) -> Vec<&'static str> {
+        vec![
+            "hash/murmur3_128",
+            "hash/murmur3_128_pair",
+            "hash/siphash24",
+            "hash/sha256",
+            "hash/md5",
+            "filter/standard/insert",
+            "filter/standard/query",
+            "filter/blocked/insert",
+            "filter/blocked/query",
+            "filter/hardened/query",
+            "concurrent/query_loop",
+            "concurrent/query_batch",
+            "store/insert_batch",
+            "store/query_loop",
+            "store/query_batch",
+            "attack/pollution_drift/standard",
+            "attack/pollution_drift/blocked",
+        ]
+    }
+
+    fn run(&self) -> Report {
+        let mut timings = Vec::new();
+        let mut observables = Vec::new();
+
+        // One shared item universe: the member/probe sets are the costly
+        // part of the setup (millions of string allocations in full mode).
+        let (members, probes) = self.items(self.filter_capacity as usize);
+
+        self.hash_workloads(&mut timings);
+        self.filter_workloads(&mut timings, &members, &probes);
+        self.batch_workloads(&mut timings, &members, &probes);
+        self.pollution_workloads(&mut observables);
+
+        let comparisons = build_comparisons(&timings);
+        for c in &comparisons {
+            println!(
+                "{:<32} {} vs {}: speedup {:.2}x {}",
+                c.id,
+                c.candidate,
+                c.baseline,
+                c.speedup,
+                if c.speedup > 1.0 { "(candidate wins)" } else { "(BASELINE WINS)" }
+            );
+        }
+        Report { quick: self.quick, timings, observables, comparisons }
+    }
+
+    fn time<O>(&self, out: &mut Vec<TimingRecord>, id: &str, elements: u64, f: impl FnMut() -> O) {
+        let m = measure(id, &self.opts, f);
+        let record = TimingRecord::from_measurement(m, elements);
+        println!(
+            "{:<32} {:>10.1} ns/op  {:>10.1} Mops/s",
+            record.id,
+            record.ns_per_op_median,
+            record.ops_per_sec() / 1e6
+        );
+        out.push(record);
+    }
+
+    fn hash_workloads(&self, out: &mut Vec<TimingRecord>) {
+        let item = [0xabu8; 32];
+        let key = SipKey::new(7, 9);
+        self.time(out, "hash/murmur3_128", 1, || {
+            evilbloom_hashes::murmur3_x64_128(black_box(&item), 0)
+        });
+        self.time(out, "hash/murmur3_128_pair", 1, || Murmur128Pair.hash_pair(black_box(&item)));
+        self.time(out, "hash/siphash24", 1, || siphash24(key, black_box(&item)));
+        self.time(out, "hash/sha256", 1, || sha256(black_box(&item)));
+        self.time(out, "hash/md5", 1, || md5(black_box(&item)));
+    }
+
+    /// Pre-generates `count` member items and `count` absent probes.
+    fn items(&self, count: usize) -> (Vec<String>, Vec<String>) {
+        let members = (0..count).map(|i| format!("https://host{i}.example/page/{i}")).collect();
+        let probes = (0..count).map(|i| format!("https://absent{i}.example/page/{i}")).collect();
+        (members, probes)
+    }
+
+    fn filter_workloads(&self, out: &mut Vec<TimingRecord>, members: &[String], probes: &[String]) {
+        let n = self.filter_capacity;
+        let params = FilterParams::optimal(n, 0.01);
+
+        // Standard filter: classic layout, KM over two Murmur3 calls — the
+        // Dablooms configuration.
+        let mut standard = BloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
+        for item in members {
+            standard.insert(item.as_bytes());
+        }
+        let mut i = 0usize;
+        self.time(out, "filter/standard/insert", 1, || {
+            i = (i + 1) % members.len();
+            standard.insert(members[i].as_bytes())
+        });
+        let mut i = 0usize;
+        self.time(out, "filter/standard/query", 1, || {
+            i = (i + 1) % members.len();
+            // Alternate hit and miss probes — the serving mix.
+            if i.is_multiple_of(2) {
+                standard.contains(members[i].as_bytes())
+            } else {
+                standard.contains(probes[i].as_bytes())
+            }
+        });
+
+        // Blocked filter: same (n, target fpp) budget, one cache line per op.
+        let mut blocked = BlockedBloomFilter::new(params, Murmur128Pair);
+        for item in members {
+            blocked.insert(item.as_bytes());
+        }
+        let mut i = 0usize;
+        self.time(out, "filter/blocked/insert", 1, || {
+            i = (i + 1) % members.len();
+            blocked.insert(members[i].as_bytes())
+        });
+        let mut i = 0usize;
+        self.time(out, "filter/blocked/query", 1, || {
+            i = (i + 1) % members.len();
+            if i.is_multiple_of(2) {
+                blocked.contains(members[i].as_bytes())
+            } else {
+                blocked.contains(probes[i].as_bytes())
+            }
+        });
+
+        // Hardened filter: keyed SipHash indexes (Section 8.2) — the price
+        // of unpredictability, for the Table 2 narrative.
+        let mut hardened = hardened_filter(
+            n,
+            0.01,
+            HardeningLevel::KeyedSipHash,
+            &FilterKey::from_bytes([0x42; 32]),
+        );
+        for item in members.iter().take((n / 10) as usize) {
+            hardened.insert(item.as_bytes());
+        }
+        let mut i = 0usize;
+        self.time(out, "filter/hardened/query", 1, || {
+            i = (i + 1) % members.len();
+            hardened.contains(members[i].as_bytes())
+        });
+    }
+
+    fn batch_workloads(&self, out: &mut Vec<TimingRecord>, members: &[String], probes: &[String]) {
+        let n = self.filter_capacity;
+        let batch = self.batch;
+        let params = FilterParams::optimal(n, 0.01);
+
+        let concurrent = ConcurrentBloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
+        concurrent.insert_batch(members);
+        // Probe mix for the loop-vs-batch comparison: half hits, half misses.
+        let mix: Vec<&[u8]> = members
+            .iter()
+            .zip(probes)
+            .take(batch / 2)
+            .flat_map(|(m, p)| [m.as_bytes(), p.as_bytes()])
+            .collect();
+
+        self.time(out, "concurrent/query_loop", batch as u64, || {
+            let mut hits = 0u32;
+            for item in &mix {
+                hits += u32::from(concurrent.contains(item));
+            }
+            hits
+        });
+        self.time(out, "concurrent/query_batch", batch as u64, || concurrent.query_batch(&mix));
+
+        // The sharded serving layer, hardened as recommended.
+        let store =
+            BloomStore::new(StoreConfig::hardened(8, n, 0.01), &mut StdRng::seed_from_u64(42));
+        store.insert_batch(members);
+        let mut offset = 0usize;
+        self.time(out, "store/insert_batch", batch as u64, || {
+            offset = (offset + batch) % members.len().saturating_sub(batch).max(1);
+            store.insert_batch(&members[offset..offset + batch])
+        });
+        self.time(out, "store/query_loop", batch as u64, || {
+            let mut hits = 0u32;
+            for item in &mix {
+                hits += u32::from(store.contains(item));
+            }
+            hits
+        });
+        self.time(out, "store/query_batch", batch as u64, || store.query_batch(&mix));
+    }
+
+    /// The paper's quantitative core as observables: false-positive drift
+    /// under a chosen-insertion (pollution) attack, on the classic filter
+    /// and on the blocked fast path — demonstrating the attack carries over.
+    fn pollution_workloads(&self, out: &mut Vec<ObservableRecord>) {
+        let probes = 20_000u64;
+
+        // Classic Figure 3 geometry: m = 3200, k = 4, 300 honest then 150
+        // crafted insertions.
+        let mut standard = BloomFilter::new(
+            FilterParams::explicit(3200, 4, 600),
+            KirschMitzenmacher::new(Murmur3_128),
+        );
+        out.push(self.pollution_drift("attack/pollution_drift/standard", probes, &mut standard));
+
+        // Same budget on the blocked layout (3200 → 3584 bits, 7 blocks).
+        let mut blocked =
+            BlockedBloomFilter::new(FilterParams::explicit(3200, 4, 600), Murmur128Pair);
+        let record = self.pollution_drift("attack/pollution_drift/blocked", probes, &mut blocked);
+        let corrected =
+            evilbloom_analysis::blocked::blocked_false_positive(blocked.m(), 300, 4, BLOCK_BITS);
+        let mut record = record;
+        record.metrics.push(("corrected_honest_fpp", corrected));
+        out.push(record);
+    }
+
+    fn pollution_drift<F>(&self, id: &str, probes: u64, filter: &mut F) -> ObservableRecord
+    where
+        F: evilbloom_attacks::target::TargetFilter + PollutionTarget,
+    {
+        for i in 0..300 {
+            filter.insert_item(format!("honest-{i}").as_bytes());
+        }
+        let before = measured_fpp(filter, probes, "probe-before");
+        let plan = craft_polluting_items(
+            filter,
+            &UrlGenerator::new("perf-pollution"),
+            150,
+            self.pollution_attempts,
+        );
+        for item in &plan.items {
+            filter.insert_item(item.as_bytes());
+        }
+        let after = measured_fpp(filter, probes, "probe-after");
+        println!(
+            "{id:<40} fpp {before:.4} -> {after:.4} ({} crafted items, {:.1}x drift)",
+            plan.items.len(),
+            after / before.max(1e-9)
+        );
+        ObservableRecord {
+            id: id.to_string(),
+            metrics: vec![
+                ("fpp_before", before),
+                ("fpp_after", after),
+                ("crafted_items", plan.items.len() as f64),
+                ("predicted_fpp_after", plan.predicted_false_positive),
+            ],
+        }
+    }
+}
+
+/// The two mutable filter shapes the pollution observables drive. (The
+/// attack engines only need the read-only `TargetFilter` view; insertion is
+/// the victim's side of the protocol.)
+trait PollutionTarget {
+    fn insert_item(&mut self, item: &[u8]);
+}
+
+impl PollutionTarget for BloomFilter {
+    fn insert_item(&mut self, item: &[u8]) {
+        self.insert(item);
+    }
+}
+
+impl PollutionTarget for BlockedBloomFilter {
+    fn insert_item(&mut self, item: &[u8]) {
+        self.insert(item);
+    }
+}
+
+fn measured_fpp<F: evilbloom_attacks::target::TargetFilter + ?Sized>(
+    filter: &F,
+    probes: u64,
+    salt: &str,
+) -> f64 {
+    let mut false_positives = 0u64;
+    for i in 0..probes {
+        let item = format!("https://{salt}-{i}.example/");
+        if filter.indexes_of(item.as_bytes()).iter().all(|&idx| filter.is_set(idx)) {
+            false_positives += 1;
+        }
+    }
+    false_positives as f64 / probes as f64
+}
+
+fn build_comparisons(timings: &[TimingRecord]) -> Vec<Comparison> {
+    let ns = |id: &str| timings.iter().find(|t| t.id == id).map(|t| t.ns_per_op_median);
+    let mut comparisons = Vec::new();
+    let mut push = |id, baseline: &'static str, candidate: &'static str| {
+        if let (Some(b), Some(c)) = (ns(baseline), ns(candidate)) {
+            comparisons.push(Comparison { id, baseline, candidate, speedup: b / c });
+        }
+    };
+    push("blocked_vs_standard_query", "filter/standard/query", "filter/blocked/query");
+    push("blocked_vs_standard_insert", "filter/standard/insert", "filter/blocked/insert");
+    push("batch_vs_loop_query_concurrent", "concurrent/query_loop", "concurrent/query_batch");
+    push("batch_vs_loop_query_store", "store/query_loop", "store/query_batch");
+    comparisons
+}
+
+/// Geometric mean of the ns/op of the calibration family (ids starting with
+/// [`CALIBRATION_PREFIX`]). `None` if the set is empty.
+fn calibration_ns(pairs: &[(String, f64)]) -> Option<f64> {
+    let cal: Vec<f64> = pairs
+        .iter()
+        .filter(|(id, _)| id.starts_with(CALIBRATION_PREFIX))
+        .map(|&(_, ns)| ns)
+        .collect();
+    if cal.is_empty() {
+        return None;
+    }
+    Some((cal.iter().map(|ns| ns.ln()).sum::<f64>() / cal.len() as f64).exp())
+}
+
+/// The CI regression guard. Raw ns/op is machine-dependent, so both sides
+/// are first normalised by their own run's calibration unit — the geometric
+/// mean of the hash-family workloads: what is compared is "how many average
+/// hash calls does one operation cost", which transfers across hosts.
+/// Every timing workload is gated, *including* each calibration member (a
+/// single hash regressing moves its own normalised cost far more than it
+/// moves the mean, so calibration regressions still trip the guard). A
+/// workload regresses when its normalised cost grows by more than
+/// `tolerance` (default 25%, chosen to sit above quick-mode sampling noise;
+/// see README).
+fn compare_against_baseline(report: &Report, baseline: &Json, tolerance: f64) -> bool {
+    let baseline_workloads =
+        baseline.get("workloads").and_then(Json::as_array).expect("baseline has a workloads array");
+    let baseline_pairs: Vec<(String, f64)> = baseline_workloads
+        .iter()
+        .filter_map(|w| {
+            Some((w.get("id")?.as_str()?.to_string(), w.get("ns_per_op_median")?.as_f64()?))
+        })
+        .collect();
+    let current_pairs: Vec<(String, f64)> =
+        report.timings.iter().map(|t| (t.id.clone(), t.ns_per_op_median)).collect();
+    let current_cal = calibration_ns(&current_pairs).expect("suite ran the calibration workloads");
+    let Some(baseline_cal) = calibration_ns(&baseline_pairs) else {
+        eprintln!("baseline lacks the {CALIBRATION_PREFIX}* calibration workloads; skipping guard");
+        return true;
+    };
+
+    println!(
+        "\n{:<32} {:>12} {:>12} {:>8}",
+        "regression guard", "base(norm)", "cur(norm)", "ratio"
+    );
+    let mut ok = true;
+    for t in &report.timings {
+        let Some(&(_, base)) = baseline_pairs.iter().find(|(id, _)| *id == t.id) else {
+            println!("{:<32} {:>12} (new workload, not gated)", t.id, "-");
+            continue;
+        };
+        let base_norm = base / baseline_cal;
+        let cur_norm = t.ns_per_op_median / current_cal;
+        let ratio = cur_norm / base_norm;
+        let regressed = ratio > 1.0 + tolerance;
+        println!(
+            "{:<32} {:>12.2} {:>12.2} {:>7.2}x{}",
+            t.id,
+            base_norm,
+            cur_norm,
+            ratio,
+            if regressed { "  REGRESSED" } else { "" }
+        );
+        ok &= !regressed;
+    }
+    ok
+}

@@ -39,8 +39,8 @@ use evilbloom_filters::{
     FilterParams, HardeningLevel,
 };
 use evilbloom_hashes::{
-    IndexStrategy, KirschMitzenmacher, Md5Split, Murmur3_128, RecycledCrypto, SaltedCrypto,
-    Sha256, Sha512,
+    IndexStrategy, KirschMitzenmacher, Md5Split, Murmur3_128, RecycledCrypto, SaltedCrypto, Sha256,
+    Sha512,
 };
 
 /// The index-derivation families a deployment can use, mirroring the systems
@@ -75,9 +75,9 @@ impl StrategyKind {
             StrategyKind::SaltedSha => Box::new(SaltedCrypto::new(Box::new(Sha256))),
             StrategyKind::Md5Split => Box::new(Md5Split),
             StrategyKind::RecycledSha512 => Box::new(RecycledCrypto::new(Box::new(Sha512))),
-            StrategyKind::KeyedSipHash => Box::new(evilbloom_hashes::KeyedIndexes::new(
-                Box::new(evilbloom_hashes::SipHash24::new(evilbloom_hashes::SipKey::new(0, 0))),
-            )),
+            StrategyKind::KeyedSipHash => Box::new(evilbloom_hashes::KeyedIndexes::new(Box::new(
+                evilbloom_hashes::SipHash24::new(evilbloom_hashes::SipKey::new(0, 0)),
+            ))),
         }
     }
 }
@@ -154,12 +154,7 @@ pub struct SecureBloomBuilder {
 impl SecureBloomBuilder {
     /// Starts a builder for `capacity` items at the given target probability.
     pub fn new(capacity: u64, target_fpp: f64) -> Self {
-        SecureBloomBuilder {
-            capacity,
-            target_fpp,
-            level: HardeningLevel::KeyedSipHash,
-            key: None,
-        }
+        SecureBloomBuilder { capacity, target_fpp, level: HardeningLevel::KeyedSipHash, key: None }
     }
 
     /// Selects the hardening level (default: keyed SipHash).
@@ -190,7 +185,12 @@ impl SecureBloomBuilder {
     /// filters disagree by design — exactly as two independently keyed
     /// deployments should.
     pub fn build_concurrent(&self) -> ConcurrentBloomFilter {
-        hardened_concurrent_filter(self.capacity, self.target_fpp, self.level, &self.effective_key())
+        hardened_concurrent_filter(
+            self.capacity,
+            self.target_fpp,
+            self.level,
+            &self.effective_key(),
+        )
     }
 
     fn effective_key(&self) -> FilterKey {
@@ -274,8 +274,9 @@ mod tests {
             HardeningLevel::KeyedSipHash,
             HardeningLevel::KeyedHmac,
         ] {
-            let builder =
-                SecureBloomBuilder::new(300, 0.01).level(level).key(FilterKey::from_bytes([7u8; 32]));
+            let builder = SecureBloomBuilder::new(300, 0.01)
+                .level(level)
+                .key(FilterKey::from_bytes([7u8; 32]));
             let mut sequential = builder.build();
             let concurrent = builder.build_concurrent();
             for i in 0..300 {

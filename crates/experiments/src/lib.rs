@@ -51,7 +51,8 @@ pub enum Scale {
 pub fn fig3_pollution_curve() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Figure 3 — m=3200, k=4, f_opt=0.077");
-    let _ = writeln!(out, "{:>8} {:>12} {:>12} {:>12}", "n", "honest_f", "partial_f", "adversarial_f");
+    let _ =
+        writeln!(out, "{:>8} {:>12} {:>12} {:>12}", "n", "honest_f", "partial_f", "adversarial_f");
     for point in insertion_sweep(3200, 4, 600, 50, 400) {
         let _ = writeln!(
             out,
@@ -79,8 +80,10 @@ pub fn table1_attack_probabilities(scale: Scale) -> String {
         Scale::Paper => 200_000,
     };
     // Load the filter to half weight with random items.
-    let mut filter =
-        BloomFilter::new(FilterParams::explicit(m, k, m / (2 * u64::from(k))), KirschMitzenmacher::new(Murmur3_128));
+    let mut filter = BloomFilter::new(
+        FilterParams::explicit(m, k, m / (2 * u64::from(k))),
+        KirschMitzenmacher::new(Murmur3_128),
+    );
     let mut i = 0u64;
     while filter.hamming_weight() < m / 2 {
         filter.insert(format!("member-{i}").as_bytes());
@@ -108,7 +111,10 @@ pub fn table1_attack_probabilities(scale: Scale) -> String {
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "# Table 1 — attack success probabilities (m={m}, k={k}, W={w}, {trials} trials)");
+    let _ = writeln!(
+        out,
+        "# Table 1 — attack success probabilities (m={m}, k={k}, W={w}, {trials} trials)"
+    );
     let _ = writeln!(out, "{:<36} {:>14} {:>14}", "attack", "analytic", "measured");
     let _ = writeln!(
         out,
@@ -160,8 +166,15 @@ pub fn fig5_polluting_url_cost(scale: Scale) -> String {
         Scale::Paper => (1_000_000, 100_000),
     };
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 5 — cost of forging {batch} polluting URLs (filter capacity {capacity})");
-    let _ = writeln!(out, "{:>10} {:>6} {:>12} {:>14} {:>12}", "f", "k", "attempts", "attempts/URL", "seconds");
+    let _ = writeln!(
+        out,
+        "# Figure 5 — cost of forging {batch} polluting URLs (filter capacity {capacity})"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>6} {:>12} {:>14} {:>12}",
+        "f", "k", "attempts", "attempts/URL", "seconds"
+    );
     for exponent in [5i32, 10, 15, 20] {
         let f = 2f64.powi(-exponent);
         let params = FilterParams::optimal(capacity, f);
@@ -195,8 +208,15 @@ pub fn fig6_ghost_url_cost(scale: Scale) -> String {
         Scale::Paper => (1_000_000, 20, 30_000_000),
     };
     let mut out = String::new();
-    let _ = writeln!(out, "# Figure 6 — cost of forging {ghosts} ghost URLs (filter capacity {capacity})");
-    let _ = writeln!(out, "{:>10} {:>12} {:>12} {:>14} {:>12}", "f", "occupation", "attempts", "attempts/URL", "seconds");
+    let _ = writeln!(
+        out,
+        "# Figure 6 — cost of forging {ghosts} ghost URLs (filter capacity {capacity})"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>12} {:>14} {:>12}",
+        "f", "occupation", "attempts", "attempts/URL", "seconds"
+    );
     for exponent in [5i32, 10] {
         let f = 2f64.powi(-exponent);
         let params = FilterParams::optimal(capacity, f);
@@ -256,7 +276,8 @@ pub fn scrapy_attack() -> String {
     let hidden = build_hidden_site(&crawler, &mut graph, "evil.example", 3, 4);
     crawler.crawl(&graph, &hidden.decoys[0], 1_000_000);
     let hidden_ok = hidden.ghosts.iter().filter(|g| !crawler.fetched_urls().contains(*g)).count();
-    let _ = writeln!(out, "ghost pages hidden from the crawler  : {hidden_ok}/{}", hidden.ghosts.len());
+    let _ =
+        writeln!(out, "ghost pages hidden from the crawler  : {hidden_ok}/{}", hidden.ghosts.len());
     out
 }
 
@@ -328,8 +349,16 @@ pub fn squid_attack(scale: Scale) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Section 7 — Squid cache-digest pollution");
     let _ = writeln!(out, "digest size                      : {} bits", report.digest_bits);
-    let _ = writeln!(out, "false sibling hits (clean)       : {:.1}%", report.clean_false_hit_rate * 100.0);
-    let _ = writeln!(out, "false sibling hits (polluted)    : {:.1}%", report.polluted_false_hit_rate * 100.0);
+    let _ = writeln!(
+        out,
+        "false sibling hits (clean)       : {:.1}%",
+        report.clean_false_hit_rate * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "false sibling hits (polluted)    : {:.1}%",
+        report.polluted_false_hit_rate * 100.0
+    );
     let _ = writeln!(out, "added latency per false hit      : {:?}", report.wasted_probe_latency);
     let _ = writeln!(out, "(paper reports 40% -> 79% on its 100-query LAN testbed)");
     out
@@ -340,7 +369,11 @@ pub fn squid_attack(scale: Scale) -> String {
 pub fn fig9_hash_domain() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "# Figure 9 — domain of application of hash functions");
-    let _ = writeln!(out, "{:>10} {:>10} {:>10} {:>10} {:>10}", "m (MB)", "f=2^-5", "f=2^-10", "f=2^-15", "f=2^-20");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>10} {:>10}",
+        "m (MB)", "f=2^-5", "f=2^-10", "f=2^-15", "f=2^-20"
+    );
     for row in hash_domain::figure9_series(1024, 128) {
         let _ = writeln!(
             out,
@@ -355,7 +388,11 @@ pub fn fig9_hash_domain() -> String {
             .filter(|e| hash_domain::single_call_sufficient(bits, one_gb, 2f64.powi(-**e)))
             .map(|e| format!("2^-{e}"))
             .collect();
-        let _ = writeln!(out, "{name} ({bits} bits) covers up to 1 GB for f in {{{}}}", covered.join(", "));
+        let _ = writeln!(
+            out,
+            "{name} ({bits} bits) covers up to 1 GB for f in {{{}}}",
+            covered.join(", ")
+        );
     }
     out
 }
@@ -393,13 +430,8 @@ pub fn table2_query_times(scale: Scale) -> String {
     let murmur = time_strategy(&SaltedHashes::new(Murmur2_32));
     let _ = writeln!(out, "{:<16} {:>12.2} {:>12} {:>10}", "MurmurHash-32", murmur, "-", "-");
 
-    let crypto: Vec<Box<dyn CryptoHash>> = vec![
-        Box::new(Md5),
-        Box::new(Sha1),
-        Box::new(Sha256),
-        Box::new(Sha384),
-        Box::new(Sha512),
-    ];
+    let crypto: Vec<Box<dyn CryptoHash>> =
+        vec![Box::new(Md5), Box::new(Sha1), Box::new(Sha256), Box::new(Sha384), Box::new(Sha512)];
     for hash in crypto {
         let name = hash.name();
         let naive = time_strategy(&SaltedCrypto::new(clone_hash(name)));

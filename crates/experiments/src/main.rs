@@ -30,11 +30,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper" || a == "--full");
     let scale = if paper { exp::Scale::Paper } else { exp::Scale::Quick };
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let selected: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
 
     let run = |name: &str| -> Option<String> {
         match name {

@@ -225,10 +225,8 @@ mod tests {
 
     #[test]
     fn no_false_negatives() {
-        let mut filter = BloomFilter::new(
-            FilterParams::optimal(500, 0.01),
-            KirschMitzenmacher::new(Murmur3_32),
-        );
+        let mut filter =
+            BloomFilter::new(FilterParams::optimal(500, 0.01), KirschMitzenmacher::new(Murmur3_32));
         let items: Vec<String> = (0..500).map(|i| format!("http://site{i}.example/")).collect();
         for item in &items {
             filter.insert(item.as_bytes());
@@ -246,9 +244,8 @@ mod tests {
             filter.insert(format!("member-{i}").as_bytes());
         }
         let probes = 20_000;
-        let fp = (0..probes)
-            .filter(|i| filter.contains(format!("non-member-{i}").as_bytes()))
-            .count();
+        let fp =
+            (0..probes).filter(|i| filter.contains(format!("non-member-{i}").as_bytes())).count();
         let rate = fp as f64 / probes as f64;
         assert!(rate < 0.04, "observed fp rate {rate}");
         assert!(rate > 0.005, "suspiciously low fp rate {rate}");

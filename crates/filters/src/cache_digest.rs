@@ -133,7 +133,8 @@ mod tests {
 
     #[test]
     fn membership_of_cached_urls() {
-        let urls: Vec<String> = (0..100).map(|i| format!("http://origin.example/page{i}")).collect();
+        let urls: Vec<String> =
+            (0..100).map(|i| format!("http://origin.example/page{i}")).collect();
         let digest = CacheDigest::build(&urls);
         for url in &urls {
             assert!(digest.might_have("GET", url));
@@ -173,8 +174,7 @@ mod tests {
         assert_eq!(idx.len(), 4);
         assert!(idx.iter().all(|&i| i < digest.size_bits()));
         // Recomputable without the digest object: only public information.
-        let recomputed =
-            Md5Split.indexes(&digest_key("GET", "http://victim.example/"), 4, 762);
+        let recomputed = Md5Split.indexes(&digest_key("GET", "http://victim.example/"), 4, 762);
         assert_eq!(idx, recomputed);
     }
 

@@ -144,6 +144,39 @@ impl ConcurrentBloomFilter {
         indexes.iter().all(|&i| self.bits.get(i))
     }
 
+    /// Batch insert with hash precompute: derives the indexes of every item
+    /// into one flat buffer (a single allocation for the whole batch, via
+    /// [`IndexStrategy::indexes_into`]) and then replays the memory-bound bit
+    /// sets. Bit-identical to per-item [`ConcurrentBloomFilter::insert`]
+    /// calls; returns the total number of bits flipped 0 → 1 by this batch.
+    pub fn insert_batch<I: AsRef<[u8]>>(&self, items: &[I]) -> u64 {
+        let k = self.params.k as usize;
+        let mut indexes = Vec::with_capacity(items.len() * k);
+        for item in items {
+            self.strategy.indexes_into(item.as_ref(), self.params.k, self.params.m, &mut indexes);
+        }
+        let mut fresh = 0u64;
+        for &i in &indexes {
+            if !self.bits.set(i) {
+                fresh += 1;
+            }
+        }
+        self.inserted.fetch_add(items.len() as u64, Ordering::Relaxed);
+        fresh
+    }
+
+    /// Batch membership query with hash precompute; answers are in input
+    /// order and bit-identical to per-item [`ConcurrentBloomFilter::contains`]
+    /// calls.
+    pub fn query_batch<I: AsRef<[u8]>>(&self, items: &[I]) -> Vec<bool> {
+        let k = self.params.k as usize;
+        let mut indexes = Vec::with_capacity(items.len() * k);
+        for item in items {
+            self.strategy.indexes_into(item.as_ref(), self.params.k, self.params.m, &mut indexes);
+        }
+        indexes.chunks_exact(k).map(|chunk| chunk.iter().all(|&i| self.bits.get(i))).collect()
+    }
+
     /// Whether the bit at `index` is set.
     pub fn is_set(&self, index: u64) -> bool {
         self.bits.get(index)
@@ -193,8 +226,7 @@ impl ConcurrentBloomFilter {
     /// sharing the same strategy (e.g. to hand a stable copy to the
     /// single-threaded analysis tooling).
     pub fn to_sequential(&self) -> BloomFilter {
-        let mut filter =
-            BloomFilter::with_shared_strategy(self.params, Arc::clone(&self.strategy));
+        let mut filter = BloomFilter::with_shared_strategy(self.params, Arc::clone(&self.strategy));
         filter.absorb_bits(&self.snapshot(), self.inserted());
         filter
     }
@@ -266,11 +298,9 @@ mod tests {
 
     #[test]
     fn matches_sequential_filter_bit_for_bit() {
-        let strategy: Arc<dyn IndexStrategy> =
-            Arc::new(KirschMitzenmacher::new(Murmur3_128));
+        let strategy: Arc<dyn IndexStrategy> = Arc::new(KirschMitzenmacher::new(Murmur3_128));
         let params = FilterParams::explicit(2048, 4, 200);
-        let concurrent =
-            ConcurrentBloomFilter::with_shared_strategy(params, Arc::clone(&strategy));
+        let concurrent = ConcurrentBloomFilter::with_shared_strategy(params, Arc::clone(&strategy));
         let mut sequential = BloomFilter::with_shared_strategy(params, strategy);
         for i in 0..200 {
             let item = format!("item-{i}");
@@ -325,6 +355,31 @@ mod tests {
         for i in 0..50 {
             assert!(back.contains(format!("x{i}").as_bytes()));
         }
+    }
+
+    #[test]
+    fn batch_apis_are_bit_identical_to_per_item_calls() {
+        let params = FilterParams::explicit(4096, 5, 400);
+        let loop_filter = ConcurrentBloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
+        let batch_filter = ConcurrentBloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
+        let items: Vec<String> = (0..400).map(|i| format!("item-{i}")).collect();
+        let mut fresh_loop = 0u64;
+        for item in &items {
+            fresh_loop += u64::from(loop_filter.insert(item.as_bytes()));
+        }
+        let fresh_batch = batch_filter.insert_batch(&items);
+        assert_eq!(fresh_batch, fresh_loop);
+        assert_eq!(batch_filter.snapshot(), loop_filter.snapshot());
+        assert_eq!(batch_filter.inserted(), loop_filter.inserted());
+        assert_eq!(batch_filter.hamming_weight(), batch_filter.hamming_weight_approx());
+
+        let probes: Vec<String> =
+            items.iter().cloned().chain((0..100).map(|i| format!("absent-{i}"))).collect();
+        let answers = batch_filter.query_batch(&probes);
+        for (probe, answer) in probes.iter().zip(&answers) {
+            assert_eq!(*answer, loop_filter.contains(probe.as_bytes()), "{probe}");
+        }
+        assert!(answers[..400].iter().all(|&a| a), "no false negatives in batch");
     }
 
     #[test]

@@ -345,7 +345,10 @@ mod tests {
             filter.insert(b"hot");
         }
         assert!(filter.overflows() > 0);
-        assert_eq!(filter.saturated_cells(), filter.indexes(b"hot").iter().collect::<std::collections::HashSet<_>>().len() as u64);
+        assert_eq!(
+            filter.saturated_cells(),
+            filter.indexes(b"hot").iter().collect::<std::collections::HashSet<_>>().len() as u64
+        );
         // Deleting 20 times leaves the frozen counters at max: the item can
         // never be removed — a permanent false positive.
         for _ in 0..20 {
@@ -366,11 +369,8 @@ mod tests {
     #[test]
     fn custom_counter_width() {
         let strategy = Arc::new(KirschMitzenmacher::new(Murmur3_32));
-        let filter = CountingBloomFilter::with_counter_bits(
-            FilterParams::explicit(128, 3, 16),
-            strategy,
-            2,
-        );
+        let filter =
+            CountingBloomFilter::with_counter_bits(FilterParams::explicit(128, 3, 16), strategy, 2);
         assert_eq!(filter.counter_max(), 3);
         assert_eq!(filter.memory_bytes(), 32);
     }

@@ -61,8 +61,7 @@ impl Dablooms {
 
     fn grow(&mut self) {
         let i = self.slices.len() as u32;
-        let params =
-            FilterParams::optimal(self.config.slice_capacity, self.config.slice_fpp(i));
+        let params = FilterParams::optimal(self.config.slice_capacity, self.config.slice_fpp(i));
         self.slices.push(CountingBloomFilter::with_counter_bits(
             params,
             Arc::clone(&self.strategy),
@@ -177,7 +176,9 @@ impl Dablooms {
         self.slices
             .iter()
             .zip(&self.slice_insertions)
-            .filter(|(slice, &ins)| ins >= self.config.slice_capacity && slice.occupied_cells() <= threshold_cells)
+            .filter(|(slice, &ins)| {
+                ins >= self.config.slice_capacity && slice.occupied_cells() <= threshold_cells
+            })
             .count()
     }
 }
@@ -251,8 +252,7 @@ mod tests {
         }
         let undeleted: Vec<&String> =
             items.iter().enumerate().filter(|(i, _)| i % 3 != 0).map(|(_, s)| s).collect();
-        let missing =
-            undeleted.iter().filter(|item| !filter.contains(item.as_bytes())).count();
+        let missing = undeleted.iter().filter(|item| !filter.contains(item.as_bytes())).count();
         assert!(
             (missing as f64) < 0.03 * undeleted.len() as f64,
             "{missing} false negatives out of {}",

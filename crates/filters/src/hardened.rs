@@ -268,8 +268,10 @@ mod tests {
         let key = FilterKey::from_bytes([0xAB; 32]);
         let text = format!("{key:?}");
         assert_eq!(text, "FilterKey(..)");
-        assert!(!text.contains("171") && !text.to_lowercase().contains("ab"),
-            "debug output must not leak key bytes: {text}");
+        assert!(
+            !text.contains("171") && !text.to_lowercase().contains("ab"),
+            "debug output must not leak key bytes: {text}"
+        );
         // The same holds inside composite debug output.
         let nested = format!("{:?}", Some(key));
         assert_eq!(nested, "Some(FilterKey(..))");

@@ -10,6 +10,10 @@
 //!   insert/query over an [`AtomicBitVec`], bit-for-bit equivalent to the
 //!   sequential filter under the same strategy (the `evilbloom-store`
 //!   serving layer builds on it);
+//! * [`BlockedBloomFilter`] — the cache-line blocked fast path: one hash
+//!   pair, one 512-bit block per operation, with the corrected
+//!   (block-load-aware) false-positive accounting from
+//!   `evilbloom-analysis::blocked`;
 //! * [`CountingBloomFilter`] — 4-bit-counter deletable variant (Fan et al.),
 //!   complete with the overflow semantics the deletion attack abuses;
 //! * [`ScalableBloomFilter`] — growing stack of filters (Almeida et al.);
@@ -42,6 +46,7 @@
 
 pub mod atomic_bitvec;
 pub mod bitvec;
+pub mod blocked;
 pub mod bloom;
 pub mod cache_digest;
 pub mod concurrent;
@@ -56,14 +61,15 @@ pub mod stats;
 
 pub use atomic_bitvec::AtomicBitVec;
 pub use bitvec::BitVec;
+pub use blocked::{BlockedBloomFilter, BLOCK_BITS, BLOCK_WORDS};
 pub use bloom::BloomFilter;
 pub use cache_digest::CacheDigest;
 pub use concurrent::ConcurrentBloomFilter;
 pub use counting::CountingBloomFilter;
 pub use dablooms::Dablooms;
 pub use hardened::{
-    audit, hardened_concurrent_filter, hardened_filter, hardened_params, FilterKey,
-    HardeningAudit, HardeningLevel,
+    audit, hardened_concurrent_filter, hardened_filter, hardened_params, FilterKey, HardeningAudit,
+    HardeningLevel,
 };
 pub use params::{FilterParams, ParamDerivation};
 pub use partitioned::PartitionedBloomFilter;
@@ -148,8 +154,7 @@ mod proptests {
             let mut rng = StdRng::seed_from_u64(seed);
             let items = random_items(&mut rng, 50, 1, 32);
             let params = FilterParams::optimal(128, 0.01);
-            let mut filter =
-                CountingBloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
+            let mut filter = CountingBloomFilter::new(params, KirschMitzenmacher::new(Murmur3_128));
             for item in &items {
                 filter.insert(item);
             }

@@ -77,8 +77,7 @@ impl ScalableBloomFilter {
 
     fn grow(&mut self) {
         let i = self.slices.len() as u32;
-        let params =
-            FilterParams::optimal(self.config.slice_capacity, self.config.slice_fpp(i));
+        let params = FilterParams::optimal(self.config.slice_capacity, self.config.slice_fpp(i));
         self.slices.push(BloomFilter::with_shared_strategy(params, Arc::clone(&self.strategy)));
     }
 
@@ -111,11 +110,7 @@ impl ScalableBloomFilter {
     /// Inserts `item` into the active (most recent) slice, growing first if
     /// the slice has reached its capacity.
     pub fn insert(&mut self, item: &[u8]) {
-        if self
-            .slices
-            .last()
-            .expect("at least one slice always exists")
-            .inserted()
+        if self.slices.last().expect("at least one slice always exists").inserted()
             >= self.config.slice_capacity
         {
             self.grow();
@@ -229,9 +224,7 @@ mod tests {
             filter.insert(format!("member-{i}").as_bytes());
         }
         let probes = 20_000;
-        let fp = (0..probes)
-            .filter(|i| filter.contains(format!("probe-{i}").as_bytes()))
-            .count();
+        let fp = (0..probes).filter(|i| filter.contains(format!("probe-{i}").as_bytes())).count();
         let observed = fp as f64 / probes as f64;
         let predicted = filter.current_false_positive_probability();
         assert!((observed - predicted).abs() < 0.02, "observed {observed} predicted {predicted}");

@@ -152,15 +152,12 @@ mod tests {
             KirschMitzenmacher::new(Murmur3_128),
         );
         let items: Vec<Vec<u8>> = (0..600).map(|i| format!("u{i}").into_bytes()).collect();
-        let points =
-            fill_trajectory(&mut filter, items.iter().map(|v| v.as_slice()), 100);
+        let points = fill_trajectory(&mut filter, items.iter().map(|v| v.as_slice()), 100);
         assert_eq!(points.len(), 6);
         assert_eq!(points.last().expect("non-empty").inserted, 600);
         for pair in points.windows(2) {
             assert!(pair[1].hamming_weight >= pair[0].hamming_weight);
-            assert!(
-                pair[1].false_positive_probability >= pair[0].false_positive_probability
-            );
+            assert!(pair[1].false_positive_probability >= pair[0].false_positive_probability);
         }
     }
 

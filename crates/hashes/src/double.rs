@@ -1,0 +1,247 @@
+//! Double hashing: one (or two) hash calls yielding a 64-bit pair from which
+//! all `k` Bloom-filter indexes are derived — the Kirsch–Mitzenmacher "less
+//! hashing, same performance" result packaged as a reusable *hash strategy*.
+//!
+//! [`crate::KirschMitzenmacher`] already applies the KM trick as an
+//! [`IndexStrategy`], but it recomputes both base hashes on every call and
+//! cannot be shared with structures that need the raw pair (the blocked
+//! filter picks a *block* with one half and probes inside it with the other).
+//! [`HashStrategy`] separates the expensive part (hashing the item once into
+//! a `(u64, u64)` pair) from the cheap part (deriving indexes from the pair),
+//! which is what makes batch APIs able to precompute hashes in one pass and
+//! replay them in a second, memory-bound pass.
+//!
+//! Three pair sources are provided:
+//!
+//! * [`Murmur128Pair`] — a **single** MurmurHash3 x64_128 call split into its
+//!   two 64-bit halves (the cheapest option, what Dablooms would do if it
+//!   used the full digest); predictable, hence attackable;
+//! * [`DoubleHasher`] — two seeded calls of any [`Hasher64`] (seeds 0 and 1),
+//!   bit-compatible with [`crate::KirschMitzenmacher`] over the same hash;
+//!   predictable;
+//! * [`KeyedPair`] — two tweaked calls of a secret-keyed [`KeyedHash64`]
+//!   (SipHash/HMAC), the Section 8.2 countermeasure carried over to the
+//!   double-hashing world; **unpredictable** without the key.
+
+use crate::traits::{Hasher64, KeyedHash64};
+use crate::IndexStrategy;
+
+/// Hashes an item once into a 64-bit pair `(h1, h2)` from which `k` filter
+/// indexes (or a block and `k` in-block offsets) are derived.
+///
+/// Implementations must be deterministic — the same item always yields the
+/// same pair — or the consuming filter would exhibit false negatives.
+pub trait HashStrategy: Send + Sync {
+    /// The `(h1, h2)` pair of `item`.
+    fn hash_pair(&self, item: &[u8]) -> (u64, u64);
+
+    /// Human-readable name used in reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Whether an adversary with full knowledge of the implementation (but
+    /// not of any secret key) can compute the pair herself — the property
+    /// every offline attack search requires.
+    fn is_predictable(&self) -> bool {
+        true
+    }
+}
+
+/// One MurmurHash3 x64_128 call, split into its two 64-bit halves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Murmur128Pair;
+
+impl HashStrategy for Murmur128Pair {
+    fn hash_pair(&self, item: &[u8]) -> (u64, u64) {
+        crate::murmur3::murmur3_x64_128(item, 0)
+    }
+
+    fn name(&self) -> &'static str {
+        "MurmurHash3-x64-128-pair"
+    }
+}
+
+/// Two seeded calls (seeds 0 and 1) of any 64-bit hash — the classic
+/// formulation, pair-compatible with [`crate::KirschMitzenmacher`] over the
+/// same base hash.
+#[derive(Debug, Clone)]
+pub struct DoubleHasher<H> {
+    hasher: H,
+}
+
+impl<H: Hasher64> DoubleHasher<H> {
+    /// Uses `hasher` with seeds 0 and 1.
+    pub fn new(hasher: H) -> Self {
+        DoubleHasher { hasher }
+    }
+}
+
+impl<H: Hasher64> HashStrategy for DoubleHasher<H> {
+    fn hash_pair(&self, item: &[u8]) -> (u64, u64) {
+        (self.hasher.hash_with_seed(item, 0), self.hasher.hash_with_seed(item, 1))
+    }
+
+    fn name(&self) -> &'static str {
+        self.hasher.name()
+    }
+}
+
+/// Two tweaked calls of a secret-keyed PRF — the keyed countermeasure for
+/// pair-consuming filters. Without the key the adversary cannot evaluate the
+/// pair, so none of the offline searches apply.
+pub struct KeyedPair {
+    prf: Box<dyn KeyedHash64>,
+}
+
+impl KeyedPair {
+    /// Uses `prf` with tweaks 0 and 1.
+    pub fn new(prf: Box<dyn KeyedHash64>) -> Self {
+        KeyedPair { prf }
+    }
+}
+
+impl core::fmt::Debug for KeyedPair {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("KeyedPair").field("prf", &self.prf.name()).finish()
+    }
+}
+
+impl HashStrategy for KeyedPair {
+    fn hash_pair(&self, item: &[u8]) -> (u64, u64) {
+        (self.prf.mac_with_tweak(item, 0), self.prf.mac_with_tweak(item, 1))
+    }
+
+    fn name(&self) -> &'static str {
+        self.prf.name()
+    }
+
+    fn is_predictable(&self) -> bool {
+        false
+    }
+}
+
+/// Derives the `k` Kirsch–Mitzenmacher indexes `g_i = h1 + i·h2 mod m` from a
+/// precomputed pair. Shared by [`KmIndexes`] and the batch query paths.
+#[inline]
+pub fn km_indexes_from_pair(pair: (u64, u64), k: u32, m: u64) -> impl Iterator<Item = u64> {
+    let h1 = pair.0 % m;
+    let h2 = pair.1 % m;
+    (0..u64::from(k)).map(move |i| (h1 + i.wrapping_mul(h2) % m) % m)
+}
+
+/// Kirsch–Mitzenmacher double hashing over any [`HashStrategy`] pair source,
+/// as an [`IndexStrategy`] pluggable into every filter in `evilbloom-filters`.
+///
+/// Over [`DoubleHasher`] this produces exactly the same indexes as
+/// [`crate::KirschMitzenmacher`] over the same base hash; over
+/// [`Murmur128Pair`] it halves the hashing work; over [`KeyedPair`] it is the
+/// keyed (unpredictable) variant.
+pub struct KmIndexes<S> {
+    strategy: S,
+}
+
+impl<S: HashStrategy> KmIndexes<S> {
+    /// Wraps a pair source.
+    pub fn new(strategy: S) -> Self {
+        KmIndexes { strategy }
+    }
+
+    /// The underlying pair source.
+    pub fn pair_strategy(&self) -> &S {
+        &self.strategy
+    }
+}
+
+impl<S: core::fmt::Debug> core::fmt::Debug for KmIndexes<S> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("KmIndexes").field("strategy", &self.strategy).finish()
+    }
+}
+
+impl<S: HashStrategy> IndexStrategy for KmIndexes<S> {
+    fn indexes(&self, item: &[u8], k: u32, m: u64) -> Vec<u64> {
+        km_indexes_from_pair(self.strategy.hash_pair(item), k, m).collect()
+    }
+
+    fn indexes_into(&self, item: &[u8], k: u32, m: u64, out: &mut Vec<u64>) {
+        out.extend(km_indexes_from_pair(self.strategy.hash_pair(item), k, m));
+    }
+
+    fn name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    fn is_predictable(&self) -> bool {
+        self.strategy.is_predictable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KirschMitzenmacher, Murmur3_128, SipHash24, SipKey};
+
+    #[test]
+    fn murmur128_pair_matches_reference_halves() {
+        let (lo, hi) = crate::murmur3::murmur3_x64_128(b"item", 0);
+        assert_eq!(Murmur128Pair.hash_pair(b"item"), (lo, hi));
+    }
+
+    #[test]
+    fn double_hasher_matches_seeded_calls() {
+        let pair = DoubleHasher::new(Murmur3_128).hash_pair(b"item");
+        assert_eq!(pair.0, Murmur3_128.hash_with_seed(b"item", 0));
+        assert_eq!(pair.1, Murmur3_128.hash_with_seed(b"item", 1));
+    }
+
+    #[test]
+    fn km_over_double_hasher_matches_classic_strategy() {
+        let classic = KirschMitzenmacher::new(Murmur3_128);
+        let pair_based = KmIndexes::new(DoubleHasher::new(Murmur3_128));
+        for m in [97u64, 3200, 1 << 20] {
+            for k in [1u32, 4, 10] {
+                assert_eq!(
+                    pair_based.indexes(b"http://example.org/", k, m),
+                    classic.indexes(b"http://example.org/", k, m),
+                    "m={m} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn km_indexes_are_in_range_and_deterministic() {
+        let strategy = KmIndexes::new(Murmur128Pair);
+        let a = strategy.indexes(b"item", 7, 4099);
+        let b = strategy.indexes(b"item", 7, 4099);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+        assert!(a.iter().all(|&i| i < 4099));
+    }
+
+    #[test]
+    fn indexes_into_matches_indexes() {
+        let strategy = KmIndexes::new(Murmur128Pair);
+        let mut out = vec![999];
+        strategy.indexes_into(b"item", 5, 1 << 16, &mut out);
+        assert_eq!(out[0], 999, "indexes_into must append, not overwrite");
+        assert_eq!(out[1..], strategy.indexes(b"item", 5, 1 << 16));
+    }
+
+    #[test]
+    fn keyed_pair_depends_on_the_key() {
+        let a = KeyedPair::new(Box::new(SipHash24::new(SipKey::new(1, 2))));
+        let b = KeyedPair::new(Box::new(SipHash24::new(SipKey::new(3, 4))));
+        assert_ne!(a.hash_pair(b"item"), b.hash_pair(b"item"));
+        assert!(!a.is_predictable());
+        assert!(Murmur128Pair.is_predictable());
+    }
+
+    #[test]
+    fn keyed_km_strategy_is_unpredictable() {
+        let keyed = KmIndexes::new(KeyedPair::new(Box::new(SipHash24::new(SipKey::new(1, 2)))));
+        assert!(!IndexStrategy::is_predictable(&keyed));
+        let idx = keyed.indexes(b"item", 4, 1 << 16);
+        assert_eq!(idx.len(), 4);
+        assert!(idx.iter().all(|&i| i < (1 << 16)));
+    }
+}

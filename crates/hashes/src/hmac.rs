@@ -154,11 +154,8 @@ mod tests {
     fn rfc4231_hmac_sha256_long_key() {
         // Case 6: 131-byte key (longer than the block size) is hashed first.
         let key = [0xaa; 131];
-        let tag = hmac(
-            Box::new(Sha256),
-            &key,
-            b"Test Using Larger Than Block-Size Key - Hash Key First",
-        );
+        let tag =
+            hmac(Box::new(Sha256), &key, b"Test Using Larger Than Block-Size Key - Hash Key First");
         assert_eq!(
             hex::encode(&tag),
             "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"

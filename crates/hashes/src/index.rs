@@ -26,6 +26,15 @@ pub trait IndexStrategy: Send + Sync {
     /// Returns the `k` indexes of `item` in `[0, m)`.
     fn indexes(&self, item: &[u8], k: u32, m: u64) -> Vec<u64>;
 
+    /// Appends the `k` indexes of `item` to `out` instead of allocating a
+    /// fresh vector — the building block of the batch insert/query APIs,
+    /// which reuse one flat buffer across a whole batch. The default
+    /// implementation delegates to [`IndexStrategy::indexes`]; hot strategies
+    /// override it to write directly.
+    fn indexes_into(&self, item: &[u8], k: u32, m: u64, out: &mut Vec<u64>) {
+        out.extend(self.indexes(item, k, m));
+    }
+
     /// Human-readable name used in reports and benchmarks.
     fn name(&self) -> &'static str;
 
@@ -54,6 +63,10 @@ impl<H: Hasher64> SaltedHashes<H> {
 impl<H: Hasher64> IndexStrategy for SaltedHashes<H> {
     fn indexes(&self, item: &[u8], k: u32, m: u64) -> Vec<u64> {
         (0..u64::from(k)).map(|salt| self.hasher.hash_with_seed(item, salt) % m).collect()
+    }
+
+    fn indexes_into(&self, item: &[u8], k: u32, m: u64, out: &mut Vec<u64>) {
+        out.extend((0..u64::from(k)).map(|salt| self.hasher.hash_with_seed(item, salt) % m));
     }
 
     fn name(&self) -> &'static str {
@@ -122,6 +135,12 @@ impl<H: Hasher64> IndexStrategy for KirschMitzenmacher<H> {
         let h1 = self.hasher.hash_with_seed(item, 0) % m;
         let h2 = self.hasher.hash_with_seed(item, 1) % m;
         (0..u64::from(k)).map(|i| (h1 + i.wrapping_mul(h2) % m) % m).collect()
+    }
+
+    fn indexes_into(&self, item: &[u8], k: u32, m: u64, out: &mut Vec<u64>) {
+        let h1 = self.hasher.hash_with_seed(item, 0) % m;
+        let h2 = self.hasher.hash_with_seed(item, 1) % m;
+        out.extend((0..u64::from(k)).map(|i| (h1 + i.wrapping_mul(h2) % m) % m));
     }
 
     fn name(&self) -> &'static str {
@@ -209,6 +228,10 @@ impl core::fmt::Debug for KeyedIndexes {
 impl IndexStrategy for KeyedIndexes {
     fn indexes(&self, item: &[u8], k: u32, m: u64) -> Vec<u64> {
         (0..u64::from(k)).map(|tweak| self.prf.mac_with_tweak(item, tweak) % m).collect()
+    }
+
+    fn indexes_into(&self, item: &[u8], k: u32, m: u64, out: &mut Vec<u64>) {
+        out.extend((0..u64::from(k)).map(|tweak| self.prf.mac_with_tweak(item, tweak) % m));
     }
 
     fn name(&self) -> &'static str {
@@ -329,9 +352,6 @@ mod tests {
     #[test]
     fn recycled_crypto_matches_free_function() {
         let strategy = RecycledCrypto::new(Box::new(Md5));
-        assert_eq!(
-            strategy.indexes(b"item", 6, 3200),
-            recycled_indexes(&Md5, b"item", 6, 3200)
-        );
+        assert_eq!(strategy.indexes(b"item", 6, 3200), recycled_indexes(&Md5, b"item", 6, 3200));
     }
 }

@@ -202,10 +202,7 @@ mod tests {
             JenkinsOneAtATime.hash_with_seed(b"x", 1),
             JenkinsOneAtATime.hash_with_seed(b"x", 2)
         );
-        assert_ne!(
-            JenkinsLookup3.hash_with_seed(b"x", 1),
-            JenkinsLookup3.hash_with_seed(b"x", 2)
-        );
+        assert_ne!(JenkinsLookup3.hash_with_seed(b"x", 1), JenkinsLookup3.hash_with_seed(b"x", 2));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * **index strategies** ([`index`]) — the pluggable mapping from an item to
 //!   its `k` Bloom-filter indexes, in every flavour the paper attacks or
 //!   recommends;
+//! * **double hashing** ([`double`]) — the Kirsch–Mitzenmacher trick as a
+//!   reusable `(h1, h2)` pair source ([`HashStrategy`]), the substrate of the
+//!   cache-line blocked filter and the hash-precomputing batch APIs;
 //! * **inversions** ([`inversion`]) — constant-time pre-images for
 //!   MurmurHash2/64A and the MurmurHash3 finalizers, as used by the Dablooms
 //!   deletion attack;
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod double;
 pub mod fnv;
 pub mod hex;
 pub mod hmac;
@@ -55,6 +59,7 @@ pub mod siphash;
 pub mod traits;
 pub mod truncate;
 
+pub use double::{DoubleHasher, HashStrategy, KeyedPair, KmIndexes, Murmur128Pair};
 pub use fnv::{Fnv1a32, Fnv1a64};
 pub use hmac::{hmac, Hmac};
 pub use index::{
@@ -77,13 +82,7 @@ pub use traits::{CryptoHash, DigestBytes, Hasher64, KeyedHash64};
 /// used by the paper's Table 2 and Figure 9 (MD5, SHA-1, SHA-256, SHA-384,
 /// SHA-512). Convenient for benchmarks and reports.
 pub fn all_crypto_hashes() -> Vec<Box<dyn CryptoHash>> {
-    vec![
-        Box::new(Md5),
-        Box::new(Sha1),
-        Box::new(Sha256),
-        Box::new(Sha384),
-        Box::new(Sha512),
-    ]
+    vec![Box::new(Md5), Box::new(Sha1), Box::new(Sha256), Box::new(Sha384), Box::new(Sha512)]
 }
 
 /// Enumerates one instance of every unkeyed [`Hasher64`] in the crate.

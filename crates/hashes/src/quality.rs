@@ -62,10 +62,7 @@ pub fn avalanche<H: Hasher64>(
 
     let denom = (samples as f64) * f64::from(output_bits);
     let per_input_bit: Vec<f64> = flip_counts.iter().map(|&c| c as f64 / denom).collect();
-    let worst_bias = per_input_bit
-        .iter()
-        .map(|p| (p - 0.5).abs())
-        .fold(0.0f64, f64::max);
+    let worst_bias = per_input_bit.iter().map(|p| (p - 0.5).abs()).fold(0.0f64, f64::max);
     let mean_bias =
         per_input_bit.iter().map(|p| (p - 0.5).abs()).sum::<f64>() / per_input_bit.len() as f64;
 
@@ -151,16 +148,23 @@ mod tests {
         // high output bits. The mini-SMHasher must be able to see that.
         let murmur = avalanche(&Murmur3_32, 4, 300, 32);
         let fnv = avalanche(&Fnv1a64, 4, 300, 64);
-        assert!(fnv.worst_bias > murmur.worst_bias, "fnv {} vs murmur {}", fnv.worst_bias, murmur.worst_bias);
+        assert!(
+            fnv.worst_bias > murmur.worst_bias,
+            "fnv {} vs murmur {}",
+            fnv.worst_bias,
+            murmur.worst_bias
+        );
     }
 
     #[test]
     fn uniformity_of_good_hashes() {
-        for report in [
-            uniformity(&Murmur3_32, 64, 20_000),
-            uniformity(&Murmur64A, 64, 20_000),
-        ] {
-            assert!(report.is_uniform(4.0), "chi2 {} df {}", report.chi_square, report.degrees_of_freedom);
+        for report in [uniformity(&Murmur3_32, 64, 20_000), uniformity(&Murmur64A, 64, 20_000)] {
+            assert!(
+                report.is_uniform(4.0),
+                "chi2 {} df {}",
+                report.chi_square,
+                report.degrees_of_freedom
+            );
         }
     }
 

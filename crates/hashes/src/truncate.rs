@@ -129,7 +129,10 @@ mod tests {
         assert_eq!(prefix_to_u64(&[0, 0, 0, 0, 0, 0, 0, 1]), 1);
         assert_eq!(prefix_to_u64(&[1, 0, 0, 0, 0, 0, 0, 0]), 1 << 56);
         assert_eq!(prefix_to_u64(&[0xAB]), 0xAB);
-        assert_eq!(prefix_to_u64(&[0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0xff]), 0x1234_5678_9abc_def0);
+        assert_eq!(
+            prefix_to_u64(&[0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0, 0xff]),
+            0x1234_5678_9abc_def0
+        );
     }
 
     #[test]

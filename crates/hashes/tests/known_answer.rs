@@ -60,22 +60,13 @@ fn sha1_fips180_vectors() {
 #[test]
 fn sha256_fips180_vectors() {
     for (message, expected) in [
-        (
-            String::new(),
-            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
-        ),
-        (
-            "abc".to_owned(),
-            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad",
-        ),
+        (String::new(), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+        ("abc".to_owned(), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
         (
             "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq".to_owned(),
             "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1",
         ),
-        (
-            "a".repeat(1_000_000),
-            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0",
-        ),
+        ("a".repeat(1_000_000), "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"),
     ] {
         assert_eq!(hex::encode(&sha256(message.as_bytes())), expected);
     }
@@ -125,10 +116,7 @@ fn murmur3_32_reference_vectors() {
     assert_eq!(murmur3_32(b"", 1), 0x514e_28b7);
     assert_eq!(murmur3_32(b"", 0xffff_ffff), 0x81f1_6f39);
     assert_eq!(murmur3_32(b"test", 0), 0xba6b_d213);
-    assert_eq!(
-        murmur3_32(b"The quick brown fox jumps over the lazy dog", 0),
-        0x2e4f_f723
-    );
+    assert_eq!(murmur3_32(b"The quick brown fox jumps over the lazy dog", 0), 0x2e4f_f723);
 }
 
 /// MurmurHash3 x64-128 vectors from the canonical C++ implementation
@@ -140,10 +128,7 @@ fn murmur3_x64_128_reference_vectors() {
         murmur3_x64_128(b"The quick brown fox jumps over the lazy dog", 0),
         (0xe34b_bc7b_bc07_1b6c, 0x7a43_3ca9_c49a_9347)
     );
-    assert_eq!(
-        murmur3_x64_128(b"hello", 0),
-        (0xcbd8_a7b3_41bd_9b02, 0x5b1e_906a_48ae_1d19)
-    );
+    assert_eq!(murmur3_x64_128(b"hello", 0), (0xcbd8_a7b3_41bd_9b02, 0x5b1e_906a_48ae_1d19));
     assert_eq!(
         murmur3_x64_128(b"Hello, world!", 123),
         (0x421c_8c73_8743_acad, 0xf197_32fd_d373_c3f5)

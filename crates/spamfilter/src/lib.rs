@@ -263,20 +263,15 @@ mod tests {
             service.report_malicious(&format!("http://real-phish-{i}.example/"));
         }
         let benign = benign_urls(2000);
-        let baseline =
-            service.false_refusal_rate(benign.iter().map(String::as_str));
+        let baseline = service.false_refusal_rate(benign.iter().map(String::as_str));
 
         // The adversary floods the feed with crafted URLs (4 slices worth).
         let reported = run_pollution_campaign(&mut service, 2000);
         assert!(reported >= 1900);
 
         let probe = benign_urls(4000);
-        let polluted_rate = service
-            .false_refusal_rate(probe.iter().skip(2000).map(String::as_str));
-        assert!(
-            polluted_rate > baseline + 0.05,
-            "polluted {polluted_rate} vs baseline {baseline}"
-        );
+        let polluted_rate = service.false_refusal_rate(probe.iter().skip(2000).map(String::as_str));
+        assert!(polluted_rate > baseline + 0.05, "polluted {polluted_rate} vs baseline {baseline}");
         // The compound false-positive estimate agrees that things got worse.
         assert!(service.blocklist().current_false_positive_probability() > 0.05);
     }

@@ -67,9 +67,7 @@ impl TargetFilter for AdversarialStoreView<'_> {
     fn weight(&self) -> u64 {
         (0..self.store.shard_count())
             .map(|s| {
-                self.store
-                    .shard(s)
-                    .with_generations(|active, _| active.filter.hamming_weight())
+                self.store.shard(s).with_generations(|active, _| active.filter.hamming_weight())
             })
             .sum()
     }
@@ -96,18 +94,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn unhardened_store() -> BloomStore {
-        BloomStore::new(
-            StoreConfig::unhardened(4, 2_000, 0.02),
-            &mut StdRng::seed_from_u64(9),
-        )
+        BloomStore::new(StoreConfig::unhardened(4, 2_000, 0.02), &mut StdRng::seed_from_u64(9))
     }
 
     #[test]
     fn hardened_store_yields_no_view() {
-        let store = BloomStore::new(
-            StoreConfig::hardened(4, 2_000, 0.02),
-            &mut StdRng::seed_from_u64(9),
-        );
+        let store =
+            BloomStore::new(StoreConfig::hardened(4, 2_000, 0.02), &mut StdRng::seed_from_u64(9));
         assert!(AdversarialStoreView::new(&store).is_none());
         assert!(craft_store_pollution(&store, &UrlGenerator::new("x"), 5, 1_000).is_none());
     }
@@ -139,12 +132,7 @@ mod tests {
             store.insert(format!("item-{i}").as_bytes());
         }
         let view = AdversarialStoreView::new(&store).expect("unhardened");
-        let per_shard: u64 = store
-            .stats()
-            .shards
-            .iter()
-            .map(|s| s.weight)
-            .sum();
+        let per_shard: u64 = store.stats().shards.iter().map(|s| s.weight).sum();
         assert_eq!(view.weight(), per_shard);
     }
 
@@ -152,8 +140,7 @@ mod tests {
     fn crafted_pollution_sets_k_fresh_bits_per_item() {
         let store = unhardened_store();
         let generator = UrlGenerator::new("store-pollution");
-        let plan =
-            craft_store_pollution(&store, &generator, 100, 10_000_000).expect("unhardened");
+        let plan = craft_store_pollution(&store, &generator, 100, 10_000_000).expect("unhardened");
         assert_eq!(plan.items.len(), 100);
         let k = store.shard_params().k;
         for item in &plan.items {

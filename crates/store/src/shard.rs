@@ -74,8 +74,7 @@ impl Shard {
     /// the rebuild completes).
     pub fn contains(&self, item: &[u8]) -> bool {
         self.with_generations(|active, draining| {
-            active.filter.contains(item)
-                || draining.is_some_and(|g| g.filter.contains(item))
+            active.filter.contains(item) || draining.is_some_and(|g| g.filter.contains(item))
         })
     }
 

@@ -91,8 +91,7 @@ impl StoreStats {
         } else {
             shards.iter().map(|s| s.fill).sum::<f64>() / shards.len() as f64
         };
-        let max_estimated_fpp =
-            shards.iter().map(|s| s.estimated_fpp).fold(0.0f64, f64::max);
+        let max_estimated_fpp = shards.iter().map(|s| s.estimated_fpp).fold(0.0f64, f64::max);
         let alarms = shards.iter().filter(|s| s.pollution_alarm).count();
         StoreStats { shards, total_inserted, mean_fill, max_estimated_fpp, alarms }
     }
@@ -141,10 +140,8 @@ mod tests {
             estimated_fpp: fpp,
             pollution_alarm: alarm,
         };
-        let stats = StoreStats::from_shards(vec![
-            shard(0, 0.3, 0.01, false),
-            shard(1, 0.9, 0.65, true),
-        ]);
+        let stats =
+            StoreStats::from_shards(vec![shard(0, 0.3, 0.01, false), shard(1, 0.9, 0.65, true)]);
         assert_eq!(stats.total_inserted, 200);
         assert_eq!(stats.alarms, 1);
         assert!((stats.mean_fill - 0.6).abs() < 1e-12);

@@ -136,9 +136,7 @@ impl BloomStore {
         };
 
         let public_strategy: Option<Arc<dyn IndexStrategy>> = match config.hardening {
-            StoreHardening::Unhardened => {
-                Some(Arc::new(KirschMitzenmacher::new(Murmur3_128)))
-            }
+            StoreHardening::Unhardened => Some(Arc::new(KirschMitzenmacher::new(Murmur3_128))),
             StoreHardening::Hardened(_) => None,
         };
         let router = match config.hardening {
@@ -222,9 +220,11 @@ impl BloomStore {
         self.shards[self.route(item)].contains(item)
     }
 
-    /// Inserts a batch, routing every item first and then visiting each
-    /// shard exactly once — amortising routing hashes and shard-lock
-    /// acquisitions over the whole batch.
+    /// Inserts a batch: routes every item first, then visits each shard
+    /// exactly once and hands its whole bucket to the filter's
+    /// hash-precomputing [`ConcurrentBloomFilter::insert_batch`] — amortising
+    /// routing hashes, shard-lock acquisitions *and* per-item index-buffer
+    /// allocations over the batch.
     pub fn insert_batch<I: AsRef<[u8]>>(&self, items: &[I]) -> BatchOutcome {
         let mut buckets: Vec<Vec<&[u8]>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
         for item in items {
@@ -237,32 +237,37 @@ impl BloomStore {
                 continue;
             }
             shard.with_generations(|active, _| {
-                for item in bucket {
-                    fresh_bits += u64::from(active.filter.insert(item));
-                }
+                fresh_bits += active.filter.insert_batch(bucket);
             });
         }
         BatchOutcome { items: items.len(), fresh_bits }
     }
 
     /// Batch membership query; answers are in input order. Like
-    /// [`BloomStore::insert_batch`], each shard lock is taken once.
+    /// [`BloomStore::insert_batch`], each shard lock is taken once and the
+    /// active generation is probed through the filter's batch path; only
+    /// active-generation misses fall back to a draining generation (which
+    /// may use a different key, so its indexes cannot be shared).
     pub fn query_batch<I: AsRef<[u8]>>(&self, items: &[I]) -> Vec<bool> {
-        let mut buckets: Vec<Vec<(usize, &[u8])>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let shards = self.shards.len();
+        let mut positions: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut buckets: Vec<Vec<&[u8]>> = (0..shards).map(|_| Vec::new()).collect();
         for (position, item) in items.iter().enumerate() {
             let item = item.as_ref();
-            buckets[self.route(item)].push((position, item));
+            let shard = self.route(item);
+            positions[shard].push(position);
+            buckets[shard].push(item);
         }
         let mut answers = vec![false; items.len()];
-        for (shard, bucket) in self.shards.iter().zip(&buckets) {
+        for ((shard, bucket), bucket_positions) in self.shards.iter().zip(&buckets).zip(&positions)
+        {
             if bucket.is_empty() {
                 continue;
             }
             shard.with_generations(|active, draining| {
-                for &(position, item) in bucket {
-                    answers[position] = active.filter.contains(item)
-                        || draining.is_some_and(|g| g.filter.contains(item));
+                let found = active.filter.query_batch(bucket);
+                for ((&position, item), hit) in bucket_positions.iter().zip(bucket).zip(found) {
+                    answers[position] = hit || draining.is_some_and(|g| g.filter.contains(item));
                 }
             });
         }
@@ -363,10 +368,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn hardened_store(shards: usize) -> BloomStore {
-        BloomStore::new(
-            StoreConfig::hardened(shards, 4_000, 0.01),
-            &mut StdRng::seed_from_u64(42),
-        )
+        BloomStore::new(StoreConfig::hardened(shards, 4_000, 0.01), &mut StdRng::seed_from_u64(42))
     }
 
     #[test]
@@ -399,14 +401,10 @@ mod tests {
 
     #[test]
     fn routing_key_changes_routing() {
-        let a = BloomStore::new(
-            StoreConfig::hardened(16, 1000, 0.01),
-            &mut StdRng::seed_from_u64(1),
-        );
-        let b = BloomStore::new(
-            StoreConfig::hardened(16, 1000, 0.01),
-            &mut StdRng::seed_from_u64(2),
-        );
+        let a =
+            BloomStore::new(StoreConfig::hardened(16, 1000, 0.01), &mut StdRng::seed_from_u64(1));
+        let b =
+            BloomStore::new(StoreConfig::hardened(16, 1000, 0.01), &mut StdRng::seed_from_u64(2));
         let differing = (0..100)
             .filter(|i| {
                 let item = format!("item-{i}");
@@ -418,14 +416,10 @@ mod tests {
 
     #[test]
     fn unhardened_routing_is_public_and_key_free() {
-        let a = BloomStore::new(
-            StoreConfig::unhardened(8, 1000, 0.01),
-            &mut StdRng::seed_from_u64(1),
-        );
-        let b = BloomStore::new(
-            StoreConfig::unhardened(8, 1000, 0.01),
-            &mut StdRng::seed_from_u64(2),
-        );
+        let a =
+            BloomStore::new(StoreConfig::unhardened(8, 1000, 0.01), &mut StdRng::seed_from_u64(1));
+        let b =
+            BloomStore::new(StoreConfig::unhardened(8, 1000, 0.01), &mut StdRng::seed_from_u64(2));
         for i in 0..100 {
             let item = format!("item-{i}");
             assert_eq!(a.route(item.as_bytes()), b.route(item.as_bytes()));
@@ -435,10 +429,8 @@ mod tests {
     #[test]
     fn batch_and_scalar_apis_agree() {
         let scalar = hardened_store(4);
-        let batch = BloomStore::new(
-            StoreConfig::hardened(4, 4_000, 0.01),
-            &mut StdRng::seed_from_u64(42),
-        );
+        let batch =
+            BloomStore::new(StoreConfig::hardened(4, 4_000, 0.01), &mut StdRng::seed_from_u64(42));
         let items: Vec<String> = (0..500).map(|i| format!("item-{i}")).collect();
         let mut scalar_fresh = 0u64;
         for item in &items {
@@ -448,8 +440,10 @@ mod tests {
         assert_eq!(outcome.items, 500);
         assert_eq!(outcome.fresh_bits, scalar_fresh);
 
-        let probes: Vec<String> =
-            (0..500).map(|i| format!("item-{i}")).chain((0..100).map(|i| format!("absent-{i}"))).collect();
+        let probes: Vec<String> = (0..500)
+            .map(|i| format!("item-{i}"))
+            .chain((0..100).map(|i| format!("absent-{i}")))
+            .collect();
         let batch_answers = batch.query_batch(&probes);
         for (probe, answer) in probes.iter().zip(&batch_answers) {
             assert_eq!(*answer, scalar.contains(probe.as_bytes()), "{probe}");

@@ -42,8 +42,7 @@ fn concurrent_filter_equals_sequential_after_parallel_inserts() {
         let params = FilterParams::optimal(items.len() as u64, 0.01);
         let strategy: Arc<dyn IndexStrategy> = Arc::new(KirschMitzenmacher::new(Murmur3_128));
 
-        let concurrent =
-            ConcurrentBloomFilter::with_shared_strategy(params, Arc::clone(&strategy));
+        let concurrent = ConcurrentBloomFilter::with_shared_strategy(params, Arc::clone(&strategy));
         std::thread::scope(|scope| {
             for worker in 0..WORKERS {
                 let concurrent = &concurrent;
@@ -111,10 +110,7 @@ fn store_has_no_false_negatives_under_concurrent_load() {
             assert!(store.contains(item), "seed {seed} shards {shards}: false negative");
         }
         let answers = store.query_batch(&items);
-        assert!(
-            answers.iter().all(|&a| a),
-            "seed {seed} shards {shards}: batch false negative"
-        );
+        assert!(answers.iter().all(|&a| a), "seed {seed} shards {shards}: batch false negative");
         assert_eq!(store.stats().total_inserted, items.len() as u64, "seed {seed}");
     }
 }
@@ -145,10 +141,7 @@ fn single_shard_store_matches_hardened_filter() {
             store.insert(item);
             reference.insert(item);
         }
-        let snapshot = store
-            .query_batch(&items)
-            .iter()
-            .all(|&a| a);
+        let snapshot = store.query_batch(&items).iter().all(|&a| a);
         assert!(snapshot, "seed {seed}: store lost an item");
         for item in &items {
             assert_eq!(store.contains(item), reference.contains(item), "seed {seed}");

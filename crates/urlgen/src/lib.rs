@@ -17,13 +17,13 @@ use rand::Rng;
 /// Word list used for domain and path segments. Small on purpose: combined
 /// with counters it still yields an effectively unbounded URL space.
 const WORDS: &[&str] = &[
-    "alpha", "atlas", "aurora", "beacon", "binary", "breeze", "cedar", "cipher", "cobalt",
-    "comet", "coral", "crystal", "delta", "drift", "ember", "falcon", "fjord", "gamma", "garnet",
-    "glacier", "harbor", "hazel", "indigo", "ion", "jade", "juniper", "karma", "lagoon", "lumen",
-    "lunar", "maple", "meadow", "mesa", "nebula", "nectar", "nova", "onyx", "opal", "orbit",
-    "oxide", "pearl", "pixel", "plasma", "prism", "quartz", "quill", "raven", "ridge", "sable",
-    "sierra", "solar", "sparrow", "summit", "terra", "thorn", "tundra", "umbra", "vertex",
-    "violet", "vortex", "willow", "zephyr", "zenith", "zinc",
+    "alpha", "atlas", "aurora", "beacon", "binary", "breeze", "cedar", "cipher", "cobalt", "comet",
+    "coral", "crystal", "delta", "drift", "ember", "falcon", "fjord", "gamma", "garnet", "glacier",
+    "harbor", "hazel", "indigo", "ion", "jade", "juniper", "karma", "lagoon", "lumen", "lunar",
+    "maple", "meadow", "mesa", "nebula", "nectar", "nova", "onyx", "opal", "orbit", "oxide",
+    "pearl", "pixel", "plasma", "prism", "quartz", "quill", "raven", "ridge", "sable", "sierra",
+    "solar", "sparrow", "summit", "terra", "thorn", "tundra", "umbra", "vertex", "violet",
+    "vortex", "willow", "zephyr", "zenith", "zinc",
 ];
 
 /// Top-level domains used by the generator.
@@ -78,10 +78,7 @@ impl UrlGenerator {
         let word2 = WORDS[((i / WORDS.len() as u64) % WORDS.len() as u64) as usize];
         let tld = TLDS[((i / 7) % TLDS.len() as u64) as usize];
         let page = PAGES[((i / 3) % PAGES.len() as u64) as usize];
-        format!(
-            "http://{word1}-{word2}.{tld}/{ns}/{page}/{i}",
-            ns = self.namespace,
-        )
+        format!("http://{word1}-{word2}.{tld}/{ns}/{page}/{i}", ns = self.namespace,)
     }
 
     /// Returns a batch of sequential URLs `[start, start + count)`.

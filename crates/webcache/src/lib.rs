@@ -202,10 +202,8 @@ impl Deployment {
             return RequestOutcome { source: ResponseSource::LocalHit, latency: Duration::ZERO };
         }
 
-        let digest_says_sibling_has_it = local
-            .sibling_digest()
-            .map(|digest| digest.might_have("GET", url))
-            .unwrap_or(false);
+        let digest_says_sibling_has_it =
+            local.sibling_digest().map(|digest| digest.might_have("GET", url)).unwrap_or(false);
 
         if digest_says_sibling_has_it {
             if sibling.has_cached(url) {
@@ -260,19 +258,16 @@ pub struct DigestPollution {
 pub fn craft_digest_pollution(proxy: &Proxy, count: usize) -> DigestPollution {
     // Build the digest the proxy would publish after caching `count` more
     // objects, then search for URLs that pollute it.
-    let mut future_digest = CacheDigest::with_capacity(proxy.cached_objects() as u64 + count as u64);
+    let mut future_digest =
+        CacheDigest::with_capacity(proxy.cached_objects() as u64 + count as u64);
     for url in proxy.cache.iter() {
         future_digest.add("GET", url);
     }
     let generator = UrlGenerator::new("squid-pollution");
     // The digest key is "GET <url>", so candidates must be full keys; wrap
     // the generator accordingly by searching over keys and stripping later.
-    let plan = craft_polluting_items(
-        &KeyedView { digest: &future_digest },
-        &generator,
-        count,
-        u64::MAX,
-    );
+    let plan =
+        craft_polluting_items(&KeyedView { digest: &future_digest }, &generator, count, u64::MAX);
     DigestPollution { urls: plan.items, stats: plan.stats }
 }
 
@@ -350,8 +345,7 @@ pub fn run_squid_experiment(
         attacked.request_via(true, url);
     }
     attacked.exchange_digests();
-    let digest_bits =
-        attacked.proxy_b.sibling_digest().expect("digest exchanged").size_bits();
+    let digest_bits = attacked.proxy_b.sibling_digest().expect("digest exchanged").size_bits();
 
     let before_probes = attacked.stats().wasted_probes;
     for i in 0..probe_count {
@@ -390,10 +384,7 @@ mod tests {
 
         // A fresh URL goes straight to the origin.
         let outcome = deployment.request_via(true, "http://origin.example/fresh");
-        assert_eq!(
-            outcome.source,
-            ResponseSource::Origin { wasted_sibling_probe: false }
-        );
+        assert_eq!(outcome.source, ResponseSource::Origin { wasted_sibling_probe: false });
         assert_eq!(outcome.latency, Duration::from_millis(80));
     }
 
@@ -463,11 +454,7 @@ mod tests {
 
     #[test]
     fn stats_probe_rate_helper() {
-        let stats = TrafficStats {
-            sibling_hits: 10,
-            wasted_probes: 30,
-            ..TrafficStats::default()
-        };
+        let stats = TrafficStats { sibling_hits: 10, wasted_probes: 30, ..TrafficStats::default() };
         assert!((stats.false_positive_probe_rate() - 0.75).abs() < 1e-12);
         assert_eq!(TrafficStats::default().false_positive_probe_rate(), 0.0);
     }

@@ -65,8 +65,7 @@ impl WebGraph {
             (0..page_count).map(|i| format!("http://{domain}/page/{i}")).collect();
         for (i, url) in urls.iter().enumerate() {
             // Each page links to the next few pages, forming a connected site.
-            let links: Vec<String> =
-                urls.iter().skip(i + 1).take(3).cloned().collect();
+            let links: Vec<String> = urls.iter().skip(i + 1).take(3).cloned().collect();
             graph.add_page(url.clone(), links);
         }
         (graph, urls[0].clone())
@@ -252,17 +251,10 @@ pub struct LinkFarm {
 ///
 /// Panics if the crawler uses an exact store (nothing to pollute).
 pub fn build_link_farm(crawler: &Crawler, domain: &str, count: usize) -> LinkFarm {
-    let filter = crawler
-        .store()
-        .filter()
-        .expect("pollution only applies to Bloom-filter stores");
+    let filter = crawler.store().filter().expect("pollution only applies to Bloom-filter stores");
     let generator = UrlGenerator::new(&format!("farm-{domain}"));
     let plan = craft_polluting_items(filter, &generator, count, u64::MAX);
-    LinkFarm {
-        root: format!("http://{domain}/"),
-        crafted_urls: plan.items,
-        stats: plan.stats,
-    }
+    LinkFarm { root: format!("http://{domain}/"), crafted_urls: plan.items, stats: plan.stats }
 }
 
 /// Inserts the link farm into a web graph: the root links to every crafted
@@ -296,10 +288,7 @@ pub fn build_hidden_site(
     decoy_depth: usize,
     ghost_count: usize,
 ) -> HiddenSite {
-    let filter = crawler
-        .store()
-        .filter()
-        .expect("ghost pages only apply to Bloom-filter stores");
+    let filter = crawler.store().filter().expect("ghost pages only apply to Bloom-filter stores");
     let plan = plan_ghost_pages(filter, domain, decoy_depth, ghost_count, u64::MAX);
     // Chain the decoys and hang the ghosts off the last decoy.
     for (i, decoy) in plan.decoys.iter().enumerate() {

@@ -39,8 +39,7 @@ fn main() {
 
     // 3. Harden the deployment with a keyed filter: same parameters, but the
     //    adversary can no longer predict the indexes.
-    let hardened = SecureBloomBuilder::new(100_000, 0.01)
-        .level(HardeningLevel::KeyedSipHash)
-        .build();
+    let hardened =
+        SecureBloomBuilder::new(100_000, 0.01).level(HardeningLevel::KeyedSipHash).build();
     println!("hardened filter strategy            : {}", hardened.strategy_name());
 }

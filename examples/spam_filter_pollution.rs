@@ -6,8 +6,8 @@
 //!
 //! Run with: `cargo run --example spam_filter_pollution`
 
-use evilbloom::spamfilter::{run_pollution_campaign, ShorteningService, Verdict};
 use evilbloom::filters::ScalableConfig;
+use evilbloom::spamfilter::{run_pollution_campaign, ShorteningService, Verdict};
 
 fn main() {
     let mut service = ShorteningService::with_config(ScalableConfig {
@@ -22,10 +22,7 @@ fn main() {
     }
     let benign: Vec<String> =
         (0..2_000).map(|i| format!("http://legit-{i}.example/post")).collect();
-    let baseline = benign
-        .iter()
-        .filter(|u| service.shorten(u) == Verdict::Refused)
-        .count() as f64
+    let baseline = benign.iter().filter(|u| service.shorten(u) == Verdict::Refused).count() as f64
         / benign.len() as f64;
     println!("false refusal rate before the attack : {:.2}%", baseline * 100.0);
 
@@ -35,10 +32,7 @@ fn main() {
 
     let probe: Vec<String> =
         (0..2_000).map(|i| format!("http://other-legit-{i}.example/page")).collect();
-    let polluted = probe
-        .iter()
-        .filter(|u| service.shorten(u) == Verdict::Refused)
-        .count() as f64
+    let polluted = probe.iter().filter(|u| service.shorten(u) == Verdict::Refused).count() as f64
         / probe.len() as f64;
     println!("false refusal rate after the attack  : {:.2}%", polluted * 100.0);
     println!(

@@ -7,8 +7,8 @@ use evilbloom::analysis::{false_positive, worst_case};
 use evilbloom::attacks::craft_polluting_items;
 use evilbloom::filters::{BloomFilter, FilterParams};
 use evilbloom::hashes::{
-    recycled_indexes, IndexStrategy, KirschMitzenmacher, Murmur3_128, RecycledCrypto,
-    SaltedCrypto, Sha512,
+    recycled_indexes, IndexStrategy, KirschMitzenmacher, Murmur3_128, RecycledCrypto, SaltedCrypto,
+    Sha512,
 };
 use evilbloom::urlgen::UrlGenerator;
 
@@ -22,18 +22,14 @@ fn worst_case_parameters_limit_pollution_damage() {
     assert!(hardened.k < classic.k);
 
     let generator = UrlGenerator::new("worst-case-compare");
-    let mut classic_filter =
-        BloomFilter::new(classic, KirschMitzenmacher::new(Murmur3_128));
-    let plan =
-        craft_polluting_items(&classic_filter, &generator, capacity as usize, u64::MAX);
+    let mut classic_filter = BloomFilter::new(classic, KirschMitzenmacher::new(Murmur3_128));
+    let plan = craft_polluting_items(&classic_filter, &generator, capacity as usize, u64::MAX);
     for url in &plan.items {
         classic_filter.insert(url.as_bytes());
     }
 
-    let mut hardened_filter =
-        BloomFilter::new(hardened, KirschMitzenmacher::new(Murmur3_128));
-    let plan =
-        craft_polluting_items(&hardened_filter, &generator, capacity as usize, u64::MAX);
+    let mut hardened_filter = BloomFilter::new(hardened, KirschMitzenmacher::new(Murmur3_128));
+    let plan = craft_polluting_items(&hardened_filter, &generator, capacity as usize, u64::MAX);
     for url in &plan.items {
         hardened_filter.insert(url.as_bytes());
     }
@@ -45,8 +41,7 @@ fn worst_case_parameters_limit_pollution_damage() {
         "worst-case params: {hardened_attacked} vs classic {classic_attacked}"
     );
     // And both agree with the closed-form (nk/m)^k prediction.
-    let predicted_classic =
-        worst_case::adversarial_false_positive(classic.m, capacity, classic.k);
+    let predicted_classic = worst_case::adversarial_false_positive(classic.m, capacity, classic.k);
     assert!((classic_attacked - predicted_classic).abs() < 0.02);
 }
 
@@ -83,9 +78,7 @@ fn recycling_is_equivalent_in_behaviour_but_cheaper_in_calls() {
     for i in 0..2_000 {
         assert!(filter.contains(format!("member-{i}").as_bytes()));
     }
-    let fp = (0..10_000)
-        .filter(|i| filter.contains(format!("probe-{i}").as_bytes()))
-        .count();
+    let fp = (0..10_000).filter(|i| filter.contains(format!("probe-{i}").as_bytes())).count();
     let rate = fp as f64 / 10_000.0;
     assert!(rate < 0.03, "observed false-positive rate {rate}");
 }

@@ -33,9 +33,7 @@ fn figure3_end_to_end() {
 
     // The measured rate on random probes agrees with the fill-based value.
     let probes = 20_000u32;
-    let hits = (0..probes)
-        .filter(|i| attacked.contains(format!("probe-{i}").as_bytes()))
-        .count();
+    let hits = (0..probes).filter(|i| attacked.contains(format!("probe-{i}").as_bytes())).count();
     let measured = f64::from(hits as u32) / f64::from(probes);
     assert!((measured - attacked_fpp).abs() < 0.02, "measured {measured}");
 }
@@ -122,8 +120,7 @@ fn forgery_works_across_strategies() {
         for i in 0..1_000 {
             filter.insert(format!("member-{i}").as_bytes());
         }
-        let outcome =
-            craft_false_positives(&filter, &UrlGenerator::new(name), 5, 100_000_000);
+        let outcome = craft_false_positives(&filter, &UrlGenerator::new(name), 5, 100_000_000);
         assert_eq!(outcome.items.len(), 5, "{name}");
         for item in &outcome.items {
             assert!(filter.contains(item.as_bytes()), "{name}: {item}");
@@ -138,10 +135,8 @@ fn forgery_works_across_strategies() {
 /// filter API across the facade.
 #[test]
 fn target_view_matches_public_api() {
-    let mut filter = BloomFilter::new(
-        FilterParams::optimal(500, 0.01),
-        KirschMitzenmacher::new(Murmur3_128),
-    );
+    let mut filter =
+        BloomFilter::new(FilterParams::optimal(500, 0.01), KirschMitzenmacher::new(Murmur3_128));
     for i in 0..500 {
         filter.insert(format!("u{i}").as_bytes());
     }

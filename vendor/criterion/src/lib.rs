@@ -6,14 +6,130 @@
 //! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a plain
 //! warm-up + timed-samples loop reporting the mean and best time per
 //! iteration; there is no statistical analysis or HTML report.
+//!
+//! Beyond the API-compatible subset, the shim adds what the workspace's
+//! perf-lab runner needs for machine-readable, regression-gated results:
+//!
+//! * [`measure`] — a warm-up + median-of-N timing primitive returning a
+//!   [`Measurement`] instead of printing;
+//! * [`report`] — a dependency-free JSON value type (serializer *and*
+//!   parser) used to emit `BENCH_<n>.json` reports and to read the committed
+//!   baseline for the CI regression guard.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod report;
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Timing configuration for [`measure`].
+#[derive(Debug, Clone, Copy)]
+pub struct MeasureOptions {
+    /// Warm-up time (also used to discover the per-iteration cost).
+    pub warm_up: Duration,
+    /// Number of timed samples; the reported figure is their median.
+    pub samples: usize,
+    /// Total time budget for the timed samples.
+    pub measurement_time: Duration,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        MeasureOptions {
+            warm_up: Duration::from_millis(200),
+            samples: 15,
+            measurement_time: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl MeasureOptions {
+    /// A cheap configuration for CI smoke runs (`--quick` in the perf
+    /// runner): fewer samples, shorter budget, still median-filtered.
+    pub fn quick() -> Self {
+        MeasureOptions {
+            warm_up: Duration::from_millis(50),
+            samples: 7,
+            measurement_time: Duration::from_millis(350),
+        }
+    }
+}
+
+/// The result of one [`measure`] call: per-operation timing with the median
+/// over samples as the headline figure (robust to scheduler noise, unlike
+/// the mean).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Workload identifier.
+    pub id: String,
+    /// Median time per operation across samples, in nanoseconds.
+    pub ns_per_op_median: f64,
+    /// Mean time per operation across samples, in nanoseconds.
+    pub ns_per_op_mean: f64,
+    /// Best (minimum) sample, in nanoseconds per operation.
+    pub ns_per_op_best: f64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+    /// Iterations per sample (chosen during warm-up).
+    pub iters_per_sample: u64,
+}
+
+impl Measurement {
+    /// Operations per second implied by the median.
+    pub fn ops_per_sec(&self) -> f64 {
+        1e9 / self.ns_per_op_median
+    }
+}
+
+/// Times `routine` with a warm-up phase followed by `opts.samples` timed
+/// samples and returns the median/mean/best nanoseconds per call. The
+/// warm-up discovers how many calls fit in one sample so each sample is long
+/// enough to be timer-accurate.
+pub fn measure<O, F: FnMut() -> O>(id: &str, opts: &MeasureOptions, mut routine: F) -> Measurement {
+    // Warm-up: also discovers roughly how long one call takes.
+    let warm_up_start = Instant::now();
+    let mut warm_up_iters = 0u64;
+    let mut batch = 1u64;
+    while warm_up_start.elapsed() < opts.warm_up {
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        warm_up_iters += batch;
+        batch = (batch * 2).min(1 << 20);
+    }
+    let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_up_iters.max(1) as f64;
+
+    let samples = opts.samples.max(1);
+    let sample_time = opts.measurement_time.as_secs_f64() / samples as f64;
+    let iters_per_sample = ((sample_time / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+    let mut per_op_ns: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..iters_per_sample {
+            black_box(routine());
+        }
+        per_op_ns.push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+    }
+    per_op_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are comparable"));
+    let median = if samples % 2 == 1 {
+        per_op_ns[samples / 2]
+    } else {
+        (per_op_ns[samples / 2 - 1] + per_op_ns[samples / 2]) / 2.0
+    };
+    Measurement {
+        id: id.to_string(),
+        ns_per_op_median: median,
+        ns_per_op_mean: per_op_ns.iter().sum::<f64>() / samples as f64,
+        ns_per_op_best: per_op_ns[0],
+        samples,
+        iters_per_sample,
+    }
+}
 
 /// Top-level benchmark driver, handed to every `criterion_group!` target.
 #[derive(Debug)]
@@ -273,5 +389,35 @@ mod tests {
     fn benchmark_id_renders_both_parts() {
         assert_eq!(BenchmarkId::new("forge", "f=2^-5").label, "forge/f=2^-5");
         assert_eq!(BenchmarkId::from_parameter(42).label, "42");
+    }
+
+    #[test]
+    fn measure_returns_ordered_statistics() {
+        let opts = MeasureOptions {
+            warm_up: Duration::from_millis(5),
+            samples: 5,
+            measurement_time: Duration::from_millis(25),
+        };
+        let mut counter = 0u64;
+        let m = measure("selftest", &opts, || {
+            counter = counter.wrapping_add(1);
+            counter
+        });
+        assert_eq!(m.id, "selftest");
+        assert_eq!(m.samples, 5);
+        assert!(m.iters_per_sample >= 1);
+        assert!(m.ns_per_op_best > 0.0);
+        assert!(m.ns_per_op_best <= m.ns_per_op_median);
+        assert!(m.ns_per_op_median <= m.ns_per_op_mean * 5.0, "median wildly above mean");
+        assert!(m.ops_per_sec() > 0.0);
+        assert!(counter > 0);
+    }
+
+    #[test]
+    fn quick_options_are_cheaper_than_default() {
+        let quick = MeasureOptions::quick();
+        let full = MeasureOptions::default();
+        assert!(quick.samples < full.samples);
+        assert!(quick.measurement_time < full.measurement_time);
     }
 }

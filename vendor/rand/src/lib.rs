@@ -186,8 +186,7 @@ pub trait SeedableRng: Sized {
     fn from_entropy() -> Self {
         use std::io::Read;
         let mut buf = [0u8; 8];
-        let urandom = std::fs::File::open("/dev/urandom")
-            .and_then(|mut f| f.read_exact(&mut buf));
+        let urandom = std::fs::File::open("/dev/urandom").and_then(|mut f| f.read_exact(&mut buf));
         if urandom.is_ok() {
             return Self::seed_from_u64(u64::from_le_bytes(buf));
         }
@@ -237,10 +236,7 @@ pub mod rngs {
 
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
-            let result = self.s[0]
-                .wrapping_add(self.s[3])
-                .rotate_left(23)
-                .wrapping_add(self.s[0]);
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
             let t = self.s[1] << 17;
             self.s[2] ^= self.s[0];
             self.s[3] ^= self.s[1];
