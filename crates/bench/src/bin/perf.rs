@@ -14,12 +14,14 @@
 //! regression-guard semantics (calibration-normalised ns/op, default
 //! tolerance 25%).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::report::Json;
 use criterion::{black_box, measure, MeasureOptions, Measurement};
 
 use evilbloom_attacks::pollution::craft_polluting_items;
+use evilbloom_bench::{load_baseline, PERF_SCHEMA_VERSION};
 use evilbloom_filters::{
     hardened_filter, BlockedBloomFilter, BloomFilter, ConcurrentBloomFilter, FilterKey,
     FilterParams, HardeningLevel, BLOCK_BITS,
@@ -27,13 +29,12 @@ use evilbloom_filters::{
 use evilbloom_hashes::{
     md5, sha256, siphash24, HashStrategy, KirschMitzenmacher, Murmur128Pair, Murmur3_128, SipKey,
 };
-use evilbloom_store::{BloomStore, StoreConfig};
+use evilbloom_server::{Client, Command, Response, Server, ServerConfig};
+use evilbloom_store::{craft_store_pollution, BloomStore, StoreConfig};
 use evilbloom_urlgen::UrlGenerator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Schema version of the emitted report. Bump when a field changes meaning.
-const SCHEMA_VERSION: f64 = 1.0;
 /// Workloads whose geometric-mean ns/op is the calibration unit every
 /// regression comparison is normalised by (see `compare_against_baseline`).
 /// Using the whole hash family (instead of a single workload) keeps the
@@ -86,6 +87,18 @@ fn main() {
         return;
     }
 
+    // Validate the baseline BEFORE spending minutes on the suite: a stale
+    // or corrupted baseline is an operator problem, not a bug — one clear
+    // line and a distinct exit code, never a panic.
+    let baseline =
+        baseline.map(|baseline_path| match load_baseline(&baseline_path, PERF_SCHEMA_VERSION) {
+            Ok(doc) => (baseline_path, doc),
+            Err(message) => {
+                eprintln!("perf: {message}");
+                std::process::exit(2);
+            }
+        });
+
     let started = Instant::now();
     let report = suite.run();
     eprintln!("\nsuite completed in {:.1}s", started.elapsed().as_secs_f64());
@@ -94,10 +107,7 @@ fn main() {
     std::fs::write(&path, report.to_json().to_pretty()).expect("write report");
     println!("\nreport written to {path}");
 
-    if let Some(baseline_path) = baseline {
-        let text = std::fs::read_to_string(&baseline_path)
-            .unwrap_or_else(|e| panic!("read baseline {baseline_path}: {e}"));
-        let baseline_doc = Json::parse(&text).expect("parse baseline JSON");
+    if let Some((baseline_path, baseline_doc)) = baseline {
         if !compare_against_baseline(&report, &baseline_doc, tolerance) {
             eprintln!(
                 "\nPERF REGRESSION against {baseline_path} (tolerance {:.0}%)",
@@ -225,7 +235,7 @@ impl Report {
         let mut workloads: Vec<Json> = self.timings.iter().map(TimingRecord::to_json).collect();
         workloads.extend(self.observables.iter().map(ObservableRecord::to_json));
         Json::obj(vec![
-            ("schema_version", Json::Num(SCHEMA_VERSION)),
+            ("schema_version", Json::Num(PERF_SCHEMA_VERSION)),
             ("suite", Json::Str("evilbloom-perf".to_string())),
             ("mode", Json::Str(if self.quick { "quick" } else { "full" }.to_string())),
             ("env", env_info()),
@@ -300,6 +310,9 @@ impl Suite {
             "store/insert_batch",
             "store/query_loop",
             "store/query_batch",
+            "server/query",
+            "server/query_batch",
+            "server/attack_mix",
             "attack/pollution_drift/standard",
             "attack/pollution_drift/blocked",
         ]
@@ -316,6 +329,7 @@ impl Suite {
         self.hash_workloads(&mut timings);
         self.filter_workloads(&mut timings, &members, &probes);
         self.batch_workloads(&mut timings, &members, &probes);
+        self.server_workloads(&mut timings, &members, &probes);
         self.pollution_workloads(&mut observables);
 
         let comparisons = build_comparisons(&timings);
@@ -470,6 +484,92 @@ impl Suite {
         self.time(out, "store/query_batch", batch as u64, || store.query_batch(&mix));
     }
 
+    /// The TCP serving layer on a loopback socket: single-op round-trip
+    /// latency, pipelined batch throughput (one `MQUERY` frame per batch),
+    /// and an attack-mix stream — pipelined `MINSERT` frames of crafted
+    /// polluting items interleaved with `MQUERY` probe frames, the traffic
+    /// shape of `examples/remote_attack.rs`.
+    fn server_workloads(&self, out: &mut Vec<TimingRecord>, members: &[String], probes: &[String]) {
+        let batch = self.batch;
+
+        // Hardened store behind the server — the recommended serving
+        // posture — preloaded with the member set.
+        let store = Arc::new(BloomStore::new(
+            StoreConfig::hardened(8, self.filter_capacity, 0.01),
+            &mut StdRng::seed_from_u64(7),
+        ));
+        store.insert_batch(members);
+        let handle = Server::spawn(Arc::clone(&store), "127.0.0.1:0", ServerConfig::default())
+            .expect("bind loopback");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        let mut i = 0usize;
+        self.time(out, "server/query", 1, || {
+            i = (i + 1) % members.len();
+            client.query(members[i].as_bytes()).expect("server query")
+        });
+
+        let mix: Vec<&[u8]> = members
+            .iter()
+            .zip(probes)
+            .take(batch / 2)
+            .flat_map(|(m, p)| [m.as_bytes(), p.as_bytes()])
+            .collect();
+        self.time(out, "server/query_batch", batch as u64, || {
+            client.query_batch(&mix).expect("server query batch")
+        });
+        drop(client);
+        handle.shutdown();
+
+        // Attack mix runs against an unhardened victim (the deployment the
+        // paper attacks): crafted items come from the offline pollution
+        // search, probes hunt the false positives it manufactures.
+        // Re-inserting the same crafted items every iteration is idempotent,
+        // so the store's fill — and the per-op cost — stays stable.
+        let victim = Arc::new(BloomStore::new(
+            StoreConfig::unhardened(8, self.filter_capacity, 0.01),
+            &mut StdRng::seed_from_u64(8),
+        ));
+        let plan = craft_store_pollution(
+            &victim,
+            &UrlGenerator::new("perf-remote-evil"),
+            batch / 2,
+            self.pollution_attempts,
+        )
+        .expect("unhardened stores expose an adversarial view");
+        assert_eq!(plan.items.len(), batch / 2, "crafting budget exhausted");
+        let handle = Server::spawn(Arc::clone(&victim), "127.0.0.1:0", ServerConfig::default())
+            .expect("bind loopback");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        let frame = 128usize;
+        let crafted_frames: Vec<Vec<&[u8]>> =
+            plan.items.chunks(frame).map(|c| c.iter().map(String::as_bytes).collect()).collect();
+        let probe_frames: Vec<Vec<&[u8]>> = probes[..batch / 2]
+            .chunks(frame)
+            .map(|c| c.iter().map(String::as_bytes).collect())
+            .collect();
+        let frames = crafted_frames.len() + probe_frames.len();
+        self.time(out, "server/attack_mix", batch as u64, || {
+            for (crafted, probe) in crafted_frames.iter().zip(&probe_frames) {
+                client.send(&Command::InsertBatch(crafted.clone())).expect("queue MINSERT");
+                client.send(&Command::QueryBatch(probe.clone())).expect("queue MQUERY");
+            }
+            let mut hits = 0usize;
+            for _ in 0..frames {
+                match client.recv().expect("attack-mix response") {
+                    Response::BatchInserted { .. } => {}
+                    Response::BatchFound(answers) => {
+                        hits += answers.iter().filter(|&&a| a).count();
+                    }
+                    other => panic!("unexpected {} in attack mix", other.name()),
+                }
+            }
+            hits
+        });
+        drop(client);
+        handle.shutdown();
+    }
+
     /// The paper's quantitative core as observables: false-positive drift
     /// under a chosen-insertion (pollution) attack, on the classic filter
     /// and on the blocked fast path — demonstrating the attack carries over.
@@ -576,6 +676,7 @@ fn build_comparisons(timings: &[TimingRecord]) -> Vec<Comparison> {
     push("blocked_vs_standard_insert", "filter/standard/insert", "filter/blocked/insert");
     push("batch_vs_loop_query_concurrent", "concurrent/query_loop", "concurrent/query_batch");
     push("batch_vs_loop_query_store", "store/query_loop", "store/query_batch");
+    push("pipelined_batch_vs_single_op_server", "server/query", "server/query_batch");
     comparisons
 }
 

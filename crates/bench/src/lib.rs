@@ -6,8 +6,42 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use criterion::report::Json;
 use evilbloom_filters::{BloomFilter, FilterParams};
 use evilbloom_hashes::{IndexStrategy, KirschMitzenmacher, Murmur3_128};
+
+/// Schema version of the perf runner's report (`BENCH_<n>.json`). Bump when
+/// a field changes meaning; baselines from other schema versions are
+/// rejected by [`load_baseline`].
+pub const PERF_SCHEMA_VERSION: f64 = 1.0;
+
+/// Parses and validates a perf baseline document. Errors are one-line,
+/// operator-readable strings — the perf runner prints them and exits
+/// instead of panicking on a stale or corrupted baseline file.
+pub fn parse_baseline(text: &str, expected_schema: f64) -> Result<Json, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON ({e})"))?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| "missing a numeric schema_version field".to_string())?;
+    if version != expected_schema {
+        return Err(format!(
+            "schema_version {version} does not match the supported version {expected_schema} \
+             (regenerate it with the current perf runner)"
+        ));
+    }
+    if doc.get("workloads").and_then(Json::as_array).is_none() {
+        return Err("missing the workloads array".to_string());
+    }
+    Ok(doc)
+}
+
+/// Reads and validates a baseline file; see [`parse_baseline`].
+pub fn load_baseline(path: &str, expected_schema: f64) -> Result<Json, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("baseline {path}: cannot read ({e})"))?;
+    parse_baseline(&text, expected_schema).map_err(|e| format!("baseline {path}: {e}"))
+}
 
 /// Builds a Bloom filter loaded to roughly `fill` fraction of set bits, used
 /// as the target of forgery benches.
@@ -53,5 +87,50 @@ mod tests {
     fn table2_params_match_paper_setup() {
         let params = table2_params();
         assert_eq!(params.k, 10);
+    }
+
+    #[test]
+    fn unparsable_baseline_is_a_clear_error() {
+        let err = parse_baseline("{not json", PERF_SCHEMA_VERSION).expect_err("must reject");
+        assert!(err.contains("not valid JSON"), "{err}");
+        // One line: the perf runner prints this verbatim.
+        assert!(!err.contains('\n'), "{err}");
+    }
+
+    #[test]
+    fn mismatched_schema_version_is_a_clear_error() {
+        let text = r#"{"schema_version": 99.0, "workloads": []}"#;
+        let err = parse_baseline(text, PERF_SCHEMA_VERSION).expect_err("must reject");
+        assert!(err.contains("schema_version 99"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+        assert!(!err.contains('\n'), "{err}");
+    }
+
+    #[test]
+    fn missing_schema_version_is_a_clear_error() {
+        let err =
+            parse_baseline(r#"{"workloads": []}"#, PERF_SCHEMA_VERSION).expect_err("must reject");
+        assert!(err.contains("schema_version"), "{err}");
+    }
+
+    #[test]
+    fn missing_workloads_is_a_clear_error() {
+        let err = parse_baseline(r#"{"schema_version": 1.0}"#, PERF_SCHEMA_VERSION)
+            .expect_err("must reject");
+        assert!(err.contains("workloads"), "{err}");
+    }
+
+    #[test]
+    fn valid_baseline_loads() {
+        let text = r#"{"schema_version": 1.0, "workloads": [{"id": "hash/md5", "ns_per_op_median": 100.0}]}"#;
+        let doc = parse_baseline(text, PERF_SCHEMA_VERSION).expect("valid");
+        assert_eq!(doc.get("workloads").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+    }
+
+    #[test]
+    fn unreadable_baseline_file_is_a_clear_error() {
+        let err = load_baseline("/nonexistent/baseline.json", PERF_SCHEMA_VERSION)
+            .expect_err("must reject");
+        assert!(err.contains("cannot read"), "{err}");
     }
 }

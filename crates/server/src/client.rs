@@ -1,0 +1,242 @@
+//! The matching TCP client: typed request/response helpers over the shared
+//! wire codec, with explicit pipelining.
+//!
+//! The convenience methods ([`Client::insert`], [`Client::query_batch`], …)
+//! are one round trip each. For throughput, pipeline: [`Client::send`] a
+//! burst of commands without waiting, then [`Client::recv`] the responses
+//! in order — the first `recv` flushes the write buffer, so a burst of
+//! frames crosses the network in one write and the server answers them all
+//! from one read.
+//!
+//! **Bound your bursts.** The server writes responses with blocking I/O, so
+//! a client that keeps sending while never receiving can wedge both sides
+//! once the un-received responses overflow the socket buffers (the server
+//! blocks writing responses, the client blocks writing requests, nobody
+//! reads). Keep the responses outstanding per burst comfortably under the
+//! socket-buffer scale — tens of kilobytes, i.e. thousands of single-op
+//! commands or dozens of batch frames — and prefer `MINSERT`/`MQUERY`
+//! batch frames over long runs of single-op frames: one batch frame earns
+//! one small response.
+
+use std::io::{self, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{self, Command, Response, WireError, WireStats, DEFAULT_MAX_FRAME_BYTES};
+
+/// Errors a client call can surface.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server sent bytes that do not decode as a response frame.
+    Wire(WireError),
+    /// The server answered with an `ERROR` response.
+    Remote(String),
+    /// The server answered with the wrong response kind for the request.
+    Unexpected {
+        /// Response the request called for.
+        expected: &'static str,
+        /// Response that actually arrived.
+        got: &'static str,
+    },
+    /// The server closed the connection while a response was outstanding.
+    Disconnected,
+}
+
+impl core::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Remote(message) => write!(f, "server error: {message}"),
+            ClientError::Unexpected { expected, got } => {
+                write!(f, "expected {expected} response, got {got}")
+            }
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Outcome of a remote batch insert (the wire twin of
+/// [`evilbloom_store::BatchOutcome`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteBatchOutcome {
+    /// Items the server inserted.
+    pub items: u32,
+    /// Bits the batch flipped 0 → 1 across all shards.
+    pub fresh_bits: u64,
+}
+
+/// A connection to an evilbloom server.
+pub struct Client {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+    frame: Vec<u8>,
+    scratch: Vec<u8>,
+    max_frame_bytes: u32,
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`, so single-op latency is not at the
+    /// mercy of Nagle's algorithm).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            frame: Vec::new(),
+            scratch: Vec::new(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Sets the frame cap this client enforces on both directions (default
+    /// [`DEFAULT_MAX_FRAME_BYTES`]); match it to the server's
+    /// `ServerConfig::max_frame_bytes` when that was changed.
+    pub fn set_max_frame_bytes(&mut self, max_frame_bytes: u32) {
+        self.max_frame_bytes = max_frame_bytes;
+    }
+
+    /// Queues one command into the write buffer without flushing — the
+    /// pipelining primitive. Pair every `send` with one [`Client::recv`].
+    ///
+    /// A command that encodes above the frame cap is rejected here, before
+    /// any bytes leave the client — the server would answer it with an
+    /// `ERROR` and close the connection, a far more confusing failure.
+    pub fn send(&mut self, command: &Command<'_>) -> io::Result<()> {
+        self.scratch.clear();
+        command.encode(&mut self.scratch);
+        let payload_len = (self.scratch.len() - 4) as u64;
+        if payload_len > u64::from(self.max_frame_bytes) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                WireError::Oversized {
+                    len: payload_len.min(u64::from(u32::MAX)) as u32,
+                    max: self.max_frame_bytes,
+                }
+                .to_string(),
+            ));
+        }
+        self.writer.write_all(&self.scratch)
+    }
+
+    /// Flushes queued commands to the socket. [`Client::recv`] does this
+    /// automatically before blocking.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Receives the next response in order. Flushes first, so a
+    /// send-burst-then-recv-loop cannot deadlock on an unflushed request.
+    /// `ERROR` responses surface as [`ClientError::Remote`].
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
+        self.flush()?;
+        if !wire::read_frame(&mut self.reader, &mut self.frame, self.max_frame_bytes)? {
+            return Err(ClientError::Disconnected);
+        }
+        match Response::decode(&self.frame)? {
+            Response::Error(message) => Err(ClientError::Remote(message)),
+            response => Ok(response),
+        }
+    }
+
+    fn call(&mut self, command: &Command<'_>) -> Result<Response, ClientError> {
+        self.send(command)?;
+        self.recv()
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Command::Ping)? {
+            Response::Pong => Ok(()),
+            other => unexpected("PONG", &other),
+        }
+    }
+
+    /// Inserts one item; returns the number of fresh bits it set.
+    pub fn insert(&mut self, item: &[u8]) -> Result<u32, ClientError> {
+        match self.call(&Command::Insert(item))? {
+            Response::Inserted { fresh_bits } => Ok(fresh_bits),
+            other => unexpected("INSERTED", &other),
+        }
+    }
+
+    /// Membership query (positives may be false positives).
+    pub fn query(&mut self, item: &[u8]) -> Result<bool, ClientError> {
+        match self.call(&Command::Query(item))? {
+            Response::Found(found) => Ok(found),
+            other => unexpected("FOUND", &other),
+        }
+    }
+
+    /// Batch insert: one frame, one shard-lock visit per shard.
+    pub fn insert_batch<I: AsRef<[u8]>>(
+        &mut self,
+        items: &[I],
+    ) -> Result<RemoteBatchOutcome, ClientError> {
+        let borrowed: Vec<&[u8]> = items.iter().map(AsRef::as_ref).collect();
+        match self.call(&Command::InsertBatch(borrowed))? {
+            Response::BatchInserted { items, fresh_bits } => {
+                Ok(RemoteBatchOutcome { items, fresh_bits })
+            }
+            other => unexpected("MINSERTED", &other),
+        }
+    }
+
+    /// Batch query; answers are in input order.
+    pub fn query_batch<I: AsRef<[u8]>>(&mut self, items: &[I]) -> Result<Vec<bool>, ClientError> {
+        let borrowed: Vec<&[u8]> = items.iter().map(AsRef::as_ref).collect();
+        match self.call(&Command::QueryBatch(borrowed))? {
+            Response::BatchFound(answers) if answers.len() == items.len() => Ok(answers),
+            Response::BatchFound(_) => {
+                Err(ClientError::Wire(WireError::Malformed("answer count mismatch")))
+            }
+            other => unexpected("MFOUND", &other),
+        }
+    }
+
+    /// Health snapshot, including per-shard pollution alarms.
+    pub fn stats(&mut self) -> Result<WireStats, ClientError> {
+        match self.call(&Command::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => unexpected("STATS", &other),
+        }
+    }
+
+    /// Starts a key rotation on one shard. Returns the new generation id,
+    /// or `None` if a rotation was already draining there.
+    pub fn rotate_begin(&mut self, shard: u32) -> Result<Option<u64>, ClientError> {
+        match self.call(&Command::RotateBegin { shard })? {
+            Response::Rotated { generation } => Ok(generation),
+            other => unexpected("ROTATED", &other),
+        }
+    }
+
+    /// Completes a shard's rotation (call after replaying the item set).
+    pub fn rotate_complete(&mut self, shard: u32) -> Result<bool, ClientError> {
+        match self.call(&Command::RotateComplete { shard })? {
+            Response::RotationCompleted(completed) => Ok(completed),
+            other => unexpected("ROTATION_COMPLETED", &other),
+        }
+    }
+}
+
+fn unexpected<T>(expected: &'static str, got: &Response) -> Result<T, ClientError> {
+    Err(ClientError::Unexpected { expected, got: got.name() })
+}

@@ -1,0 +1,63 @@
+//! # evilbloom-server
+//!
+//! The network serving layer in front of [`evilbloom_store::BloomStore`]:
+//! a dependency-free (std-only) TCP server, a matching client, and the
+//! compact length-prefixed wire protocol they share.
+//!
+//! The paper's threat model is a *remote* adversary degrading a
+//! Bloom-filter-backed service with chosen insertions and queries. This
+//! crate closes the gap between that model and the in-process store: the
+//! pollution and forgery engines of `evilbloom-attacks` can now hit the
+//! service over a socket exactly as the paper envisions (see
+//! `examples/remote_attack.rs` at the workspace root), while `STATS` exposes
+//! the per-shard pollution alarms to a remote operator.
+//!
+//! * [`wire`] — the protocol: versioned, length-prefixed binary frames
+//!   (`PING`/`INSERT`/`QUERY`/`MINSERT`/`MQUERY`/`STATS`/`ROTATE`), one
+//!   encoder/decoder shared by both ends, panic-free on arbitrary input,
+//!   with commands borrowing item bytes straight from the receive buffer;
+//! * [`server`] — acceptor + worker-thread pool, pipelined request loop
+//!   (every socket read drains all complete frames and answers them in one
+//!   write), batch commands routed through the store's one-lock-visit-per-
+//!   shard batch APIs, graceful bounded shutdown;
+//! * [`client`] — typed helpers plus explicit [`Client::send`] /
+//!   [`Client::recv`] pipelining.
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use evilbloom_server::{Client, Server, ServerConfig};
+//! use evilbloom_store::{BloomStore, StoreConfig};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let store = Arc::new(BloomStore::new(
+//!     StoreConfig::hardened(4, 4_000, 0.01),
+//!     &mut StdRng::seed_from_u64(42),
+//! ));
+//! let handle = Server::spawn(store, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(handle.local_addr()).unwrap();
+//! client.insert_batch(&["/a", "/b", "/c"]).unwrap();
+//! assert_eq!(client.query_batch(&["/a", "/b", "/nope"]).unwrap(), vec![true, true, false]);
+//! assert_eq!(client.stats().unwrap().total_inserted, 3);
+//!
+//! drop(client);
+//! handle.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError, RemoteBatchOutcome};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use wire::{
+    Command, Response, WireError, WireShardStats, WireStats, DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};

@@ -1,0 +1,318 @@
+//! The threaded TCP server in front of a [`BloomStore`].
+//!
+//! Architecture: one acceptor thread hands connections to a fixed pool of
+//! worker threads over an mpsc channel; each worker serves one connection at
+//! a time. A connection is a pipelined request loop — every socket read
+//! drains *all* complete frames from the receive buffer, executes them
+//! against the shared store (batch commands visit each shard lock once), and
+//! flushes the buffered responses in one write. Reads tick on a short
+//! timeout so every connection observes the shutdown flag promptly;
+//! [`ServerHandle::shutdown`] is therefore bounded, not best-effort.
+//!
+//! Response writes are blocking: a peer that pipelines without ever
+//! receiving can stall its own connection (and the worker serving it) once
+//! the un-received responses overflow the socket buffers. That is the
+//! peer's contract to keep — see the burst-bound note in [`crate::client`]
+//! — and it wedges only that worker, never the acceptor or other
+//! connections' workers.
+
+use std::io::{self, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use evilbloom_store::BloomStore;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::wire::{self, Command, Response, WireStats, DEFAULT_MAX_FRAME_BYTES};
+
+/// Tuning knobs of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads; each serves one connection at a time.
+    pub workers: usize,
+    /// Per-frame payload cap (a hostile length prefix is rejected, and the
+    /// connection closed, before any allocation).
+    pub max_frame_bytes: u32,
+    /// Seed of the RNG that draws fresh key material for `ROTATE` commands
+    /// on hardened stores.
+    pub rotation_seed: u64,
+    /// Tick at which the acceptor's non-blocking accept loop and idle
+    /// connections' read timeouts re-check the shutdown flag — the upper
+    /// bound on how long [`ServerHandle::shutdown`] waits for an idle
+    /// server.
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            rotation_seed: 0x5EED_0F0D_D5EE_D545,
+            poll_interval: Duration::from_millis(25),
+        }
+    }
+}
+
+/// Shared state of a running server.
+struct Inner {
+    store: Arc<BloomStore>,
+    shutdown: AtomicBool,
+    rotation_rng: Mutex<StdRng>,
+    requests_served: AtomicU64,
+    max_frame_bytes: u32,
+    poll_interval: Duration,
+}
+
+/// The TCP serving layer: binds a listener and spawns the acceptor + worker
+/// threads. See [`Server::spawn`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral loopback port) and starts
+    /// serving `store`. Returns a handle owning the background threads.
+    pub fn spawn(
+        store: Arc<BloomStore>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            store,
+            shutdown: AtomicBool::new(false),
+            rotation_rng: Mutex::new(StdRng::seed_from_u64(config.rotation_seed)),
+            requests_served: AtomicU64::new(0),
+            max_frame_bytes: config.max_frame_bytes,
+            poll_interval: config.poll_interval,
+        });
+
+        let (tx, rx) = channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&rx, &inner))
+            })
+            .collect();
+
+        // Non-blocking accept with a poll tick: the acceptor re-checks the
+        // shutdown flag every interval, so shutdown never needs to wake a
+        // blocked accept (a self-connect trick would hang on wildcard or
+        // externally-unreachable bind addresses), and persistent accept
+        // errors (EMFILE under fd exhaustion) back off instead of spinning.
+        listener.set_nonblocking(true)?;
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            let poll_interval = config.poll_interval;
+            std::thread::spawn(move || {
+                while !inner.shutdown.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            // Whether accepted sockets inherit non-blocking
+                            // mode is platform-dependent; connections must
+                            // be blocking (they use read timeouts).
+                            if stream.set_nonblocking(false).is_err() {
+                                continue;
+                            }
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(poll_interval);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => std::thread::sleep(poll_interval),
+                    }
+                }
+            })
+        };
+
+        Ok(ServerHandle { local_addr, inner, acceptor: Some(acceptor), workers })
+    }
+}
+
+/// Handle to a running server: address introspection and graceful shutdown.
+/// Dropping the handle also shuts the server down.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    inner: Arc<Inner>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests served so far, across all connections.
+    pub fn requests_served(&self) -> u64 {
+        self.inner.requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, let every open connection finish
+    /// the requests it has buffered, and join all threads. Bounded by the
+    /// configured poll interval plus in-flight request time.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.acceptor.is_none() && self.workers.is_empty() {
+            return; // already shut down (shutdown() ran; this is its Drop)
+        }
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor notices the flag within one poll tick and exits,
+        // dropping the worker channel; idle connections notice on their
+        // read-timeout tick.
+        if let Some(acceptor) = self.acceptor.take() {
+            drop(acceptor.join());
+        }
+        for worker in self.workers.drain(..) {
+            drop(worker.join());
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, inner: &Inner) {
+    loop {
+        // Hold the lock only for the dequeue, never while serving.
+        let stream = match rx.lock().expect("worker queue poisoned").recv() {
+            Ok(stream) => stream,
+            Err(_) => break, // acceptor gone: shutdown
+        };
+        // A connection failing (peer reset, protocol abuse) must not take
+        // the worker with it.
+        drop(handle_connection(stream, inner));
+    }
+}
+
+/// Serves one connection until EOF, a protocol violation, or shutdown.
+fn handle_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(inner.poll_interval))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = BufWriter::new(stream);
+    let mut acc: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut out: Vec<u8> = Vec::with_capacity(16 * 1024);
+    let mut chunk = vec![0u8; 64 * 1024];
+
+    loop {
+        match reader.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                acc.extend_from_slice(&chunk[..n]);
+                let keep_open = drain_frames(&mut acc, &mut out, inner);
+                if !out.is_empty() {
+                    writer.write_all(&out)?;
+                    writer.flush()?;
+                    out.clear();
+                }
+                if !keep_open {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Decodes and executes every complete frame in `acc`, appending response
+/// frames to `out`. Returns `false` when a protocol violation means the
+/// connection must close (the stream can no longer be trusted to be in
+/// sync); a final `ERROR` response is still emitted so the client learns
+/// why.
+fn drain_frames(acc: &mut Vec<u8>, out: &mut Vec<u8>, inner: &Inner) -> bool {
+    let mut consumed = 0;
+    let mut keep_open = true;
+    loop {
+        match wire::frame_bounds(acc, consumed, inner.max_frame_bytes) {
+            Ok(None) => break,
+            Ok(Some((start, end))) => {
+                consumed = end;
+                match Command::decode(&acc[start..end]) {
+                    Ok(command) => {
+                        execute(&command, inner).encode(out);
+                        inner.requests_served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(err) => {
+                        Response::Error(format!("protocol error: {err}")).encode(out);
+                        keep_open = false;
+                        break;
+                    }
+                }
+            }
+            Err(err) => {
+                Response::Error(format!("protocol error: {err}")).encode(out);
+                keep_open = false;
+                break;
+            }
+        }
+    }
+    acc.drain(..consumed);
+    keep_open
+}
+
+/// Executes one decoded command against the store. Batch commands pass the
+/// borrowed item slices straight through to the store's batch APIs, which
+/// visit each shard lock exactly once per frame.
+fn execute(command: &Command<'_>, inner: &Inner) -> Response {
+    let store = &inner.store;
+    match command {
+        Command::Ping => Response::Pong,
+        Command::Insert(item) => Response::Inserted { fresh_bits: store.insert(item) },
+        Command::Query(item) => Response::Found(store.contains(item)),
+        Command::InsertBatch(items) => {
+            let outcome = store.insert_batch(items);
+            Response::BatchInserted { items: items.len() as u32, fresh_bits: outcome.fresh_bits }
+        }
+        Command::QueryBatch(items) => Response::BatchFound(store.query_batch(items)),
+        Command::Stats => {
+            Response::Stats(WireStats::from_stats(&store.stats(), store.is_hardened()))
+        }
+        Command::RotateBegin { shard } => match checked_shard(store, *shard) {
+            Err(error) => error,
+            Ok(shard) => {
+                let mut rng = inner.rotation_rng.lock().expect("rotation rng poisoned");
+                Response::Rotated { generation: store.begin_rotation(shard, &mut *rng) }
+            }
+        },
+        Command::RotateComplete { shard } => match checked_shard(store, *shard) {
+            Err(error) => error,
+            Ok(shard) => Response::RotationCompleted(store.complete_rotation(shard)),
+        },
+    }
+}
+
+fn checked_shard(store: &BloomStore, shard: u32) -> Result<usize, Response> {
+    let index = shard as usize;
+    if index >= store.shard_count() {
+        return Err(Response::Error(format!(
+            "shard {index} out of range (store has {} shards)",
+            store.shard_count()
+        )));
+    }
+    Ok(index)
+}

@@ -1,0 +1,811 @@
+//! The evilbloom wire protocol: compact length-prefixed binary frames shared
+//! by the server and the client.
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! +----------------+-----------+----------+------------------+
+//! | len: u32 LE    | version:  | opcode:  | body (len - 2    |
+//! | (payload size) | u8 (= 1)  | u8       | bytes)           |
+//! +----------------+-----------+----------+------------------+
+//! ```
+//!
+//! The length prefix counts the payload (version byte onwards), so a frame
+//! occupies `4 + len` bytes on the wire. All integers are little-endian;
+//! floats travel as their IEEE-754 bit patterns. Frames above a configurable
+//! cap ([`DEFAULT_MAX_FRAME_BYTES`]) are rejected before any allocation, so
+//! a hostile length prefix cannot balloon memory.
+//!
+//! ## Commands and responses
+//!
+//! | Opcode | Command | Body | Response |
+//! |---|---|---|---|
+//! | `0x01` | `PING` | — | `0x81 PONG` |
+//! | `0x02` | `INSERT` | item bytes | `0x82 INSERTED` (fresh bits `u32`) |
+//! | `0x03` | `QUERY` | item bytes | `0x83 FOUND` (`u8` bool) |
+//! | `0x04` | `MINSERT` | item list | `0x84 MINSERTED` (`u32` items, `u64` fresh bits) |
+//! | `0x05` | `MQUERY` | item list | `0x85 MFOUND` (`u32` count + bitmap) |
+//! | `0x06` | `STATS` | — | `0x86 STATS` (store + per-shard health) |
+//! | `0x07` | `ROTATE` | `u8` phase, `u32` shard | `0x87 ROTATED` |
+//! | — | — | — | `0xEE ERROR` (UTF-8 message) |
+//!
+//! An *item list* is a `u32` count followed by `count` entries of `u32`
+//! length then bytes. The `MFOUND` bitmap packs answer `i` into bit `i % 8`
+//! of byte `i / 8`, padding bits zero.
+//!
+//! Decoding is allocation-bounded and panic-free on arbitrary input: every
+//! malformed, truncated or oversized frame surfaces as a [`WireError`].
+//! Commands borrow their item bytes from the receive buffer
+//! ([`Command<'a>`]), so the server hands slices straight from the socket
+//! buffer to the store's batch APIs without copying.
+
+use std::io::{self, Read};
+
+use evilbloom_store::StoreStats;
+
+/// Version byte every payload starts with. Bump on incompatible changes.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default cap on the payload length a peer will accept (16 MiB) — large
+/// enough for tens of thousands of URLs per batch frame, small enough that a
+/// hostile length prefix cannot balloon memory.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+const OP_PING: u8 = 0x01;
+const OP_INSERT: u8 = 0x02;
+const OP_QUERY: u8 = 0x03;
+const OP_MINSERT: u8 = 0x04;
+const OP_MQUERY: u8 = 0x05;
+const OP_STATS: u8 = 0x06;
+const OP_ROTATE: u8 = 0x07;
+
+const OP_PONG: u8 = 0x81;
+const OP_INSERTED: u8 = 0x82;
+const OP_FOUND: u8 = 0x83;
+const OP_MINSERTED: u8 = 0x84;
+const OP_MFOUND: u8 = 0x85;
+const OP_STATS_REPLY: u8 = 0x86;
+const OP_ROTATED: u8 = 0x87;
+const OP_ERROR: u8 = 0xEE;
+
+const ROTATE_BEGIN: u8 = 0;
+const ROTATE_COMPLETE: u8 = 1;
+
+/// A protocol violation found while decoding a frame. Decoders return these
+/// instead of panicking, whatever bytes the peer sends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the structure it announced was complete.
+    Truncated,
+    /// The version byte is not [`PROTOCOL_VERSION`].
+    BadVersion(u8),
+    /// Unknown opcode for this direction (command vs. response).
+    BadOpcode(u8),
+    /// The length prefix exceeds the configured frame cap.
+    Oversized {
+        /// Announced payload length.
+        len: u32,
+        /// The cap it violates.
+        max: u32,
+    },
+    /// Structurally invalid body (counts or lengths that do not add up,
+    /// stray trailing bytes, non-UTF-8 error text, …).
+    Malformed(&'static str),
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame payload is truncated"),
+            WireError::BadVersion(v) => {
+                write!(f, "unsupported protocol version {v} (expected {PROTOCOL_VERSION})")
+            }
+            WireError::BadOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A request frame. Item bytes are borrowed from the receive buffer, so the
+/// server can feed them to the store's batch APIs without copying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command<'a> {
+    /// Liveness probe.
+    Ping,
+    /// Insert one item; the response carries the number of fresh bits set.
+    Insert(&'a [u8]),
+    /// Membership query for one item.
+    Query(&'a [u8]),
+    /// Batch insert: one frame visits each store shard at most once.
+    InsertBatch(Vec<&'a [u8]>),
+    /// Batch query; answers come back in input order as a bitmap.
+    QueryBatch(Vec<&'a [u8]>),
+    /// Health snapshot: per-shard fill, FPP estimates and pollution alarms.
+    Stats,
+    /// Start a key rotation on one shard (the old generation keeps
+    /// answering; replay the item set, then send `RotateComplete`).
+    RotateBegin {
+        /// Shard index.
+        shard: u32,
+    },
+    /// Drop a shard's draining generation, finishing its rotation.
+    RotateComplete {
+        /// Shard index.
+        shard: u32,
+    },
+}
+
+impl<'a> Command<'a> {
+    /// Appends the complete frame (length prefix included) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = begin_frame(out);
+        match self {
+            Command::Ping => out.push(OP_PING),
+            Command::Insert(item) => {
+                out.push(OP_INSERT);
+                out.extend_from_slice(item);
+            }
+            Command::Query(item) => {
+                out.push(OP_QUERY);
+                out.extend_from_slice(item);
+            }
+            Command::InsertBatch(items) => {
+                out.push(OP_MINSERT);
+                put_items(out, items);
+            }
+            Command::QueryBatch(items) => {
+                out.push(OP_MQUERY);
+                put_items(out, items);
+            }
+            Command::Stats => out.push(OP_STATS),
+            Command::RotateBegin { shard } => {
+                out.push(OP_ROTATE);
+                out.push(ROTATE_BEGIN);
+                out.extend_from_slice(&shard.to_le_bytes());
+            }
+            Command::RotateComplete { shard } => {
+                out.push(OP_ROTATE);
+                out.push(ROTATE_COMPLETE);
+                out.extend_from_slice(&shard.to_le_bytes());
+            }
+        }
+        finish_frame(out, start);
+    }
+
+    /// Decodes a command from a frame payload (length prefix already
+    /// stripped). Borrows item bytes from `payload`.
+    pub fn decode(payload: &'a [u8]) -> Result<Command<'a>, WireError> {
+        let mut r = Reader::new(payload)?;
+        let command = match r.opcode {
+            OP_PING => Command::Ping,
+            OP_INSERT => Command::Insert(r.rest()),
+            OP_QUERY => Command::Query(r.rest()),
+            OP_MINSERT => Command::InsertBatch(r.items()?),
+            OP_MQUERY => Command::QueryBatch(r.items()?),
+            OP_STATS => Command::Stats,
+            OP_ROTATE => {
+                let phase = r.u8()?;
+                let shard = r.u32()?;
+                match phase {
+                    ROTATE_BEGIN => Command::RotateBegin { shard },
+                    ROTATE_COMPLETE => Command::RotateComplete { shard },
+                    _ => return Err(WireError::Malformed("unknown rotate phase")),
+                }
+            }
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        r.done()?;
+        Ok(command)
+    }
+}
+
+/// A response frame (owned: the client keeps it after the receive buffer is
+/// reused).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Command::Ping`].
+    Pong,
+    /// Reply to [`Command::Insert`].
+    Inserted {
+        /// Bits this insertion flipped 0 → 1.
+        fresh_bits: u32,
+    },
+    /// Reply to [`Command::Query`].
+    Found(bool),
+    /// Reply to [`Command::InsertBatch`].
+    BatchInserted {
+        /// Items inserted.
+        items: u32,
+        /// Bits the batch flipped 0 → 1 across all shards.
+        fresh_bits: u64,
+    },
+    /// Reply to [`Command::QueryBatch`], answers in input order.
+    BatchFound(Vec<bool>),
+    /// Reply to [`Command::Stats`].
+    Stats(WireStats),
+    /// Reply to [`Command::RotateBegin`]: the new generation id, or `None`
+    /// if a rotation was already draining on that shard.
+    Rotated {
+        /// New active generation id, when the rotation started.
+        generation: Option<u64>,
+    },
+    /// Reply to [`Command::RotateComplete`]: whether a draining generation
+    /// was actually dropped.
+    RotationCompleted(bool),
+    /// The server could not serve the request (protocol violation, shard
+    /// out of range, …). Protocol violations also close the connection.
+    Error(String),
+}
+
+impl Response {
+    /// Short constant name of the variant (used in mismatch diagnostics).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Response::Pong => "PONG",
+            Response::Inserted { .. } => "INSERTED",
+            Response::Found(_) => "FOUND",
+            Response::BatchInserted { .. } => "MINSERTED",
+            Response::BatchFound(_) => "MFOUND",
+            Response::Stats(_) => "STATS",
+            Response::Rotated { .. } => "ROTATED",
+            Response::RotationCompleted(_) => "ROTATION_COMPLETED",
+            Response::Error(_) => "ERROR",
+        }
+    }
+
+    /// Appends the complete frame (length prefix included) to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let start = begin_frame(out);
+        match self {
+            Response::Pong => out.push(OP_PONG),
+            Response::Inserted { fresh_bits } => {
+                out.push(OP_INSERTED);
+                out.extend_from_slice(&fresh_bits.to_le_bytes());
+            }
+            Response::Found(found) => {
+                out.push(OP_FOUND);
+                out.push(u8::from(*found));
+            }
+            Response::BatchInserted { items, fresh_bits } => {
+                out.push(OP_MINSERTED);
+                out.extend_from_slice(&items.to_le_bytes());
+                out.extend_from_slice(&fresh_bits.to_le_bytes());
+            }
+            Response::BatchFound(answers) => {
+                out.push(OP_MFOUND);
+                out.extend_from_slice(&(answers.len() as u32).to_le_bytes());
+                let mut byte = 0u8;
+                for (i, &answer) in answers.iter().enumerate() {
+                    byte |= u8::from(answer) << (i % 8);
+                    if i % 8 == 7 {
+                        out.push(byte);
+                        byte = 0;
+                    }
+                }
+                if !answers.len().is_multiple_of(8) {
+                    out.push(byte);
+                }
+            }
+            Response::Stats(stats) => {
+                out.push(OP_STATS_REPLY);
+                stats.encode(out);
+            }
+            Response::Rotated { generation } => {
+                out.push(OP_ROTATED);
+                out.push(ROTATE_BEGIN);
+                out.push(u8::from(generation.is_some()));
+                out.extend_from_slice(&generation.unwrap_or(0).to_le_bytes());
+            }
+            Response::RotationCompleted(completed) => {
+                out.push(OP_ROTATED);
+                out.push(ROTATE_COMPLETE);
+                out.push(u8::from(*completed));
+                out.extend_from_slice(&0u64.to_le_bytes());
+            }
+            Response::Error(message) => {
+                out.push(OP_ERROR);
+                out.extend_from_slice(message.as_bytes());
+            }
+        }
+        finish_frame(out, start);
+    }
+
+    /// Decodes a response from a frame payload (length prefix stripped).
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = Reader::new(payload)?;
+        let response = match r.opcode {
+            OP_PONG => Response::Pong,
+            OP_INSERTED => Response::Inserted { fresh_bits: r.u32()? },
+            OP_FOUND => Response::Found(r.flag()?),
+            OP_MINSERTED => Response::BatchInserted { items: r.u32()?, fresh_bits: r.u64()? },
+            OP_MFOUND => {
+                let count = r.u32()? as usize;
+                let bitmap = r.bytes(count.div_ceil(8))?;
+                Response::BatchFound(
+                    (0..count).map(|i| bitmap[i / 8] >> (i % 8) & 1 == 1).collect(),
+                )
+            }
+            OP_STATS_REPLY => Response::Stats(WireStats::decode(&mut r)?),
+            OP_ROTATED => {
+                let phase = r.u8()?;
+                let flag = r.flag()?;
+                let generation = r.u64()?;
+                match phase {
+                    ROTATE_BEGIN => Response::Rotated { generation: flag.then_some(generation) },
+                    ROTATE_COMPLETE => {
+                        if generation != 0 {
+                            return Err(WireError::Malformed(
+                                "rotation-completed carries a generation",
+                            ));
+                        }
+                        Response::RotationCompleted(flag)
+                    }
+                    _ => return Err(WireError::Malformed("unknown rotate phase")),
+                }
+            }
+            OP_ERROR => Response::Error(
+                String::from_utf8(r.rest().to_vec())
+                    .map_err(|_| WireError::Malformed("error message is not UTF-8"))?,
+            ),
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        r.done()?;
+        Ok(response)
+    }
+}
+
+/// Store health snapshot as it travels over the wire — the serialisable twin
+/// of [`evilbloom_store::StoreStats`], plus the hardening posture (which the
+/// in-process stats do not need to carry, but a remote operator does).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStats {
+    /// Whether the store uses keyed routing and index derivation.
+    pub hardened: bool,
+    /// Total insert calls across shards (active generations).
+    pub total_inserted: u64,
+    /// Mean shard fill ratio.
+    pub mean_fill: f64,
+    /// Highest per-shard false-positive estimate.
+    pub max_estimated_fpp: f64,
+    /// Number of shards currently raising the pollution alarm.
+    pub alarms: u32,
+    /// Per-shard health, indexed by shard.
+    pub shards: Vec<WireShardStats>,
+}
+
+/// One shard's health snapshot on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireShardStats {
+    /// Active generation id.
+    pub generation: u64,
+    /// Whether a rotation's rebuild is in flight.
+    pub rotating: bool,
+    /// Bits in the shard's active filter.
+    pub m: u64,
+    /// Indexes per item.
+    pub k: u32,
+    /// Insert calls served by the active generation.
+    pub inserted: u64,
+    /// Set bits in the active generation.
+    pub weight: u64,
+    /// Fill ratio `weight / m`.
+    pub fill: f64,
+    /// Estimated false-positive probability at the current fill.
+    pub estimated_fpp: f64,
+    /// Whether the fill trajectory looks like a pollution attack.
+    pub pollution_alarm: bool,
+}
+
+impl WireStats {
+    /// Builds the wire form of an in-process stats snapshot.
+    pub fn from_stats(stats: &StoreStats, hardened: bool) -> Self {
+        WireStats {
+            hardened,
+            total_inserted: stats.total_inserted,
+            mean_fill: stats.mean_fill,
+            max_estimated_fpp: stats.max_estimated_fpp,
+            alarms: stats.alarms as u32,
+            shards: stats
+                .shards
+                .iter()
+                .map(|s| WireShardStats {
+                    generation: s.generation,
+                    rotating: s.rotating,
+                    m: s.m,
+                    k: s.k,
+                    inserted: s.inserted,
+                    weight: s.weight,
+                    fill: s.fill,
+                    estimated_fpp: s.estimated_fpp,
+                    pollution_alarm: s.pollution_alarm,
+                })
+                .collect(),
+        }
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(self.hardened));
+        out.extend_from_slice(&self.total_inserted.to_le_bytes());
+        out.extend_from_slice(&self.mean_fill.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.max_estimated_fpp.to_bits().to_le_bytes());
+        out.extend_from_slice(&self.alarms.to_le_bytes());
+        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        for shard in &self.shards {
+            out.extend_from_slice(&shard.generation.to_le_bytes());
+            out.push(u8::from(shard.rotating));
+            out.extend_from_slice(&shard.m.to_le_bytes());
+            out.extend_from_slice(&shard.k.to_le_bytes());
+            out.extend_from_slice(&shard.inserted.to_le_bytes());
+            out.extend_from_slice(&shard.weight.to_le_bytes());
+            out.extend_from_slice(&shard.fill.to_bits().to_le_bytes());
+            out.extend_from_slice(&shard.estimated_fpp.to_bits().to_le_bytes());
+            out.push(u8::from(shard.pollution_alarm));
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let hardened = r.flag()?;
+        let total_inserted = r.u64()?;
+        let mean_fill = r.f64()?;
+        let max_estimated_fpp = r.f64()?;
+        let alarms = r.u32()?;
+        let count = r.u32()? as usize;
+        // Each shard record is 54 encoded bytes (two u8 flags, one u32, six
+        // u64-sized fields); reject counts the body cannot hold before
+        // allocating.
+        const SHARD_RECORD_BYTES: usize = 8 + 1 + 8 + 4 + 8 + 8 + 8 + 8 + 1;
+        if count > r.remaining() / SHARD_RECORD_BYTES {
+            return Err(WireError::Malformed("shard count exceeds frame"));
+        }
+        let mut shards = Vec::with_capacity(count);
+        for _ in 0..count {
+            shards.push(WireShardStats {
+                generation: r.u64()?,
+                rotating: r.flag()?,
+                m: r.u64()?,
+                k: r.u32()?,
+                inserted: r.u64()?,
+                weight: r.u64()?,
+                fill: r.f64()?,
+                estimated_fpp: r.f64()?,
+                pollution_alarm: r.flag()?,
+            });
+        }
+        Ok(WireStats { hardened, total_inserted, mean_fill, max_estimated_fpp, alarms, shards })
+    }
+}
+
+/// Reserves the 4-byte length prefix; returns the frame's start offset.
+fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&[0; 4]);
+    out.push(PROTOCOL_VERSION);
+    start
+}
+
+/// Patches the length prefix reserved by [`begin_frame`].
+fn finish_frame(out: &mut [u8], start: usize) {
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn put_items(out: &mut Vec<u8>, items: &[&[u8]]) {
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for item in items {
+        out.extend_from_slice(&(item.len() as u32).to_le_bytes());
+        out.extend_from_slice(item);
+    }
+}
+
+/// Bounds-checked payload cursor; every accessor returns [`WireError`]
+/// instead of panicking.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    opcode: u8,
+}
+
+impl<'a> Reader<'a> {
+    fn new(payload: &'a [u8]) -> Result<Self, WireError> {
+        if payload.len() < 2 {
+            return Err(WireError::Truncated);
+        }
+        if payload[0] != PROTOCOL_VERSION {
+            return Err(WireError::BadVersion(payload[0]));
+        }
+        Ok(Reader { buf: payload, pos: 2, opcode: payload[1] })
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn bytes(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < len {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let slice = &self.buf[self.pos..];
+        self.pos = self.buf.len();
+        slice
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn flag(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("boolean byte is neither 0 nor 1")),
+        }
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn items(&mut self) -> Result<Vec<&'a [u8]>, WireError> {
+        let count = self.u32()? as usize;
+        // Every item costs at least its 4-byte length field, so a count the
+        // remaining body cannot hold is rejected before allocating.
+        if count > self.remaining() / 4 {
+            return Err(WireError::Malformed("item count exceeds frame"));
+        }
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            let len = self.u32()? as usize;
+            items.push(self.bytes(len)?);
+        }
+        Ok(items)
+    }
+
+    /// Asserts the payload was fully consumed (canonical encoding only).
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Malformed("trailing bytes after body"));
+        }
+        Ok(())
+    }
+}
+
+/// If `acc[offset..]` starts with a complete frame, returns the payload's
+/// absolute `(start, end)` within `acc`. `Ok(None)` means more bytes are
+/// needed; an oversized length prefix is an error (the connection should
+/// close rather than buffer without bound).
+pub fn frame_bounds(
+    acc: &[u8],
+    offset: usize,
+    max_frame_bytes: u32,
+) -> Result<Option<(usize, usize)>, WireError> {
+    let avail = &acc[offset..];
+    if avail.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes"));
+    if len > max_frame_bytes {
+        return Err(WireError::Oversized { len, max: max_frame_bytes });
+    }
+    let len = len as usize;
+    if avail.len() < 4 + len {
+        return Ok(None);
+    }
+    Ok(Some((offset + 4, offset + 4 + len)))
+}
+
+/// Reads one complete frame payload from a blocking stream into `buf`
+/// (overwritten). Returns `Ok(false)` on clean end-of-stream before any
+/// byte; EOF inside a frame is an [`io::ErrorKind::UnexpectedEof`] error.
+pub fn read_frame<R: Read>(
+    reader: &mut R,
+    buf: &mut Vec<u8>,
+    max_frame_bytes: u32,
+) -> io::Result<bool> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match reader.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed inside a frame length prefix",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > max_frame_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            WireError::Oversized { len, max: max_frame_bytes }.to_string(),
+        ));
+    }
+    buf.resize(len as usize, 0);
+    reader.read_exact(buf)?;
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_command(command: &Command<'_>) {
+        let mut frame = Vec::new();
+        command.encode(&mut frame);
+        let (start, end) =
+            frame_bounds(&frame, 0, DEFAULT_MAX_FRAME_BYTES).expect("valid").expect("complete");
+        assert_eq!(end, frame.len(), "frame is self-delimiting");
+        assert_eq!(&Command::decode(&frame[start..end]).expect("decodes"), command);
+    }
+
+    fn roundtrip_response(response: &Response) {
+        let mut frame = Vec::new();
+        response.encode(&mut frame);
+        let (start, end) =
+            frame_bounds(&frame, 0, DEFAULT_MAX_FRAME_BYTES).expect("valid").expect("complete");
+        assert_eq!(&Response::decode(&frame[start..end]).expect("decodes"), response);
+    }
+
+    #[test]
+    fn commands_roundtrip() {
+        roundtrip_command(&Command::Ping);
+        roundtrip_command(&Command::Insert(b"http://example.com/a"));
+        roundtrip_command(&Command::Query(b""));
+        roundtrip_command(&Command::InsertBatch(vec![b"a".as_slice(), b"", b"ccc"]));
+        roundtrip_command(&Command::QueryBatch(vec![]));
+        roundtrip_command(&Command::Stats);
+        roundtrip_command(&Command::RotateBegin { shard: 7 });
+        roundtrip_command(&Command::RotateComplete { shard: u32::MAX });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_response(&Response::Pong);
+        roundtrip_response(&Response::Inserted { fresh_bits: 9 });
+        roundtrip_response(&Response::Found(true));
+        roundtrip_response(&Response::Found(false));
+        roundtrip_response(&Response::BatchInserted { items: 3, fresh_bits: 21 });
+        roundtrip_response(&Response::BatchFound(vec![]));
+        roundtrip_response(&Response::BatchFound(vec![true; 8]));
+        roundtrip_response(&Response::BatchFound(vec![true, false, true]));
+        roundtrip_response(&Response::Rotated { generation: Some(4) });
+        roundtrip_response(&Response::Rotated { generation: None });
+        roundtrip_response(&Response::RotationCompleted(true));
+        roundtrip_response(&Response::Error("shard 9 out of range".to_string()));
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let stats = WireStats {
+            hardened: true,
+            total_inserted: 12345,
+            mean_fill: 0.25,
+            max_estimated_fpp: 1e-3,
+            alarms: 2,
+            shards: vec![
+                WireShardStats {
+                    generation: 3,
+                    rotating: true,
+                    m: 9586,
+                    k: 7,
+                    inserted: 1000,
+                    weight: 4500,
+                    fill: 0.4694,
+                    estimated_fpp: 0.005,
+                    pollution_alarm: false,
+                },
+                WireShardStats {
+                    generation: 0,
+                    rotating: false,
+                    m: 9586,
+                    k: 7,
+                    inserted: 1200,
+                    weight: 8000,
+                    fill: 0.8345,
+                    estimated_fpp: 0.28,
+                    pollution_alarm: true,
+                },
+            ],
+        };
+        roundtrip_response(&Response::Stats(stats));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut frame = Vec::new();
+        Command::Ping.encode(&mut frame);
+        frame[4] = 99;
+        assert_eq!(Command::decode(&frame[4..]), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected_per_direction() {
+        // A command opcode is not a valid response and vice versa.
+        let payload = [PROTOCOL_VERSION, OP_PING];
+        assert_eq!(Response::decode(&payload), Err(WireError::BadOpcode(OP_PING)));
+        let payload = [PROTOCOL_VERSION, OP_PONG];
+        assert_eq!(Command::decode(&payload), Err(WireError::BadOpcode(OP_PONG)));
+    }
+
+    #[test]
+    fn hostile_item_count_is_rejected_before_allocation() {
+        // MINSERT claiming u32::MAX items in a 10-byte body.
+        let mut payload = vec![PROTOCOL_VERSION, OP_MINSERT];
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&[0; 10]);
+        assert_eq!(
+            Command::decode(&payload),
+            Err(WireError::Malformed("item count exceeds frame"))
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut acc = Vec::new();
+        acc.extend_from_slice(&(1024u32).to_le_bytes());
+        assert_eq!(frame_bounds(&acc, 0, 512), Err(WireError::Oversized { len: 1024, max: 512 }));
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more_bytes() {
+        let mut frame = Vec::new();
+        Command::Insert(b"abcdef").encode(&mut frame);
+        for cut in 0..frame.len() {
+            assert_eq!(frame_bounds(&frame[..cut], 0, 1024), Ok(None), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let payload = [PROTOCOL_VERSION, OP_PING, 0xFF];
+        assert_eq!(
+            Command::decode(&payload),
+            Err(WireError::Malformed("trailing bytes after body"))
+        );
+    }
+
+    #[test]
+    fn read_frame_reports_clean_and_dirty_eof() {
+        let mut frame = Vec::new();
+        Command::Ping.encode(&mut frame);
+
+        let mut buf = Vec::new();
+        let mut empty: &[u8] = &[];
+        assert!(!read_frame(&mut empty, &mut buf, 1024).expect("clean EOF"));
+
+        let mut cut: &[u8] = &frame[..2];
+        let err = read_frame(&mut cut, &mut buf, 1024).expect_err("EOF in prefix");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        let mut cut: &[u8] = &frame[..5];
+        let err = read_frame(&mut cut, &mut buf, 1024).expect_err("EOF in payload");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        let mut whole: &[u8] = &frame;
+        assert!(read_frame(&mut whole, &mut buf, 1024).expect("complete"));
+        assert_eq!(Command::decode(&buf), Ok(Command::Ping));
+    }
+}

@@ -14,7 +14,12 @@
 //!   between an unhardened and a hardened store — the paper's Table 2 story
 //!   at serving scale.
 //!
-//! Run with: `cargo run --release --example store_load`
+//! Run with: `cargo run --release --example store_load -- [--shards N] [--threads N]`
+//!
+//! `--shards` must be a power of two (default 8); `--threads` sets the
+//! worker count for the adversarial phases and the top of the honest
+//! scaling ladder (default 4). Thread scaling is only observable when
+//! `available_parallelism` exceeds 1 — the CI container has a single CPU.
 
 use evilbloom::store::harness::{
     adversarial_mix, fresh_store, honest_throughput, observed_fpp, prefill, LoadScale,
@@ -22,15 +27,73 @@ use evilbloom::store::harness::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() {
-    let scale = LoadScale::full();
+struct Args {
+    shards: usize,
+    threads: usize,
+}
 
-    println!("== honest mix: throughput scaling ==");
+fn parse_args() -> Args {
+    let mut args = Args { shards: 8, threads: 4 };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> usize {
+            *i += 1;
+            argv.get(*i)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die("flag requires a positive integer value"))
+        };
+        match argv[i].as_str() {
+            "--shards" => args.shards = value(&mut i),
+            "--threads" => args.threads = value(&mut i),
+            "--help" | "-h" => {
+                eprintln!("usage: store_load [--shards N] [--threads N]");
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    if args.shards == 0 || !args.shards.is_power_of_two() {
+        die("--shards must be a power of two");
+    }
+    if args.threads == 0 {
+        die("--threads must be positive");
+    }
+    args
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("store_load: {message}");
+    eprintln!("usage: store_load [--shards N] [--threads N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "available_parallelism: {} (thread scaling needs a multi-core host; CI runs on 1 CPU)",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+    let mut scale = LoadScale::full();
+    scale.shards = args.shards;
+    let threads = args.threads;
+    println!("shards: {}, adversarial-phase threads: {threads}", scale.shards);
+
+    println!("\n== honest mix: throughput scaling ==");
     let single = honest_throughput(&scale, 1);
     println!("  1 thread : {single:>10.0} ops/sec");
-    for threads in [2, 4, 8] {
-        let rate = honest_throughput(&scale, threads);
-        println!("  {threads} threads: {rate:>10.0} ops/sec  ({:.2}x)", rate / single);
+    // Powers of two up to --threads, always ending on the requested count
+    // itself so the honest ladder tops out at the same concurrency the
+    // adversarial phases use.
+    let mut ladder: Vec<usize> =
+        std::iter::successors(Some(2usize), |t| Some(t * 2)).take_while(|&t| t < threads).collect();
+    if threads > 1 {
+        ladder.push(threads);
+    }
+    for t in ladder {
+        let rate = honest_throughput(&scale, t);
+        println!("  {t} threads: {rate:>10.0} ops/sec  ({:.2}x)", rate / single);
     }
 
     println!("\n== query-only adversary: observed FPP under honest load ==");
@@ -38,11 +101,11 @@ fn main() {
     let hardened = fresh_store(&scale, true, 2);
     prefill(&unhardened, "prefill", scale.prefill);
     prefill(&hardened, "prefill", scale.prefill);
-    println!("  unhardened store: {:.5}", observed_fpp(&scale, &unhardened, 4));
-    println!("  hardened store  : {:.5}", observed_fpp(&scale, &hardened, 4));
+    println!("  unhardened store: {:.5}", observed_fpp(&scale, &unhardened, threads as u64));
+    println!("  hardened store  : {:.5}", observed_fpp(&scale, &hardened, threads as u64));
 
     println!("\n== chosen-insertion adversary: {} crafted items ==", scale.crafted);
-    let report = adversarial_mix(&scale, 4);
+    let report = adversarial_mix(&scale, threads);
     println!("  crafting cost: {} hash evaluations", report.search_attempts);
     println!("  honest baseline at same load : {:.5}", report.baseline_fpp);
     println!(
@@ -75,5 +138,8 @@ fn main() {
     for shard in 0..polluted.shard_count() {
         polluted.complete_rotation(shard);
     }
-    println!("  observed FPP after rotation: {:.5}", observed_fpp(&scale, &polluted, 4));
+    println!(
+        "  observed FPP after rotation: {:.5}",
+        observed_fpp(&scale, &polluted, threads as u64)
+    );
 }

@@ -21,6 +21,7 @@
 //! | [`webcache`] | `evilbloom-webcache` | Squid sibling-proxy simulation and attacks |
 //! | [`core`] | `evilbloom-core` | deployment assessment and hardened-filter builder |
 //! | [`store`] | `evilbloom-store` | sharded lock-free concurrent serving layer: keyed routing, key rotation, pollution alarms |
+//! | [`server`] | `evilbloom-server` | TCP serving layer: length-prefixed wire protocol, threaded server, pipelining client |
 //!
 //! ## Quick start
 //!
@@ -44,6 +45,7 @@ pub use evilbloom_attacks as attacks;
 pub use evilbloom_core as core;
 pub use evilbloom_filters as filters;
 pub use evilbloom_hashes as hashes;
+pub use evilbloom_server as server;
 pub use evilbloom_spamfilter as spamfilter;
 pub use evilbloom_store as store;
 pub use evilbloom_urlgen as urlgen;
