@@ -8,6 +8,8 @@
 //! cargo run --release -p evilbloom-bench --bin perf -- --quick # CI smoke
 //! cargo run --release -p evilbloom-bench --bin perf -- \
 //!     --quick --baseline bench/baseline.json                   # guarded
+//! cargo run --release -p evilbloom-bench --bin perf -- \
+//!     --filter conn_scaling                                    # a subset
 //! ```
 //!
 //! See the README's "Performance lab" section for the JSON schema and the
@@ -21,7 +23,7 @@ use criterion::report::Json;
 use criterion::{black_box, measure, MeasureOptions, Measurement};
 
 use evilbloom_attacks::pollution::craft_polluting_items;
-use evilbloom_bench::{load_baseline, PERF_SCHEMA_VERSION};
+use evilbloom_bench::{load_baseline, select_workloads, workload_selected, PERF_SCHEMA_VERSION};
 use evilbloom_filters::{
     hardened_filter, BlockedBloomFilter, BloomFilter, ConcurrentBloomFilter, FilterKey,
     FilterParams, HardeningLevel, BLOCK_BITS,
@@ -29,7 +31,9 @@ use evilbloom_filters::{
 use evilbloom_hashes::{
     md5, sha256, siphash24, HashStrategy, KirschMitzenmacher, Murmur128Pair, Murmur3_128, SipKey,
 };
-use evilbloom_server::{Client, Command, Response, Server, ServerConfig};
+use evilbloom_server::{
+    loopback_connection_budget, Backend, Client, Command, Response, Server, ServerConfig,
+};
 use evilbloom_store::{craft_store_pollution, BloomStore, StoreConfig};
 use evilbloom_urlgen::UrlGenerator;
 use rand::rngs::StdRng;
@@ -51,6 +55,7 @@ fn main() {
     let mut baseline: Option<String> = None;
     let mut tolerance = DEFAULT_TOLERANCE;
     let mut list = false;
+    let mut filter: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -61,6 +66,7 @@ fn main() {
             "--out" => out = Some(expect_value(&args, &mut i, "--out")),
             "--dir" => dir = expect_value(&args, &mut i, "--dir"),
             "--baseline" => baseline = Some(expect_value(&args, &mut i, "--baseline")),
+            "--filter" => filter = Some(expect_value(&args, &mut i, "--filter")),
             "--tolerance" => {
                 tolerance = expect_value(&args, &mut i, "--tolerance")
                     .parse()
@@ -79,9 +85,9 @@ fn main() {
         i += 1;
     }
 
-    let suite = Suite::new(quick);
+    let suite = Suite::new(quick, filter);
     if list {
-        for id in suite.workload_ids() {
+        for id in select_workloads(&suite.workload_ids(), suite.filter.as_deref()) {
             println!("{id}");
         }
         return;
@@ -130,7 +136,7 @@ fn expect_value(args: &[String], i: &mut usize, flag: &str) -> String {
 fn print_usage() {
     eprintln!(
         "usage: perf [--quick] [--out PATH] [--dir DIR] [--baseline PATH] \
-         [--tolerance FRAC] [--list]"
+         [--tolerance FRAC] [--filter SUBSTRING] [--list]"
     );
 }
 
@@ -276,21 +282,43 @@ fn env_info() -> Json {
 /// compare against quick baselines.
 struct Suite {
     quick: bool,
+    filter: Option<String>,
     opts: MeasureOptions,
     filter_capacity: u64,
     batch: usize,
     pollution_attempts: u64,
+    /// Open-connection tiers of the `server/conn_scaling/*` workloads
+    /// (quick mode shrinks the counts like every other size knob; the tier
+    /// names stay fixed so quick runs compare against quick baselines).
+    conn_tiers: [(&'static str, usize); 3],
 }
 
 impl Suite {
-    fn new(quick: bool) -> Self {
+    fn new(quick: bool, filter: Option<String>) -> Self {
         Suite {
             quick,
+            filter,
             opts: if quick { MeasureOptions::quick() } else { MeasureOptions::default() },
             filter_capacity: if quick { 200_000 } else { 1_000_000 },
             batch: 1024,
             pollution_attempts: if quick { 3_000_000 } else { 30_000_000 },
+            conn_tiers: if quick {
+                [("c64", 64), ("c1k", 256), ("c8k", 1024)]
+            } else {
+                [("c64", 64), ("c1k", 1000), ("c8k", 8000)]
+            },
         }
+    }
+
+    /// Whether `--filter` selects this workload id.
+    fn selected(&self, id: &str) -> bool {
+        workload_selected(id, self.filter.as_deref())
+    }
+
+    /// Whether any id with this prefix is selected (guards expensive
+    /// workload-family setup when `--filter` excludes the whole family).
+    fn family_selected(&self, prefix: &str) -> bool {
+        self.workload_ids().iter().any(|id| id.starts_with(prefix) && self.selected(id))
     }
 
     fn workload_ids(&self) -> Vec<&'static str> {
@@ -313,6 +341,15 @@ impl Suite {
             "server/query",
             "server/query_batch",
             "server/attack_mix",
+            "server/async/query",
+            "server/async/query_batch",
+            "server/async/attack_mix",
+            "server/conn_scaling/threaded/c64",
+            "server/conn_scaling/threaded/c1k",
+            "server/conn_scaling/threaded/c8k",
+            "server/conn_scaling/async/c64",
+            "server/conn_scaling/async/c1k",
+            "server/conn_scaling/async/c8k",
             "attack/pollution_drift/standard",
             "attack/pollution_drift/blocked",
         ]
@@ -324,12 +361,37 @@ impl Suite {
 
         // One shared item universe: the member/probe sets are the costly
         // part of the setup (millions of string allocations in full mode).
-        let (members, probes) = self.items(self.filter_capacity as usize);
+        // Skipped when --filter selects none of the workloads that use it.
+        let needs_items = self.family_selected("filter/")
+            || self.family_selected("concurrent/")
+            || self.family_selected("store/")
+            || self.family_selected("server/query")
+            || self.family_selected("server/attack_mix")
+            || self.family_selected("server/async/");
+        let (members, probes) =
+            if needs_items { self.items(self.filter_capacity as usize) } else { (vec![], vec![]) };
 
         self.hash_workloads(&mut timings);
-        self.filter_workloads(&mut timings, &members, &probes);
-        self.batch_workloads(&mut timings, &members, &probes);
-        self.server_workloads(&mut timings, &members, &probes);
+        if self.family_selected("filter/") {
+            self.filter_workloads(&mut timings, &members, &probes);
+        }
+        if self.family_selected("concurrent/") || self.family_selected("store/") {
+            self.batch_workloads(&mut timings, &members, &probes);
+        }
+        for backend in Backend::ALL.into_iter().filter(|b| b.is_supported()) {
+            let prefix = match backend {
+                Backend::Threaded => "server/",
+                Backend::Async => "server/async/",
+            };
+            if self.family_selected(&format!("{prefix}query"))
+                || self.family_selected(&format!("{prefix}attack_mix"))
+            {
+                self.server_workloads(&mut timings, &members, &probes, backend, prefix);
+            }
+        }
+        if self.family_selected("server/conn_scaling/") {
+            self.conn_scaling_workloads(&mut timings);
+        }
         self.pollution_workloads(&mut observables);
 
         let comparisons = build_comparisons(&timings);
@@ -347,6 +409,9 @@ impl Suite {
     }
 
     fn time<O>(&self, out: &mut Vec<TimingRecord>, id: &str, elements: u64, f: impl FnMut() -> O) {
+        if !self.selected(id) {
+            return;
+        }
         let m = measure(id, &self.opts, f);
         let record = TimingRecord::from_measurement(m, elements);
         println!(
@@ -484,13 +549,23 @@ impl Suite {
         self.time(out, "store/query_batch", batch as u64, || store.query_batch(&mix));
     }
 
-    /// The TCP serving layer on a loopback socket: single-op round-trip
-    /// latency, pipelined batch throughput (one `MQUERY` frame per batch),
-    /// and an attack-mix stream — pipelined `MINSERT` frames of crafted
-    /// polluting items interleaved with `MQUERY` probe frames, the traffic
-    /// shape of `examples/remote_attack.rs`.
-    fn server_workloads(&self, out: &mut Vec<TimingRecord>, members: &[String], probes: &[String]) {
+    /// The TCP serving layer on a loopback socket, once per backend
+    /// (`server/*` for the threaded worker pool, `server/async/*` for the
+    /// epoll reactor): single-op round-trip latency, pipelined batch
+    /// throughput (one `MQUERY` frame per batch), and an attack-mix stream
+    /// — pipelined `MINSERT` frames of crafted polluting items interleaved
+    /// with `MQUERY` probe frames, the traffic shape of
+    /// `examples/remote_attack.rs`.
+    fn server_workloads(
+        &self,
+        out: &mut Vec<TimingRecord>,
+        members: &[String],
+        probes: &[String],
+        backend: Backend,
+        prefix: &str,
+    ) {
         let batch = self.batch;
+        let config = ServerConfig::with_backend(backend);
 
         // Hardened store behind the server — the recommended serving
         // posture — preloaded with the member set.
@@ -499,12 +574,12 @@ impl Suite {
             &mut StdRng::seed_from_u64(7),
         ));
         store.insert_batch(members);
-        let handle = Server::spawn(Arc::clone(&store), "127.0.0.1:0", ServerConfig::default())
-            .expect("bind loopback");
+        let handle =
+            Server::spawn(Arc::clone(&store), "127.0.0.1:0", config).expect("bind loopback");
         let mut client = Client::connect(handle.local_addr()).expect("connect");
 
         let mut i = 0usize;
-        self.time(out, "server/query", 1, || {
+        self.time(out, &format!("{prefix}query"), 1, || {
             i = (i + 1) % members.len();
             client.query(members[i].as_bytes()).expect("server query")
         });
@@ -515,12 +590,15 @@ impl Suite {
             .take(batch / 2)
             .flat_map(|(m, p)| [m.as_bytes(), p.as_bytes()])
             .collect();
-        self.time(out, "server/query_batch", batch as u64, || {
+        self.time(out, &format!("{prefix}query_batch"), batch as u64, || {
             client.query_batch(&mix).expect("server query batch")
         });
         drop(client);
         handle.shutdown();
 
+        if !self.selected(&format!("{prefix}attack_mix")) {
+            return; // the offline crafting below is the expensive setup
+        }
         // Attack mix runs against an unhardened victim (the deployment the
         // paper attacks): crafted items come from the offline pollution
         // search, probes hunt the false positives it manufactures.
@@ -538,8 +616,8 @@ impl Suite {
         )
         .expect("unhardened stores expose an adversarial view");
         assert_eq!(plan.items.len(), batch / 2, "crafting budget exhausted");
-        let handle = Server::spawn(Arc::clone(&victim), "127.0.0.1:0", ServerConfig::default())
-            .expect("bind loopback");
+        let handle =
+            Server::spawn(Arc::clone(&victim), "127.0.0.1:0", config).expect("bind loopback");
         let mut client = Client::connect(handle.local_addr()).expect("connect");
         let frame = 128usize;
         let crafted_frames: Vec<Vec<&[u8]>> =
@@ -549,7 +627,7 @@ impl Suite {
             .map(|c| c.iter().map(String::as_bytes).collect())
             .collect();
         let frames = crafted_frames.len() + probe_frames.len();
-        self.time(out, "server/attack_mix", batch as u64, || {
+        self.time(out, &format!("{prefix}attack_mix"), batch as u64, || {
             for (crafted, probe) in crafted_frames.iter().zip(&probe_frames) {
                 client.send(&Command::InsertBatch(crafted.clone())).expect("queue MINSERT");
                 client.send(&Command::QueryBatch(probe.clone())).expect("queue MQUERY");
@@ -570,29 +648,93 @@ impl Suite {
         handle.shutdown();
     }
 
+    /// Connection-count scaling, the C10k observable: per-request RTT on an
+    /// *active* connection while 64 / 1k / 8k mostly-idle connections are
+    /// held open against the same server, threaded vs async. The async
+    /// reactor keeps every connection *served* (an epoll entry each); the
+    /// threaded backend keeps them merely *accepted* — connections beyond
+    /// the worker pool are queued unserved, which is precisely the scaling
+    /// wall this workload family documents.
+    fn conn_scaling_workloads(&self, out: &mut Vec<TimingRecord>) {
+        for backend in Backend::ALL.into_iter().filter(|b| b.is_supported()) {
+            for (tier, conns) in self.conn_tiers {
+                let id = format!("server/conn_scaling/{backend}/{tier}");
+                if !self.selected(&id) {
+                    continue;
+                }
+                if let Some(budget) = loopback_connection_budget() {
+                    if budget < conns as u64 {
+                        println!("{id:<40} skipped (fd budget {budget} < {conns} connections)");
+                        continue;
+                    }
+                }
+                let store = Arc::new(BloomStore::new(
+                    StoreConfig::hardened(8, 100_000, 0.01),
+                    &mut StdRng::seed_from_u64(11),
+                ));
+                let handle =
+                    Server::spawn(store, "127.0.0.1:0", ServerConfig::with_backend(backend))
+                        .expect("bind loopback");
+                // The active connection dials first: on the threaded
+                // backend only the first `workers` connections are ever
+                // served when the idle herd exceeds the pool.
+                let mut active = Client::connect(handle.local_addr()).expect("connect active");
+                active.ping().expect("active connection served");
+                let idle: Vec<std::net::TcpStream> = (0..conns.saturating_sub(1))
+                    .map(|i| {
+                        // Pace the herd just below the listen backlog so a
+                        // single-core host never drops a SYN into a 1s
+                        // retransmission stall.
+                        if i % 64 == 63 {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        std::net::TcpStream::connect(handle.local_addr())
+                            .unwrap_or_else(|e| panic!("idle connect {i}: {e}"))
+                    })
+                    .collect();
+                self.time(out, &id, 1, || active.ping().expect("active RTT"));
+                drop(idle);
+                drop(active);
+                handle.shutdown();
+            }
+        }
+    }
+
     /// The paper's quantitative core as observables: false-positive drift
     /// under a chosen-insertion (pollution) attack, on the classic filter
     /// and on the blocked fast path — demonstrating the attack carries over.
     fn pollution_workloads(&self, out: &mut Vec<ObservableRecord>) {
         let probes = 20_000u64;
 
-        // Classic Figure 3 geometry: m = 3200, k = 4, 300 honest then 150
-        // crafted insertions.
-        let mut standard = BloomFilter::new(
-            FilterParams::explicit(3200, 4, 600),
-            KirschMitzenmacher::new(Murmur3_128),
-        );
-        out.push(self.pollution_drift("attack/pollution_drift/standard", probes, &mut standard));
+        if self.selected("attack/pollution_drift/standard") {
+            // Classic Figure 3 geometry: m = 3200, k = 4, 300 honest then
+            // 150 crafted insertions.
+            let mut standard = BloomFilter::new(
+                FilterParams::explicit(3200, 4, 600),
+                KirschMitzenmacher::new(Murmur3_128),
+            );
+            out.push(self.pollution_drift(
+                "attack/pollution_drift/standard",
+                probes,
+                &mut standard,
+            ));
+        }
 
-        // Same budget on the blocked layout (3200 → 3584 bits, 7 blocks).
-        let mut blocked =
-            BlockedBloomFilter::new(FilterParams::explicit(3200, 4, 600), Murmur128Pair);
-        let record = self.pollution_drift("attack/pollution_drift/blocked", probes, &mut blocked);
-        let corrected =
-            evilbloom_analysis::blocked::blocked_false_positive(blocked.m(), 300, 4, BLOCK_BITS);
-        let mut record = record;
-        record.metrics.push(("corrected_honest_fpp", corrected));
-        out.push(record);
+        if self.selected("attack/pollution_drift/blocked") {
+            // Same budget on the blocked layout (3200 → 3584 bits, 7 blocks).
+            let mut blocked =
+                BlockedBloomFilter::new(FilterParams::explicit(3200, 4, 600), Murmur128Pair);
+            let mut record =
+                self.pollution_drift("attack/pollution_drift/blocked", probes, &mut blocked);
+            let corrected = evilbloom_analysis::blocked::blocked_false_positive(
+                blocked.m(),
+                300,
+                4,
+                BLOCK_BITS,
+            );
+            record.metrics.push(("corrected_honest_fpp", corrected));
+            out.push(record);
+        }
     }
 
     fn pollution_drift<F>(&self, id: &str, probes: u64, filter: &mut F) -> ObservableRecord
@@ -677,6 +819,14 @@ fn build_comparisons(timings: &[TimingRecord]) -> Vec<Comparison> {
     push("batch_vs_loop_query_concurrent", "concurrent/query_loop", "concurrent/query_batch");
     push("batch_vs_loop_query_store", "store/query_loop", "store/query_batch");
     push("pipelined_batch_vs_single_op_server", "server/query", "server/query_batch");
+    push("async_vs_threaded_query", "server/query", "server/async/query");
+    push("async_vs_threaded_query_batch", "server/query_batch", "server/async/query_batch");
+    push("async_vs_threaded_attack_mix", "server/attack_mix", "server/async/attack_mix");
+    push(
+        "async_vs_threaded_8k_connections",
+        "server/conn_scaling/threaded/c8k",
+        "server/conn_scaling/async/c8k",
+    );
     comparisons
 }
 
@@ -715,7 +865,13 @@ fn compare_against_baseline(report: &Report, baseline: &Json, tolerance: f64) ->
         .collect();
     let current_pairs: Vec<(String, f64)> =
         report.timings.iter().map(|t| (t.id.clone(), t.ns_per_op_median)).collect();
-    let current_cal = calibration_ns(&current_pairs).expect("suite ran the calibration workloads");
+    let Some(current_cal) = calibration_ns(&current_pairs) else {
+        eprintln!(
+            "current run lacks the {CALIBRATION_PREFIX}* calibration workloads \
+             (--filter excluded them); skipping guard"
+        );
+        return true;
+    };
     let Some(baseline_cal) = calibration_ns(&baseline_pairs) else {
         eprintln!("baseline lacks the {CALIBRATION_PREFIX}* calibration workloads; skipping guard");
         return true;

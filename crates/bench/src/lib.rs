@@ -43,6 +43,21 @@ pub fn load_baseline(path: &str, expected_schema: f64) -> Result<Json, String> {
     parse_baseline(&text, expected_schema).map_err(|e| format!("baseline {path}: {e}"))
 }
 
+/// Whether a workload id is selected by the perf runner's `--filter`
+/// argument: no filter selects everything, otherwise plain substring
+/// matching (so `--filter server/` runs the whole server family and
+/// `--filter conn_scaling` just the slow connection-scaling suite).
+pub fn workload_selected(id: &str, filter: Option<&str>) -> bool {
+    filter.is_none_or(|needle| id.contains(needle))
+}
+
+/// Applies [`workload_selected`] to a workload-id list, preserving order —
+/// what `perf --list --filter <substring>` prints and `perf --filter`
+/// runs.
+pub fn select_workloads<'a>(ids: &[&'a str], filter: Option<&str>) -> Vec<&'a str> {
+    ids.iter().copied().filter(|id| workload_selected(id, filter)).collect()
+}
+
 /// Builds a Bloom filter loaded to roughly `fill` fraction of set bits, used
 /// as the target of forgery benches.
 pub fn loaded_filter(m: u64, k: u32, fill: f64) -> BloomFilter {
@@ -125,6 +140,34 @@ mod tests {
         let text = r#"{"schema_version": 1.0, "workloads": [{"id": "hash/md5", "ns_per_op_median": 100.0}]}"#;
         let doc = parse_baseline(text, PERF_SCHEMA_VERSION).expect("valid");
         assert_eq!(doc.get("workloads").and_then(Json::as_array).map(<[Json]>::len), Some(1));
+    }
+
+    #[test]
+    fn no_filter_selects_every_workload() {
+        let ids = ["hash/md5", "server/query", "server/conn_scaling/async/c1k"];
+        assert_eq!(select_workloads(&ids, None), ids.to_vec());
+    }
+
+    #[test]
+    fn filter_is_substring_matching() {
+        let ids = ["hash/md5", "server/query", "server/query_batch", "store/query_batch"];
+        assert_eq!(
+            select_workloads(&ids, Some("server/")),
+            vec!["server/query", "server/query_batch"]
+        );
+        assert_eq!(
+            select_workloads(&ids, Some("query_batch")),
+            vec!["server/query_batch", "store/query_batch"]
+        );
+        assert!(select_workloads(&ids, Some("no-such-workload")).is_empty());
+        assert!(workload_selected("hash/md5", Some("md5")));
+        assert!(!workload_selected("hash/md5", Some("sha")));
+    }
+
+    #[test]
+    fn filter_preserves_suite_order() {
+        let ids = ["b/2", "a/1", "b/1"];
+        assert_eq!(select_workloads(&ids, Some("b/")), vec!["b/2", "b/1"]);
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Backend selection and the acceptor loop both backends share.
+//!
+//! The serving layer has two I/O backends behind one [`crate::ServerConfig`]:
+//!
+//! * [`Backend::Threaded`] — the portable fallback: an acceptor thread hands
+//!   connections to a fixed pool of blocking worker threads; one worker
+//!   serves one connection at a time.
+//! * [`Backend::Async`] — a Linux epoll reactor (`reactor.rs` in the
+//!   sources): every connection is a non-blocking state machine multiplexed
+//!   onto N reactor threads, so open-connection count is bounded by file
+//!   descriptors, not threads (C10k-scale).
+//!
+//! Both backends accept through the same resilient accept loop, which
+//! classifies `accept()` errors so a transient failure (fd exhaustion under
+//! an EMFILE storm, a signal) backs off instead of spinning a hot error
+//! loop.
+
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::str::FromStr;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+use crate::server::Inner;
+
+/// Which I/O backend a server runs its connections on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Portable threaded backend: acceptor + blocking worker pool, one
+    /// worker per active connection. The default.
+    #[default]
+    Threaded,
+    /// Linux epoll reactor: non-blocking connection state machines
+    /// multiplexed onto N reactor shards. `Server::spawn` returns
+    /// [`io::ErrorKind::Unsupported`] on other platforms.
+    Async,
+}
+
+impl Backend {
+    /// Every backend, for CLIs and parametrized tests.
+    pub const ALL: [Backend; 2] = [Backend::Threaded, Backend::Async];
+
+    /// Short lowercase name (`"threaded"` / `"async"`), the [`FromStr`]
+    /// inverse.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Threaded => "threaded",
+            Backend::Async => "async",
+        }
+    }
+
+    /// Whether this backend can run on the current platform.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Backend::Threaded => true,
+            Backend::Async => cfg!(target_os = "linux"),
+        }
+    }
+}
+
+impl core::fmt::Display for Backend {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threaded" => Ok(Backend::Threaded),
+            "async" => Ok(Backend::Async),
+            other => Err(format!("unknown backend {other:?} (expected \"threaded\" or \"async\")")),
+        }
+    }
+}
+
+/// The soft limit on open file descriptors for this process (parsed from
+/// `/proc/self/limits`; `None` where that does not exist or does not
+/// parse). Every loopback connection a test or benchmark opens costs *two*
+/// fds in-process (the client side and the accepted side), so
+/// high-connection-count harnesses check this and scale down or skip
+/// instead of crashing into `EMFILE`.
+pub fn fd_soft_limit() -> Option<u64> {
+    let limits = std::fs::read_to_string("/proc/self/limits").ok()?;
+    let line = limits.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// Fds reserved for everything that is *not* a loopback connection pair
+/// (stdio, listeners, epoll fds, wake pipes, the test harness, …).
+const FD_SLACK: u64 = 256;
+
+/// How many same-process loopback connections the fd soft limit can hold
+/// (two fds per connection — client side plus accepted side — after the
+/// slack is reserved). `None` when the limit is unknown; callers should
+/// then proceed optimistically.
+pub fn loopback_connection_budget() -> Option<u64> {
+    fd_soft_limit().map(|limit| limit.saturating_sub(FD_SLACK) / 2)
+}
+
+/// What the acceptor should do after an `accept()` call failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AcceptAction {
+    /// Transient per-connection condition (EINTR, the peer aborted the
+    /// handshake): retry immediately, nothing is wrong with the listener.
+    Retry,
+    /// No pending connection (`WouldBlock` on the non-blocking listener):
+    /// sleep one poll tick, then look again.
+    Idle,
+    /// A resource error (EMFILE/ENFILE fd exhaustion, ENOMEM, …): the next
+    /// accept will likely fail too, so back off for a poll tick — and log
+    /// once — instead of spinning a hot error loop.
+    Backoff,
+}
+
+/// Classifies an `accept()` error into the action that avoids both dropped
+/// connections and hot error loops. Covered by unit tests below; used by
+/// both backends' acceptors.
+pub(crate) fn classify_accept_error(error: &io::Error) -> AcceptAction {
+    match error.kind() {
+        io::ErrorKind::WouldBlock => AcceptAction::Idle,
+        // The handshake died before we accepted it — specific to that one
+        // connection, the listener is fine.
+        io::ErrorKind::Interrupted
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::ConnectionReset => AcceptAction::Retry,
+        // Everything else (EMFILE and friends surface as uncategorized
+        // errors) is a resource problem that will not clear within one
+        // accept call: back off.
+        _ => AcceptAction::Backoff,
+    }
+}
+
+/// Runs the shared non-blocking accept loop until shutdown: accepted
+/// streams go to `deliver` (which returns `false` when the receiving side
+/// is gone), errors are classified, and persistent resource errors log once
+/// per streak instead of once per failure.
+pub(crate) fn acceptor_loop(
+    listener: &TcpListener,
+    inner: &Inner,
+    poll_interval: Duration,
+    mut deliver: impl FnMut(TcpStream) -> bool,
+) {
+    // The idle tick bounds accept latency, and with it the sustained accept
+    // rate: a connect storm can only park `listen(2)`'s backlog (~128)
+    // between wake-ups before further SYNs face retransmission delays. A
+    // short tick keeps C10k-scale herds connecting promptly and checks the
+    // shutdown flag more often, at the cost of a few hundred idle wake-ups
+    // per second. The *backoff* tick stays at the full poll interval:
+    // under fd exhaustion, hammering accept() faster helps nobody.
+    let idle_tick = poll_interval.min(Duration::from_millis(2));
+    let mut logged_backoff = false;
+    while !inner.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                logged_backoff = false;
+                if !deliver(stream) {
+                    break;
+                }
+            }
+            Err(error) => match classify_accept_error(&error) {
+                AcceptAction::Retry => {}
+                AcceptAction::Idle => std::thread::sleep(idle_tick),
+                AcceptAction::Backoff => {
+                    if !logged_backoff {
+                        eprintln!("evilbloom-server: accept failed ({error}); backing off");
+                        logged_backoff = true;
+                    }
+                    std::thread::sleep(poll_interval);
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_names_round_trip() {
+        for backend in Backend::ALL {
+            assert_eq!(backend.name().parse::<Backend>(), Ok(backend));
+        }
+        assert!("epoll".parse::<Backend>().is_err());
+        assert_eq!(Backend::default(), Backend::Threaded);
+        assert!(Backend::Threaded.is_supported());
+    }
+
+    #[test]
+    fn would_block_means_idle() {
+        let e = io::Error::new(io::ErrorKind::WouldBlock, "no pending connection");
+        assert_eq!(classify_accept_error(&e), AcceptAction::Idle);
+    }
+
+    #[test]
+    fn per_connection_errors_retry_immediately() {
+        for kind in [
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::ConnectionReset,
+        ] {
+            let e = io::Error::new(kind, "transient");
+            assert_eq!(classify_accept_error(&e), AcceptAction::Retry, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fd_exhaustion_backs_off() {
+        // EMFILE (24) and ENFILE (23) on Linux: "too many open files" has no
+        // stable io::ErrorKind, so it must fall through to Backoff — a retry
+        // loop here would spin at 100% CPU for as long as fds stay scarce.
+        for errno in [23, 24] {
+            let e = io::Error::from_raw_os_error(errno);
+            assert_eq!(classify_accept_error(&e), AcceptAction::Backoff, "errno {errno}");
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! A small client-side connection pool: checkout/checkin with
+//! dead-connection replacement, plus pipelined batch helpers that spread
+//! one logical request over several sockets.
+//!
+//! One pipelined connection already hides per-request latency, but it is
+//! still a single TCP stream: one in-order byte pipe, one server-side
+//! worker (threaded backend) or reactor event source. Spreading the frames
+//! of a large batch over a few pooled connections lets the server work the
+//! lanes independently — this is how `examples/remote_attack.rs` delivers
+//! the paper's crafted insertions ([`ClientPool::minsert_pooled`]) and
+//! measures the induced false-positive rate ([`ClientPool::mquery_pooled`]).
+//!
+//! The pool is deliberately synchronous and single-owner (`&mut self`): it
+//! models one attacking/operating process, not a shared middleware pool.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use crate::client::{Client, ClientError};
+use crate::wire::{Command, Response, WireError};
+
+/// A pool of connections to one server, with checkout/checkin reuse,
+/// dead-connection replacement, and pipelined pooled batch helpers.
+pub struct ClientPool {
+    addr: SocketAddr,
+    idle: Vec<Client>,
+    target: usize,
+}
+
+impl ClientPool {
+    /// Resolves `addr` and eagerly dials `target` connections (the pool's
+    /// steady-state size; `checkout` dials extra ones on demand and
+    /// `checkin` drops extras beyond it).
+    pub fn connect(addr: impl ToSocketAddrs, target: usize) -> io::Result<ClientPool> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let target = target.max(1);
+        let mut idle = Vec::with_capacity(target);
+        for _ in 0..target {
+            idle.push(Client::connect(addr)?);
+        }
+        Ok(ClientPool { addr, idle, target })
+    }
+
+    /// The server address every pooled connection dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.idle.len()
+    }
+
+    /// Checks a connection out of the pool, dialing a fresh one when the
+    /// pool is empty. The connection is handed over as-is (no liveness
+    /// probe); use [`ClientPool::checkout_validated`] after a server may
+    /// have restarted.
+    pub fn checkout(&mut self) -> io::Result<Client> {
+        match self.idle.pop() {
+            Some(client) => Ok(client),
+            None => Client::connect(self.addr),
+        }
+    }
+
+    /// Like [`ClientPool::checkout`], but pings the pooled connection
+    /// first: a dead one (server restarted, idle timeout, reset) is dropped
+    /// and replaced with a fresh dial instead of surfacing as a confusing
+    /// mid-request transport error.
+    pub fn checkout_validated(&mut self) -> io::Result<Client> {
+        while let Some(mut client) = self.idle.pop() {
+            if client.ping().is_ok() {
+                return Ok(client);
+            }
+            // Dead connection: drop it; the dial below (or a later checkin)
+            // replaces it.
+        }
+        Client::connect(self.addr)
+    }
+
+    /// Returns a connection to the pool. Connections beyond the target size
+    /// are dropped. Do **not** check in a connection after an error on it —
+    /// its stream may hold half-read responses; drop it instead and let the
+    /// pool dial a replacement.
+    pub fn checkin(&mut self, client: Client) {
+        if self.idle.len() < self.target {
+            self.idle.push(client);
+        }
+    }
+
+    /// Pipelined pooled batch insert: splits `items` into `MINSERT` frames
+    /// of `frame_items` and spreads them round-robin over up to the pool's
+    /// target number of connections, all frames in flight before the first
+    /// response is awaited. Returns the total number of fresh bits set.
+    pub fn minsert_pooled<I: AsRef<[u8]>>(
+        &mut self,
+        items: &[I],
+        frame_items: usize,
+    ) -> Result<u64, ClientError> {
+        let chunks: Vec<&[I]> = items.chunks(frame_items.max(1)).collect();
+        let mut lanes = self.lanes(chunks.len())?;
+        let lane_count = lanes.len();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let borrowed: Vec<&[u8]> = chunk.iter().map(AsRef::as_ref).collect();
+            lanes[i % lane_count].send(&Command::InsertBatch(borrowed))?;
+        }
+        let mut fresh_bits = 0u64;
+        for (i, chunk) in chunks.iter().enumerate() {
+            match lanes[i % lane_count].recv()? {
+                Response::BatchInserted { items: n, fresh_bits: fresh }
+                    if n as usize == chunk.len() =>
+                {
+                    fresh_bits += fresh;
+                }
+                Response::BatchInserted { .. } => {
+                    return Err(ClientError::Wire(WireError::Malformed("item count mismatch")))
+                }
+                other => {
+                    return Err(ClientError::Unexpected {
+                        expected: "MINSERTED",
+                        got: other.name(),
+                    })
+                }
+            }
+        }
+        self.checkin_all(lanes);
+        Ok(fresh_bits)
+    }
+
+    /// Pipelined pooled batch query: like [`ClientPool::minsert_pooled`]
+    /// but with `MQUERY` frames; answers come back in `items` order.
+    pub fn mquery_pooled<I: AsRef<[u8]>>(
+        &mut self,
+        items: &[I],
+        frame_items: usize,
+    ) -> Result<Vec<bool>, ClientError> {
+        let chunks: Vec<&[I]> = items.chunks(frame_items.max(1)).collect();
+        let mut lanes = self.lanes(chunks.len())?;
+        let lane_count = lanes.len();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let borrowed: Vec<&[u8]> = chunk.iter().map(AsRef::as_ref).collect();
+            lanes[i % lane_count].send(&Command::QueryBatch(borrowed))?;
+        }
+        let mut answers = Vec::with_capacity(items.len());
+        for (i, chunk) in chunks.iter().enumerate() {
+            match lanes[i % lane_count].recv()? {
+                Response::BatchFound(found) if found.len() == chunk.len() => {
+                    answers.extend(found);
+                }
+                Response::BatchFound(_) => {
+                    return Err(ClientError::Wire(WireError::Malformed("answer count mismatch")))
+                }
+                other => {
+                    return Err(ClientError::Unexpected { expected: "MFOUND", got: other.name() })
+                }
+            }
+        }
+        self.checkin_all(lanes);
+        Ok(answers)
+    }
+
+    /// Checks out the connections a pooled call will stripe over: the pool
+    /// target, but never more than there are frames to send.
+    fn lanes(&mut self, frames: usize) -> Result<Vec<Client>, ClientError> {
+        let count = self.target.min(frames.max(1));
+        let mut lanes = Vec::with_capacity(count);
+        for _ in 0..count {
+            lanes.push(self.checkout_validated()?);
+        }
+        Ok(lanes)
+    }
+
+    fn checkin_all(&mut self, lanes: Vec<Client>) {
+        for lane in lanes {
+            self.checkin(lane);
+        }
+    }
+}

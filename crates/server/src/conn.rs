@@ -1,0 +1,255 @@
+//! Per-connection protocol logic shared by both backends, and the
+//! non-blocking connection state machine the epoll reactor drives.
+//!
+//! The protocol half — "decode every complete frame in the accumulator, execute
+//! it against the store, append the response frames" — is identical whether
+//! the bytes arrived through a blocking worker thread or a reactor
+//! readiness event, so [`drain_frames`] / [`execute`] are the single
+//! implementation both backends call. What differs is only the I/O driver:
+//! the threaded backend wraps them in blocking reads/writes
+//! ([`crate::server`]), the async backend in the [`Connection`] state
+//! machine below (read-accumulate → drain → buffered write with
+//! `WouldBlock`-aware flush, re-armed on `EPOLLOUT` by the reactor).
+
+use std::sync::atomic::Ordering;
+
+use crate::server::Inner;
+use crate::wire::{self, Command, Response, WireStats};
+
+/// Per-read chunk size used by both backends (the threaded backend reads
+/// into a pooled chunk buffer; each reactor shard owns one shared scratch
+/// buffer of this size, not one per connection).
+pub(crate) const READ_CHUNK: usize = 64 * 1024;
+
+/// Decodes and executes every complete frame in `acc`, appending response
+/// frames to `out`. Returns `false` when a protocol violation means the
+/// connection must close (the stream can no longer be trusted to be in
+/// sync); a final `ERROR` response is still emitted so the client learns
+/// why.
+pub(crate) fn drain_frames(acc: &mut Vec<u8>, out: &mut Vec<u8>, inner: &Inner) -> bool {
+    let (consumed, keep_open) = drain_frame_slice(acc, out, inner);
+    acc.drain(..consumed);
+    keep_open
+}
+
+/// Slice form of [`drain_frames`]: executes every complete frame in `buf`
+/// and returns `(bytes consumed, keep_open)`, leaving the caller to decide
+/// what to do with the unconsumed tail. The reactor's read path uses this
+/// to serve frames straight out of the read scratch buffer, copying only a
+/// trailing partial frame into the per-connection accumulator.
+pub(crate) fn drain_frame_slice(buf: &[u8], out: &mut Vec<u8>, inner: &Inner) -> (usize, bool) {
+    let mut consumed = 0;
+    let mut keep_open = true;
+    loop {
+        match wire::frame_bounds(buf, consumed, inner.max_frame_bytes) {
+            Ok(None) => break,
+            Ok(Some((start, end))) => {
+                consumed = end;
+                match Command::decode(&buf[start..end]) {
+                    Ok(command) => {
+                        execute(&command, inner).encode(out);
+                        inner.requests_served.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(err) => {
+                        Response::Error(format!("protocol error: {err}")).encode(out);
+                        keep_open = false;
+                        break;
+                    }
+                }
+            }
+            Err(err) => {
+                Response::Error(format!("protocol error: {err}")).encode(out);
+                keep_open = false;
+                break;
+            }
+        }
+    }
+    (consumed, keep_open)
+}
+
+/// Executes one decoded command against the store. Batch commands pass the
+/// borrowed item slices straight through to the store's batch APIs, which
+/// visit each shard lock exactly once per frame.
+pub(crate) fn execute(command: &Command<'_>, inner: &Inner) -> Response {
+    let store = &inner.store;
+    match command {
+        Command::Ping => Response::Pong,
+        Command::Insert(item) => Response::Inserted { fresh_bits: store.insert(item) },
+        Command::Query(item) => Response::Found(store.contains(item)),
+        Command::InsertBatch(items) => {
+            let outcome = store.insert_batch(items);
+            Response::BatchInserted { items: items.len() as u32, fresh_bits: outcome.fresh_bits }
+        }
+        Command::QueryBatch(items) => Response::BatchFound(store.query_batch(items)),
+        Command::Stats => {
+            Response::Stats(WireStats::from_stats(&store.stats(), store.is_hardened()))
+        }
+        Command::RotateBegin { shard } => match checked_shard(store, *shard) {
+            Err(error) => error,
+            Ok(shard) => {
+                let mut rng = inner.rotation_rng.lock().expect("rotation rng poisoned");
+                Response::Rotated { generation: store.begin_rotation(shard, &mut *rng) }
+            }
+        },
+        Command::RotateComplete { shard } => match checked_shard(store, *shard) {
+            Err(error) => error,
+            Ok(shard) => Response::RotationCompleted(store.complete_rotation(shard)),
+        },
+    }
+}
+
+fn checked_shard(store: &evilbloom_store::BloomStore, shard: u32) -> Result<usize, Response> {
+    let index = shard as usize;
+    if index >= store.shard_count() {
+        return Err(Response::Error(format!(
+            "shard {index} out of range (store has {} shards)",
+            store.shard_count()
+        )));
+    }
+    Ok(index)
+}
+
+/// The async backend's per-connection state machine.
+#[cfg(target_os = "linux")]
+pub(crate) use state_machine::{Connection, Status};
+
+#[cfg(target_os = "linux")]
+mod state_machine {
+    use std::io::{self, Read, Write};
+    use std::net::TcpStream;
+
+    use super::{drain_frame_slice, drain_frames, Inner};
+
+    /// Once this many response bytes are pending un-sent, the connection
+    /// stops *reading* until the peer drains them — a peer that pipelines
+    /// without ever receiving gets backpressure instead of ballooning the
+    /// server's write buffer without bound.
+    const OUT_HIGH_WATER: usize = 4 * 1024 * 1024;
+
+    /// What a readiness event did to the connection.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(crate) enum Status {
+        /// Still serving; re-arm with [`Connection::wants_read`] /
+        /// [`Connection::wants_write`].
+        Open,
+        /// EOF, fatal I/O error, or a protocol violation whose `ERROR`
+        /// response has been fully flushed: deregister and drop.
+        Closed,
+    }
+
+    /// One non-blocking connection: a receive accumulator, a pending-write
+    /// buffer with a flush cursor, and the closing flag that keeps a
+    /// protocol-violation `ERROR` alive until it has been flushed.
+    pub(crate) struct Connection {
+        stream: TcpStream,
+        acc: Vec<u8>,
+        out: Vec<u8>,
+        out_pos: usize,
+        closing: bool,
+    }
+
+    impl Connection {
+        /// Wraps an accepted stream (already set non-blocking) with pooled
+        /// buffers.
+        pub(crate) fn new(stream: TcpStream, acc: Vec<u8>, out: Vec<u8>) -> Connection {
+            Connection { stream, acc, out, out_pos: 0, closing: false }
+        }
+
+        /// Reclaims the pooled buffers when the connection closes.
+        pub(crate) fn into_buffers(self) -> (Vec<u8>, Vec<u8>) {
+            let Connection { acc, mut out, .. } = self;
+            out.clear();
+            (acc, out)
+        }
+
+        fn pending_out(&self) -> usize {
+            self.out.len() - self.out_pos
+        }
+
+        /// Whether the reactor should watch this connection for readability.
+        pub(crate) fn wants_read(&self) -> bool {
+            !self.closing && self.pending_out() < OUT_HIGH_WATER
+        }
+
+        /// Whether the reactor should watch this connection for writability
+        /// (only while a flush came up short — `EPOLLOUT` on an idle
+        /// connection would busy-loop a level-triggered poll).
+        pub(crate) fn wants_write(&self) -> bool {
+            self.pending_out() > 0
+        }
+
+        /// Readable readiness: read until `WouldBlock` (or the backpressure
+        /// high-water mark), execute every complete frame, flush.
+        pub(crate) fn on_readable(&mut self, scratch: &mut [u8], inner: &Inner) -> Status {
+            loop {
+                match self.stream.read(scratch) {
+                    Ok(0) => {
+                        // EOF. The peer may have half-closed (shutdown of
+                        // its write side) and still be reading: responses
+                        // already executed must reach it, so route through
+                        // the flush-then-close path instead of dropping
+                        // pending bytes — the threaded backend delivers
+                        // them too.
+                        self.closing = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        let keep_open = if self.acc.is_empty() {
+                            // Zero-copy fast path (the common case: no
+                            // partial frame pending): serve complete frames
+                            // straight from the scratch buffer and copy
+                            // only a trailing partial frame into the
+                            // accumulator.
+                            let (consumed, keep_open) =
+                                drain_frame_slice(&scratch[..n], &mut self.out, inner);
+                            if keep_open {
+                                self.acc.extend_from_slice(&scratch[consumed..n]);
+                            }
+                            keep_open
+                        } else {
+                            self.acc.extend_from_slice(&scratch[..n]);
+                            drain_frames(&mut self.acc, &mut self.out, inner)
+                        };
+                        if !keep_open {
+                            // Protocol violation: flush the ERROR response,
+                            // then close (see `flush`).
+                            self.closing = true;
+                            break;
+                        }
+                        if !self.wants_read() {
+                            break; // backpressure: pending writes first
+                        }
+                        if n < scratch.len() {
+                            break; // socket very likely drained
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return Status::Closed,
+                }
+            }
+            self.flush()
+        }
+
+        /// Writable readiness (or an opportunistic flush after executing
+        /// frames): write pending response bytes until done or `WouldBlock`.
+        pub(crate) fn flush(&mut self) -> Status {
+            while self.out_pos < self.out.len() {
+                match self.stream.write(&self.out[self.out_pos..]) {
+                    Ok(0) => return Status::Closed,
+                    Ok(n) => self.out_pos += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Status::Open,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return Status::Closed,
+                }
+            }
+            self.out.clear();
+            self.out_pos = 0;
+            if self.closing {
+                // The protocol-violation ERROR is on the wire; now close.
+                return Status::Closed;
+            }
+            Status::Open
+        }
+    }
+}

@@ -1,20 +1,31 @@
-//! The threaded TCP server in front of a [`BloomStore`].
+//! The TCP server in front of a [`BloomStore`], with two I/O backends
+//! behind one configuration surface (see [`Backend`]).
 //!
-//! Architecture: one acceptor thread hands connections to a fixed pool of
-//! worker threads over an mpsc channel; each worker serves one connection at
-//! a time. A connection is a pipelined request loop — every socket read
-//! drains *all* complete frames from the receive buffer, executes them
-//! against the shared store (batch commands visit each shard lock once), and
-//! flushes the buffered responses in one write. Reads tick on a short
-//! timeout so every connection observes the shutdown flag promptly;
-//! [`ServerHandle::shutdown`] is therefore bounded, not best-effort.
+//! **Threaded** (default, portable): one acceptor thread hands connections
+//! to a fixed pool of worker threads over an mpsc channel; each worker
+//! serves one connection at a time with blocking I/O. A connection is a
+//! pipelined request loop — every socket read drains *all* complete frames
+//! from the receive buffer, executes them against the shared store (batch
+//! commands visit each shard lock once), and flushes the buffered responses
+//! in one write. Reads tick on a short timeout so every connection observes
+//! the shutdown flag promptly; [`ServerHandle::shutdown`] is therefore
+//! bounded, not best-effort.
 //!
-//! Response writes are blocking: a peer that pipelines without ever
-//! receiving can stall its own connection (and the worker serving it) once
-//! the un-received responses overflow the socket buffers. That is the
+//! **Async** (Linux): the same acceptor feeds an epoll reactor (see
+//! `reactor.rs` in the sources) where every connection is a non-blocking
+//! state machine, so open-connection count scales to C10k and beyond
+//! instead of being capped by the worker pool. Both backends share the
+//! frame-drain/execute path and the recycled-buffer pool, and speak the
+//! identical wire protocol.
+//!
+//! Threaded response writes are blocking: a peer that pipelines without
+//! ever receiving can stall its own connection (and the worker serving it)
+//! once the un-received responses overflow the socket buffers. That is the
 //! peer's contract to keep — see the burst-bound note in [`crate::client`]
 //! — and it wedges only that worker, never the acceptor or other
-//! connections' workers.
+//! connections' workers. The async backend instead applies backpressure:
+//! past a high-water mark of pending response bytes it simply stops
+//! reading from that connection until the peer drains them.
 
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -28,12 +39,21 @@ use evilbloom_store::BloomStore;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::wire::{self, Command, Response, WireStats, DEFAULT_MAX_FRAME_BYTES};
+use crate::backend::{acceptor_loop, Backend};
+use crate::buffers::BufferPool;
+use crate::conn::{drain_frames, READ_CHUNK};
+use crate::wire::DEFAULT_MAX_FRAME_BYTES;
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerConfig {
-    /// Worker threads; each serves one connection at a time.
+    /// Which I/O backend serves connections (default: [`Backend::Threaded`],
+    /// the portable fallback; [`Backend::Async`] is the Linux epoll
+    /// reactor).
+    pub backend: Backend,
+    /// Degree of parallelism: worker threads for the threaded backend (each
+    /// serves one connection at a time), reactor shards for the async
+    /// backend (each multiplexes any number of connections).
     pub workers: usize,
     /// Per-frame payload cap (a hostile length prefix is rejected, and the
     /// connection closed, before any allocation).
@@ -41,16 +61,17 @@ pub struct ServerConfig {
     /// Seed of the RNG that draws fresh key material for `ROTATE` commands
     /// on hardened stores.
     pub rotation_seed: u64,
-    /// Tick at which the acceptor's non-blocking accept loop and idle
-    /// connections' read timeouts re-check the shutdown flag — the upper
-    /// bound on how long [`ServerHandle::shutdown`] waits for an idle
-    /// server.
+    /// Tick at which the acceptor's non-blocking accept loop, idle threaded
+    /// connections' read timeouts and the reactors' `epoll_wait` calls
+    /// re-check the shutdown flag — the upper bound on how long
+    /// [`ServerHandle::shutdown`] waits for an idle server.
     pub poll_interval: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            backend: Backend::Threaded,
             workers: 4,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             rotation_seed: 0x5EED_0F0D_D5EE_D545,
@@ -59,23 +80,40 @@ impl Default for ServerConfig {
     }
 }
 
-/// Shared state of a running server.
-struct Inner {
-    store: Arc<BloomStore>,
-    shutdown: AtomicBool,
-    rotation_rng: Mutex<StdRng>,
-    requests_served: AtomicU64,
-    max_frame_bytes: u32,
-    poll_interval: Duration,
+impl ServerConfig {
+    /// The default configuration on the given backend.
+    pub fn with_backend(backend: Backend) -> Self {
+        ServerConfig { backend, ..ServerConfig::default() }
+    }
 }
 
-/// The TCP serving layer: binds a listener and spawns the acceptor + worker
-/// threads. See [`Server::spawn`].
+/// Shared state of a running server (both backends).
+pub(crate) struct Inner {
+    pub(crate) store: Arc<BloomStore>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) rotation_rng: Mutex<StdRng>,
+    pub(crate) requests_served: AtomicU64,
+    pub(crate) max_frame_bytes: u32,
+    pub(crate) poll_interval: Duration,
+    /// Recycled per-connection read/write buffers, shared by both backends.
+    pub(crate) buffers: BufferPool,
+}
+
+impl Inner {
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The TCP serving layer: binds a listener and spawns the configured
+/// backend's threads. See [`Server::spawn`].
 pub struct Server;
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral loopback port) and starts
-    /// serving `store`. Returns a handle owning the background threads.
+    /// serving `store` on the configured backend. Returns a handle owning
+    /// the background threads. Asking for [`Backend::Async`] on a
+    /// non-Linux platform fails with [`io::ErrorKind::Unsupported`].
     pub fn spawn(
         store: Arc<BloomStore>,
         addr: impl ToSocketAddrs,
@@ -90,53 +128,78 @@ impl Server {
             requests_served: AtomicU64::new(0),
             max_frame_bytes: config.max_frame_bytes,
             poll_interval: config.poll_interval,
+            buffers: BufferPool::default(),
         });
 
-        let (tx, rx) = channel::<TcpStream>();
-        let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let rx = Arc::clone(&rx);
-                let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&rx, &inner))
-            })
-            .collect();
-
-        // Non-blocking accept with a poll tick: the acceptor re-checks the
-        // shutdown flag every interval, so shutdown never needs to wake a
-        // blocked accept (a self-connect trick would hang on wildcard or
-        // externally-unreachable bind addresses), and persistent accept
-        // errors (EMFILE under fd exhaustion) back off instead of spinning.
-        listener.set_nonblocking(true)?;
-        let acceptor = {
-            let inner = Arc::clone(&inner);
-            let poll_interval = config.poll_interval;
-            std::thread::spawn(move || {
-                while !inner.shutdown.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _peer)) => {
-                            // Whether accepted sockets inherit non-blocking
-                            // mode is platform-dependent; connections must
-                            // be blocking (they use read timeouts).
-                            if stream.set_nonblocking(false).is_err() {
-                                continue;
-                            }
-                            if tx.send(stream).is_err() {
-                                break;
-                            }
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(poll_interval);
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                        Err(_) => std::thread::sleep(poll_interval),
-                    }
-                }
-            })
-        };
-
-        Ok(ServerHandle { local_addr, inner, acceptor: Some(acceptor), workers })
+        match config.backend {
+            Backend::Threaded => {
+                let threads = spawn_threaded(&inner, listener, &config)?;
+                Ok(ServerHandle {
+                    local_addr,
+                    inner,
+                    threads,
+                    #[cfg(target_os = "linux")]
+                    wakers: Vec::new(),
+                })
+            }
+            #[cfg(target_os = "linux")]
+            Backend::Async => {
+                let (threads, wakers) =
+                    crate::reactor::spawn(&inner, listener, config.workers, config.poll_interval)?;
+                Ok(ServerHandle { local_addr, inner, threads, wakers })
+            }
+            #[cfg(not(target_os = "linux"))]
+            Backend::Async => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "the async backend needs Linux epoll; use Backend::Threaded here",
+            )),
+        }
     }
+}
+
+/// Spawns the threaded backend: worker pool plus the resilient acceptor.
+fn spawn_threaded(
+    inner: &Arc<Inner>,
+    listener: TcpListener,
+    config: &ServerConfig,
+) -> io::Result<Vec<JoinHandle<()>>> {
+    // Configure the listener before any thread spawns, so a failure
+    // surfaces as an `Err` from `Server::spawn` instead of a server that
+    // looks healthy but never accepts.
+    listener.set_nonblocking(true)?;
+    let (tx, rx) = channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut threads: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+        .map(|_| {
+            let rx = Arc::clone(&rx);
+            let inner = Arc::clone(inner);
+            std::thread::spawn(move || worker_loop(&rx, &inner))
+        })
+        .collect();
+
+    // Non-blocking accept with a poll tick: the acceptor re-checks the
+    // shutdown flag every interval, so shutdown never needs to wake a
+    // blocked accept (a self-connect trick would hang on wildcard or
+    // externally-unreachable bind addresses), and persistent accept errors
+    // (EMFILE under fd exhaustion) back off — and log once — instead of
+    // spinning; see `classify_accept_error`.
+    let acceptor = {
+        let inner = Arc::clone(inner);
+        let poll_interval = config.poll_interval;
+        std::thread::spawn(move || {
+            acceptor_loop(&listener, &inner, poll_interval, |stream| {
+                // Whether accepted sockets inherit non-blocking mode is
+                // platform-dependent; threaded connections must be blocking
+                // (they use read timeouts).
+                if stream.set_nonblocking(false).is_err() {
+                    return true; // drop this socket, keep accepting
+                }
+                tx.send(stream).is_ok()
+            });
+        })
+    };
+    threads.push(acceptor);
+    Ok(threads)
 }
 
 /// Handle to a running server: address introspection and graceful shutdown.
@@ -144,8 +207,11 @@ impl Server {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     inner: Arc<Inner>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
+    /// Async backend only: one wake pipe per reactor shard, so shutdown
+    /// interrupts `epoll_wait` instead of waiting out a poll tick.
+    #[cfg(target_os = "linux")]
+    wakers: Vec<std::os::unix::net::UnixStream>,
 }
 
 impl ServerHandle {
@@ -167,18 +233,19 @@ impl ServerHandle {
     }
 
     fn shutdown_inner(&mut self) {
-        if self.acceptor.is_none() && self.workers.is_empty() {
+        if self.threads.is_empty() {
             return; // already shut down (shutdown() ran; this is its Drop)
         }
         self.inner.shutdown.store(true, Ordering::SeqCst);
         // The acceptor notices the flag within one poll tick and exits,
-        // dropping the worker channel; idle connections notice on their
-        // read-timeout tick.
-        if let Some(acceptor) = self.acceptor.take() {
-            drop(acceptor.join());
+        // dropping the worker channel; idle threaded connections notice on
+        // their read-timeout tick; reactors are woken explicitly.
+        #[cfg(target_os = "linux")]
+        for waker in &self.wakers {
+            crate::reactor::wake(waker);
         }
-        for worker in self.workers.drain(..) {
-            drop(worker.join());
+        for thread in self.threads.drain(..) {
+            drop(thread.join());
         }
     }
 }
@@ -202,24 +269,42 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, inner: &Inner) {
     }
 }
 
-/// Serves one connection until EOF, a protocol violation, or shutdown.
+/// Serves one connection until EOF, a protocol violation, or shutdown. The
+/// receive accumulator, response buffer and read chunk are checked out of
+/// the shared pool and recycled afterwards, so connection churn does not
+/// translate into allocator churn.
 fn handle_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
+    let mut acc = inner.buffers.checkout();
+    let mut out = inner.buffers.checkout();
+    let mut chunk = inner.buffers.checkout();
+    chunk.resize(READ_CHUNK, 0);
+    let result = serve_blocking(stream, inner, &mut acc, &mut out, &mut chunk);
+    inner.buffers.checkin(acc);
+    inner.buffers.checkin(out);
+    inner.buffers.checkin(chunk);
+    result
+}
+
+fn serve_blocking(
+    stream: TcpStream,
+    inner: &Inner,
+    acc: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+    chunk: &mut [u8],
+) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(inner.poll_interval))?;
     let mut reader = stream.try_clone()?;
     let mut writer = BufWriter::new(stream);
-    let mut acc: Vec<u8> = Vec::with_capacity(16 * 1024);
-    let mut out: Vec<u8> = Vec::with_capacity(16 * 1024);
-    let mut chunk = vec![0u8; 64 * 1024];
 
     loop {
-        match reader.read(&mut chunk) {
+        match reader.read(chunk) {
             Ok(0) => break,
             Ok(n) => {
                 acc.extend_from_slice(&chunk[..n]);
-                let keep_open = drain_frames(&mut acc, &mut out, inner);
+                let keep_open = drain_frames(acc, out, inner);
                 if !out.is_empty() {
-                    writer.write_all(&out)?;
+                    writer.write_all(out)?;
                     writer.flush()?;
                     out.clear();
                 }
@@ -228,7 +313,7 @@ fn handle_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
                 }
             }
             Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                if inner.shutdown.load(Ordering::SeqCst) {
+                if inner.is_shutdown() {
                     break;
                 }
             }
@@ -237,82 +322,4 @@ fn handle_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
         }
     }
     Ok(())
-}
-
-/// Decodes and executes every complete frame in `acc`, appending response
-/// frames to `out`. Returns `false` when a protocol violation means the
-/// connection must close (the stream can no longer be trusted to be in
-/// sync); a final `ERROR` response is still emitted so the client learns
-/// why.
-fn drain_frames(acc: &mut Vec<u8>, out: &mut Vec<u8>, inner: &Inner) -> bool {
-    let mut consumed = 0;
-    let mut keep_open = true;
-    loop {
-        match wire::frame_bounds(acc, consumed, inner.max_frame_bytes) {
-            Ok(None) => break,
-            Ok(Some((start, end))) => {
-                consumed = end;
-                match Command::decode(&acc[start..end]) {
-                    Ok(command) => {
-                        execute(&command, inner).encode(out);
-                        inner.requests_served.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(err) => {
-                        Response::Error(format!("protocol error: {err}")).encode(out);
-                        keep_open = false;
-                        break;
-                    }
-                }
-            }
-            Err(err) => {
-                Response::Error(format!("protocol error: {err}")).encode(out);
-                keep_open = false;
-                break;
-            }
-        }
-    }
-    acc.drain(..consumed);
-    keep_open
-}
-
-/// Executes one decoded command against the store. Batch commands pass the
-/// borrowed item slices straight through to the store's batch APIs, which
-/// visit each shard lock exactly once per frame.
-fn execute(command: &Command<'_>, inner: &Inner) -> Response {
-    let store = &inner.store;
-    match command {
-        Command::Ping => Response::Pong,
-        Command::Insert(item) => Response::Inserted { fresh_bits: store.insert(item) },
-        Command::Query(item) => Response::Found(store.contains(item)),
-        Command::InsertBatch(items) => {
-            let outcome = store.insert_batch(items);
-            Response::BatchInserted { items: items.len() as u32, fresh_bits: outcome.fresh_bits }
-        }
-        Command::QueryBatch(items) => Response::BatchFound(store.query_batch(items)),
-        Command::Stats => {
-            Response::Stats(WireStats::from_stats(&store.stats(), store.is_hardened()))
-        }
-        Command::RotateBegin { shard } => match checked_shard(store, *shard) {
-            Err(error) => error,
-            Ok(shard) => {
-                let mut rng = inner.rotation_rng.lock().expect("rotation rng poisoned");
-                Response::Rotated { generation: store.begin_rotation(shard, &mut *rng) }
-            }
-        },
-        Command::RotateComplete { shard } => match checked_shard(store, *shard) {
-            Err(error) => error,
-            Ok(shard) => Response::RotationCompleted(store.complete_rotation(shard)),
-        },
-    }
-}
-
-fn checked_shard(store: &BloomStore, shard: u32) -> Result<usize, Response> {
-    let index = shard as usize;
-    if index >= store.shard_count() {
-        return Err(Response::Error(format!(
-            "shard {index} out of range (store has {} shards)",
-            store.shard_count()
-        )));
-    }
-    Ok(index)
 }

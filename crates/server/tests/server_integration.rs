@@ -1,227 +1,408 @@
-//! End-to-end tests of the TCP serving layer over loopback: every command,
-//! pipelining, concurrent clients, protocol-violation handling and graceful
-//! shutdown.
+//! End-to-end tests of the TCP serving layer over loopback, parametrized
+//! over both I/O backends (threaded worker pool and Linux epoll reactor):
+//! every command, pipelining, concurrent clients, protocol-violation
+//! handling, graceful shutdown — plus reactor-specific coverage
+//! (byte-at-a-time partial-frame delivery, ≥1000 concurrent connections).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use evilbloom_server::{Client, ClientError, Command, Response, Server, ServerConfig};
+use evilbloom_server::{
+    Backend, Client, ClientError, Command, Response, Server, ServerConfig, ServerHandle,
+};
 use evilbloom_store::{BloomStore, StoreConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn spawn(hardened: bool, shards: usize) -> (evilbloom_server::ServerHandle, Arc<BloomStore>) {
+/// Every backend the current platform supports (both, on Linux). Each test
+/// below runs its whole scenario once per backend against a fresh server,
+/// so the entire suite gates the async reactor exactly as it gates the
+/// threaded pool.
+fn backends() -> Vec<Backend> {
+    Backend::ALL.into_iter().filter(|b| b.is_supported()).collect()
+}
+
+fn spawn_on(backend: Backend, hardened: bool, shards: usize) -> (ServerHandle, Arc<BloomStore>) {
     let config = if hardened {
         StoreConfig::hardened(shards, 4_000, 0.01)
     } else {
         StoreConfig::unhardened(shards, 4_000, 0.01)
     };
     let store = Arc::new(BloomStore::new(config, &mut StdRng::seed_from_u64(42)));
-    let handle = Server::spawn(Arc::clone(&store), "127.0.0.1:0", ServerConfig::default())
-        .expect("bind loopback");
+    let handle =
+        Server::spawn(Arc::clone(&store), "127.0.0.1:0", ServerConfig::with_backend(backend))
+            .expect("bind loopback");
     (handle, store)
 }
 
 #[test]
-fn every_command_round_trips() {
-    let (handle, store) = spawn(true, 4);
-    let mut client = Client::connect(handle.local_addr()).expect("connect");
-
-    client.ping().expect("ping");
-    assert!(client.insert(b"item-a").expect("insert") > 0);
-    assert!(client.query(b"item-a").expect("query"));
-    assert!(!client.query(b"item-b").expect("query"));
-
-    let members: Vec<String> = (0..200).map(|i| format!("batch-{i}")).collect();
-    let outcome = client.insert_batch(&members).expect("minsert");
-    assert_eq!(outcome.items, 200);
-    assert!(outcome.fresh_bits > 0);
-    let answers = client.query_batch(&members).expect("mquery");
-    assert!(answers.iter().all(|&a| a), "no false negatives");
-
-    // The wire stats must agree with the in-process view.
-    let remote = client.stats().expect("stats");
-    let local = store.stats();
-    assert!(remote.hardened);
-    assert_eq!(remote.total_inserted, local.total_inserted);
-    assert_eq!(remote.alarms as usize, local.alarms);
-    assert_eq!(remote.shards.len(), local.shards.len());
-    for (wire, host) in remote.shards.iter().zip(&local.shards) {
-        assert_eq!(wire.m, host.m);
-        assert_eq!(wire.k, host.k);
-        assert_eq!(wire.inserted, host.inserted);
-        assert_eq!(wire.weight, host.weight);
+fn async_backend_is_supported_on_linux() {
+    assert_eq!(Backend::Async.is_supported(), cfg!(target_os = "linux"));
+    if cfg!(target_os = "linux") {
+        assert_eq!(backends(), vec![Backend::Threaded, Backend::Async]);
     }
+}
 
-    handle.shutdown();
+#[test]
+fn every_command_round_trips() {
+    for backend in backends() {
+        let (handle, store) = spawn_on(backend, true, 4);
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        client.ping().expect("ping");
+        assert!(client.insert(b"item-a").expect("insert") > 0);
+        assert!(client.query(b"item-a").expect("query"));
+        assert!(!client.query(b"item-b").expect("query"));
+
+        let members: Vec<String> = (0..200).map(|i| format!("batch-{i}")).collect();
+        let outcome = client.insert_batch(&members).expect("minsert");
+        assert_eq!(outcome.items, 200);
+        assert!(outcome.fresh_bits > 0);
+        let answers = client.query_batch(&members).expect("mquery");
+        assert!(answers.iter().all(|&a| a), "no false negatives ({backend})");
+
+        // The wire stats must agree with the in-process view.
+        let remote = client.stats().expect("stats");
+        let local = store.stats();
+        assert!(remote.hardened);
+        assert_eq!(remote.total_inserted, local.total_inserted);
+        assert_eq!(remote.alarms as usize, local.alarms);
+        assert_eq!(remote.shards.len(), local.shards.len());
+        for (wire, host) in remote.shards.iter().zip(&local.shards) {
+            assert_eq!(wire.m, host.m);
+            assert_eq!(wire.k, host.k);
+            assert_eq!(wire.inserted, host.inserted);
+            assert_eq!(wire.weight, host.weight);
+        }
+
+        handle.shutdown();
+    }
 }
 
 #[test]
 fn rotation_over_the_wire_drops_polluted_bits() {
-    let (handle, _store) = spawn(true, 2);
-    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, true, 2);
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
 
-    let members: Vec<String> = (0..100).map(|i| format!("keep-{i}")).collect();
-    client.insert_batch(&members).expect("minsert");
-    client.insert(b"pollution").expect("insert");
+        let members: Vec<String> = (0..100).map(|i| format!("keep-{i}")).collect();
+        client.insert_batch(&members).expect("minsert");
+        client.insert(b"pollution").expect("insert");
 
-    for shard in 0..2 {
-        assert_eq!(client.rotate_begin(shard).expect("begin"), Some(1));
-        // A second begin while draining is refused, not an error.
-        assert_eq!(client.rotate_begin(shard).expect("begin again"), None);
+        for shard in 0..2 {
+            assert_eq!(client.rotate_begin(shard).expect("begin"), Some(1));
+            // A second begin while draining is refused, not an error.
+            assert_eq!(client.rotate_begin(shard).expect("begin again"), None);
+        }
+        // Mid-rotation the old generation still answers.
+        assert!(client.query(b"pollution").expect("query"));
+        client.insert_batch(&members).expect("replay");
+        for shard in 0..2 {
+            assert!(client.rotate_complete(shard).expect("complete"));
+            assert!(!client.rotate_complete(shard).expect("nothing left"));
+        }
+        assert!(client.query_batch(&members).expect("mquery").iter().all(|&a| a));
+        assert!(!client.query(b"pollution").expect("query"), "unreplayed pollution is gone");
+
+        handle.shutdown();
     }
-    // Mid-rotation the old generation still answers.
-    assert!(client.query(b"pollution").expect("query"));
-    client.insert_batch(&members).expect("replay");
-    for shard in 0..2 {
-        assert!(client.rotate_complete(shard).expect("complete"));
-        assert!(!client.rotate_complete(shard).expect("nothing left"));
-    }
-    assert!(client.query_batch(&members).expect("mquery").iter().all(|&a| a));
-    assert!(!client.query(b"pollution").expect("query"), "unreplayed pollution is gone");
-
-    handle.shutdown();
 }
 
 #[test]
 fn pipelined_requests_answer_in_order() {
-    let (handle, _store) = spawn(true, 4);
-    let mut client = Client::connect(handle.local_addr()).expect("connect");
-    let items: Vec<String> = (0..50).map(|i| format!("pipeline-{i}")).collect();
-    client.insert_batch(&items).expect("minsert");
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, true, 4);
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        let items: Vec<String> = (0..50).map(|i| format!("pipeline-{i}")).collect();
+        client.insert_batch(&items).expect("minsert");
 
-    // Queue 100 single queries (alternating hit/miss) without reading.
-    for (i, item) in items.iter().enumerate() {
-        client.send(&Command::Query(item.as_bytes())).expect("send hit");
-        client.send(&Command::Query(format!("absent-{i}").as_bytes())).expect("send miss");
+        // Queue 100 single queries (alternating hit/miss) without reading.
+        for (i, item) in items.iter().enumerate() {
+            client.send(&Command::Query(item.as_bytes())).expect("send hit");
+            client.send(&Command::Query(format!("absent-{i}").as_bytes())).expect("send miss");
+        }
+        for i in 0..50 {
+            assert_eq!(client.recv().expect("hit"), Response::Found(true), "{backend} hit {i}");
+            assert_eq!(client.recv().expect("miss"), Response::Found(false), "{backend} miss {i}");
+        }
+        handle.shutdown();
     }
-    for i in 0..50 {
-        assert_eq!(client.recv().expect("hit"), Response::Found(true), "hit {i}");
-        assert_eq!(client.recv().expect("miss"), Response::Found(false), "miss {i}");
-    }
-    handle.shutdown();
 }
 
 #[test]
 fn concurrent_clients_share_the_store() {
-    let (handle, store) = spawn(true, 4);
-    let addr = handle.local_addr();
-    std::thread::scope(|scope| {
-        for worker in 0..4 {
-            scope.spawn(move || {
-                let mut client = Client::connect(addr).expect("connect");
-                let items: Vec<String> = (0..100).map(|i| format!("worker-{worker}-{i}")).collect();
-                client.insert_batch(&items).expect("minsert");
-                assert!(client.query_batch(&items).expect("mquery").iter().all(|&a| a));
-            });
-        }
-    });
-    assert_eq!(store.stats().total_inserted, 400);
-    assert_eq!(handle.requests_served(), 8);
-    handle.shutdown();
+    for backend in backends() {
+        let (handle, store) = spawn_on(backend, true, 4);
+        let addr = handle.local_addr();
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let items: Vec<String> =
+                        (0..100).map(|i| format!("worker-{worker}-{i}")).collect();
+                    client.insert_batch(&items).expect("minsert");
+                    assert!(client.query_batch(&items).expect("mquery").iter().all(|&a| a));
+                });
+            }
+        });
+        assert_eq!(store.stats().total_inserted, 400);
+        assert_eq!(handle.requests_served(), 8);
+        handle.shutdown();
+    }
 }
 
 #[test]
 fn semantic_errors_keep_the_connection_alive() {
-    let (handle, _store) = spawn(true, 4);
-    let mut client = Client::connect(handle.local_addr()).expect("connect");
-    match client.rotate_begin(99) {
-        Err(ClientError::Remote(message)) => assert!(message.contains("out of range")),
-        other => panic!("expected a remote error, got {other:?}"),
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, true, 4);
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        match client.rotate_begin(99) {
+            Err(ClientError::Remote(message)) => assert!(message.contains("out of range")),
+            other => panic!("expected a remote error, got {other:?} ({backend})"),
+        }
+        client.ping().expect("connection still serves");
+        handle.shutdown();
     }
-    client.ping().expect("connection still serves");
-    handle.shutdown();
 }
 
 #[test]
 fn protocol_violations_get_an_error_and_a_close() {
-    let (handle, _store) = spawn(true, 4);
-    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
-    // A frame with a bad version byte.
-    stream.write_all(&[2u8, 0, 0, 0, 99, 0x01]).expect("write");
-    stream.flush().expect("flush");
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, true, 4);
+        let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        // A frame with a bad version byte.
+        stream.write_all(&[2u8, 0, 0, 0, 99, 0x01]).expect("write");
+        stream.flush().expect("flush");
 
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).expect("server closes after the error frame");
-    let (start, end) = evilbloom_server::wire::frame_bounds(&raw, 0, 1 << 20)
-        .expect("cap")
-        .expect("one complete error frame");
-    match Response::decode(&raw[start..end]).expect("decodes") {
-        Response::Error(message) => assert!(message.contains("version"), "{message}"),
-        other => panic!("expected ERROR, got {other:?}"),
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("server closes after the error frame");
+        let (start, end) = evilbloom_server::wire::frame_bounds(&raw, 0, 1 << 20)
+            .expect("cap")
+            .expect("one complete error frame");
+        match Response::decode(&raw[start..end]).expect("decodes") {
+            Response::Error(message) => assert!(message.contains("version"), "{message}"),
+            other => panic!("expected ERROR, got {other:?} ({backend})"),
+        }
+        assert_eq!(end, raw.len(), "nothing after the error frame ({backend})");
+        handle.shutdown();
     }
-    assert_eq!(end, raw.len(), "nothing after the error frame");
-    handle.shutdown();
 }
 
 #[test]
 fn oversized_frames_are_refused_without_allocation() {
-    let store = Arc::new(BloomStore::new(
-        StoreConfig::hardened(2, 1_000, 0.01),
-        &mut StdRng::seed_from_u64(1),
-    ));
-    let config = ServerConfig { max_frame_bytes: 1024, ..ServerConfig::default() };
-    let handle = Server::spawn(store, "127.0.0.1:0", config).expect("bind");
-    let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
-    // Claim a 1 GiB payload; send only the prefix.
-    stream.write_all(&(1u32 << 30).to_le_bytes()).expect("write");
-    stream.flush().expect("flush");
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).expect("server answers and closes");
-    let (start, end) =
-        evilbloom_server::wire::frame_bounds(&raw, 0, 1 << 20).expect("cap").expect("error frame");
-    match Response::decode(&raw[start..end]).expect("decodes") {
-        Response::Error(message) => assert!(message.contains("exceeds"), "{message}"),
-        other => panic!("expected ERROR, got {other:?}"),
+    for backend in backends() {
+        let store = Arc::new(BloomStore::new(
+            StoreConfig::hardened(2, 1_000, 0.01),
+            &mut StdRng::seed_from_u64(1),
+        ));
+        let config = ServerConfig { max_frame_bytes: 1024, ..ServerConfig::with_backend(backend) };
+        let handle = Server::spawn(store, "127.0.0.1:0", config).expect("bind");
+        let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        // Claim a 1 GiB payload; send only the prefix.
+        stream.write_all(&(1u32 << 30).to_le_bytes()).expect("write");
+        stream.flush().expect("flush");
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("server answers and closes");
+        let (start, end) = evilbloom_server::wire::frame_bounds(&raw, 0, 1 << 20)
+            .expect("cap")
+            .expect("error frame");
+        match Response::decode(&raw[start..end]).expect("decodes") {
+            Response::Error(message) => assert!(message.contains("exceeds"), "{message}"),
+            other => panic!("expected ERROR, got {other:?} ({backend})"),
+        }
+        handle.shutdown();
     }
-    handle.shutdown();
 }
 
 #[test]
 fn shutdown_is_graceful_and_bounded() {
-    let (handle, _store) = spawn(true, 4);
-    let addr = handle.local_addr();
-    // An idle connection is open when shutdown starts.
-    let mut client = Client::connect(addr).expect("connect");
-    client.ping().expect("ping");
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, true, 4);
+        let addr = handle.local_addr();
+        // An idle connection is open when shutdown starts.
+        let mut client = Client::connect(addr).expect("connect");
+        client.ping().expect("ping");
 
-    let started = std::time::Instant::now();
-    handle.shutdown();
-    assert!(
-        started.elapsed() < Duration::from_secs(5),
-        "shutdown took {:?} with an idle connection open",
-        started.elapsed()
-    );
+        let started = std::time::Instant::now();
+        handle.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "{backend} shutdown took {:?} with an idle connection open",
+            started.elapsed()
+        );
 
-    // The idle connection was closed by the server side.
-    assert!(client.ping().is_err(), "server should be gone");
-    // New connections are refused or immediately closed.
-    match Client::connect(addr) {
-        Err(_) => {}
-        Ok(mut late) => assert!(late.ping().is_err(), "no thread should serve a late client"),
+        // The idle connection was closed by the server side.
+        assert!(client.ping().is_err(), "server should be gone ({backend})");
+        // New connections are refused or immediately closed.
+        match Client::connect(addr) {
+            Err(_) => {}
+            Ok(mut late) => {
+                assert!(late.ping().is_err(), "no thread should serve a late client ({backend})")
+            }
+        }
     }
 }
 
 #[test]
 fn oversized_commands_are_rejected_client_side_before_sending() {
-    let (handle, _store) = spawn(true, 4);
-    let mut client = Client::connect(handle.local_addr()).expect("connect");
-    client.set_max_frame_bytes(256);
-    let big = vec![0xAAu8; 1024];
-    let err = client.send(&Command::Insert(&big)).expect_err("must reject locally");
-    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
-    // The connection was never poisoned: normal traffic still works.
-    client.set_max_frame_bytes(evilbloom_server::DEFAULT_MAX_FRAME_BYTES);
-    client.ping().expect("connection unaffected");
-    handle.shutdown();
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, true, 4);
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        client.set_max_frame_bytes(256);
+        let big = vec![0xAAu8; 1024];
+        let err = client.send(&Command::Insert(&big)).expect_err("must reject locally");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // The connection was never poisoned: normal traffic still works.
+        client.set_max_frame_bytes(evilbloom_server::DEFAULT_MAX_FRAME_BYTES);
+        client.ping().expect("connection unaffected");
+        handle.shutdown();
+    }
 }
 
 #[test]
 fn unhardened_server_reports_its_posture() {
-    let (handle, _store) = spawn(false, 4);
-    let mut client = Client::connect(handle.local_addr()).expect("connect");
-    assert!(!client.stats().expect("stats").hardened);
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, false, 4);
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        assert!(!client.stats().expect("stats").hardened);
+        handle.shutdown();
+    }
+}
+
+/// A peer delivering its bytes one at a time must be reassembled correctly:
+/// every readiness event hands the state machine a partial frame, and no
+/// response may be emitted before the frame completes. (This is the
+/// edge-triggering/partial-read regression test for the reactor; it runs on
+/// the threaded backend too, whose accumulator follows the same contract.)
+#[test]
+fn byte_at_a_time_partial_frame_delivery() {
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, true, 4);
+        let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+
+        // Three pipelined frames, delivered byte by byte.
+        let mut bytes = Vec::new();
+        Command::Ping.encode(&mut bytes);
+        Command::Insert(b"https://drip.example/slow").encode(&mut bytes);
+        Command::QueryBatch(vec![b"https://drip.example/slow".as_slice(), b"absent".as_slice()])
+            .encode(&mut bytes);
+        for &byte in &bytes {
+            stream.write_all(&[byte]).expect("write one byte");
+            stream.flush().expect("flush");
+        }
+
+        let mut payload = Vec::new();
+        let mut read_response = || {
+            assert!(
+                evilbloom_server::wire::read_frame(&mut stream, &mut payload, 1 << 20)
+                    .expect("read frame"),
+                "connection stays open ({backend})"
+            );
+            Response::decode(&payload).expect("decodes")
+        };
+        assert_eq!(read_response(), Response::Pong, "{backend}");
+        match read_response() {
+            Response::Inserted { fresh_bits } => assert!(fresh_bits > 0, "{backend}"),
+            other => panic!("expected INSERTED, got {other:?} ({backend})"),
+        }
+        assert_eq!(read_response(), Response::BatchFound(vec![true, false]), "{backend}");
+        handle.shutdown();
+    }
+}
+
+/// The C10k claim, scaled to a unit test: the async backend holds ≥1000
+/// concurrent loopback connections — every one of them *served*, not just
+/// accepted — on a handful of reactor threads, and stays responsive while
+/// they are all open. (The threaded backend would need 1000 dedicated
+/// worker threads for the same feat; that is the gap the reactor closes.)
+#[test]
+fn async_backend_sustains_1000_concurrent_connections() {
+    if !Backend::Async.is_supported() {
+        eprintln!("skipping: async backend unsupported on this platform");
+        return;
+    }
+    const CONNECTIONS: usize = 1000;
+    if let Some(budget) = evilbloom_server::loopback_connection_budget() {
+        if budget < CONNECTIONS as u64 {
+            eprintln!("skipping: fd budget {budget} too low for {CONNECTIONS} connections");
+            return;
+        }
+    }
+
+    let (handle, store) = spawn_on(Backend::Async, true, 4);
+    let addr = handle.local_addr();
+
+    let mut clients: Vec<Client> = Vec::with_capacity(CONNECTIONS);
+    for i in 0..CONNECTIONS {
+        match Client::connect(addr) {
+            Ok(client) => clients.push(client),
+            Err(e) => panic!("connect {i} failed: {e}"),
+        }
+    }
+
+    // Every connection is served, not merely accepted: one request each.
+    for (i, client) in clients.iter_mut().enumerate() {
+        client.ping().unwrap_or_else(|e| panic!("ping on connection {i} failed: {e}"));
+    }
+
+    // With all 1000 still open, the server keeps doing real work.
+    let items: Vec<String> = (0..100).map(|i| format!("c10k-{i}")).collect();
+    clients[0].insert_batch(&items).expect("insert under load");
+    let answers = clients[CONNECTIONS - 1].query_batch(&items).expect("query under load");
+    assert!(answers.iter().all(|&a| a), "no false negatives under 1000-connection load");
+    assert_eq!(store.stats().total_inserted, 100);
+    assert!(handle.requests_served() >= CONNECTIONS as u64 + 2);
+
+    drop(clients);
     handle.shutdown();
+}
+
+/// A peer that pipelines a burst, half-closes its write side, and then
+/// reads must still receive every response: EOF with responses pending (or
+/// executing) takes the flush-then-close path on both backends instead of
+/// dropping undelivered bytes.
+#[test]
+fn half_close_still_delivers_pending_responses() {
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, true, 4);
+        let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+
+        const BURST: usize = 200;
+        let mut bytes = Vec::new();
+        Command::Insert(b"half-close-item").encode(&mut bytes);
+        for _ in 0..BURST {
+            Command::Query(b"half-close-item").encode(&mut bytes);
+        }
+        stream.write_all(&bytes).expect("write burst");
+        stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+
+        let mut payload = Vec::new();
+        assert!(
+            evilbloom_server::wire::read_frame(&mut stream, &mut payload, 1 << 20)
+                .expect("read INSERTED"),
+            "{backend}"
+        );
+        for i in 0..BURST {
+            assert!(
+                evilbloom_server::wire::read_frame(&mut stream, &mut payload, 1 << 20)
+                    .unwrap_or_else(|e| panic!("{backend}: response {i} after half-close: {e}")),
+                "{backend}: connection closed before response {i}"
+            );
+            assert_eq!(
+                Response::decode(&payload).expect("decodes"),
+                Response::Found(true),
+                "{backend} response {i}"
+            );
+        }
+        // After the last response the server closes cleanly.
+        assert!(
+            !evilbloom_server::wire::read_frame(&mut stream, &mut payload, 1 << 20)
+                .expect("clean EOF"),
+            "{backend}: nothing after the final response"
+        );
+        handle.shutdown();
+    }
 }

@@ -9,15 +9,17 @@
 //! derivation. The adversary therefore rebuilds the server's state in a
 //! local mirror — no access beyond the public corpus and the source code —
 //! crafts items whose `k` indexes all land on unset bits, and delivers them
-//! with pipelined `MINSERT` frames like any other client. The hardened
-//! server's keyed routing/indexes make the mirror impossible; the same
-//! crafted traffic is no better than random there.
+//! with pipelined `MINSERT` frames like any other client, striped over a
+//! small pool of connections (`ClientPool`) the way a real crawler-facing
+//! client would spread its load. The hardened server's keyed
+//! routing/indexes make the mirror impossible; the same crafted traffic is
+//! no better than random there.
 //!
 //! Run with: `cargo run --release --example remote_attack`
 
 use std::sync::Arc;
 
-use evilbloom::server::{Client, Command, Response, Server, ServerConfig, ServerHandle};
+use evilbloom::server::{ClientPool, Server, ServerConfig, ServerHandle};
 use evilbloom::store::{craft_store_pollution, BloomStore, StoreConfig};
 use evilbloom::urlgen::UrlGenerator;
 use rand::rngs::StdRng;
@@ -34,10 +36,12 @@ const CRAFTED: usize = 4_000;
 const PROBES: u64 = 60_000;
 /// Items per batch frame (pipelined, several frames in flight).
 const CHUNK: usize = 2_000;
+/// Pooled connections the adversary stripes its frames over.
+const POOL: usize = 4;
 /// Offline crafting budget (the run needs ~22M evaluations).
 const CRAFT_BUDGET: u64 = 500_000_000;
 
-fn spawn_server(hardened: bool, seed: u64) -> (ServerHandle, Client) {
+fn spawn_server(hardened: bool, seed: u64) -> (ServerHandle, ClientPool) {
     let config = if hardened {
         StoreConfig::hardened(SHARDS, CAPACITY, TARGET_FPP)
     } else {
@@ -46,53 +50,31 @@ fn spawn_server(hardened: bool, seed: u64) -> (ServerHandle, Client) {
     let store = Arc::new(BloomStore::new(config, &mut StdRng::seed_from_u64(seed)));
     let handle =
         Server::spawn(store, "127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
-    let client = Client::connect(handle.local_addr()).expect("connect");
-    (handle, client)
+    let pool = ClientPool::connect(handle.local_addr(), POOL).expect("connect pool");
+    (handle, pool)
 }
 
-/// Inserts `count` URLs from `namespace` through pipelined `MINSERT` frames.
-fn load_remote(client: &mut Client, namespace: &str, count: u64) {
+/// Inserts `count` URLs from `namespace` through pipelined `MINSERT`
+/// frames, striped over the connection pool.
+fn load_remote(pool: &mut ClientPool, namespace: &str, count: u64) {
     let generator = UrlGenerator::new(namespace);
     let urls: Vec<String> = (0..count).map(|i| generator.url(i)).collect();
-    send_batches(client, &urls);
+    send_batches(pool, &urls);
 }
 
-/// Pipelines `items` to the server in `CHUNK`-sized `MINSERT` frames: all
-/// frames are queued before the first response is awaited.
-fn send_batches(client: &mut Client, items: &[String]) {
-    let chunks: Vec<&[String]> = items.chunks(CHUNK).collect();
-    for chunk in &chunks {
-        let borrowed: Vec<&[u8]> = chunk.iter().map(String::as_bytes).collect();
-        client.send(&Command::InsertBatch(borrowed)).expect("queue MINSERT");
-    }
-    for _ in &chunks {
-        match client.recv().expect("MINSERT response") {
-            Response::BatchInserted { .. } => {}
-            other => panic!("expected MINSERTED, got {}", other.name()),
-        }
-    }
+/// Delivers `items` in `CHUNK`-sized `MINSERT` frames over several pooled
+/// sockets: all frames are in flight before the first response is awaited.
+fn send_batches(pool: &mut ClientPool, items: &[String]) {
+    pool.minsert_pooled(items, CHUNK).expect("pooled MINSERT");
 }
 
 /// Observed false-positive rate over `PROBES` non-member URLs, measured
-/// through pipelined `MQUERY` frames.
-fn remote_fpp(client: &mut Client) -> f64 {
+/// through `MQUERY` frames striped over the pool.
+fn remote_fpp(pool: &mut ClientPool) -> f64 {
     let generator = UrlGenerator::new("probe-nonmember");
     let probes: Vec<String> = (0..PROBES).map(|i| generator.url(i)).collect();
-    let chunks: Vec<&[String]> = probes.chunks(CHUNK).collect();
-    for chunk in &chunks {
-        let borrowed: Vec<&[u8]> = chunk.iter().map(String::as_bytes).collect();
-        client.send(&Command::QueryBatch(borrowed)).expect("queue MQUERY");
-    }
-    let mut false_positives = 0u64;
-    for _ in &chunks {
-        match client.recv().expect("MQUERY response") {
-            Response::BatchFound(answers) => {
-                false_positives += answers.iter().filter(|&&a| a).count() as u64;
-            }
-            other => panic!("expected MFOUND, got {}", other.name()),
-        }
-    }
-    false_positives as f64 / PROBES as f64
+    let answers = pool.mquery_pooled(&probes, CHUNK).expect("pooled MQUERY");
+    answers.iter().filter(|&&a| a).count() as f64 / PROBES as f64
 }
 
 fn main() {
@@ -102,7 +84,8 @@ fn main() {
     );
     println!(
         "remote chosen-insertion attack: {SHARDS} shards, capacity {CAPACITY}, \
-         corpus {CORPUS}, {CRAFTED} crafted items, {PROBES} probes\n"
+         corpus {CORPUS}, {CRAFTED} crafted items, {PROBES} probes, \
+         {POOL} pooled connections\n"
     );
 
     // Honest baseline: a server carrying the same *total* load, all honest.
@@ -156,8 +139,12 @@ fn main() {
     );
 
     // STATS carries the pollution alarms to the (remote) operator.
-    let unhardened_stats = unhardened.stats().expect("stats");
-    let hardened_stats = hardened.stats().expect("stats");
+    let mut operator = unhardened.checkout_validated().expect("operator connection");
+    let unhardened_stats = operator.stats().expect("stats");
+    unhardened.checkin(operator);
+    let mut operator = hardened.checkout_validated().expect("operator connection");
+    let hardened_stats = operator.stats().expect("stats");
+    hardened.checkin(operator);
     println!(
         "pollution alarms over STATS           : unhardened {}/{SHARDS}, hardened {}/{SHARDS}",
         unhardened_stats.alarms, hardened_stats.alarms
@@ -176,13 +163,17 @@ fn main() {
 
     // Incident response over the wire: rotate every shard, replay the
     // corpus, complete — the polluted generations are dropped remotely.
+    let mut operator = unhardened.checkout_validated().expect("operator connection");
     for shard in 0..SHARDS as u32 {
-        unhardened.rotate_begin(shard).expect("rotate begin");
+        operator.rotate_begin(shard).expect("rotate begin");
     }
+    unhardened.checkin(operator);
     load_remote(&mut unhardened, "public-web", CORPUS);
+    let mut operator = unhardened.checkout_validated().expect("operator connection");
     for shard in 0..SHARDS as u32 {
-        unhardened.rotate_complete(shard).expect("rotate complete");
+        operator.rotate_complete(shard).expect("rotate complete");
     }
+    unhardened.checkin(operator);
     let rotated_fpp = remote_fpp(&mut unhardened);
     println!(
         "unhardened after ROTATE + replay      : {rotated_fpp:.5}  \
