@@ -34,7 +34,7 @@ use evilbloom_hashes::{
 use evilbloom_server::{
     loopback_connection_budget, Backend, Client, Command, Response, Server, ServerConfig,
 };
-use evilbloom_store::{craft_store_pollution, BloomStore, StoreConfig};
+use evilbloom_store::{craft_store_pollution, BloomStore, PersistConfig, StoreConfig};
 use evilbloom_urlgen::UrlGenerator;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -338,6 +338,8 @@ impl Suite {
             "store/insert_batch",
             "store/query_loop",
             "store/query_batch",
+            "store/snapshot_while_serving",
+            "store/recovery_replay",
             "server/query",
             "server/query_batch",
             "server/attack_mix",
@@ -377,6 +379,9 @@ impl Suite {
         }
         if self.family_selected("concurrent/") || self.family_selected("store/") {
             self.batch_workloads(&mut timings, &members, &probes);
+        }
+        if self.selected("store/snapshot_while_serving") || self.selected("store/recovery_replay") {
+            self.persistence_workloads(&mut timings, &members, &probes);
         }
         for backend in Backend::ALL.into_iter().filter(|b| b.is_supported()) {
             let prefix = match backend {
@@ -547,6 +552,102 @@ impl Suite {
             hits
         });
         self.time(out, "store/query_batch", batch as u64, || store.query_batch(&mix));
+    }
+
+    /// Durability workloads: per-snapshot cost while live query traffic
+    /// keeps hammering the shards (the racy-copy design means the snapshot
+    /// never blocks readers — this measures what the *snapshot* pays, not
+    /// what the serving path pays), and cold-start recovery (newest-snapshot
+    /// load + WAL replay + post-recovery fold snapshot), reported as ns per
+    /// replayed insert.
+    fn persistence_workloads(
+        &self,
+        out: &mut Vec<TimingRecord>,
+        members: &[String],
+        probes: &[String],
+    ) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let scratch =
+            std::env::temp_dir().join(format!("evilbloom-perf-persist-{}", std::process::id()));
+
+        if self.selected("store/snapshot_while_serving") {
+            let dir = scratch.join("snapshot");
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create snapshot dir");
+            let mut store = BloomStore::new(
+                StoreConfig::unhardened(8, self.filter_capacity, 0.01),
+                &mut StdRng::seed_from_u64(21),
+            );
+            store.insert_batch(members);
+            store.enable_persistence(&PersistConfig::new(&dir)).expect("enable persistence");
+            let mix: Vec<&[u8]> = members
+                .iter()
+                .zip(probes)
+                .take(self.batch / 2)
+                .flat_map(|(m, p)| [m.as_bytes(), p.as_bytes()])
+                .collect();
+            let stop = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    let (store, stop, mix) = (&store, &stop, &mix);
+                    scope.spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            black_box(store.query_batch(mix));
+                        }
+                    });
+                }
+                self.time(out, "store/snapshot_while_serving", 1, || {
+                    store.snapshot_to_disk().expect("snapshot")
+                });
+                stop.store(true, Ordering::Relaxed);
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+
+        if self.selected("store/recovery_replay") {
+            let dir = scratch.join("recovery");
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("create recovery dir");
+            let persist = PersistConfig::new(&dir);
+            let snap_count = if self.quick { 20_000 } else { 100_000 };
+            let wal_count = if self.quick { 5_000 } else { 20_000 };
+            {
+                let mut store = BloomStore::new(
+                    StoreConfig::unhardened(8, self.filter_capacity, 0.01),
+                    &mut StdRng::seed_from_u64(22),
+                );
+                store.insert_batch(&members[..snap_count]);
+                store.enable_persistence(&persist).expect("enable persistence");
+                store.snapshot_to_disk().expect("snapshot");
+                // These inserts live only in the write-ahead log.
+                store.insert_batch(&members[snap_count..snap_count + wal_count]);
+            }
+            // Recovery compacts the directory (fold snapshot + prune), so
+            // the pristine crashed-state files are restored before every
+            // iteration; the restore is a couple of small file writes, tiny
+            // next to the replay they set up.
+            let crashed: Vec<(String, Vec<u8>)> = std::fs::read_dir(&dir)
+                .expect("read recovery dir")
+                .map(|entry| {
+                    let entry = entry.expect("dir entry");
+                    (
+                        entry.file_name().to_string_lossy().into_owned(),
+                        std::fs::read(entry.path()).expect("read crashed file"),
+                    )
+                })
+                .collect();
+            self.time(out, "store/recovery_replay", wal_count as u64, || {
+                for entry in std::fs::read_dir(&dir).expect("read dir") {
+                    let _ = std::fs::remove_file(entry.expect("dir entry").path());
+                }
+                for (name, bytes) in &crashed {
+                    std::fs::write(dir.join(name), bytes).expect("restore crashed file");
+                }
+                BloomStore::recover(&persist).expect("recover")
+            });
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     /// The TCP serving layer on a loopback socket, once per backend

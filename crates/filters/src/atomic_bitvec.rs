@@ -122,6 +122,49 @@ impl AtomicBitVec {
         self.count_ones() as f64 / self.len as f64
     }
 
+    /// Racily copies the raw word array under `&self` — the persistence
+    /// primitive. The copy is word-wise consistent; concurrent writers may
+    /// land between words, so the copy can mix "before" and "after" words of
+    /// an in-flight insert. For a Bloom filter that torn read is *safe*: bits
+    /// are only ever set, so the worst a torn copy does is re-observe a bit
+    /// an in-flight insert set — replaying that insert from a log is
+    /// idempotent. Consumers needing a ones count for the copy must recount
+    /// it from these words ([`BitVec::count_ones`] on the rebuilt vector, or
+    /// `count_ones` per word) — the live running counter is updated *after*
+    /// each `fetch_or` and can disagree with any given word-array copy.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        self.words.iter().map(|w| w.load(Ordering::Acquire)).collect()
+    }
+
+    /// Rebuilds a bit vector of `len` bits from a raw word array (the
+    /// inverse of [`AtomicBitVec::snapshot_words`], used on recovery). The
+    /// ones-counter is recounted from the words — never restored from a
+    /// persisted counter, which may disagree with a racy word copy. Padding
+    /// bits beyond `len` in the final word are masked off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero or `words` is not exactly `len.div_ceil(64)`
+    /// words long.
+    pub fn from_words(len: u64, mut words: Vec<u64>) -> Self {
+        assert!(len > 0, "bit vector length must be positive");
+        assert_eq!(
+            words.len() as u64,
+            len.div_ceil(64),
+            "word count does not match a {len}-bit vector"
+        );
+        if !len.is_multiple_of(64) {
+            let last = words.len() - 1;
+            words[last] &= (1u64 << (len % 64)) - 1;
+        }
+        let ones = words.iter().map(|w| u64::from(w.count_ones())).sum();
+        AtomicBitVec {
+            words: words.into_iter().map(AtomicU64::new).collect(),
+            len,
+            ones: AtomicU64::new(ones),
+        }
+    }
+
     /// Copies the current contents into a plain [`BitVec`] snapshot. The
     /// snapshot is word-wise consistent; concurrent writers may land between
     /// words.
@@ -209,6 +252,66 @@ mod tests {
         let atomic = AtomicBitVec::from(&plain);
         assert_eq!(atomic.snapshot(), plain);
         assert_eq!(atomic.count_ones_approx(), plain.count_ones());
+    }
+
+    #[test]
+    fn snapshot_words_roundtrip_recounts_ones() {
+        let bits = AtomicBitVec::new(130);
+        for i in [0u64, 63, 64, 127, 129] {
+            bits.set(i);
+        }
+        let words = bits.snapshot_words();
+        assert_eq!(words.len(), 3);
+        let rebuilt = AtomicBitVec::from_words(130, words);
+        assert_eq!(rebuilt.len(), 130);
+        assert_eq!(rebuilt.count_ones(), 5);
+        // The counter comes from recounting the words, not from the source
+        // vector's live counter.
+        assert_eq!(rebuilt.count_ones_approx(), 5);
+        assert_eq!(rebuilt.snapshot(), bits.snapshot());
+    }
+
+    #[test]
+    fn from_words_masks_padding_bits() {
+        // A corrupt or hand-built word array may carry garbage beyond `len`;
+        // those bits must not survive into the vector.
+        let rebuilt = AtomicBitVec::from_words(4, vec![u64::MAX]);
+        assert_eq!(rebuilt.count_ones(), 4);
+        assert_eq!(rebuilt.count_ones_approx(), 4);
+        assert!(rebuilt.get(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "word count does not match")]
+    fn from_words_rejects_wrong_word_count() {
+        AtomicBitVec::from_words(130, vec![0; 2]);
+    }
+
+    #[test]
+    fn snapshot_words_racing_inserts_never_invents_bits() {
+        // A snapshot taken while writers are mid-flight may miss in-flight
+        // bits but must never contain a bit nobody set (the torn-read safety
+        // argument: set-only means a torn copy only re-observes real bits).
+        let bits = AtomicBitVec::new(4096);
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(|| {
+                for i in (0..4096).step_by(3) {
+                    bits.set(i);
+                }
+            });
+            for _ in 0..50 {
+                let words = bits.snapshot_words();
+                let copy = AtomicBitVec::from_words(4096, words);
+                for i in 0..4096 {
+                    if copy.get(i) {
+                        assert!(i % 3 == 0, "snapshot invented bit {i}");
+                    }
+                }
+            }
+            writer.join().expect("writer");
+        });
+        let final_copy = AtomicBitVec::from_words(4096, bits.snapshot_words());
+        assert_eq!(final_copy.count_ones(), bits.count_ones());
     }
 
     #[test]

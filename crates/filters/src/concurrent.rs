@@ -222,6 +222,37 @@ impl ConcurrentBloomFilter {
         self.bits.snapshot()
     }
 
+    /// Racy raw-word copy of the bit vector under `&self` — the persistence
+    /// fast path (no per-bit rebuild). See
+    /// [`AtomicBitVec::snapshot_words`] for the torn-read safety argument;
+    /// any ones count for the copy must be recounted from these words, not
+    /// taken from [`ConcurrentBloomFilter::hamming_weight_approx`].
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        self.bits.snapshot_words()
+    }
+
+    /// Rebuilds a filter from a persisted word array (the recovery inverse
+    /// of [`ConcurrentBloomFilter::snapshot_words`]). The bit-vector
+    /// ones-counter is recounted from `words`; `inserted` restores the
+    /// insert-call statistic, which is independent of the bit count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is not exactly `params.m.div_ceil(64)` words long.
+    pub fn from_words(
+        params: FilterParams,
+        strategy: Arc<dyn IndexStrategy>,
+        words: Vec<u64>,
+        inserted: u64,
+    ) -> Self {
+        ConcurrentBloomFilter {
+            bits: AtomicBitVec::from_words(params.m, words),
+            params,
+            strategy,
+            inserted: AtomicU64::new(inserted),
+        }
+    }
+
     /// Freezes the current contents into a sequential [`BloomFilter`]
     /// sharing the same strategy (e.g. to hand a stable copy to the
     /// single-threaded analysis tooling).
@@ -380,6 +411,27 @@ mod tests {
             assert_eq!(*answer, loop_filter.contains(probe.as_bytes()), "{probe}");
         }
         assert!(answers[..400].iter().all(|&a| a), "no false negatives in batch");
+    }
+
+    #[test]
+    fn word_snapshot_roundtrips_bit_for_bit() {
+        let strategy: Arc<dyn IndexStrategy> = Arc::new(KirschMitzenmacher::new(Murmur3_128));
+        let params = FilterParams::explicit(1000, 4, 100); // m not a multiple of 64
+        let filter = ConcurrentBloomFilter::with_shared_strategy(params, Arc::clone(&strategy));
+        for i in 0..100 {
+            filter.insert(format!("item-{i}").as_bytes());
+        }
+        let words = filter.snapshot_words();
+        let restored =
+            ConcurrentBloomFilter::from_words(params, strategy, words, filter.inserted());
+        assert_eq!(restored.snapshot(), filter.snapshot());
+        assert_eq!(restored.inserted(), filter.inserted());
+        assert_eq!(restored.hamming_weight(), filter.hamming_weight());
+        // Recounted, not copied: the approx counter matches the exact scan.
+        assert_eq!(restored.hamming_weight_approx(), restored.hamming_weight());
+        for i in 0..100 {
+            assert!(restored.contains(format!("item-{i}").as_bytes()));
+        }
     }
 
     #[test]

@@ -21,7 +21,9 @@
 use std::io::{self, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::wire::{self, Command, Response, WireError, WireStats, DEFAULT_MAX_FRAME_BYTES};
+use crate::wire::{
+    self, Command, Response, WireError, WireSnapshot, WireStats, DEFAULT_MAX_FRAME_BYTES,
+};
 
 /// Errors a client call can surface.
 #[derive(Debug)]
@@ -121,16 +123,17 @@ impl Client {
     /// `ERROR` and close the connection, a far more confusing failure.
     pub fn send(&mut self, command: &Command<'_>) -> io::Result<()> {
         self.scratch.clear();
-        command.encode(&mut self.scratch);
+        command
+            .encode(&mut self.scratch)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let payload_len = (self.scratch.len() - 4) as u64;
         if payload_len > u64::from(self.max_frame_bytes) {
+            // Report the *true* payload length: a frame billions of bytes
+            // over the cap used to be clamped to `u32::MAX` in this error,
+            // hiding how oversized the request really was.
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
-                WireError::Oversized {
-                    len: payload_len.min(u64::from(u32::MAX)) as u32,
-                    max: self.max_frame_bytes,
-                }
-                .to_string(),
+                WireError::Oversized { len: payload_len, max: self.max_frame_bytes }.to_string(),
             ));
         }
         self.writer.write_all(&self.scratch)
@@ -233,6 +236,17 @@ impl Client {
         match self.call(&Command::RotateComplete { shard })? {
             Response::RotationCompleted(completed) => Ok(completed),
             other => unexpected("ROTATION_COMPLETED", &other),
+        }
+    }
+
+    /// Asks the server to write a durable snapshot (rotating its WAL so the
+    /// snapshot plus later log segments reconstruct the exact bit state).
+    /// Fails with [`ClientError::Remote`] when the server has no
+    /// persistence enabled.
+    pub fn snapshot(&mut self) -> Result<WireSnapshot, ClientError> {
+        match self.call(&Command::Snapshot)? {
+            Response::Snapshotted(info) => Ok(info),
+            other => unexpected("SNAPSHOTTED", &other),
         }
     }
 }

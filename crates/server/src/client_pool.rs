@@ -161,6 +161,16 @@ impl ClientPool {
         Ok(answers)
     }
 
+    /// Asks the server for a durable snapshot over one pooled connection
+    /// (see [`Client::snapshot`]). Snapshots are store-global, so one lane
+    /// suffices no matter how many connections the pool holds.
+    pub fn snapshot(&mut self) -> Result<crate::wire::WireSnapshot, ClientError> {
+        let mut client = self.checkout_validated()?;
+        let info = client.snapshot()?;
+        self.checkin(client);
+        Ok(info)
+    }
+
     /// Checks out the connections a pooled call will stripe over: the pool
     /// target, but never more than there are frames to send.
     fn lanes(&mut self, frames: usize) -> Result<Vec<Client>, ClientError> {

@@ -14,7 +14,7 @@
 use std::sync::atomic::Ordering;
 
 use crate::server::Inner;
-use crate::wire::{self, Command, Response, WireStats};
+use crate::wire::{self, Command, Response, WireSnapshot, WireStats};
 
 /// Per-read chunk size used by both backends (the threaded backend reads
 /// into a pooled chunk buffer; each reactor shard owns one shared scratch
@@ -47,24 +47,36 @@ pub(crate) fn drain_frame_slice(buf: &[u8], out: &mut Vec<u8>, inner: &Inner) ->
                 consumed = end;
                 match Command::decode(&buf[start..end]) {
                     Ok(command) => {
-                        execute(&command, inner).encode(out);
+                        emit(&execute(&command, inner), out);
                         inner.requests_served.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(err) => {
-                        Response::Error(format!("protocol error: {err}")).encode(out);
+                        emit(&Response::Error(format!("protocol error: {err}")), out);
                         keep_open = false;
                         break;
                     }
                 }
             }
             Err(err) => {
-                Response::Error(format!("protocol error: {err}")).encode(out);
+                emit(&Response::Error(format!("protocol error: {err}")), out);
                 keep_open = false;
                 break;
             }
         }
     }
     (consumed, keep_open)
+}
+
+/// Serialises one response into `out`, falling back to a short `ERROR`
+/// frame when the response itself will not fit the wire format (e.g. a
+/// count past `u32::MAX`). The fallible encode truncates its partial frame
+/// on failure, so the stream stays self-delimiting either way.
+fn emit(response: &Response, out: &mut Vec<u8>) {
+    if let Err(err) = response.encode(out) {
+        Response::Error(format!("response unencodable: {err}"))
+            .encode(out)
+            .expect("short error response always frames");
+    }
 }
 
 /// Executes one decoded command against the store. Batch commands pass the
@@ -76,14 +88,27 @@ pub(crate) fn execute(command: &Command<'_>, inner: &Inner) -> Response {
         Command::Ping => Response::Pong,
         Command::Insert(item) => Response::Inserted { fresh_bits: store.insert(item) },
         Command::Query(item) => Response::Found(store.contains(item)),
-        Command::InsertBatch(items) => {
-            let outcome = store.insert_batch(items);
-            Response::BatchInserted { items: items.len() as u32, fresh_bits: outcome.fresh_bits }
-        }
+        Command::InsertBatch(items) => match wire::wire_count("batch item count", items.len()) {
+            Ok(count) => {
+                let outcome = store.insert_batch(items);
+                Response::BatchInserted { items: count, fresh_bits: outcome.fresh_bits }
+            }
+            Err(err) => Response::Error(format!("protocol error: {err}")),
+        },
         Command::QueryBatch(items) => Response::BatchFound(store.query_batch(items)),
-        Command::Stats => {
-            Response::Stats(WireStats::from_stats(&store.stats(), store.is_hardened()))
-        }
+        Command::Stats => match WireStats::from_stats(&store.stats(), store.is_hardened()) {
+            Ok(stats) => Response::Stats(stats),
+            Err(err) => Response::Error(format!("stats unencodable: {err}")),
+        },
+        Command::Snapshot => match store.snapshot_to_disk() {
+            Ok(info) => Response::Snapshotted(WireSnapshot {
+                seq: info.seq,
+                wal_seq: info.wal_seq,
+                shards: info.shards,
+                bytes: info.bytes,
+            }),
+            Err(err) => Response::Error(format!("snapshot failed: {err}")),
+        },
         Command::RotateBegin { shard } => match checked_shard(store, *shard) {
             Err(error) => error,
             Ok(shard) => {

@@ -85,6 +85,6 @@ pub use client::{Client, ClientError, RemoteBatchOutcome};
 pub use client_pool::ClientPool;
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{
-    Command, Response, WireError, WireShardStats, WireStats, DEFAULT_MAX_FRAME_BYTES,
+    Command, Response, WireError, WireShardStats, WireSnapshot, WireStats, DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
 };

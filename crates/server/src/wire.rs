@@ -27,6 +27,7 @@
 //! | `0x05` | `MQUERY` | item list | `0x85 MFOUND` (`u32` count + bitmap) |
 //! | `0x06` | `STATS` | — | `0x86 STATS` (store + per-shard health) |
 //! | `0x07` | `ROTATE` | `u8` phase, `u32` shard | `0x87 ROTATED` |
+//! | `0x08` | `SNAPSHOT` | — | `0x88 SNAPSHOTTED` (seq `u64`, WAL seq `u64`, shards `u32`, bytes `u64`) |
 //! | — | — | — | `0xEE ERROR` (UTF-8 message) |
 //!
 //! An *item list* is a `u32` count followed by `count` entries of `u32`
@@ -58,6 +59,7 @@ const OP_MINSERT: u8 = 0x04;
 const OP_MQUERY: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_ROTATE: u8 = 0x07;
+const OP_SNAPSHOT: u8 = 0x08;
 
 const OP_PONG: u8 = 0x81;
 const OP_INSERTED: u8 = 0x82;
@@ -66,6 +68,7 @@ const OP_MINSERTED: u8 = 0x84;
 const OP_MFOUND: u8 = 0x85;
 const OP_STATS_REPLY: u8 = 0x86;
 const OP_ROTATED: u8 = 0x87;
+const OP_SNAPSHOT_REPLY: u8 = 0x88;
 const OP_ERROR: u8 = 0xEE;
 
 const ROTATE_BEGIN: u8 = 0;
@@ -81,12 +84,22 @@ pub enum WireError {
     BadVersion(u8),
     /// Unknown opcode for this direction (command vs. response).
     BadOpcode(u8),
-    /// The length prefix exceeds the configured frame cap.
+    /// The length prefix exceeds the configured frame cap. `len` is a `u64`
+    /// so the *true* offending size reaches operators even when a payload
+    /// under construction exceeds what the `u32` prefix could express.
     Oversized {
-        /// Announced payload length.
-        len: u32,
+        /// Announced (or attempted) payload length, unclamped.
+        len: u64,
         /// The cap it violates.
         max: u32,
+    },
+    /// A count or length on the encode side exceeds what its `u32` wire
+    /// field can carry — surfaced instead of silently truncating the frame.
+    TooLarge {
+        /// Which field overflowed.
+        what: &'static str,
+        /// The value that did not fit.
+        value: u64,
     },
     /// Structurally invalid body (counts or lengths that do not add up,
     /// stray trailing bytes, non-UTF-8 error text, …).
@@ -103,6 +116,9 @@ impl core::fmt::Display for WireError {
             WireError::BadOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
             WireError::Oversized { len, max } => {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::TooLarge { what, value } => {
+                write!(f, "{what} of {value} exceeds the u32 wire field")
             }
             WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
         }
@@ -138,43 +154,59 @@ pub enum Command<'a> {
         /// Shard index.
         shard: u32,
     },
+    /// Write a durable snapshot of the store while serving continues
+    /// (requires the server to have persistence attached).
+    Snapshot,
 }
 
 impl<'a> Command<'a> {
     /// Appends the complete frame (length prefix included) to `out`.
-    pub fn encode(&self, out: &mut Vec<u8>) {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TooLarge`] when a count or length exceeds its `u32` wire
+    /// field (`out` is left exactly as it was), instead of silently encoding
+    /// a truncated frame.
+    pub fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         let start = begin_frame(out);
-        match self {
-            Command::Ping => out.push(OP_PING),
-            Command::Insert(item) => {
-                out.push(OP_INSERT);
-                out.extend_from_slice(item);
+        let result = (|| {
+            match self {
+                Command::Ping => out.push(OP_PING),
+                Command::Insert(item) => {
+                    out.push(OP_INSERT);
+                    out.extend_from_slice(item);
+                }
+                Command::Query(item) => {
+                    out.push(OP_QUERY);
+                    out.extend_from_slice(item);
+                }
+                Command::InsertBatch(items) => {
+                    out.push(OP_MINSERT);
+                    put_items(out, items)?;
+                }
+                Command::QueryBatch(items) => {
+                    out.push(OP_MQUERY);
+                    put_items(out, items)?;
+                }
+                Command::Stats => out.push(OP_STATS),
+                Command::RotateBegin { shard } => {
+                    out.push(OP_ROTATE);
+                    out.push(ROTATE_BEGIN);
+                    out.extend_from_slice(&shard.to_le_bytes());
+                }
+                Command::RotateComplete { shard } => {
+                    out.push(OP_ROTATE);
+                    out.push(ROTATE_COMPLETE);
+                    out.extend_from_slice(&shard.to_le_bytes());
+                }
+                Command::Snapshot => out.push(OP_SNAPSHOT),
             }
-            Command::Query(item) => {
-                out.push(OP_QUERY);
-                out.extend_from_slice(item);
-            }
-            Command::InsertBatch(items) => {
-                out.push(OP_MINSERT);
-                put_items(out, items);
-            }
-            Command::QueryBatch(items) => {
-                out.push(OP_MQUERY);
-                put_items(out, items);
-            }
-            Command::Stats => out.push(OP_STATS),
-            Command::RotateBegin { shard } => {
-                out.push(OP_ROTATE);
-                out.push(ROTATE_BEGIN);
-                out.extend_from_slice(&shard.to_le_bytes());
-            }
-            Command::RotateComplete { shard } => {
-                out.push(OP_ROTATE);
-                out.push(ROTATE_COMPLETE);
-                out.extend_from_slice(&shard.to_le_bytes());
-            }
+            finish_frame(out, start)
+        })();
+        if result.is_err() {
+            out.truncate(start);
         }
-        finish_frame(out, start);
+        result
     }
 
     /// Decodes a command from a frame payload (length prefix already
@@ -188,6 +220,7 @@ impl<'a> Command<'a> {
             OP_MINSERT => Command::InsertBatch(r.items()?),
             OP_MQUERY => Command::QueryBatch(r.items()?),
             OP_STATS => Command::Stats,
+            OP_SNAPSHOT => Command::Snapshot,
             OP_ROTATE => {
                 let phase = r.u8()?;
                 let shard = r.u32()?;
@@ -237,6 +270,8 @@ pub enum Response {
     /// Reply to [`Command::RotateComplete`]: whether a draining generation
     /// was actually dropped.
     RotationCompleted(bool),
+    /// Reply to [`Command::Snapshot`]: where the snapshot landed.
+    Snapshotted(WireSnapshot),
     /// The server could not serve the request (protocol violation, shard
     /// out of range, …). Protocol violations also close the connection.
     Error(String),
@@ -254,65 +289,86 @@ impl Response {
             Response::Stats(_) => "STATS",
             Response::Rotated { .. } => "ROTATED",
             Response::RotationCompleted(_) => "ROTATION_COMPLETED",
+            Response::Snapshotted(_) => "SNAPSHOTTED",
             Response::Error(_) => "ERROR",
         }
     }
 
     /// Appends the complete frame (length prefix included) to `out`.
-    pub fn encode(&self, out: &mut Vec<u8>) {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TooLarge`] when a count or length exceeds its `u32` wire
+    /// field (`out` is left exactly as it was), instead of silently encoding
+    /// a truncated frame.
+    pub fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         let start = begin_frame(out);
-        match self {
-            Response::Pong => out.push(OP_PONG),
-            Response::Inserted { fresh_bits } => {
-                out.push(OP_INSERTED);
-                out.extend_from_slice(&fresh_bits.to_le_bytes());
-            }
-            Response::Found(found) => {
-                out.push(OP_FOUND);
-                out.push(u8::from(*found));
-            }
-            Response::BatchInserted { items, fresh_bits } => {
-                out.push(OP_MINSERTED);
-                out.extend_from_slice(&items.to_le_bytes());
-                out.extend_from_slice(&fresh_bits.to_le_bytes());
-            }
-            Response::BatchFound(answers) => {
-                out.push(OP_MFOUND);
-                out.extend_from_slice(&(answers.len() as u32).to_le_bytes());
-                let mut byte = 0u8;
-                for (i, &answer) in answers.iter().enumerate() {
-                    byte |= u8::from(answer) << (i % 8);
-                    if i % 8 == 7 {
+        let result = (|| {
+            match self {
+                Response::Pong => out.push(OP_PONG),
+                Response::Inserted { fresh_bits } => {
+                    out.push(OP_INSERTED);
+                    out.extend_from_slice(&fresh_bits.to_le_bytes());
+                }
+                Response::Found(found) => {
+                    out.push(OP_FOUND);
+                    out.push(u8::from(*found));
+                }
+                Response::BatchInserted { items, fresh_bits } => {
+                    out.push(OP_MINSERTED);
+                    out.extend_from_slice(&items.to_le_bytes());
+                    out.extend_from_slice(&fresh_bits.to_le_bytes());
+                }
+                Response::BatchFound(answers) => {
+                    out.push(OP_MFOUND);
+                    let count = wire_count("answer count", answers.len())?;
+                    out.extend_from_slice(&count.to_le_bytes());
+                    let mut byte = 0u8;
+                    for (i, &answer) in answers.iter().enumerate() {
+                        byte |= u8::from(answer) << (i % 8);
+                        if i % 8 == 7 {
+                            out.push(byte);
+                            byte = 0;
+                        }
+                    }
+                    if !answers.len().is_multiple_of(8) {
                         out.push(byte);
-                        byte = 0;
                     }
                 }
-                if !answers.len().is_multiple_of(8) {
-                    out.push(byte);
+                Response::Stats(stats) => {
+                    out.push(OP_STATS_REPLY);
+                    stats.encode(out)?;
+                }
+                Response::Rotated { generation } => {
+                    out.push(OP_ROTATED);
+                    out.push(ROTATE_BEGIN);
+                    out.push(u8::from(generation.is_some()));
+                    out.extend_from_slice(&generation.unwrap_or(0).to_le_bytes());
+                }
+                Response::RotationCompleted(completed) => {
+                    out.push(OP_ROTATED);
+                    out.push(ROTATE_COMPLETE);
+                    out.push(u8::from(*completed));
+                    out.extend_from_slice(&0u64.to_le_bytes());
+                }
+                Response::Snapshotted(info) => {
+                    out.push(OP_SNAPSHOT_REPLY);
+                    out.extend_from_slice(&info.seq.to_le_bytes());
+                    out.extend_from_slice(&info.wal_seq.to_le_bytes());
+                    out.extend_from_slice(&info.shards.to_le_bytes());
+                    out.extend_from_slice(&info.bytes.to_le_bytes());
+                }
+                Response::Error(message) => {
+                    out.push(OP_ERROR);
+                    out.extend_from_slice(message.as_bytes());
                 }
             }
-            Response::Stats(stats) => {
-                out.push(OP_STATS_REPLY);
-                stats.encode(out);
-            }
-            Response::Rotated { generation } => {
-                out.push(OP_ROTATED);
-                out.push(ROTATE_BEGIN);
-                out.push(u8::from(generation.is_some()));
-                out.extend_from_slice(&generation.unwrap_or(0).to_le_bytes());
-            }
-            Response::RotationCompleted(completed) => {
-                out.push(OP_ROTATED);
-                out.push(ROTATE_COMPLETE);
-                out.push(u8::from(*completed));
-                out.extend_from_slice(&0u64.to_le_bytes());
-            }
-            Response::Error(message) => {
-                out.push(OP_ERROR);
-                out.extend_from_slice(message.as_bytes());
-            }
+            finish_frame(out, start)
+        })();
+        if result.is_err() {
+            out.truncate(start);
         }
-        finish_frame(out, start);
+        result
     }
 
     /// Decodes a response from a frame payload (length prefix stripped).
@@ -331,6 +387,12 @@ impl Response {
                 )
             }
             OP_STATS_REPLY => Response::Stats(WireStats::decode(&mut r)?),
+            OP_SNAPSHOT_REPLY => Response::Snapshotted(WireSnapshot {
+                seq: r.u64()?,
+                wal_seq: r.u64()?,
+                shards: r.u32()?,
+                bytes: r.u64()?,
+            }),
             OP_ROTATED => {
                 let phase = r.u8()?;
                 let flag = r.flag()?;
@@ -357,6 +419,20 @@ impl Response {
         r.done()?;
         Ok(response)
     }
+}
+
+/// Where a [`Command::Snapshot`] landed, as it travels over the wire — the
+/// serialisable twin of `evilbloom_store::SnapshotInfo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireSnapshot {
+    /// Sequence number of the snapshot file.
+    pub seq: u64,
+    /// First WAL segment recovery replays on top of it (0 = no log).
+    pub wal_seq: u64,
+    /// Shards recorded.
+    pub shards: u32,
+    /// Bytes written.
+    pub bytes: u64,
 }
 
 /// Store health snapshot as it travels over the wire — the serialisable twin
@@ -403,13 +479,18 @@ pub struct WireShardStats {
 
 impl WireStats {
     /// Builds the wire form of an in-process stats snapshot.
-    pub fn from_stats(stats: &StoreStats, hardened: bool) -> Self {
-        WireStats {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TooLarge`] if the alarm count exceeds its `u32` wire
+    /// field (possible only on a store with more than `u32::MAX` shards).
+    pub fn from_stats(stats: &StoreStats, hardened: bool) -> Result<Self, WireError> {
+        Ok(WireStats {
             hardened,
             total_inserted: stats.total_inserted,
             mean_fill: stats.mean_fill,
             max_estimated_fpp: stats.max_estimated_fpp,
-            alarms: stats.alarms as u32,
+            alarms: wire_count("alarm count", stats.alarms)?,
             shards: stats
                 .shards
                 .iter()
@@ -425,16 +506,16 @@ impl WireStats {
                     pollution_alarm: s.pollution_alarm,
                 })
                 .collect(),
-        }
+        })
     }
 
-    fn encode(&self, out: &mut Vec<u8>) {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
         out.push(u8::from(self.hardened));
         out.extend_from_slice(&self.total_inserted.to_le_bytes());
         out.extend_from_slice(&self.mean_fill.to_bits().to_le_bytes());
         out.extend_from_slice(&self.max_estimated_fpp.to_bits().to_le_bytes());
         out.extend_from_slice(&self.alarms.to_le_bytes());
-        out.extend_from_slice(&(self.shards.len() as u32).to_le_bytes());
+        out.extend_from_slice(&wire_count("shard count", self.shards.len())?.to_le_bytes());
         for shard in &self.shards {
             out.extend_from_slice(&shard.generation.to_le_bytes());
             out.push(u8::from(shard.rotating));
@@ -446,6 +527,7 @@ impl WireStats {
             out.extend_from_slice(&shard.estimated_fpp.to_bits().to_le_bytes());
             out.push(u8::from(shard.pollution_alarm));
         }
+        Ok(())
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
@@ -488,18 +570,29 @@ fn begin_frame(out: &mut Vec<u8>) -> usize {
     start
 }
 
-/// Patches the length prefix reserved by [`begin_frame`].
-fn finish_frame(out: &mut [u8], start: usize) {
-    let len = (out.len() - start - 4) as u32;
+/// Patches the length prefix reserved by [`begin_frame`]. A payload too
+/// large for the `u32` prefix is an error — writing a wrapped length would
+/// desynchronise the stream for every frame after it.
+fn finish_frame(out: &mut [u8], start: usize) -> Result<(), WireError> {
+    let len = wire_count("frame payload length", out.len() - start - 4)?;
     out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    Ok(())
 }
 
-fn put_items(out: &mut Vec<u8>, items: &[&[u8]]) {
-    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+fn put_items(out: &mut Vec<u8>, items: &[&[u8]]) -> Result<(), WireError> {
+    out.extend_from_slice(&wire_count("item count", items.len())?.to_le_bytes());
     for item in items {
-        out.extend_from_slice(&(item.len() as u32).to_le_bytes());
+        out.extend_from_slice(&wire_count("item length", item.len())?.to_le_bytes());
         out.extend_from_slice(item);
     }
+    Ok(())
+}
+
+/// Converts a host-side count or length to its `u32` wire form, returning
+/// [`WireError::TooLarge`] instead of silently truncating values above
+/// `u32::MAX` (a truncated count desynchronises or corrupts the frame).
+pub fn wire_count(what: &'static str, value: usize) -> Result<u32, WireError> {
+    u32::try_from(value).map_err(|_| WireError::TooLarge { what, value: value as u64 })
 }
 
 /// Bounds-checked payload cursor; every accessor returns [`WireError`]
@@ -603,7 +696,7 @@ pub fn frame_bounds(
     }
     let len = u32::from_le_bytes(avail[..4].try_into().expect("4 bytes"));
     if len > max_frame_bytes {
-        return Err(WireError::Oversized { len, max: max_frame_bytes });
+        return Err(WireError::Oversized { len: u64::from(len), max: max_frame_bytes });
     }
     let len = len as usize;
     if avail.len() < 4 + len {
@@ -640,7 +733,7 @@ pub fn read_frame<R: Read>(
     if len > max_frame_bytes {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            WireError::Oversized { len, max: max_frame_bytes }.to_string(),
+            WireError::Oversized { len: u64::from(len), max: max_frame_bytes }.to_string(),
         ));
     }
     buf.resize(len as usize, 0);
@@ -654,7 +747,7 @@ mod tests {
 
     fn roundtrip_command(command: &Command<'_>) {
         let mut frame = Vec::new();
-        command.encode(&mut frame);
+        command.encode(&mut frame).expect("encodes");
         let (start, end) =
             frame_bounds(&frame, 0, DEFAULT_MAX_FRAME_BYTES).expect("valid").expect("complete");
         assert_eq!(end, frame.len(), "frame is self-delimiting");
@@ -663,7 +756,7 @@ mod tests {
 
     fn roundtrip_response(response: &Response) {
         let mut frame = Vec::new();
-        response.encode(&mut frame);
+        response.encode(&mut frame).expect("encodes");
         let (start, end) =
             frame_bounds(&frame, 0, DEFAULT_MAX_FRAME_BYTES).expect("valid").expect("complete");
         assert_eq!(&Response::decode(&frame[start..end]).expect("decodes"), response);
@@ -679,6 +772,7 @@ mod tests {
         roundtrip_command(&Command::Stats);
         roundtrip_command(&Command::RotateBegin { shard: 7 });
         roundtrip_command(&Command::RotateComplete { shard: u32::MAX });
+        roundtrip_command(&Command::Snapshot);
     }
 
     #[test]
@@ -694,6 +788,12 @@ mod tests {
         roundtrip_response(&Response::Rotated { generation: Some(4) });
         roundtrip_response(&Response::Rotated { generation: None });
         roundtrip_response(&Response::RotationCompleted(true));
+        roundtrip_response(&Response::Snapshotted(WireSnapshot {
+            seq: 12,
+            wal_seq: 40,
+            shards: 8,
+            bytes: 1 << 20,
+        }));
         roundtrip_response(&Response::Error("shard 9 out of range".to_string()));
     }
 
@@ -736,7 +836,7 @@ mod tests {
     #[test]
     fn wrong_version_is_rejected() {
         let mut frame = Vec::new();
-        Command::Ping.encode(&mut frame);
+        Command::Ping.encode(&mut frame).expect("encodes");
         frame[4] = 99;
         assert_eq!(Command::decode(&frame[4..]), Err(WireError::BadVersion(99)));
     }
@@ -770,9 +870,68 @@ mod tests {
     }
 
     #[test]
+    fn oversized_error_carries_true_u64_lengths() {
+        // Regression: lengths past `u32::MAX` used to be clamped before
+        // reaching the error, so "how far over the cap" was unknowable.
+        let err = WireError::Oversized { len: u64::from(u32::MAX) + 123, max: 1024 };
+        let shown = err.to_string();
+        assert!(shown.contains("4294967418"), "{shown}");
+    }
+
+    #[test]
+    fn wire_count_errors_exactly_past_the_u32_boundary() {
+        // The encode-side guard behind the `as u32` bugfix sweep: values up
+        // to u32::MAX pass through unchanged, one past errors with the true
+        // value instead of silently truncating to 0.
+        assert_eq!(wire_count("count", 0), Ok(0));
+        assert_eq!(wire_count("count", u32::MAX as usize), Ok(u32::MAX));
+        assert_eq!(
+            wire_count("count", u32::MAX as usize + 1),
+            Err(WireError::TooLarge { what: "count", value: u64::from(u32::MAX) + 1 })
+        );
+    }
+
+    #[test]
+    fn from_stats_rejects_alarm_counts_past_u32() {
+        // Regression for the silent `stats.alarms as u32` narrowing: a
+        // count past the wire field must error, not truncate. (Reaching it
+        // for real needs > u32::MAX shards; the host-side struct gets us to
+        // the boundary without them.)
+        let stats = StoreStats {
+            shards: Vec::new(),
+            total_inserted: 0,
+            mean_fill: 0.0,
+            max_estimated_fpp: 0.0,
+            alarms: u32::MAX as usize + 1,
+        };
+        assert_eq!(
+            WireStats::from_stats(&stats, false),
+            Err(WireError::TooLarge { what: "alarm count", value: u64::from(u32::MAX) + 1 })
+        );
+        let fits = StoreStats { alarms: u32::MAX as usize, ..stats };
+        assert_eq!(WireStats::from_stats(&fits, false).expect("fits").alarms, u32::MAX);
+    }
+
+    #[test]
+    fn encoded_frames_stay_self_delimiting_back_to_back() {
+        // The frame boundary contract the fallible encoders preserve: two
+        // frames written into one buffer parse back independently.
+        let mut out = Vec::new();
+        Response::Pong.encode(&mut out).expect("encodes");
+        let first_len = out.len();
+        Response::Found(true).encode(&mut out).expect("encodes");
+        let (s1, e1) = frame_bounds(&out, 0, 1024).expect("valid").expect("complete");
+        assert_eq!(Response::decode(&out[s1..e1]), Ok(Response::Pong));
+        assert_eq!(e1, first_len);
+        let (s2, e2) = frame_bounds(&out, e1, 1024).expect("valid").expect("complete");
+        assert_eq!(Response::decode(&out[s2..e2]), Ok(Response::Found(true)));
+        assert_eq!(e2, out.len());
+    }
+
+    #[test]
     fn partial_frames_ask_for_more_bytes() {
         let mut frame = Vec::new();
-        Command::Insert(b"abcdef").encode(&mut frame);
+        Command::Insert(b"abcdef").encode(&mut frame).expect("encodes");
         for cut in 0..frame.len() {
             assert_eq!(frame_bounds(&frame[..cut], 0, 1024), Ok(None), "cut at {cut}");
         }
@@ -790,7 +949,7 @@ mod tests {
     #[test]
     fn read_frame_reports_clean_and_dirty_eof() {
         let mut frame = Vec::new();
-        Command::Ping.encode(&mut frame);
+        Command::Ping.encode(&mut frame).expect("encodes");
 
         let mut buf = Vec::new();
         let mut empty: &[u8] = &[];

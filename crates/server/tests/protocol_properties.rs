@@ -3,7 +3,7 @@
 //! panic — of truncated and corrupted frames.
 
 use evilbloom_server::wire::{frame_bounds, DEFAULT_MAX_FRAME_BYTES};
-use evilbloom_server::{Command, Response, WireShardStats, WireStats};
+use evilbloom_server::{Command, Response, WireShardStats, WireSnapshot, WireStats};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -29,11 +29,12 @@ enum OwnedCommand {
     Stats,
     RotateBegin(u32),
     RotateComplete(u32),
+    Snapshot,
 }
 
 impl OwnedCommand {
     fn random(rng: &mut StdRng) -> Self {
-        match rng.gen_range(0u32..8) {
+        match rng.gen_range(0u32..9) {
             0 => OwnedCommand::Ping,
             1 => OwnedCommand::Insert(random_item(rng)),
             2 => OwnedCommand::Query(random_item(rng)),
@@ -41,6 +42,7 @@ impl OwnedCommand {
             4 => OwnedCommand::QueryBatch(random_items(rng)),
             5 => OwnedCommand::Stats,
             6 => OwnedCommand::RotateBegin(rng.gen_range(0u64..1 << 32) as u32),
+            7 => OwnedCommand::Snapshot,
             _ => OwnedCommand::RotateComplete(rng.gen_range(0u64..1 << 32) as u32),
         }
     }
@@ -59,6 +61,7 @@ impl OwnedCommand {
             OwnedCommand::Stats => Command::Stats,
             OwnedCommand::RotateBegin(shard) => Command::RotateBegin { shard: *shard },
             OwnedCommand::RotateComplete(shard) => Command::RotateComplete { shard: *shard },
+            OwnedCommand::Snapshot => Command::Snapshot,
         }
     }
 }
@@ -78,7 +81,7 @@ fn random_shard_stats(rng: &mut StdRng) -> WireShardStats {
 }
 
 fn random_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0u32..9) {
+    match rng.gen_range(0u32..10) {
         0 => Response::Pong,
         1 => Response::Inserted { fresh_bits: rng.gen_range(0u64..1 << 32) as u32 },
         2 => Response::Found(rng.gen_range(0u32..2) == 1),
@@ -105,6 +108,12 @@ fn random_response(rng: &mut StdRng) -> Response {
             Response::Rotated { generation: (rng.gen_range(0u32..2) == 1).then(|| rng.next_u64()) }
         }
         7 => Response::RotationCompleted(rng.gen_range(0u32..2) == 1),
+        8 => Response::Snapshotted(WireSnapshot {
+            seq: rng.next_u64(),
+            wal_seq: rng.next_u64(),
+            shards: rng.gen_range(0u64..1 << 32) as u32,
+            bytes: rng.next_u64(),
+        }),
         _ => {
             let len = rng.gen_range(0usize..48);
             let message: String = (0..len).map(|_| rng.gen_range(b' '..b'~') as char).collect();
@@ -128,7 +137,7 @@ fn commands_encode_decode_identity() {
         let owned = OwnedCommand::random(&mut rng);
         let command = owned.borrow();
         let mut frame = Vec::new();
-        command.encode(&mut frame);
+        command.encode(&mut frame).expect("encodes");
         let decoded = Command::decode(payload(&frame))
             .unwrap_or_else(|e| panic!("round {round}: own encoding rejected: {e}"));
         assert_eq!(decoded, command, "round {round}");
@@ -141,7 +150,7 @@ fn responses_encode_decode_identity() {
     for round in 0..2_000 {
         let response = random_response(&mut rng);
         let mut frame = Vec::new();
-        response.encode(&mut frame);
+        response.encode(&mut frame).expect("encodes");
         let decoded = Response::decode(payload(&frame))
             .unwrap_or_else(|e| panic!("round {round}: own encoding rejected: {e}"));
         assert_eq!(decoded, response, "round {round}");
@@ -158,14 +167,14 @@ fn truncated_command_frames_are_rejected_or_self_consistent() {
     for _ in 0..300 {
         let owned = OwnedCommand::random(&mut rng);
         let mut frame = Vec::new();
-        owned.borrow().encode(&mut frame);
+        owned.borrow().encode(&mut frame).expect("encodes");
         let body = payload(&frame).to_vec();
         for cut in 0..body.len() {
             match Command::decode(&body[..cut]) {
                 Err(_) => {}
                 Ok(reinterpreted) => {
                     let mut reencoded = Vec::new();
-                    reinterpreted.encode(&mut reencoded);
+                    reinterpreted.encode(&mut reencoded).expect("encodes");
                     assert_eq!(
                         payload(&reencoded),
                         &body[..cut],
@@ -183,14 +192,14 @@ fn truncated_response_frames_are_rejected_or_self_consistent() {
     for _ in 0..300 {
         let response = random_response(&mut rng);
         let mut frame = Vec::new();
-        response.encode(&mut frame);
+        response.encode(&mut frame).expect("encodes");
         let body = payload(&frame).to_vec();
         for cut in 0..body.len() {
             match Response::decode(&body[..cut]) {
                 Err(_) => {}
                 Ok(reinterpreted) => {
                     let mut reencoded = Vec::new();
-                    reinterpreted.encode(&mut reencoded);
+                    reinterpreted.encode(&mut reencoded).expect("encodes");
                     assert_eq!(
                         payload(&reencoded),
                         &body[..cut],
@@ -210,7 +219,7 @@ fn corrupted_frames_never_panic() {
     for _ in 0..600 {
         let owned = OwnedCommand::random(&mut rng);
         let mut frame = Vec::new();
-        owned.borrow().encode(&mut frame);
+        owned.borrow().encode(&mut frame).expect("encodes");
         let mut body = payload(&frame).to_vec();
         if body.is_empty() {
             continue;

@@ -10,11 +10,31 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use evilbloom_server::{
-    Backend, Client, ClientError, Command, Response, Server, ServerConfig, ServerHandle,
+    Backend, Client, ClientError, ClientPool, Command, Response, Server, ServerConfig, ServerHandle,
 };
-use evilbloom_store::{BloomStore, StoreConfig};
+use evilbloom_store::{BloomStore, PersistConfig, StoreConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Unique scratch directory, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("evilbloom-server-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
 
 /// Every backend the current platform supports (both, on Linux). Each test
 /// below runs its whole scenario once per backend against a fresh server,
@@ -254,6 +274,9 @@ fn oversized_commands_are_rejected_client_side_before_sending() {
         let big = vec![0xAAu8; 1024];
         let err = client.send(&Command::Insert(&big)).expect_err("must reject locally");
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // Regression: the error reports the *true* payload length (1026 =
+        // version + opcode + item), not a value clamped to `u32::MAX`.
+        assert!(err.to_string().contains("1026"), "true length missing: {err}");
         // The connection was never poisoned: normal traffic still works.
         client.set_max_frame_bytes(evilbloom_server::DEFAULT_MAX_FRAME_BYTES);
         client.ping().expect("connection unaffected");
@@ -285,10 +308,11 @@ fn byte_at_a_time_partial_frame_delivery() {
 
         // Three pipelined frames, delivered byte by byte.
         let mut bytes = Vec::new();
-        Command::Ping.encode(&mut bytes);
-        Command::Insert(b"https://drip.example/slow").encode(&mut bytes);
+        Command::Ping.encode(&mut bytes).expect("encodes");
+        Command::Insert(b"https://drip.example/slow").encode(&mut bytes).expect("encodes");
         Command::QueryBatch(vec![b"https://drip.example/slow".as_slice(), b"absent".as_slice()])
-            .encode(&mut bytes);
+            .encode(&mut bytes)
+            .expect("encodes");
         for &byte in &bytes {
             stream.write_all(&[byte]).expect("write one byte");
             stream.flush().expect("flush");
@@ -360,6 +384,100 @@ fn async_backend_sustains_1000_concurrent_connections() {
     handle.shutdown();
 }
 
+/// The tentpole acceptance path: populate an unhardened persistent store
+/// over TCP, `SNAPSHOT` it remotely, keep inserting (those land only in the
+/// WAL), shut the server down, recover the store from disk, serve it again
+/// — and every query must answer bit-for-bit identically over the wire,
+/// false positives included.
+#[test]
+fn restarted_server_answers_bit_for_bit_identically() {
+    for backend in backends() {
+        let tmp = TempDir::new("restart");
+        let persist = PersistConfig::new(&tmp.0);
+
+        let mut store =
+            BloomStore::new(StoreConfig::unhardened(4, 4_000, 0.01), &mut StdRng::seed_from_u64(7));
+        store.enable_persistence(&persist).expect("enable persistence");
+        let handle =
+            Server::spawn(Arc::new(store), "127.0.0.1:0", ServerConfig::with_backend(backend))
+                .expect("bind");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        let before_snapshot: Vec<String> = (0..600).map(|i| format!("pre-snap-{i}")).collect();
+        client.insert_batch(&before_snapshot).expect("minsert");
+        let info = client.snapshot().expect("remote snapshot");
+        assert!(info.seq > 0 && info.wal_seq > 0 && info.bytes > 0);
+        assert_eq!(info.shards, 4);
+
+        // These inserts exist only in the write-ahead log.
+        let after_snapshot: Vec<String> = (0..400).map(|i| format!("post-snap-{i}")).collect();
+        client.insert_batch(&after_snapshot).expect("minsert");
+
+        // Probe set: every member plus absent items (some of which may be
+        // false positives — recovery must reproduce those too).
+        let mut probes: Vec<String> = Vec::new();
+        probes.extend(before_snapshot.iter().cloned());
+        probes.extend(after_snapshot.iter().cloned());
+        probes.extend((0..2_000).map(|i| format!("absent-{i}")));
+        let original = client.query_batch(&probes).expect("mquery");
+        assert!(original[..1_000].iter().all(|&a| a), "members must all answer true");
+
+        drop(client);
+        handle.shutdown();
+
+        let (recovered, report) = BloomStore::recover(&persist).expect("recover");
+        assert_eq!(report.replayed_inserts, 400, "WAL tail replays ({backend})");
+        let handle =
+            Server::spawn(Arc::new(recovered), "127.0.0.1:0", ServerConfig::with_backend(backend))
+                .expect("rebind");
+        let mut client = Client::connect(handle.local_addr()).expect("reconnect");
+        let replayed = client.query_batch(&probes).expect("mquery after restart");
+        assert_eq!(replayed, original, "bit-for-bit equivalence over TCP ({backend})");
+        handle.shutdown();
+    }
+}
+
+/// `SNAPSHOT` against a server whose store has no persistence enabled is a
+/// typed remote error, and the connection survives it.
+#[test]
+fn snapshot_without_persistence_is_a_remote_error() {
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, false, 4);
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        match client.snapshot() {
+            Err(ClientError::Remote(message)) => {
+                assert!(message.contains("persistence"), "{message}")
+            }
+            other => panic!("expected a remote error, got {other:?} ({backend})"),
+        }
+        client.ping().expect("connection still serves");
+        handle.shutdown();
+    }
+}
+
+/// The pooled variant drives the same opcode through `ClientPool`.
+#[test]
+fn pooled_snapshot_round_trips() {
+    for backend in backends() {
+        let tmp = TempDir::new("pooled-snap");
+        let persist = PersistConfig::new(&tmp.0);
+        let mut store =
+            BloomStore::new(StoreConfig::unhardened(2, 2_000, 0.01), &mut StdRng::seed_from_u64(3));
+        store.enable_persistence(&persist).expect("enable persistence");
+        let handle =
+            Server::spawn(Arc::new(store), "127.0.0.1:0", ServerConfig::with_backend(backend))
+                .expect("bind");
+
+        let mut pool = ClientPool::connect(handle.local_addr(), 2).expect("pool");
+        let items: Vec<String> = (0..300).map(|i| format!("pooled-{i}")).collect();
+        pool.minsert_pooled(&items, 64).expect("pooled insert");
+        let info = pool.snapshot().expect("pooled snapshot");
+        assert!(info.seq > 0, "{backend}");
+        assert!(pool.mquery_pooled(&items, 64).expect("pooled query").iter().all(|&a| a));
+        handle.shutdown();
+    }
+}
+
 /// A peer that pipelines a burst, half-closes its write side, and then
 /// reads must still receive every response: EOF with responses pending (or
 /// executing) takes the flush-then-close path on both backends instead of
@@ -372,9 +490,9 @@ fn half_close_still_delivers_pending_responses() {
 
         const BURST: usize = 200;
         let mut bytes = Vec::new();
-        Command::Insert(b"half-close-item").encode(&mut bytes);
+        Command::Insert(b"half-close-item").encode(&mut bytes).expect("encodes");
         for _ in 0..BURST {
-            Command::Query(b"half-close-item").encode(&mut bytes);
+            Command::Query(b"half-close-item").encode(&mut bytes).expect("encodes");
         }
         stream.write_all(&bytes).expect("write burst");
         stream.shutdown(std::net::Shutdown::Write).expect("half-close");

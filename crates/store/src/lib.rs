@@ -17,6 +17,10 @@
 //! * generation-based key rotation ([`BloomStore::begin_rotation`] /
 //!   [`BloomStore::complete_rotation`]): a shard re-keys and rebuilds in the
 //!   background while its old generation keeps answering queries;
+//! * durability ([`BloomStore::enable_persistence`] /
+//!   [`BloomStore::recover`]): racy per-shard snapshots plus a group-commit
+//!   write-ahead log, so a restarted store comes back with its exact bit
+//!   state — accumulated pollution included (see [`persist`]);
 //! * [`StoreStats`] — per-shard fill, false-positive estimates, and
 //!   pollution alarms tied to the chosen-insertion analysis in
 //!   `evilbloom-analysis`;
@@ -64,12 +68,16 @@
 pub mod adversary;
 pub mod dedup;
 pub mod harness;
+pub mod persist;
 pub mod shard;
 pub mod stats;
 pub mod store;
 
 pub use adversary::{craft_store_pollution, AdversarialStoreView};
 pub use dedup::ConcurrentDedup;
+pub use persist::{
+    PersistConfig, PersistError, RecoveryReport, SnapshotInfo, StorePersistence, SyncPolicy,
+};
 pub use shard::{Generation, Shard};
 pub use stats::{pollution_alarm, ShardStats, StoreStats, ALARM_MIN_INSERTIONS};
 pub use store::{BatchOutcome, BloomStore, StoreConfig, StoreHardening};

@@ -55,6 +55,14 @@ impl Shard {
         }
     }
 
+    /// Rebuilds a shard with explicit generation state — the recovery
+    /// constructor (generation ids restored from a snapshot are usually
+    /// non-zero, and a shard persisted mid-rotation restores both
+    /// generations).
+    pub(crate) fn restore(active: Generation, draining: Option<Generation>) -> Self {
+        Shard { generations: RwLock::new(GenerationPair { active, draining }) }
+    }
+
     /// Runs `f` with the active generation and (if a rotation is draining)
     /// the previous one. This is the primitive the store's batch APIs use to
     /// amortise lock acquisition over many items.
@@ -83,6 +91,18 @@ impl Shard {
     /// generation id, or `None` if a rotation is already in flight (finish
     /// it first — dropping a draining generation early would lose answers).
     pub fn begin_rotation(&self, fresh: ConcurrentBloomFilter) -> Option<u64> {
+        self.begin_rotation_logged(fresh, |_| {})
+    }
+
+    /// [`Shard::begin_rotation`] with a hook that runs *while the write lock
+    /// is still held* — the store's WAL append point. Holding the lock keeps
+    /// log order consistent with apply order: no insert (read lock) can log
+    /// between the generation switch and its log record.
+    pub(crate) fn begin_rotation_logged(
+        &self,
+        fresh: ConcurrentBloomFilter,
+        log: impl FnOnce(u64),
+    ) -> Option<u64> {
         let mut pair = self.generations.write().expect("shard lock poisoned");
         if pair.draining.is_some() {
             return None;
@@ -90,14 +110,27 @@ impl Shard {
         let next_id = pair.active.id + 1;
         let old = std::mem::replace(&mut pair.active, Generation { filter: fresh, id: next_id });
         pair.draining = Some(old);
+        log(next_id);
         Some(next_id)
     }
 
     /// Finishes a rotation by dropping the draining generation. Returns
     /// `false` if no rotation was in flight.
     pub fn complete_rotation(&self) -> bool {
+        self.complete_rotation_logged(|_| {})
+    }
+
+    /// [`Shard::complete_rotation`] with a WAL-append hook run under the
+    /// write lock; the hook receives the dropped generation's id.
+    pub(crate) fn complete_rotation_logged(&self, log: impl FnOnce(u64)) -> bool {
         let mut pair = self.generations.write().expect("shard lock poisoned");
-        pair.draining.take().is_some()
+        match pair.draining.take() {
+            Some(dropped) => {
+                log(dropped.id);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Whether a rotation's rebuild is currently in flight.

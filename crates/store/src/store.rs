@@ -2,7 +2,8 @@
 
 use std::sync::Arc;
 
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
 use evilbloom_filters::{
     hardened_concurrent_filter, hardened_params, ConcurrentBloomFilter, FilterKey, FilterParams,
@@ -12,7 +13,10 @@ use evilbloom_hashes::{
     Hasher64, IndexStrategy, KeyedHash64, KirschMitzenmacher, Murmur3_128, SipHash24, SipKey,
 };
 
-use crate::shard::Shard;
+use crate::persist::{
+    self, PersistConfig, PersistError, RecoveryReport, SnapshotInfo, StorePersistence, WalRecord,
+};
+use crate::shard::{Generation, Shard};
 use crate::stats::{pollution_alarm, ShardStats, StoreStats};
 
 /// Domain-separation tweak for the shard-routing PRF, far outside the
@@ -111,6 +115,9 @@ pub struct BloomStore {
     /// The shared predictable strategy of an unhardened store (what the
     /// adversarial view uses to compute indexes offline); `None` when keyed.
     public_strategy: Option<Arc<dyn IndexStrategy>>,
+    /// Attached durability (snapshots + WAL); `None` unless
+    /// [`BloomStore::enable_persistence`] or [`BloomStore::recover`] set it.
+    persistence: Option<StorePersistence>,
 }
 
 impl BloomStore {
@@ -153,6 +160,7 @@ impl BloomStore {
             shard_capacity,
             shard_params,
             public_strategy,
+            persistence: None,
         };
         for _ in 0..config.shards {
             let filter = store.build_shard_filter(&FilterKey::generate(rng));
@@ -210,8 +218,24 @@ impl BloomStore {
     }
 
     /// Inserts one item; returns the number of fresh bits it set.
+    ///
+    /// With persistence attached the insert is appended to the write-ahead
+    /// log *after* it is applied, while the shard read lock is still held
+    /// (log order matches generation order); the durability wait then
+    /// happens outside the lock via group commit. A broken WAL never fails
+    /// an insert — appends become no-ops and the error surfaces on the next
+    /// snapshot ([`PersistError::WalBroken`]).
     pub fn insert(&self, item: &[u8]) -> u32 {
-        self.shards[self.route(item)].insert(item)
+        let shard = self.route(item);
+        let (fresh, lsn) = self.shards[shard].with_generations(|active, _| {
+            let fresh = active.filter.insert(item);
+            let lsn = self.persistence.as_ref().and_then(|p| p.log_insert(shard, active.id, item));
+            (fresh, lsn)
+        });
+        if let (Some(p), Some(lsn)) = (self.persistence.as_ref(), lsn) {
+            p.commit(lsn);
+        }
+        fresh
     }
 
     /// Membership query (positives may be false positives; during a shard
@@ -232,13 +256,24 @@ impl BloomStore {
             buckets[self.route(item)].push(item);
         }
         let mut fresh_bits = 0u64;
-        for (shard, bucket) in self.shards.iter().zip(&buckets) {
+        let mut last_lsn = None;
+        for (index, (shard, bucket)) in self.shards.iter().zip(&buckets).enumerate() {
             if bucket.is_empty() {
                 continue;
             }
             shard.with_generations(|active, _| {
                 fresh_bits += active.filter.insert_batch(bucket);
+                if let Some(p) = &self.persistence {
+                    // One WAL record per shard bucket; LSNs are monotonic,
+                    // so committing the last covers the whole batch.
+                    if let Some(lsn) = p.log_insert_bucket(index, active.id, bucket) {
+                        last_lsn = Some(lsn);
+                    }
+                }
             });
+        }
+        if let (Some(p), Some(lsn)) = (self.persistence.as_ref(), last_lsn) {
+            p.commit(lsn);
         }
         BatchOutcome { items: items.len(), fresh_bits }
     }
@@ -289,19 +324,284 @@ impl BloomStore {
             // No key material to draw: the public strategy is reused.
             StoreHardening::Unhardened => self.build_shard_filter(&FilterKey::from_bytes([0; 32])),
         };
-        self.shards[shard].begin_rotation(fresh)
+        let mut lsn = None;
+        let id = self.shards[shard].begin_rotation_logged(fresh, |new_id| {
+            lsn = self.persistence.as_ref().and_then(|p| p.log_rotation(shard, new_id, true));
+        });
+        if let (Some(p), Some(lsn)) = (self.persistence.as_ref(), lsn) {
+            p.commit(lsn);
+        }
+        id
     }
 
     /// Completes a rotation, dropping the drained generation (call after the
     /// application has replayed its items into the new generation). Returns
     /// `false` if no rotation was in flight.
     pub fn complete_rotation(&self, shard: usize) -> bool {
-        self.shards[shard].complete_rotation()
+        let mut lsn = None;
+        let completed = self.shards[shard].complete_rotation_logged(|dropped| {
+            lsn = self.persistence.as_ref().and_then(|p| p.log_rotation(shard, dropped, false));
+        });
+        if let (Some(p), Some(lsn)) = (self.persistence.as_ref(), lsn) {
+            p.commit(lsn);
+        }
+        completed
     }
 
     /// Active generation id of a shard.
     pub fn generation_id(&self, shard: usize) -> u64 {
         self.shards[shard].generation_id()
+    }
+
+    /// Attaches durability (snapshots plus an optional write-ahead log) and
+    /// writes an initial snapshot so the directory is always recoverable.
+    /// If the directory already holds snapshots or WAL segments, sequence
+    /// numbers continue after them (nothing is clobbered) — but the current
+    /// in-memory store is what gets persisted; use [`BloomStore::recover`]
+    /// to *load* a directory.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::HardenedStore`] — hardened bits are derived under
+    /// secret keys that are never written to disk, so a restored hardened
+    /// store could not answer queries. [`PersistError::AlreadyPersistent`]
+    /// if called twice, or [`PersistError::Io`] on filesystem failure.
+    pub fn enable_persistence(
+        &mut self,
+        config: &PersistConfig,
+    ) -> Result<SnapshotInfo, PersistError> {
+        if self.is_hardened() {
+            return Err(PersistError::HardenedStore);
+        }
+        if self.persistence.is_some() {
+            return Err(PersistError::AlreadyPersistent);
+        }
+        std::fs::create_dir_all(&config.dir)?;
+        let (newest_snapshot, wal_seqs) = persist::scan_dir(&config.dir)?;
+        let wal_seq = wal_seqs.last().map_or(1, |s| s + 1);
+        let next_snapshot_seq = newest_snapshot.map_or(1, |s| s + 1);
+        self.persistence = Some(StorePersistence::create(config, wal_seq, next_snapshot_seq)?);
+        self.snapshot_to_disk()
+    }
+
+    /// The attached persistence layer, if any.
+    pub fn persistence(&self) -> Option<&StorePersistence> {
+        self.persistence.as_ref()
+    }
+
+    /// Writes a snapshot of the current store state while serving continues
+    /// (shard words are copied racily under the shard read locks; see
+    /// [`crate::persist`] for the safety argument) and prunes superseded
+    /// snapshot and WAL files.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::NotPersistent`] without an attached persistence
+    /// layer, [`PersistError::WalBroken`] if a previous WAL write failed,
+    /// or [`PersistError::Io`] on filesystem failure.
+    pub fn snapshot_to_disk(&self) -> Result<SnapshotInfo, PersistError> {
+        let persistence = self.persistence.as_ref().ok_or(PersistError::NotPersistent)?;
+        persistence.snapshot(self)
+    }
+
+    /// Rebuilds a store from a persistence directory: loads the newest
+    /// valid snapshot, replays the write-ahead log on top (discarding
+    /// records from rotated-out generations), re-attaches persistence with
+    /// a fresh WAL segment and writes a post-recovery snapshot so boot cost
+    /// stays bounded by the WAL tail.
+    ///
+    /// The recovered store answers queries bit-for-bit identically to the
+    /// crashed one for every acknowledged insert (plus any insert that was
+    /// mid-flight, which replay applies idempotently).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::NoSnapshot`] if the directory holds no valid
+    /// snapshot, [`PersistError::Corrupt`] / [`PersistError::BadVersion`]
+    /// on a damaged snapshot file (damaged WAL *tails* are tolerated as a
+    /// clean cut instead), [`PersistError::ConfigMismatch`] if the snapshot
+    /// geometry no longer matches what the parameters derive, or
+    /// [`PersistError::Io`].
+    pub fn recover(config: &PersistConfig) -> Result<(BloomStore, RecoveryReport), PersistError> {
+        let (newest_snapshot, wal_seqs) = persist::scan_dir(&config.dir)?;
+        let snapshot_seq = newest_snapshot.ok_or(PersistError::NoSnapshot)?;
+        let path = persist::snapshot_path(&config.dir, snapshot_seq);
+        let doc = persist::read_snapshot(&path)?;
+        if doc.seq != snapshot_seq {
+            return Err(PersistError::Corrupt {
+                file: path.display().to_string(),
+                what: "snapshot seq does not match its file name",
+            });
+        }
+
+        // Validate geometry before handing it to constructors that assert.
+        if doc.shards == 0 || !(doc.shards as usize).is_power_of_two() {
+            return Err(PersistError::Corrupt {
+                file: path.display().to_string(),
+                what: "shard count is not a positive power of two",
+            });
+        }
+        if doc.capacity == 0 || !doc.target_fpp.is_finite() || !(0.0..1.0).contains(&doc.target_fpp)
+        {
+            return Err(PersistError::Corrupt {
+                file: path.display().to_string(),
+                what: "capacity or target fpp out of range",
+            });
+        }
+        let store_config =
+            StoreConfig::unhardened(doc.shards as usize, doc.capacity, doc.target_fpp);
+        // Unhardened stores draw no secret material; the seed is irrelevant.
+        let mut store = BloomStore::new(store_config, &mut StdRng::seed_from_u64(0));
+        if store.shard_params.m != doc.m || store.shard_params.k != doc.k {
+            return Err(PersistError::ConfigMismatch(
+                "persisted m/k disagree with what the snapshot's capacity and fpp derive",
+            ));
+        }
+
+        // Install the persisted generations (ones-counters recounted from
+        // the words inside `from_words`; see the persist module docs).
+        let strategy = Arc::clone(store.public_strategy.as_ref().expect("unhardened strategy"));
+        let mut actives: Vec<Option<Generation>> = (0..doc.shards).map(|_| None).collect();
+        let mut drainings: Vec<Option<Generation>> = (0..doc.shards).map(|_| None).collect();
+        for (shard, role, id, inserted, words) in doc.generations {
+            let filter = ConcurrentBloomFilter::from_words(
+                store.shard_params,
+                Arc::clone(&strategy),
+                words,
+                inserted,
+            );
+            let slot = if role == 0 {
+                &mut actives[shard as usize]
+            } else {
+                &mut drainings[shard as usize]
+            };
+            if slot.replace(Generation { filter, id }).is_some() {
+                return Err(PersistError::Corrupt {
+                    file: path.display().to_string(),
+                    what: "duplicate generation record for a shard",
+                });
+            }
+        }
+        for (index, (active, draining)) in actives.into_iter().zip(drainings).enumerate() {
+            let Some(active) = active else {
+                return Err(PersistError::Corrupt {
+                    file: path.display().to_string(),
+                    what: "shard missing its active generation record",
+                });
+            };
+            store.shards[index] = Shard::restore(active, draining);
+        }
+
+        let mut report = RecoveryReport { snapshot_seq, ..RecoveryReport::default() };
+
+        // Replay the WAL tail. `wal_seq == 0` marks a snapshot written
+        // without a log (nothing to replay).
+        if doc.wal_seq > 0 {
+            for &seq in wal_seqs.iter().filter(|&&s| s >= doc.wal_seq) {
+                store.replay_segment(&config.dir, seq, &mut report)?;
+                report.wal_segments += 1;
+            }
+        }
+
+        // Re-attach with fresh sequence numbers (never append to a segment
+        // that may have a torn tail), then fold the replayed tail into a
+        // new snapshot — which also prunes everything it supersedes.
+        let wal_seq = wal_seqs.last().copied().unwrap_or(doc.wal_seq).max(snapshot_seq) + 1;
+        store.persistence = Some(StorePersistence::create(config, wal_seq, snapshot_seq + 1)?);
+        store.snapshot_to_disk()?;
+        Ok((store, report))
+    }
+
+    /// Replays one WAL segment during recovery (persistence is not attached
+    /// yet, so nothing here is re-logged).
+    fn replay_segment(
+        &self,
+        dir: &std::path::Path,
+        seq: u64,
+        report: &mut RecoveryReport,
+    ) -> Result<(), PersistError> {
+        let path = persist::wal_path(dir, seq);
+        let bytes = std::fs::read(&path)?;
+        let body = persist::check_wal_header(&path, &bytes, seq)?;
+        let (records, torn) = persist::decode_wal_records(&bytes[body..]);
+        report.torn_tail |= torn;
+        let mut rng = StdRng::seed_from_u64(0);
+        for record in records {
+            match record {
+                WalRecord::Insert { shard, generation, items } => {
+                    let Some(target) = self.shards.get(shard as usize) else {
+                        report.anomalies += 1;
+                        continue;
+                    };
+                    // A generation *ahead* of the shard means the log knows
+                    // of rotations the snapshot predates the record for —
+                    // cannot happen with logs this module wrote (rotations
+                    // log under the write lock), but tolerated: roll the
+                    // shard forward, then apply.
+                    while target.generation_id() < generation {
+                        if self.begin_rotation(shard as usize, &mut rng).is_none() {
+                            break;
+                        }
+                        report.anomalies += 1;
+                    }
+                    target.with_generations(|active, draining| {
+                        if generation == active.id {
+                            for item in &items {
+                                active.filter.insert(item);
+                            }
+                            report.replayed_inserts += items.len() as u64;
+                        } else if draining.is_some_and(|d| d.id == generation) {
+                            let draining = draining.expect("checked above");
+                            for item in &items {
+                                draining.filter.insert(item);
+                            }
+                            report.replayed_inserts += items.len() as u64;
+                        } else if generation < active.id {
+                            // Rotated out: replaying would resurrect exactly
+                            // the pollution the completed rotation dropped.
+                            report.discarded_stale += items.len() as u64;
+                        } else {
+                            report.anomalies += 1;
+                        }
+                    });
+                }
+                WalRecord::RotateBegin { shard, generation } => {
+                    let Some(target) = self.shards.get(shard as usize) else {
+                        report.anomalies += 1;
+                        continue;
+                    };
+                    if target.generation_id() >= generation {
+                        // The snapshot's shard copy happened after this
+                        // rotation applied: already reflected, idempotently
+                        // skipped.
+                    } else if target.generation_id() + 1 == generation
+                        && self.begin_rotation(shard as usize, &mut rng).is_some()
+                    {
+                        report.replayed_rotations += 1;
+                    } else {
+                        report.anomalies += 1;
+                    }
+                }
+                WalRecord::RotateComplete { shard, generation } => {
+                    let Some(target) = self.shards.get(shard as usize) else {
+                        report.anomalies += 1;
+                        continue;
+                    };
+                    let draining_id = target.with_generations(|_, draining| draining.map(|g| g.id));
+                    match draining_id {
+                        // Completed before the snapshot's shard copy:
+                        // already reflected.
+                        None => {}
+                        Some(id) if id == generation => {
+                            self.complete_rotation(shard as usize);
+                            report.replayed_rotations += 1;
+                        }
+                        Some(_) => report.anomalies += 1,
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Memory footprint in bytes of all active shard bit vectors.
