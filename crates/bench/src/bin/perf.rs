@@ -113,6 +113,10 @@ fn main() {
     std::fs::write(&path, report.to_json().to_pretty()).expect("write report");
     println!("\nreport written to {path}");
 
+    if !metrics_overhead_gate(&report) {
+        std::process::exit(1);
+    }
+
     if let Some((baseline_path, baseline_doc)) = baseline {
         if !compare_against_baseline(&report, &baseline_doc, tolerance) {
             eprintln!(
@@ -342,6 +346,7 @@ impl Suite {
             "store/recovery_replay",
             "server/query",
             "server/query_batch",
+            "server/metrics_overhead",
             "server/attack_mix",
             "server/async/query",
             "server/async/query_batch",
@@ -694,6 +699,30 @@ impl Suite {
         self.time(out, &format!("{prefix}query_batch"), batch as u64, || {
             client.query_batch(&mix).expect("server query batch")
         });
+
+        // Scrape-amortised telemetry cost: the query_batch traffic with one
+        // pipelined METRICS frame per SCRAPE_EVERY batches — a dashboard
+        // poller riding along with production load. The per-element cost is
+        // gated in main() at ≤1.05x of bare query_batch.
+        if prefix == "server/" {
+            const SCRAPE_EVERY: usize = 16;
+            self.time(out, "server/metrics_overhead", (SCRAPE_EVERY * batch) as u64, || {
+                for _ in 0..SCRAPE_EVERY {
+                    client.send(&Command::QueryBatch(mix.clone())).expect("queue MQUERY");
+                }
+                client.send(&Command::Metrics).expect("queue METRICS");
+                for _ in 0..SCRAPE_EVERY {
+                    match client.recv().expect("mquery response") {
+                        Response::BatchFound(answers) => assert_eq!(answers.len(), mix.len()),
+                        other => panic!("expected MFOUND, got {}", other.name()),
+                    }
+                }
+                match client.recv().expect("metrics response") {
+                    Response::Metrics(text) => text.len(),
+                    other => panic!("expected METRICS, got {}", other.name()),
+                }
+            });
+        }
         drop(client);
         handle.shutdown();
 
@@ -907,6 +936,31 @@ fn measured_fpp<F: evilbloom_attacks::target::TargetFilter + ?Sized>(
     false_positives as f64 / probes as f64
 }
 
+/// Telemetry must be effectively free: when the run measured both sides,
+/// `server/metrics_overhead` (pipelined `MQUERY` traffic with one `METRICS`
+/// scrape amortised over every 16 batches) may cost at most 5% more per
+/// element than bare `server/query_batch`. This is an absolute same-run
+/// budget — both numbers come from the same host seconds apart, so no
+/// calibration normalisation is needed and no baseline file is consulted.
+fn metrics_overhead_gate(report: &Report) -> bool {
+    let ns = |id: &str| report.timings.iter().find(|t| t.id == id).map(|t| t.ns_per_op_median);
+    let (Some(batch), Some(scraped)) = (ns("server/query_batch"), ns("server/metrics_overhead"))
+    else {
+        return true; // --filter excluded one side; nothing to gate
+    };
+    let ratio = scraped / batch;
+    let ok = ratio <= 1.05;
+    println!(
+        "metrics overhead gate: {scraped:.1} ns/op vs {batch:.1} ns/op = {ratio:.3}x \
+         (budget 1.05x){}",
+        if ok { "" } else { "  OVER BUDGET" }
+    );
+    if !ok {
+        eprintln!("PERF GATE: METRICS scrape overhead {ratio:.3}x exceeds the 1.05x budget");
+    }
+    ok
+}
+
 fn build_comparisons(timings: &[TimingRecord]) -> Vec<Comparison> {
     let ns = |id: &str| timings.iter().find(|t| t.id == id).map(|t| t.ns_per_op_median);
     let mut comparisons = Vec::new();
@@ -920,6 +974,11 @@ fn build_comparisons(timings: &[TimingRecord]) -> Vec<Comparison> {
     push("batch_vs_loop_query_concurrent", "concurrent/query_loop", "concurrent/query_batch");
     push("batch_vs_loop_query_store", "store/query_loop", "store/query_batch");
     push("pipelined_batch_vs_single_op_server", "server/query", "server/query_batch");
+    push(
+        "metrics_scrape_amortized_vs_query_batch",
+        "server/query_batch",
+        "server/metrics_overhead",
+    );
     push("async_vs_threaded_query", "server/query", "server/async/query");
     push("async_vs_threaded_query_batch", "server/query_batch", "server/async/query_batch");
     push("async_vs_threaded_attack_mix", "server/attack_mix", "server/async/attack_mix");

@@ -1,0 +1,90 @@
+//! Scalar metrics: the monotone [`Counter`] and the last-write-wins
+//! [`Gauge`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// All operations are single relaxed atomics: increments from any number of
+/// threads never lose counts, and `get` observes some recent value. Relaxed
+/// ordering is deliberate — metrics are advisory and never synchronise
+/// program state, so the hot path pays one uncontended RMW and nothing else.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` (wrapping on overflow, which at one event per nanosecond
+    /// takes five centuries to reach).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time measurement (fill ratio, active alarms, uptime): the
+/// last `set` wins, readers see some recently written value.
+///
+/// The `f64` payload is stored as its IEEE-754 bit pattern in an
+/// `AtomicU64`, so reads and writes are single atomics — no lock, no torn
+/// values.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh gauge at `0.0`.
+    pub fn new() -> Gauge {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Replaces the current value.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The most recently written value.
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_round_trips_exact_bits() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        for value in [0.25, -1.5, 1e300, f64::MIN_POSITIVE] {
+            g.set(value);
+            assert_eq!(g.get().to_bits(), value.to_bits());
+        }
+    }
+}

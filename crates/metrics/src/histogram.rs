@@ -1,0 +1,291 @@
+//! The lock-free power-of-two-bucketed [`Histogram`] and its mergeable
+//! [`HistogramSnapshot`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for the value `0`, then one per power of two
+/// (`[2^j, 2^{j+1})` for `j` in `0..63`), and a top bucket `[2^63, u64::MAX]`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index of a recorded value: `0` maps to bucket 0, everything else
+/// to `64 - leading_zeros`, so each bucket `i ≥ 1` covers
+/// `[2^{i-1}, 2^i - 1]` and `u64::MAX` lands in bucket 64 without any
+/// overflow arithmetic.
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `i` — also the representative value
+/// quantiles report, so a histogram fed only the value `2^j` answers every
+/// quantile with exactly `2^j`.
+fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i`, used for the exposition's `le`
+/// labels.
+fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+/// A fixed-size, lock-free latency/size histogram.
+///
+/// Recording is `&self` and wait-free: one relaxed `fetch_add` into the
+/// value's power-of-two bucket, one into the running sum, and a relaxed
+/// `fetch_max` for the exact maximum — cheap enough for per-request hot
+/// paths. Reading takes a [`HistogramSnapshot`], a plain-value copy that can
+/// be merged with snapshots of other histograms (or of the same histogram
+/// at other times) and interrogated for quantiles.
+///
+/// Power-of-two buckets trade resolution for zero configuration: every
+/// `u64` (nanoseconds, bytes, batch sizes) has a bucket, `u64::MAX`
+/// included, and quantile error is bounded by 2x — plenty to tell a 100ns
+/// fast path from a 10ms fsync stall.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Never panics, for any `u64` value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.counts[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        // The sum wraps on overflow; with nanosecond latencies that needs
+        // half a millennium of recorded time, and a wrapped sum only skews
+        // the advisory mean, never the bucket counts or quantiles.
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A plain-value copy of the current state.
+    ///
+    /// Concurrent recorders may land between the individual bucket loads;
+    /// the snapshot is a consistent-enough view for monitoring (each bucket
+    /// value is exact as of its own load), not a linearisable cut.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: [u64; HISTOGRAM_BUCKETS] =
+            std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            counts,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of a [`Histogram`]: bucket counts, running sum and
+/// exact observed maximum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: [u64; HISTOGRAM_BUCKETS],
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot { counts: [0; HISTOGRAM_BUCKETS], sum: 0, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all recorded values (wrapping, see [`Histogram::record`]).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The exact largest recorded value (`0` when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in bucket `i` (`i < HISTOGRAM_BUCKETS`).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Inclusive upper bound of bucket `i`, for rendering `le` labels.
+    pub fn bucket_le(i: usize) -> u64 {
+        bucket_upper_bound(i)
+    }
+
+    /// Folds another snapshot into this one — the result is exactly the
+    /// snapshot of a histogram that recorded both inputs' observations.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the lower bound of the bucket
+    /// holding the `ceil(q·count)`-th smallest observation; `0` when empty.
+    ///
+    /// Reporting the bucket *lower* bound keeps quantiles exact whenever all
+    /// observations in the deciding bucket share the bucket's boundary value
+    /// (e.g. a histogram fed only powers of two), and makes the estimate
+    /// conservative — never above the true quantile's bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_lower_bound(i);
+            }
+        }
+        bucket_lower_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_exhaustive_and_ordered() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        for i in 1..HISTOGRAM_BUCKETS {
+            let lo = bucket_lower_bound(i);
+            let hi = bucket_upper_bound(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+            assert!(bucket_upper_bound(i - 1) < lo, "buckets {i} are disjoint and ordered");
+        }
+    }
+
+    /// Bucket-boundary exactness: a histogram fed only `2^j` answers every
+    /// quantile with exactly `2^j`.
+    #[test]
+    fn quantiles_are_exact_at_powers_of_two() {
+        for j in 0..64 {
+            let h = Histogram::new();
+            for _ in 0..7 {
+                h.record(1u64 << j);
+            }
+            let s = h.snapshot();
+            for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+                assert_eq!(s.quantile(q), 1u64 << j, "q={q} j={j}");
+            }
+            assert_eq!(s.max(), 1u64 << j);
+        }
+    }
+
+    #[test]
+    fn extreme_values_never_panic() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.max(), u64::MAX);
+        assert_eq!(s.quantile(1.0), 1u64 << 63);
+        assert_eq!(s.quantile(0.01), 0);
+    }
+
+    /// merge(a, b) must equal the snapshot of one histogram that recorded
+    /// the concatenation of a's and b's observations.
+    #[test]
+    fn merge_equals_concatenated_recordings() {
+        let values_a = [0u64, 1, 1, 5, 4096, u64::MAX, 77];
+        let values_b = [3u64, 3, 1 << 40, 2, 0, 1 << 63];
+
+        let (a, b, both) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for &v in &values_a {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &values_b {
+            b.record(v);
+            both.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::new();
+        let mut state = 0x9e3779b97f4a7c15u64; // fixed-seed xorshift values
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            h.record(state >> (state % 48));
+        }
+        let s = h.snapshot();
+        let mut last = 0u64;
+        for step in 0..=100 {
+            let q = step as f64 / 100.0;
+            let value = s.quantile(q);
+            assert!(value >= last, "quantile({q}) = {value} < {last}");
+            last = value;
+        }
+        assert!(s.quantile(1.0) <= s.max());
+    }
+
+    #[test]
+    fn empty_snapshot_answers_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.max(), 0);
+    }
+}

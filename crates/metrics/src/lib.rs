@@ -1,0 +1,42 @@
+//! # evilbloom-metrics
+//!
+//! Dependency-free runtime telemetry for the evilbloom serving stack.
+//!
+//! The paper's core observable — false-positive-probability drift under
+//! chosen-insertion pollution (Gerbet, Kumar & Lauradoux, DSN 2015) — is a
+//! *time series*, not a point-in-time snapshot: an adversary reveals itself
+//! by how many fresh bits each insertion sets, sampled continuously. This
+//! crate provides the primitives every layer of the stack (server, reactor,
+//! buffer pool, store, WAL) records into, and a registry that renders them
+//! as a deterministic Prometheus-style text exposition served over the wire
+//! by the `METRICS` opcode:
+//!
+//! * [`Counter`] — a relaxed atomic monotone counter (`inc`/`add`/`get`);
+//! * [`Gauge`] — a last-write-wins `f64` gauge stored as atomic bits;
+//! * [`Histogram`] — a lock-free power-of-two-bucketed histogram: `&self`
+//!   recording (two relaxed `fetch_add`s and a `fetch_max`), mergeable
+//!   [`HistogramSnapshot`]s with p50/p90/p99 quantiles and an exact max;
+//! * [`Registry`] — named-metric registration and rendering, including
+//!   [`Registry::render_merged`] for stitching several layers' registries
+//!   into one globally-sorted exposition;
+//! * [`logger`] — a tiny leveled logger filtered by the `EVILBLOOM_LOG`
+//!   environment variable (`off`/`error`/`warn`/`info`/`debug`), replacing
+//!   the scattered `eprintln!` diagnostics so tests can silence them.
+//!
+//! Everything is `std`-only and records through `&self`, so hot paths share
+//! handles (`Arc<Counter>`, `Arc<Histogram>`) without locks; the only mutex
+//! in the crate guards the registry's entry list, touched at registration
+//! and render time, never on the record path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counter;
+mod histogram;
+pub mod logger;
+mod registry;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use logger::Level;
+pub use registry::Registry;

@@ -1,0 +1,139 @@
+//! A tiny leveled stderr logger, env-filtered via `EVILBLOOM_LOG`.
+//!
+//! The serving stack used to scatter bare `eprintln!` diagnostics (acceptor
+//! backoff, reactor-shard failure, WAL broken-flag). This module gives them
+//! one switch: `EVILBLOOM_LOG=off` silences everything (useful in tests),
+//! `error`/`warn` (the default)/`info`/`debug` open progressively chattier
+//! tiers. Call sites use the [`log_error!`](crate::log_error),
+//! [`log_warn!`](crate::log_warn), [`log_info!`](crate::log_info) and
+//! [`log_debug!`](crate::log_debug) macros, which skip all formatting work
+//! when the level is filtered out.
+
+use std::sync::OnceLock;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The process is losing functionality (a reactor shard died).
+    Error,
+    /// Degraded but serving (accept backoff, WAL broken, fsync failed).
+    Warn,
+    /// Lifecycle landmarks.
+    Info,
+    /// High-volume diagnostics.
+    Debug,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// The effective filter: `None` is `off`, otherwise the most verbose level
+/// still emitted. Parsed from `EVILBLOOM_LOG` once, on first use.
+fn max_level() -> Option<Level> {
+    static FILTER: OnceLock<Option<Level>> = OnceLock::new();
+    *FILTER.get_or_init(|| parse_filter(std::env::var("EVILBLOOM_LOG").ok().as_deref()))
+}
+
+/// `EVILBLOOM_LOG` values, case-insensitive; unset or unrecognised values
+/// fall back to `warn` so misconfiguration never silences real warnings.
+fn parse_filter(value: Option<&str>) -> Option<Level> {
+    match value.map(str::trim).map(str::to_ascii_lowercase).as_deref() {
+        Some("off") | Some("none") => None,
+        Some("error") => Some(Level::Error),
+        Some("info") => Some(Level::Info),
+        Some("debug") => Some(Level::Debug),
+        Some("warn") | Some(_) | None => Some(Level::Warn),
+    }
+}
+
+/// Whether a message at `level` would currently be emitted.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    max_level().is_some_and(|max| level <= max)
+}
+
+/// Emits one pre-filtered log line to stderr. Use the macros instead of
+/// calling this directly — they check [`enabled`] first so filtered-out
+/// messages never format.
+pub fn write(level: Level, args: std::fmt::Arguments<'_>) {
+    eprintln!("[{}] {}", level.as_str(), args);
+}
+
+/// Logs at [`Level::Error`] with `format!` syntax.
+#[macro_export]
+macro_rules! log_error {
+    ($($arg:tt)*) => {
+        if $crate::logger::enabled($crate::Level::Error) {
+            $crate::logger::write($crate::Level::Error, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`] with `format!` syntax.
+#[macro_export]
+macro_rules! log_warn {
+    ($($arg:tt)*) => {
+        if $crate::logger::enabled($crate::Level::Warn) {
+            $crate::logger::write($crate::Level::Warn, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`] with `format!` syntax.
+#[macro_export]
+macro_rules! log_info {
+    ($($arg:tt)*) => {
+        if $crate::logger::enabled($crate::Level::Info) {
+            $crate::logger::write($crate::Level::Info, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`] with `format!` syntax.
+#[macro_export]
+macro_rules! log_debug {
+    ($($arg:tt)*) => {
+        if $crate::logger::enabled($crate::Level::Debug) {
+            $crate::logger::write($crate::Level::Debug, ::core::format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_parsing_covers_every_tier() {
+        assert_eq!(parse_filter(Some("off")), None);
+        assert_eq!(parse_filter(Some("none")), None);
+        assert_eq!(parse_filter(Some("ERROR")), Some(Level::Error));
+        assert_eq!(parse_filter(Some(" warn ")), Some(Level::Warn));
+        assert_eq!(parse_filter(Some("info")), Some(Level::Info));
+        assert_eq!(parse_filter(Some("debug")), Some(Level::Debug));
+        // Unset and garbage both fall back to warn.
+        assert_eq!(parse_filter(None), Some(Level::Warn));
+        assert_eq!(parse_filter(Some("verbose")), Some(Level::Warn));
+    }
+
+    #[test]
+    fn severity_orders_most_severe_first() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn macros_expand_without_a_use_of_internals() {
+        // Compile-time check: the macros resolve through `$crate` paths.
+        crate::log_debug!("never shown under the default filter: {}", 42);
+    }
+}

@@ -1,0 +1,309 @@
+//! The named-metric [`Registry`] and its deterministic Prometheus-style
+//! text exposition.
+
+use std::sync::{Arc, Mutex};
+
+use crate::counter::{Counter, Gauge};
+use crate::histogram::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+
+/// One registered metric: a name, a help line, an optional label set and a
+/// shared handle to the live value.
+#[derive(Clone)]
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    /// Sorted `(key, value)` pairs; empty for unlabelled metrics.
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A collection of named metrics that renders as a deterministic
+/// Prometheus-style text exposition.
+///
+/// Registration hands back an `Arc` handle the instrumented code keeps and
+/// records through directly — the registry is only consulted again at render
+/// time, so its internal mutex never sits on a hot path. Each layer of the
+/// stack owns its own registry; [`Registry::render_merged`] stitches several
+/// into one globally-sorted exposition (the `METRICS` opcode serves the
+/// server's and the store's registries merged).
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Registers an unlabelled counter and returns its recording handle.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers a labelled counter (`labels` are `(key, value)` pairs).
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        let handle = Arc::new(Counter::new());
+        self.push(name, help, labels, Metric::Counter(Arc::clone(&handle)));
+        handle
+    }
+
+    /// Registers an unlabelled gauge and returns its recording handle.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers a labelled gauge.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
+        let handle = Arc::new(Gauge::new());
+        self.push(name, help, labels, Metric::Gauge(Arc::clone(&handle)));
+        handle
+    }
+
+    /// Registers an unlabelled histogram and returns its recording handle.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers a labelled histogram.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        let handle = Arc::new(Histogram::new());
+        self.push(name, help, labels, Metric::Histogram(Arc::clone(&handle)));
+        handle
+    }
+
+    fn push(&self, name: &'static str, help: &'static str, labels: &[(&str, &str)], m: Metric) {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        let mut entries = self.entries.lock().expect("registry mutex poisoned");
+        entries.push(Entry { name, help, labels, metric: m });
+    }
+
+    /// Renders this registry alone (see [`Registry::render_merged`]).
+    pub fn render(&self) -> String {
+        Registry::render_merged(&[self])
+    }
+
+    /// Renders several registries as one exposition: entries from all inputs
+    /// are sorted by metric name then label set, each family gets exactly
+    /// one `# HELP`/`# TYPE` header, and every registered metric appears
+    /// even at zero — so the exposition's *shape* is deterministic and a
+    /// scraper can rely on a metric existing before its first event.
+    pub fn render_merged(registries: &[&Registry]) -> String {
+        let mut entries: Vec<Entry> = Vec::new();
+        for registry in registries {
+            entries
+                .extend(registry.entries.lock().expect("registry mutex poisoned").iter().cloned());
+        }
+        entries.sort_by(|a, b| (a.name, &a.labels).cmp(&(b.name, &b.labels)));
+
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for entry in &entries {
+            if last_family != Some(entry.name) {
+                out.push_str(&format!("# HELP {} {}\n", entry.name, entry.help));
+                out.push_str(&format!("# TYPE {} {}\n", entry.name, entry.metric.type_name()));
+                last_family = Some(entry.name);
+            }
+            match &entry.metric {
+                Metric::Counter(c) => {
+                    sample_line(&mut out, entry.name, "", &entry.labels, &[], &c.get().to_string());
+                }
+                Metric::Gauge(g) => {
+                    sample_line(&mut out, entry.name, "", &entry.labels, &[], &g.get().to_string());
+                }
+                Metric::Histogram(h) => render_histogram(&mut out, entry, &h.snapshot()),
+            }
+        }
+        out
+    }
+}
+
+/// Renders one histogram entry: cumulative `_bucket{le=...}` lines (empty
+/// buckets skipped, `+Inf` always present), `_sum`, `_count`, the
+/// p50/p90/p99 quantiles as `{quantile=...}` samples, and the exact `_max`.
+fn render_histogram(out: &mut String, entry: &Entry, snapshot: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for i in 0..HISTOGRAM_BUCKETS {
+        let in_bucket = snapshot.bucket_count(i);
+        cumulative += in_bucket;
+        if in_bucket == 0 {
+            continue;
+        }
+        let le = HistogramSnapshot::bucket_le(i).to_string();
+        sample_line(
+            out,
+            entry.name,
+            "_bucket",
+            &entry.labels,
+            &[("le", &le)],
+            &cumulative.to_string(),
+        );
+    }
+    sample_line(
+        out,
+        entry.name,
+        "_bucket",
+        &entry.labels,
+        &[("le", "+Inf")],
+        &cumulative.to_string(),
+    );
+    sample_line(out, entry.name, "_sum", &entry.labels, &[], &snapshot.sum().to_string());
+    sample_line(out, entry.name, "_count", &entry.labels, &[], &snapshot.count().to_string());
+    for (q, value) in [("0.5", snapshot.p50()), ("0.9", snapshot.p90()), ("0.99", snapshot.p99())] {
+        sample_line(out, entry.name, "", &entry.labels, &[("quantile", q)], &value.to_string());
+    }
+    sample_line(out, entry.name, "_max", &entry.labels, &[], &snapshot.max().to_string());
+}
+
+/// Writes one sample line: `name[suffix]{labels,extra} value`.
+fn sample_line(
+    out: &mut String,
+    name: &str,
+    suffix: &str,
+    labels: &[(String, String)],
+    extra: &[(&str, &str)],
+    value: &str,
+) {
+    out.push_str(name);
+    out.push_str(suffix);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (key, val) in
+            labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).chain(extra.iter().copied())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(key);
+            out.push_str("=\"");
+            for ch in val.chars() {
+                match ch {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_is_sorted_and_headed() {
+        let registry = Registry::new();
+        let b = registry.counter("test_beta_total", "second family");
+        let a1 = registry.counter_with("test_alpha_total", "first family", &[("op", "query")]);
+        let a2 = registry.counter_with("test_alpha_total", "first family", &[("op", "insert")]);
+        a1.add(3);
+        a2.add(2);
+        b.inc();
+
+        let text = registry.render();
+        assert_eq!(
+            text,
+            "# HELP test_alpha_total first family\n\
+             # TYPE test_alpha_total counter\n\
+             test_alpha_total{op=\"insert\"} 2\n\
+             test_alpha_total{op=\"query\"} 3\n\
+             # HELP test_beta_total second family\n\
+             # TYPE test_beta_total counter\n\
+             test_beta_total 1\n"
+        );
+    }
+
+    #[test]
+    fn zero_valued_metrics_still_render() {
+        let registry = Registry::new();
+        let _gauge = registry.gauge("test_fill", "a gauge");
+        let _histogram = registry.histogram("test_latency_ns", "a histogram");
+        let text = registry.render();
+        assert!(text.contains("test_fill 0\n"));
+        assert!(text.contains("test_latency_ns_count 0\n"));
+        assert!(text.contains("test_latency_ns_bucket{le=\"+Inf\"} 0\n"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets_and_quantiles() {
+        let registry = Registry::new();
+        let h = registry.histogram_with("test_ns", "latencies", &[("op", "ping")]);
+        h.record(1);
+        h.record(1);
+        h.record(8);
+        let text = registry.render();
+        assert!(text.contains("# TYPE test_ns histogram\n"), "{text}");
+        assert!(text.contains("test_ns_bucket{op=\"ping\",le=\"1\"} 2\n"), "{text}");
+        assert!(text.contains("test_ns_bucket{op=\"ping\",le=\"15\"} 3\n"), "{text}");
+        assert!(text.contains("test_ns_bucket{op=\"ping\",le=\"+Inf\"} 3\n"), "{text}");
+        assert!(text.contains("test_ns_sum{op=\"ping\"} 10\n"), "{text}");
+        assert!(text.contains("test_ns_count{op=\"ping\"} 3\n"), "{text}");
+        assert!(text.contains("test_ns{op=\"ping\",quantile=\"0.5\"} 1\n"), "{text}");
+        assert!(text.contains("test_ns_max{op=\"ping\"} 8\n"), "{text}");
+    }
+
+    #[test]
+    fn merged_render_interleaves_families_across_registries() {
+        let left = Registry::new();
+        let right = Registry::new();
+        left.counter("test_a_total", "a").inc();
+        left.counter("test_c_total", "c").inc();
+        right.counter("test_b_total", "b").inc();
+        let text = Registry::render_merged(&[&left, &right]);
+        let a = text.find("test_a_total 1").expect("a rendered");
+        let b = text.find("test_b_total 1").expect("b rendered");
+        let c = text.find("test_c_total 1").expect("c rendered");
+        assert!(a < b && b < c, "families must be globally sorted:\n{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = Registry::new();
+        let _ = registry.counter_with("test_esc_total", "escapes", &[("path", "a\"b\\c\nd")]);
+        assert!(registry.render().contains("path=\"a\\\"b\\\\c\\nd\""));
+    }
+}

@@ -1,0 +1,84 @@
+//! Seeded multithreaded consistency: many threads hammering one shared
+//! counter and one shared histogram must lose nothing — the final counter
+//! value, histogram count, sum and max all equal what a single-threaded
+//! replay of the same seeded value stream produces.
+
+use std::sync::Arc;
+
+use evilbloom_metrics::{Counter, Histogram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const THREADS: u64 = 8;
+const RECORDS_PER_THREAD: u64 = 20_000;
+
+/// The seeded value stream thread `t` records (shifted so most values are
+/// small, with occasional huge outliers exercising the top buckets).
+fn values(thread: u64) -> impl Iterator<Item = u64> {
+    let mut rng = StdRng::seed_from_u64(0xB100_0000 + thread);
+    (0..RECORDS_PER_THREAD).map(move |_| {
+        let raw: u64 = rng.gen();
+        raw >> (raw % 56)
+    })
+}
+
+#[test]
+fn concurrent_recording_loses_nothing() {
+    let counter = Arc::new(Counter::new());
+    let histogram = Arc::new(Histogram::new());
+
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let (counter, histogram) = (Arc::clone(&counter), Arc::clone(&histogram));
+            scope.spawn(move || {
+                for value in values(thread) {
+                    counter.add(value % 7);
+                    histogram.record(value);
+                }
+            });
+        }
+    });
+
+    // Single-threaded replay of the identical streams.
+    let (expected_counter, expected_histogram) = (Counter::new(), Histogram::new());
+    for thread in 0..THREADS {
+        for value in values(thread) {
+            expected_counter.add(value % 7);
+            expected_histogram.record(value);
+        }
+    }
+
+    assert_eq!(counter.get(), expected_counter.get());
+    let (got, want) = (histogram.snapshot(), expected_histogram.snapshot());
+    assert_eq!(got.count(), THREADS * RECORDS_PER_THREAD);
+    assert_eq!(got, want, "bucket counts, sum and max must match the serial replay exactly");
+}
+
+/// Merging per-thread private histograms equals one shared histogram fed
+/// the union of the streams — the merge contract under real concurrency.
+#[test]
+fn per_thread_snapshots_merge_to_the_shared_total() {
+    let shared = Arc::new(Histogram::new());
+    let locals: Vec<Histogram> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|thread| {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || {
+                    let local = Histogram::new();
+                    for value in values(thread) {
+                        shared.record(value);
+                        local.record(value);
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("recorder thread")).collect()
+    });
+
+    let mut merged = evilbloom_metrics::HistogramSnapshot::default();
+    for local in &locals {
+        merged.merge(&local.snapshot());
+    }
+    assert_eq!(merged, shared.snapshot());
+}

@@ -21,6 +21,8 @@ use std::str::FromStr;
 use std::sync::atomic::Ordering;
 use std::time::Duration;
 
+use evilbloom_metrics::log_warn;
+
 use crate::server::Inner;
 
 /// Which I/O backend a server runs its connections on.
@@ -165,7 +167,7 @@ pub(crate) fn acceptor_loop(
                 AcceptAction::Idle => std::thread::sleep(idle_tick),
                 AcceptAction::Backoff => {
                     if !logged_backoff {
-                        eprintln!("evilbloom-server: accept failed ({error}); backing off");
+                        log_warn!("evilbloom-server: accept failed ({error}); backing off");
                         logged_backoff = true;
                     }
                     std::thread::sleep(poll_interval);

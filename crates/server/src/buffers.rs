@@ -9,7 +9,9 @@
 //! per-buffer high-water mark is shrunk back on check-in, and the free list
 //! itself is capped.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use evilbloom_metrics::Counter;
 
 /// Default capacity a pooled buffer starts with — enough for typical
 /// single-op traffic without regrowth.
@@ -27,6 +29,12 @@ pub(crate) struct BufferPool {
     free: Mutex<Vec<Vec<u8>>>,
     max_idle: usize,
     trim_capacity: usize,
+    /// Checkouts served from the free list / by fresh allocation, and
+    /// check-ins that trimmed. Unregistered no-op counters by default;
+    /// `Server::spawn` wires the registered handles in.
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    trims: Arc<Counter>,
 }
 
 impl Default for BufferPool {
@@ -39,14 +47,39 @@ impl BufferPool {
     /// A pool retaining at most `max_idle` buffers, each trimmed back to
     /// `trim_capacity` when a workload inflated it further.
     pub(crate) fn new(max_idle: usize, trim_capacity: usize) -> Self {
-        BufferPool { free: Mutex::new(Vec::new()), max_idle, trim_capacity }
+        BufferPool {
+            free: Mutex::new(Vec::new()),
+            max_idle,
+            trim_capacity,
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            trims: Arc::new(Counter::new()),
+        }
+    }
+
+    /// The default-sized pool reporting into the given registered counters.
+    pub(crate) fn instrumented(
+        hits: Arc<Counter>,
+        misses: Arc<Counter>,
+        trims: Arc<Counter>,
+    ) -> Self {
+        BufferPool { hits, misses, trims, ..BufferPool::default() }
     }
 
     /// Checks a cleared buffer out of the pool (or allocates a fresh one on
     /// a cold pool).
     pub(crate) fn checkout(&self) -> Vec<u8> {
         let recycled = self.free.lock().expect("buffer pool poisoned").pop();
-        recycled.unwrap_or_else(|| Vec::with_capacity(DEFAULT_BUFFER_CAPACITY))
+        match recycled {
+            Some(buf) => {
+                self.hits.inc();
+                buf
+            }
+            None => {
+                self.misses.inc();
+                Vec::with_capacity(DEFAULT_BUFFER_CAPACITY)
+            }
+        }
     }
 
     /// Returns a buffer to the free list: cleared, trimmed back to the
@@ -56,6 +89,7 @@ impl BufferPool {
         buf.clear();
         if buf.capacity() > self.trim_capacity {
             buf.shrink_to(self.trim_capacity);
+            self.trims.inc();
         }
         let mut free = self.free.lock().expect("buffer pool poisoned");
         if free.len() < self.max_idle {
@@ -101,6 +135,19 @@ mod tests {
             "capacity {} was not trimmed back to the high-water mark",
             buf.capacity()
         );
+    }
+
+    #[test]
+    fn instrumented_pool_counts_hits_misses_and_trims() {
+        let (hits, misses, trims) =
+            (Arc::new(Counter::new()), Arc::new(Counter::new()), Arc::new(Counter::new()));
+        let pool =
+            BufferPool::instrumented(Arc::clone(&hits), Arc::clone(&misses), Arc::clone(&trims));
+        let mut buf = pool.checkout(); // cold pool: miss
+        buf.resize(DEFAULT_TRIM_CAPACITY * 2, 0);
+        pool.checkin(buf); // inflated past the high-water mark: trim
+        drop(pool.checkout()); // recycled: hit
+        assert_eq!((hits.get(), misses.get(), trims.get()), (1, 1, 1));
     }
 
     #[test]

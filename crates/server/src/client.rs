@@ -249,6 +249,16 @@ impl Client {
             other => unexpected("SNAPSHOTTED", &other),
         }
     }
+
+    /// Scrapes the server's runtime telemetry as a text exposition
+    /// (counters, gauges, latency histograms with quantiles — including the
+    /// `evilbloom_store_bits_per_insert_recent` pollution-drift gauge).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Command::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => unexpected("METRICS", &other),
+        }
+    }
 }
 
 fn unexpected<T>(expected: &'static str, got: &Response) -> Result<T, ClientError> {

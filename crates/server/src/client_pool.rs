@@ -171,6 +171,16 @@ impl ClientPool {
         Ok(info)
     }
 
+    /// Scrapes the server's telemetry exposition over one pooled connection
+    /// (see [`Client::metrics`]); the scrape is server-global, so one lane
+    /// suffices.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let mut client = self.checkout_validated()?;
+        let text = client.metrics()?;
+        self.checkin(client);
+        Ok(text)
+    }
+
     /// Checks out the connections a pooled call will stripe over: the pool
     /// target, but never more than there are frames to send.
     fn lanes(&mut self, frames: usize) -> Result<Vec<Client>, ClientError> {

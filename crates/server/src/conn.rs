@@ -12,7 +12,9 @@
 //! `WouldBlock`-aware flush, re-armed on `EPOLLOUT` by the reactor).
 
 use std::sync::atomic::Ordering;
+use std::time::Instant;
 
+use crate::metrics::op_of;
 use crate::server::Inner;
 use crate::wire::{self, Command, Response, WireSnapshot, WireStats};
 
@@ -47,10 +49,14 @@ pub(crate) fn drain_frame_slice(buf: &[u8], out: &mut Vec<u8>, inner: &Inner) ->
                 consumed = end;
                 match Command::decode(&buf[start..end]) {
                     Ok(command) => {
+                        let op = op_of(&command);
+                        let started = Instant::now();
                         emit(&execute(&command, inner), out);
+                        inner.metrics.observe_request(op, started.elapsed());
                         inner.requests_served.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(err) => {
+                        inner.metrics.protocol_errors.inc();
                         emit(&Response::Error(format!("protocol error: {err}")), out);
                         keep_open = false;
                         break;
@@ -58,6 +64,7 @@ pub(crate) fn drain_frame_slice(buf: &[u8], out: &mut Vec<u8>, inner: &Inner) ->
                 }
             }
             Err(err) => {
+                inner.metrics.protocol_errors.inc();
                 emit(&Response::Error(format!("protocol error: {err}")), out);
                 keep_open = false;
                 break;
@@ -96,10 +103,24 @@ pub(crate) fn execute(command: &Command<'_>, inner: &Inner) -> Response {
             Err(err) => Response::Error(format!("protocol error: {err}")),
         },
         Command::QueryBatch(items) => Response::BatchFound(store.query_batch(items)),
-        Command::Stats => match WireStats::from_stats(&store.stats(), store.is_hardened()) {
-            Ok(stats) => Response::Stats(stats),
-            Err(err) => Response::Error(format!("stats unencodable: {err}")),
-        },
+        Command::Stats => {
+            let uptime = inner.started.elapsed().as_secs();
+            match WireStats::from_stats(&store.stats(), store.is_hardened(), uptime) {
+                Ok(stats) => Response::Stats(stats),
+                Err(err) => Response::Error(format!("stats unencodable: {err}")),
+            }
+        }
+        Command::Metrics => {
+            // A scrape refreshes the sampled store gauges (per-shard fill,
+            // alarms, the drift series) and the uptime gauge before
+            // rendering, so the exposition is taken at scrape time.
+            store.sample_metrics();
+            inner.metrics.uptime_seconds.set(inner.started.elapsed().as_secs_f64());
+            Response::Metrics(evilbloom_metrics::Registry::render_merged(&[
+                inner.metrics.registry(),
+                store.metrics().registry(),
+            ]))
+        }
         Command::Snapshot => match store.snapshot_to_disk() {
             Ok(info) => Response::Snapshotted(WireSnapshot {
                 seq: info.seq,
@@ -219,6 +240,7 @@ mod state_machine {
                         break;
                     }
                     Ok(n) => {
+                        inner.metrics.bytes_read.add(n as u64);
                         let keep_open = if self.acc.is_empty() {
                             // Zero-copy fast path (the common case: no
                             // partial frame pending): serve complete frames
@@ -242,7 +264,9 @@ mod state_machine {
                             break;
                         }
                         if !self.wants_read() {
-                            break; // backpressure: pending writes first
+                            // Backpressure: pending writes first.
+                            inner.metrics.reactor_backpressure.inc();
+                            break;
                         }
                         if n < scratch.len() {
                             break; // socket very likely drained
@@ -253,16 +277,19 @@ mod state_machine {
                     Err(_) => return Status::Closed,
                 }
             }
-            self.flush()
+            self.flush(inner)
         }
 
         /// Writable readiness (or an opportunistic flush after executing
         /// frames): write pending response bytes until done or `WouldBlock`.
-        pub(crate) fn flush(&mut self) -> Status {
+        pub(crate) fn flush(&mut self, inner: &Inner) -> Status {
             while self.out_pos < self.out.len() {
                 match self.stream.write(&self.out[self.out_pos..]) {
                     Ok(0) => return Status::Closed,
-                    Ok(n) => self.out_pos += n,
+                    Ok(n) => {
+                        inner.metrics.bytes_written.add(n as u64);
+                        self.out_pos += n;
+                    }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Status::Open,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
                     Err(_) => return Status::Closed,

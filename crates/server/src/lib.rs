@@ -75,6 +75,7 @@ mod buffers;
 pub mod client;
 pub mod client_pool;
 mod conn;
+mod metrics;
 #[cfg(target_os = "linux")]
 mod reactor;
 pub mod server;

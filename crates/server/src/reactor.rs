@@ -27,6 +27,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use evilbloom_metrics::{log_error, log_warn};
+
 use crate::backend::acceptor_loop;
 use crate::conn::{Connection, Status, READ_CHUNK};
 use crate::server::Inner;
@@ -204,11 +206,12 @@ impl Reactor {
                     // say so — a silently missing shard would only show up
                     // as mysteriously refused connections much later.
                     if !self.inner.is_shutdown() {
-                        eprintln!("evilbloom-server: reactor shard failed ({error}); exiting");
+                        log_error!("evilbloom-server: reactor shard failed ({error}); exiting");
                     }
                     break;
                 }
             };
+            self.inner.metrics.reactor_wakeups.inc();
             if self.inner.is_shutdown() {
                 break;
             }
@@ -227,7 +230,7 @@ impl Reactor {
                 } else {
                     let mut status = Status::Open;
                     if bits & sys::EPOLLOUT != 0 {
-                        status = registered.conn.flush();
+                        status = registered.conn.flush(&self.inner);
                     }
                     if status == Status::Open && bits & sys::EPOLLIN != 0 {
                         status = registered.conn.on_readable(&mut scratch, &self.inner);
@@ -241,6 +244,11 @@ impl Reactor {
                         if interest != registered.interest
                             && self.epoll.modify(token as i32, interest, token).is_ok()
                         {
+                            if interest & sys::EPOLLOUT != 0
+                                && registered.interest & sys::EPOLLOUT == 0
+                            {
+                                self.inner.metrics.reactor_epollout_arms.inc();
+                            }
                             registered.interest = interest;
                         }
                     }
@@ -284,6 +292,7 @@ impl Reactor {
             );
             let interest = desired_interest(&conn);
             if self.epoll.add(token as i32, interest, token).is_ok() {
+                self.inner.metrics.connections_opened.inc();
                 conns.insert(token, Registered { conn, interest });
             }
         }
@@ -294,6 +303,7 @@ impl Reactor {
         let (acc, out) = registered.conn.into_buffers();
         self.inner.buffers.checkin(acc);
         self.inner.buffers.checkin(out);
+        self.inner.metrics.connections_closed.inc();
     }
 }
 
@@ -359,7 +369,7 @@ pub(crate) fn spawn(
                     }
                 }
                 if !inner.is_shutdown() {
-                    eprintln!("evilbloom-server: all reactor shards gone; stopping accept");
+                    log_warn!("evilbloom-server: all reactor shards gone; stopping accept");
                 }
                 false
             });

@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use evilbloom_store::BloomStore;
 use rand::rngs::StdRng;
@@ -42,6 +42,7 @@ use rand::SeedableRng;
 use crate::backend::{acceptor_loop, Backend};
 use crate::buffers::BufferPool;
 use crate::conn::{drain_frames, READ_CHUNK};
+use crate::metrics::ServerMetrics;
 use crate::wire::DEFAULT_MAX_FRAME_BYTES;
 
 /// Tuning knobs of a [`Server`].
@@ -97,6 +98,10 @@ pub(crate) struct Inner {
     pub(crate) poll_interval: Duration,
     /// Recycled per-connection read/write buffers, shared by both backends.
     pub(crate) buffers: BufferPool,
+    /// Serving-layer telemetry (the store carries its own registry).
+    pub(crate) metrics: ServerMetrics,
+    /// When the server spawned, for the uptime gauge and `STATS` field.
+    pub(crate) started: Instant,
 }
 
 impl Inner {
@@ -121,6 +126,12 @@ impl Server {
     ) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let metrics = ServerMetrics::new();
+        let buffers = BufferPool::instrumented(
+            Arc::clone(&metrics.pool_hits),
+            Arc::clone(&metrics.pool_misses),
+            Arc::clone(&metrics.pool_trims),
+        );
         let inner = Arc::new(Inner {
             store,
             shutdown: AtomicBool::new(false),
@@ -128,7 +139,9 @@ impl Server {
             requests_served: AtomicU64::new(0),
             max_frame_bytes: config.max_frame_bytes,
             poll_interval: config.poll_interval,
-            buffers: BufferPool::default(),
+            buffers,
+            metrics,
+            started: Instant::now(),
         });
 
         match config.backend {
@@ -274,6 +287,7 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, inner: &Inner) {
 /// the shared pool and recycled afterwards, so connection churn does not
 /// translate into allocator churn.
 fn handle_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
+    inner.metrics.connections_opened.inc();
     let mut acc = inner.buffers.checkout();
     let mut out = inner.buffers.checkout();
     let mut chunk = inner.buffers.checkout();
@@ -282,6 +296,7 @@ fn handle_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
     inner.buffers.checkin(acc);
     inner.buffers.checkin(out);
     inner.buffers.checkin(chunk);
+    inner.metrics.connections_closed.inc();
     result
 }
 
@@ -301,11 +316,13 @@ fn serve_blocking(
         match reader.read(chunk) {
             Ok(0) => break,
             Ok(n) => {
+                inner.metrics.bytes_read.add(n as u64);
                 acc.extend_from_slice(&chunk[..n]);
                 let keep_open = drain_frames(acc, out, inner);
                 if !out.is_empty() {
                     writer.write_all(out)?;
                     writer.flush()?;
+                    inner.metrics.bytes_written.add(out.len() as u64);
                     out.clear();
                 }
                 if !keep_open {

@@ -28,6 +28,7 @@
 //! | `0x06` | `STATS` | — | `0x86 STATS` (store + per-shard health) |
 //! | `0x07` | `ROTATE` | `u8` phase, `u32` shard | `0x87 ROTATED` |
 //! | `0x08` | `SNAPSHOT` | — | `0x88 SNAPSHOTTED` (seq `u64`, WAL seq `u64`, shards `u32`, bytes `u64`) |
+//! | `0x09` | `METRICS` | — | `0x89 METRICS` (UTF-8 text exposition) |
 //! | — | — | — | `0xEE ERROR` (UTF-8 message) |
 //!
 //! An *item list* is a `u32` count followed by `count` entries of `u32`
@@ -60,6 +61,7 @@ const OP_MQUERY: u8 = 0x05;
 const OP_STATS: u8 = 0x06;
 const OP_ROTATE: u8 = 0x07;
 const OP_SNAPSHOT: u8 = 0x08;
+const OP_METRICS: u8 = 0x09;
 
 const OP_PONG: u8 = 0x81;
 const OP_INSERTED: u8 = 0x82;
@@ -69,6 +71,7 @@ const OP_MFOUND: u8 = 0x85;
 const OP_STATS_REPLY: u8 = 0x86;
 const OP_ROTATED: u8 = 0x87;
 const OP_SNAPSHOT_REPLY: u8 = 0x88;
+const OP_METRICS_REPLY: u8 = 0x89;
 const OP_ERROR: u8 = 0xEE;
 
 const ROTATE_BEGIN: u8 = 0;
@@ -157,6 +160,8 @@ pub enum Command<'a> {
     /// Write a durable snapshot of the store while serving continues
     /// (requires the server to have persistence attached).
     Snapshot,
+    /// Scrape the server's runtime telemetry as a text exposition.
+    Metrics,
 }
 
 impl<'a> Command<'a> {
@@ -200,6 +205,7 @@ impl<'a> Command<'a> {
                     out.extend_from_slice(&shard.to_le_bytes());
                 }
                 Command::Snapshot => out.push(OP_SNAPSHOT),
+                Command::Metrics => out.push(OP_METRICS),
             }
             finish_frame(out, start)
         })();
@@ -221,6 +227,7 @@ impl<'a> Command<'a> {
             OP_MQUERY => Command::QueryBatch(r.items()?),
             OP_STATS => Command::Stats,
             OP_SNAPSHOT => Command::Snapshot,
+            OP_METRICS => Command::Metrics,
             OP_ROTATE => {
                 let phase = r.u8()?;
                 let shard = r.u32()?;
@@ -272,6 +279,8 @@ pub enum Response {
     RotationCompleted(bool),
     /// Reply to [`Command::Snapshot`]: where the snapshot landed.
     Snapshotted(WireSnapshot),
+    /// Reply to [`Command::Metrics`]: the telemetry text exposition.
+    Metrics(String),
     /// The server could not serve the request (protocol violation, shard
     /// out of range, …). Protocol violations also close the connection.
     Error(String),
@@ -290,6 +299,7 @@ impl Response {
             Response::Rotated { .. } => "ROTATED",
             Response::RotationCompleted(_) => "ROTATION_COMPLETED",
             Response::Snapshotted(_) => "SNAPSHOTTED",
+            Response::Metrics(_) => "METRICS",
             Response::Error(_) => "ERROR",
         }
     }
@@ -358,6 +368,10 @@ impl Response {
                     out.extend_from_slice(&info.shards.to_le_bytes());
                     out.extend_from_slice(&info.bytes.to_le_bytes());
                 }
+                Response::Metrics(text) => {
+                    out.push(OP_METRICS_REPLY);
+                    out.extend_from_slice(text.as_bytes());
+                }
                 Response::Error(message) => {
                     out.push(OP_ERROR);
                     out.extend_from_slice(message.as_bytes());
@@ -410,6 +424,10 @@ impl Response {
                     _ => return Err(WireError::Malformed("unknown rotate phase")),
                 }
             }
+            OP_METRICS_REPLY => Response::Metrics(
+                String::from_utf8(r.rest().to_vec())
+                    .map_err(|_| WireError::Malformed("metrics exposition is not UTF-8"))?,
+            ),
             OP_ERROR => Response::Error(
                 String::from_utf8(r.rest().to_vec())
                     .map_err(|_| WireError::Malformed("error message is not UTF-8"))?,
@@ -452,6 +470,12 @@ pub struct WireStats {
     pub alarms: u32,
     /// Per-shard health, indexed by shard.
     pub shards: Vec<WireShardStats>,
+    /// Highest active generation id across shards — how far key rotation
+    /// has advanced. Decodes as 0 from servers predating this field.
+    pub generation: u64,
+    /// Seconds the server has been up. Decodes as 0 from servers predating
+    /// this field.
+    pub uptime_secs: u64,
 }
 
 /// One shard's health snapshot on the wire.
@@ -484,13 +508,19 @@ impl WireStats {
     ///
     /// [`WireError::TooLarge`] if the alarm count exceeds its `u32` wire
     /// field (possible only on a store with more than `u32::MAX` shards).
-    pub fn from_stats(stats: &StoreStats, hardened: bool) -> Result<Self, WireError> {
+    pub fn from_stats(
+        stats: &StoreStats,
+        hardened: bool,
+        uptime_secs: u64,
+    ) -> Result<Self, WireError> {
         Ok(WireStats {
             hardened,
             total_inserted: stats.total_inserted,
             mean_fill: stats.mean_fill,
             max_estimated_fpp: stats.max_estimated_fpp,
             alarms: wire_count("alarm count", stats.alarms)?,
+            generation: stats.shards.iter().map(|s| s.generation).max().unwrap_or(0),
+            uptime_secs,
             shards: stats
                 .shards
                 .iter()
@@ -527,6 +557,11 @@ impl WireStats {
             out.extend_from_slice(&shard.estimated_fpp.to_bits().to_le_bytes());
             out.push(u8::from(shard.pollution_alarm));
         }
+        // Appended after the original layout so old decoders (which stop at
+        // the shard array) and new decoders (which read the tail when it is
+        // present) both stay compatible.
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.uptime_secs.to_le_bytes());
         Ok(())
     }
 
@@ -558,7 +593,20 @@ impl WireStats {
                 pollution_alarm: r.flag()?,
             });
         }
-        Ok(WireStats { hardened, total_inserted, mean_fill, max_estimated_fpp, alarms, shards })
+        // Fields appended by newer servers: absent on the wire means a
+        // server predating them, not a malformed frame.
+        let (generation, uptime_secs) =
+            if r.remaining() >= 16 { (r.u64()?, r.u64()?) } else { (0, 0) };
+        Ok(WireStats {
+            hardened,
+            total_inserted,
+            mean_fill,
+            max_estimated_fpp,
+            alarms,
+            shards,
+            generation,
+            uptime_secs,
+        })
     }
 }
 
@@ -773,6 +821,7 @@ mod tests {
         roundtrip_command(&Command::RotateBegin { shard: 7 });
         roundtrip_command(&Command::RotateComplete { shard: u32::MAX });
         roundtrip_command(&Command::Snapshot);
+        roundtrip_command(&Command::Metrics);
     }
 
     #[test]
@@ -795,6 +844,20 @@ mod tests {
             bytes: 1 << 20,
         }));
         roundtrip_response(&Response::Error("shard 9 out of range".to_string()));
+        roundtrip_response(&Response::Metrics(String::new()));
+        roundtrip_response(&Response::Metrics(
+            "# TYPE evilbloom_store_inserts_total counter\nevilbloom_store_inserts_total 4\n"
+                .to_string(),
+        ));
+    }
+
+    #[test]
+    fn non_utf8_metrics_exposition_is_rejected() {
+        let payload = [PROTOCOL_VERSION, OP_METRICS_REPLY, 0xFF, 0xFE];
+        assert_eq!(
+            Response::decode(&payload),
+            Err(WireError::Malformed("metrics exposition is not UTF-8"))
+        );
     }
 
     #[test]
@@ -805,6 +868,8 @@ mod tests {
             mean_fill: 0.25,
             max_estimated_fpp: 1e-3,
             alarms: 2,
+            generation: 3,
+            uptime_secs: 7200,
             shards: vec![
                 WireShardStats {
                     generation: 3,
@@ -831,6 +896,38 @@ mod tests {
             ],
         };
         roundtrip_response(&Response::Stats(stats));
+    }
+
+    #[test]
+    fn stats_from_old_servers_decode_with_zero_tail_fields() {
+        // Version tolerance: a payload without the appended generation and
+        // uptime fields (an older server) must decode with both at 0, not
+        // error as truncated.
+        let stats = WireStats {
+            hardened: false,
+            total_inserted: 9,
+            mean_fill: 0.5,
+            max_estimated_fpp: 0.01,
+            alarms: 0,
+            generation: 11,
+            uptime_secs: 300,
+            shards: vec![],
+        };
+        let mut frame = Vec::new();
+        Response::Stats(stats.clone()).encode(&mut frame).expect("encodes");
+        // Strip the 16-byte tail and patch the length prefix, recreating
+        // the pre-field wire image.
+        frame.truncate(frame.len() - 16);
+        let len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        match Response::decode(&frame[4..]).expect("old layout decodes") {
+            Response::Stats(decoded) => {
+                assert_eq!(decoded.generation, 0);
+                assert_eq!(decoded.uptime_secs, 0);
+                assert_eq!(decoded.total_inserted, stats.total_inserted);
+            }
+            other => panic!("expected STATS, got {other:?}"),
+        }
     }
 
     #[test]
@@ -905,11 +1002,11 @@ mod tests {
             alarms: u32::MAX as usize + 1,
         };
         assert_eq!(
-            WireStats::from_stats(&stats, false),
+            WireStats::from_stats(&stats, false, 0),
             Err(WireError::TooLarge { what: "alarm count", value: u64::from(u32::MAX) + 1 })
         );
         let fits = StoreStats { alarms: u32::MAX as usize, ..stats };
-        assert_eq!(WireStats::from_stats(&fits, false).expect("fits").alarms, u32::MAX);
+        assert_eq!(WireStats::from_stats(&fits, false, 0).expect("fits").alarms, u32::MAX);
     }
 
     #[test]

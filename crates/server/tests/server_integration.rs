@@ -524,3 +524,105 @@ fn half_close_still_delivers_pending_responses() {
         handle.shutdown();
     }
 }
+
+#[test]
+fn metrics_scrape_round_trips_with_every_layer_present() {
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, true, 4);
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        // Generate traffic across opcodes so counters move before scraping.
+        let members: Vec<String> = (0..100).map(|i| format!("metrics-{i}")).collect();
+        client.insert_batch(&members).expect("minsert");
+        client.query_batch(&members).expect("mquery");
+        client.stats().expect("stats");
+
+        // Scrape twice: a scrape's own request is counted after it renders,
+        // so the first exposition shows op="metrics" at 0 and the second at
+        // 1 — the counter reflects requests *completed* before the scrape.
+        let first = client.metrics().expect("metrics");
+        assert!(
+            first.contains(r#"evilbloom_server_requests_total{op="metrics"} 0"#),
+            "{backend}:\n{first}"
+        );
+        let text = client.metrics().expect("metrics");
+        // At least one metric family from every instrumented layer renders
+        // on BOTH backends — reactor and persist families at zero where the
+        // configuration leaves them idle.
+        for family in [
+            "evilbloom_server_requests_total",        // server
+            "evilbloom_server_request_latency_ns",    // server histograms
+            "evilbloom_reactor_wakeups_total",        // reactor
+            "evilbloom_bufferpool_hits_total",        // buffer pool
+            "evilbloom_store_inserts_total",          // store
+            "evilbloom_store_bits_per_insert_recent", // drift gauge
+            "evilbloom_persist_wal_append_ns",        // persist
+        ] {
+            assert!(text.contains(family), "{backend}: missing {family} in:\n{text}");
+        }
+
+        // The exposition is structurally parseable: every non-comment line
+        // is `name{labels} value` with a numeric value.
+        let mut samples = 0usize;
+        for line in text.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("{backend}: unparseable line {line:?}"));
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "{backend}: non-numeric sample value in {line:?}"
+            );
+            samples += 1;
+        }
+        assert!(samples > 20, "{backend}: suspiciously few samples ({samples})");
+
+        // The traffic above is visible in the scrape.
+        assert!(
+            text.contains(r#"evilbloom_server_requests_total{op="minsert"} 1"#),
+            "{backend}:\n{text}"
+        );
+        assert!(
+            text.contains(r#"evilbloom_server_requests_total{op="metrics"} 1"#),
+            "{backend}:\n{text}"
+        );
+        assert!(text.contains("evilbloom_store_inserts_total 100"), "{backend}:\n{text}");
+
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn stats_report_generation_and_uptime() {
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, true, 2);
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        let before = client.stats().expect("stats");
+        assert_eq!(before.generation, 0, "{backend}: fresh store starts at generation 0");
+
+        // Rotating a shard must be visible in the reported generation.
+        let generation = client.rotate_begin(0).expect("rotate").expect("fresh rotation");
+        assert!(generation > 0, "{backend}");
+        let after = client.stats().expect("stats");
+        assert_eq!(after.generation, generation, "{backend}");
+        // Uptime only moves with wall time, but it must at least decode
+        // (old servers' frames decode it as 0; see the wire unit tests).
+        assert!(after.uptime_secs < 3600, "{backend}: implausible uptime");
+
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn pooled_metrics_scrape_round_trips() {
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, true, 4);
+        let mut pool = ClientPool::connect(handle.local_addr(), 2).expect("pool");
+        let text = pool.metrics().expect("pooled metrics");
+        assert!(text.contains("evilbloom_server_uptime_seconds"), "{backend}:\n{text}");
+        handle.shutdown();
+    }
+}

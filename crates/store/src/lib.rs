@@ -24,6 +24,10 @@
 //! * [`StoreStats`] — per-shard fill, false-positive estimates, and
 //!   pollution alarms tied to the chosen-insertion analysis in
 //!   `evilbloom-analysis`;
+//! * [`StoreMetrics`] — lock-free runtime telemetry ([`metrics`]): insert
+//!   and query counters, per-shard fill gauges, WAL/snapshot latency
+//!   histograms, and the bits-per-insert drift series that makes
+//!   chosen-insertion pollution visible as an anomalous slope;
 //! * [`AdversarialStoreView`] — the flattened [`TargetFilter`] view of an
 //!   *unhardened* store that lets the existing `evilbloom-attacks` engines
 //!   (pollution, saturation, forgery) attack the store unchanged — and that
@@ -68,6 +72,7 @@
 pub mod adversary;
 pub mod dedup;
 pub mod harness;
+pub mod metrics;
 pub mod persist;
 pub mod shard;
 pub mod stats;
@@ -75,6 +80,7 @@ pub mod store;
 
 pub use adversary::{craft_store_pollution, AdversarialStoreView};
 pub use dedup::ConcurrentDedup;
+pub use metrics::StoreMetrics;
 pub use persist::{
     PersistConfig, PersistError, RecoveryReport, SnapshotInfo, StorePersistence, SyncPolicy,
 };

@@ -1,0 +1,198 @@
+//! Runtime telemetry for the store and its persistence layer.
+//!
+//! [`StoreMetrics`] owns one [`Registry`] holding every store- and
+//! persist-layer metric. Hot paths ([`crate::BloomStore::insert`],
+//! [`crate::BloomStore::query_batch`], the WAL group-commit leader) bump
+//! shared lock-free handles; gauges derived from a full stats pass (per-shard
+//! fill, active alarms, the bits-per-insert drift series) are refreshed by
+//! [`crate::BloomStore::sample_metrics`], which the server's `METRICS`
+//! opcode calls before rendering.
+//!
+//! ## The drift time series
+//!
+//! The paper's chosen-insertion adversary (Section 5) crafts items whose
+//! every index lands on a currently-zero bit, so each adversarial insert
+//! sets ≈ `k` fresh bits, while an honest insert sets ≈ `k · (1 − fill)` —
+//! a gap that *widens* as the filter fills. The
+//! `evilbloom_store_bits_per_insert_recent` gauge tracks the ratio
+//! Δ`fresh_bits` / Δ`inserts` over a sliding window of recent scrapes:
+//! under honest load it decays with fill; under pollution it pins near `k`.
+//! That anomalous slope is the wire-visible fingerprint of the attack —
+//! continuously sampled, unlike the point-in-time `STATS` alarm.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use evilbloom_metrics::{Counter, Gauge, Histogram, Registry};
+
+use crate::stats::StoreStats;
+
+/// How many `(inserts, fresh_bits)` scrape samples the drift window keeps.
+/// At one scrape per poll interval this covers the recent past without ever
+/// letting the series' memory grow with uptime.
+const DRIFT_WINDOW: usize = 32;
+
+/// All store- and persist-layer metrics, registered in one [`Registry`].
+///
+/// Created by [`crate::BloomStore::new`] (and therefore present on every
+/// store, persistent or not — a scraper can rely on the persist-layer
+/// metric names existing at zero before persistence is attached). Shared
+/// with the persistence layer via `Arc`.
+pub struct StoreMetrics {
+    registry: Registry,
+    /// Items inserted (scalar and batch paths).
+    pub(crate) inserts: Arc<Counter>,
+    /// Bits flipped 0 → 1 by inserts — the numerator of the drift series.
+    pub(crate) fresh_bits: Arc<Counter>,
+    /// Membership queries answered (scalar and batch paths).
+    pub(crate) queries: Arc<Counter>,
+    /// Rotations started / completed.
+    pub(crate) rotations_begun: Arc<Counter>,
+    /// See [`StoreMetrics::rotations_begun`].
+    pub(crate) rotations_completed: Arc<Counter>,
+    /// Per-shard pollution-alarm edges (off→on and on→off both count).
+    alarm_transitions: Arc<Counter>,
+    /// Shards currently alarming.
+    alarms_active: Arc<Gauge>,
+    /// Δ`fresh_bits` / Δ`inserts` over the drift window.
+    bits_per_insert_recent: Arc<Gauge>,
+    /// One fill gauge per shard, labelled `shard="<index>"`.
+    shard_fill: Vec<Arc<Gauge>>,
+    /// Last sampled alarm state per shard, for edge detection.
+    last_alarm: Vec<AtomicBool>,
+    /// Recent `(inserts, fresh_bits)` scrape samples.
+    drift: Mutex<VecDeque<(u64, u64)>>,
+
+    // Persist layer. Registered here so the names exist (at zero) even on
+    // stores that never attach persistence.
+    /// 1 when the WAL has broken (appends disabled), else 0.
+    pub(crate) wal_broken: Arc<Gauge>,
+    /// Commit wait per logged insert: append to durable-under-policy.
+    pub(crate) wal_append_ns: Arc<Histogram>,
+    /// `fsync` latency paid by group-commit flush leaders.
+    pub(crate) wal_fsync_ns: Arc<Histogram>,
+    /// Records covered per leader flush — the group-commit batching win.
+    pub(crate) group_commit_batch: Arc<Histogram>,
+    /// Wall time of each completed snapshot.
+    pub(crate) snapshot_ns: Arc<Histogram>,
+    /// Bytes written by completed snapshots.
+    pub(crate) snapshot_bytes: Arc<Counter>,
+}
+
+impl StoreMetrics {
+    /// Registers every store- and persist-layer metric for a store with
+    /// `shards` shards.
+    pub(crate) fn new(shards: usize) -> StoreMetrics {
+        let r = Registry::new();
+        let shard_fill = (0..shards)
+            .map(|index| {
+                r.gauge_with(
+                    "evilbloom_store_shard_fill",
+                    "Fraction of the shard's active-generation bits set",
+                    &[("shard", &index.to_string())],
+                )
+            })
+            .collect();
+        StoreMetrics {
+            inserts: r.counter("evilbloom_store_inserts_total", "Items inserted into the store"),
+            fresh_bits: r.counter(
+                "evilbloom_store_fresh_bits_total",
+                "Bits flipped 0 to 1 by inserts (drift-series numerator)",
+            ),
+            queries: r.counter("evilbloom_store_queries_total", "Membership queries answered"),
+            rotations_begun: r
+                .counter("evilbloom_store_rotations_begun_total", "Shard rotations started"),
+            rotations_completed: r
+                .counter("evilbloom_store_rotations_completed_total", "Shard rotations completed"),
+            alarm_transitions: r.counter(
+                "evilbloom_store_alarm_transitions_total",
+                "Pollution-alarm state changes observed across scrapes (either edge)",
+            ),
+            alarms_active: r
+                .gauge("evilbloom_store_alarms_active", "Shards whose pollution alarm is raised"),
+            bits_per_insert_recent: r.gauge(
+                "evilbloom_store_bits_per_insert_recent",
+                "Fresh bits per insert over the recent scrape window; pins near k under \
+                 chosen-insertion pollution",
+            ),
+            wal_broken: r.gauge(
+                "evilbloom_persist_wal_broken",
+                "1 once a WAL write has failed and appends are disabled",
+            ),
+            wal_append_ns: r.histogram(
+                "evilbloom_persist_wal_append_ns",
+                "Per-commit wait until the appended records are durable under the sync policy",
+            ),
+            wal_fsync_ns: r.histogram(
+                "evilbloom_persist_wal_fsync_ns",
+                "fsync latency paid by group-commit flush leaders",
+            ),
+            group_commit_batch: r.histogram(
+                "evilbloom_persist_group_commit_batch",
+                "Log records covered by one leader flush (group-commit batch size)",
+            ),
+            snapshot_ns: r
+                .histogram("evilbloom_persist_snapshot_ns", "Wall time of completed snapshots"),
+            snapshot_bytes: r.counter(
+                "evilbloom_persist_snapshot_bytes_total",
+                "Bytes written by completed snapshots",
+            ),
+            shard_fill,
+            last_alarm: (0..shards).map(|_| AtomicBool::new(false)).collect(),
+            drift: Mutex::new(VecDeque::with_capacity(DRIFT_WINDOW)),
+            registry: r,
+        }
+    }
+
+    /// The registry holding every store- and persist-layer metric (merge it
+    /// with other layers' registries via
+    /// [`Registry::render_merged`]).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Fresh bits per insert over the recent scrape window (the drift
+    /// gauge's current value).
+    pub fn bits_per_insert_recent(&self) -> f64 {
+        self.bits_per_insert_recent.get()
+    }
+
+    /// Refreshes the sampled gauges and the drift series from a stats pass.
+    pub(crate) fn sample(&self, stats: &StoreStats) {
+        for shard in &stats.shards {
+            if let Some(gauge) = self.shard_fill.get(shard.shard) {
+                gauge.set(shard.fill);
+            }
+            if let Some(last) = self.last_alarm.get(shard.shard) {
+                if last.swap(shard.pollution_alarm, Ordering::Relaxed) != shard.pollution_alarm {
+                    self.alarm_transitions.inc();
+                }
+            }
+        }
+        self.alarms_active.set(stats.alarms as f64);
+
+        let sample = (self.inserts.get(), self.fresh_bits.get());
+        let mut drift = self.drift.lock().expect("drift window mutex poisoned");
+        if drift.len() == DRIFT_WINDOW {
+            drift.pop_front();
+        }
+        drift.push_back(sample);
+        let (first_inserts, first_bits) = *drift.front().expect("just pushed");
+        let (last_inserts, last_bits) = *drift.back().expect("just pushed");
+        if last_inserts > first_inserts {
+            let slope = (last_bits - first_bits) as f64 / (last_inserts - first_inserts) as f64;
+            self.bits_per_insert_recent.set(slope);
+        }
+    }
+}
+
+impl core::fmt::Debug for StoreMetrics {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("StoreMetrics")
+            .field("inserts", &self.inserts.get())
+            .field("fresh_bits", &self.fresh_bits.get())
+            .field("queries", &self.queries.get())
+            .finish()
+    }
+}

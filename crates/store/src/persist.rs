@@ -72,8 +72,12 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
+use evilbloom_metrics::log_warn;
+
+use crate::metrics::StoreMetrics;
 use crate::store::BloomStore;
 
 /// How the write-ahead log trades durability against insert latency.
@@ -399,12 +403,19 @@ struct WalWriter {
     flushed: Condvar,
     sync: SyncPolicy,
     dir: PathBuf,
+    /// Shared telemetry: fsync latency, batch sizes, the broken-flag gauge.
+    metrics: Arc<StoreMetrics>,
 }
 
 impl WalWriter {
     /// Creates segment `wal-<seq>.evbw` (truncating any torn leftover of
     /// the same seq) and returns a writer positioned after its header.
-    fn create(dir: &Path, seq: u64, sync: SyncPolicy) -> Result<WalWriter, PersistError> {
+    fn create(
+        dir: &Path,
+        seq: u64,
+        sync: SyncPolicy,
+        metrics: Arc<StoreMetrics>,
+    ) -> Result<WalWriter, PersistError> {
         let mut file =
             OpenOptions::new().write(true).create(true).truncate(true).open(wal_path(dir, seq))?;
         file.write_all(&wal_header(seq))?;
@@ -425,7 +436,17 @@ impl WalWriter {
             flushed: Condvar::new(),
             sync,
             dir: dir.to_path_buf(),
+            metrics,
         })
+    }
+
+    /// Records the first unrecoverable write error: appends become no-ops,
+    /// the gauge flips, and the operator hears about it immediately (the
+    /// next snapshot additionally fails with [`PersistError::WalBroken`]).
+    fn mark_broken(&self, state: &mut WalState, error: &io::Error) {
+        log_warn!("evilbloom-store: write-ahead log broken ({error}); appends disabled");
+        self.metrics.wal_broken.set(1.0);
+        state.broken = Some(error.to_string());
     }
 
     /// Appends an encoded record to the in-memory buffer and returns its
@@ -468,12 +489,15 @@ impl WalWriter {
             s.flushing = true;
             let buf = std::mem::take(&mut s.buf);
             let upto = s.next_lsn - 1;
+            let batch = upto.saturating_sub(s.written_lsn);
             let file = s.file.try_clone();
             drop(s);
             let result = file.and_then(|mut file| {
                 file.write_all(&buf)?;
                 if self.sync == SyncPolicy::GroupCommit {
+                    let fsync_started = Instant::now();
                     file.sync_data()?;
+                    self.metrics.wal_fsync_ns.record(fsync_started.elapsed().as_nanos() as u64);
                 }
                 Ok(())
             });
@@ -481,12 +505,15 @@ impl WalWriter {
             s.flushing = false;
             match result {
                 Ok(()) => {
+                    if batch > 0 {
+                        self.metrics.group_commit_batch.record(batch);
+                    }
                     s.written_lsn = s.written_lsn.max(upto);
                     if self.sync == SyncPolicy::GroupCommit {
                         s.durable_lsn = s.durable_lsn.max(upto);
                     }
                 }
-                Err(e) => s.broken = Some(e.to_string()),
+                Err(e) => self.mark_broken(&mut s, &e),
             }
             self.flushed.notify_all();
         }
@@ -529,7 +556,7 @@ impl WalWriter {
                 Ok(seq)
             }
             Err(e) => {
-                s.broken = Some(e.to_string());
+                self.mark_broken(&mut s, &e);
                 self.flushed.notify_all();
                 Err(PersistError::Io(e))
             }
@@ -574,6 +601,8 @@ pub struct StorePersistence {
     next_snapshot_seq: AtomicU64,
     /// Serialises snapshot writers (concurrent SNAPSHOT commands).
     snapshot_lock: Mutex<()>,
+    /// Shared telemetry: commit-wait and snapshot histograms.
+    metrics: Arc<StoreMetrics>,
 }
 
 impl core::fmt::Debug for StorePersistence {
@@ -590,10 +619,11 @@ impl StorePersistence {
         config: &PersistConfig,
         wal_seq: u64,
         next_snapshot_seq: u64,
+        metrics: Arc<StoreMetrics>,
     ) -> Result<StorePersistence, PersistError> {
         fs::create_dir_all(&config.dir)?;
         let wal = if config.wal {
-            Some(WalWriter::create(&config.dir, wal_seq, config.sync)?)
+            Some(WalWriter::create(&config.dir, wal_seq, config.sync, Arc::clone(&metrics))?)
         } else {
             None
         };
@@ -602,6 +632,7 @@ impl StorePersistence {
             wal,
             next_snapshot_seq: AtomicU64::new(next_snapshot_seq),
             snapshot_lock: Mutex::new(()),
+            metrics,
         })
     }
 
@@ -666,16 +697,21 @@ impl StorePersistence {
         })
     }
 
-    /// Waits until `lsn` is durable. Called outside the shard lock.
+    /// Waits until `lsn` is durable. Called outside the shard lock. The
+    /// recorded latency is the full append-to-durable wait the inserting
+    /// caller pays (including any group-commit queueing behind a leader).
     pub(crate) fn commit(&self, lsn: u64) {
         if let Some(wal) = &self.wal {
+            let started = Instant::now();
             wal.commit(lsn);
+            self.metrics.wal_append_ns.record(started.elapsed().as_nanos() as u64);
         }
     }
 
     /// Writes a snapshot of `store` and prunes superseded files. See the
     /// module docs for the full protocol.
     pub(crate) fn snapshot(&self, store: &BloomStore) -> Result<SnapshotInfo, PersistError> {
+        let started = Instant::now();
         let _serialised = self.snapshot_lock.lock().expect("snapshot lock poisoned");
         if let Some(e) = self.wal_error() {
             return Err(PersistError::WalBroken(e));
@@ -733,6 +769,8 @@ impl StorePersistence {
             drop(dir.sync_all()); // directory durability is best-effort
         }
         self.prune(seq, wal_seq);
+        self.metrics.snapshot_ns.record(started.elapsed().as_nanos() as u64);
+        self.metrics.snapshot_bytes.add(out.len() as u64);
         Ok(SnapshotInfo {
             seq,
             wal_seq,

@@ -13,6 +13,7 @@ use evilbloom_hashes::{
     Hasher64, IndexStrategy, KeyedHash64, KirschMitzenmacher, Murmur3_128, SipHash24, SipKey,
 };
 
+use crate::metrics::StoreMetrics;
 use crate::persist::{
     self, PersistConfig, PersistError, RecoveryReport, SnapshotInfo, StorePersistence, WalRecord,
 };
@@ -118,6 +119,9 @@ pub struct BloomStore {
     /// Attached durability (snapshots + WAL); `None` unless
     /// [`BloomStore::enable_persistence`] or [`BloomStore::recover`] set it.
     persistence: Option<StorePersistence>,
+    /// Runtime telemetry, always present (shared with the persistence layer
+    /// so WAL and snapshot probes record into the same registry).
+    metrics: Arc<StoreMetrics>,
 }
 
 impl BloomStore {
@@ -161,6 +165,7 @@ impl BloomStore {
             shard_params,
             public_strategy,
             persistence: None,
+            metrics: Arc::new(StoreMetrics::new(config.shards)),
         };
         for _ in 0..config.shards {
             let filter = store.build_shard_filter(&FilterKey::generate(rng));
@@ -235,12 +240,15 @@ impl BloomStore {
         if let (Some(p), Some(lsn)) = (self.persistence.as_ref(), lsn) {
             p.commit(lsn);
         }
+        self.metrics.inserts.inc();
+        self.metrics.fresh_bits.add(u64::from(fresh));
         fresh
     }
 
     /// Membership query (positives may be false positives; during a shard
     /// rotation the draining generation still answers).
     pub fn contains(&self, item: &[u8]) -> bool {
+        self.metrics.queries.inc();
         self.shards[self.route(item)].contains(item)
     }
 
@@ -275,6 +283,8 @@ impl BloomStore {
         if let (Some(p), Some(lsn)) = (self.persistence.as_ref(), last_lsn) {
             p.commit(lsn);
         }
+        self.metrics.inserts.add(items.len() as u64);
+        self.metrics.fresh_bits.add(fresh_bits);
         BatchOutcome { items: items.len(), fresh_bits }
     }
 
@@ -284,6 +294,7 @@ impl BloomStore {
     /// active-generation misses fall back to a draining generation (which
     /// may use a different key, so its indexes cannot be shared).
     pub fn query_batch<I: AsRef<[u8]>>(&self, items: &[I]) -> Vec<bool> {
+        self.metrics.queries.add(items.len() as u64);
         let shards = self.shards.len();
         let mut positions: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
         let mut buckets: Vec<Vec<&[u8]>> = (0..shards).map(|_| Vec::new()).collect();
@@ -331,6 +342,9 @@ impl BloomStore {
         if let (Some(p), Some(lsn)) = (self.persistence.as_ref(), lsn) {
             p.commit(lsn);
         }
+        if id.is_some() {
+            self.metrics.rotations_begun.inc();
+        }
         id
     }
 
@@ -344,6 +358,9 @@ impl BloomStore {
         });
         if let (Some(p), Some(lsn)) = (self.persistence.as_ref(), lsn) {
             p.commit(lsn);
+        }
+        if completed {
+            self.metrics.rotations_completed.inc();
         }
         completed
     }
@@ -380,7 +397,12 @@ impl BloomStore {
         let (newest_snapshot, wal_seqs) = persist::scan_dir(&config.dir)?;
         let wal_seq = wal_seqs.last().map_or(1, |s| s + 1);
         let next_snapshot_seq = newest_snapshot.map_or(1, |s| s + 1);
-        self.persistence = Some(StorePersistence::create(config, wal_seq, next_snapshot_seq)?);
+        self.persistence = Some(StorePersistence::create(
+            config,
+            wal_seq,
+            next_snapshot_seq,
+            Arc::clone(&self.metrics),
+        )?);
         self.snapshot_to_disk()
     }
 
@@ -507,7 +529,12 @@ impl BloomStore {
         // that may have a torn tail), then fold the replayed tail into a
         // new snapshot — which also prunes everything it supersedes.
         let wal_seq = wal_seqs.last().copied().unwrap_or(doc.wal_seq).max(snapshot_seq) + 1;
-        store.persistence = Some(StorePersistence::create(config, wal_seq, snapshot_seq + 1)?);
+        store.persistence = Some(StorePersistence::create(
+            config,
+            wal_seq,
+            snapshot_seq + 1,
+            Arc::clone(&store.metrics),
+        )?);
         store.snapshot_to_disk()?;
         Ok((store, report))
     }
@@ -645,6 +672,22 @@ impl BloomStore {
             })
             .collect();
         StoreStats::from_shards(shards)
+    }
+
+    /// The store's runtime telemetry (see [`crate::metrics`]).
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
+    }
+
+    /// Runs a full stats pass *and* refreshes the sampled metrics derived
+    /// from it (per-shard fill gauges, active-alarm gauge, alarm-transition
+    /// edges, and the bits-per-insert drift series). The server's `METRICS`
+    /// opcode calls this before rendering, so every scrape advances the
+    /// drift window.
+    pub fn sample_metrics(&self) -> StoreStats {
+        let stats = self.stats();
+        self.metrics.sample(&stats);
+        stats
     }
 }
 
