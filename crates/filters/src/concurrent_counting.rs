@@ -1,0 +1,749 @@
+//! A counting Bloom filter with `&self` insert/query/delete — the deletable
+//! backend the store serves the `DELETE` opcode against.
+//!
+//! Cells are one byte wide, packed eight per `AtomicU64` and updated with
+//! CAS loops, so every individual counter transition is atomic: exactly one
+//! thread observes each 0 → 1 transition (keeping the running occupied-cells
+//! counter exact) and a saturated counter freezes exactly as the sequential
+//! [`CountingBloomFilter`](crate::CountingBloomFilter) under
+//! [`OverflowPolicy::Saturate`](crate::counting::OverflowPolicy::Saturate) does:
+//! frozen cells are never incremented nor decremented again — the
+//! conservative policy, and the one whose incomplete deletions the paper's
+//! Section 6.2 overflow attack weaponises.
+//!
+//! **Deletion is not atomic across an item's `k` cells.** `remove` reads the
+//! `k` counters to decide `was_present`, then decrements them one CAS at a
+//! time; two racing removals of the same singleton item can both observe it
+//! present. That is the same information-loss hazard counting filters carry
+//! inherently (deleting an item that was never inserted evicts bystanders —
+//! the Section 4.3 deletion adversary), not a new one; callers needing
+//! exactly-once delete semantics must serialise removals of equal items.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use evilbloom_hashes::IndexStrategy;
+
+use crate::backend::{BackendKind, FilterBackend};
+use crate::params::FilterParams;
+
+/// Cells per packed word (one byte each).
+const CELLS_PER_WORD: u64 = 8;
+
+/// Construction options for [`ConcurrentCountingFilter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountingOptions {
+    /// Counter width in bits, 1..=8 (Dablooms uses 4). A cell saturates —
+    /// and freezes — at `2^counter_bits - 1`.
+    pub counter_bits: u8,
+}
+
+impl Default for CountingOptions {
+    fn default() -> Self {
+        CountingOptions { counter_bits: 4 }
+    }
+}
+
+/// A lock-free concurrent counting Bloom filter: one-byte cells packed eight
+/// per atomic word, CAS increments/decrements, saturate-on-overflow.
+///
+/// # Examples
+///
+/// ```
+/// use evilbloom_filters::{ConcurrentCountingFilter, CountingOptions, FilterParams};
+/// use evilbloom_hashes::{KirschMitzenmacher, Murmur3_128};
+/// use std::sync::Arc;
+///
+/// let filter = ConcurrentCountingFilter::with_shared_strategy(
+///     FilterParams::optimal(1000, 0.01),
+///     Arc::new(KirschMitzenmacher::new(Murmur3_128)),
+///     CountingOptions::default(),
+/// );
+/// filter.insert(b"http://phish.example/");
+/// assert!(filter.contains(b"http://phish.example/"));
+/// assert!(filter.remove(b"http://phish.example/"));
+/// assert!(!filter.contains(b"http://phish.example/"));
+/// ```
+pub struct ConcurrentCountingFilter {
+    /// Eight one-byte cells per word; `m.div_ceil(8)` words.
+    words: Vec<AtomicU64>,
+    params: FilterParams,
+    strategy: Arc<dyn IndexStrategy>,
+    counter_bits: u8,
+    inserted: AtomicU64,
+    deleted: AtomicU64,
+    overflows: AtomicU64,
+    /// Running count of non-zero cells, maintained by the thread that wins
+    /// each cell's 0 → 1 (or 1 → 0) CAS.
+    occupied: AtomicU64,
+}
+
+impl ConcurrentCountingFilter {
+    /// Creates an empty filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.counter_bits` is zero or larger than 8.
+    pub fn with_shared_strategy(
+        params: FilterParams,
+        strategy: Arc<dyn IndexStrategy>,
+        options: CountingOptions,
+    ) -> Self {
+        assert!((1..=8).contains(&options.counter_bits), "counter width must be 1..=8 bits");
+        let words = (0..params.m.div_ceil(CELLS_PER_WORD)).map(|_| AtomicU64::new(0)).collect();
+        ConcurrentCountingFilter {
+            words,
+            params,
+            strategy,
+            counter_bits: options.counter_bits,
+            inserted: AtomicU64::new(0),
+            deleted: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+            occupied: AtomicU64::new(0),
+        }
+    }
+
+    /// The filter's sizing parameters.
+    pub fn params(&self) -> FilterParams {
+        self.params
+    }
+
+    /// Number of cells (`m`).
+    pub fn m(&self) -> u64 {
+        self.params.m
+    }
+
+    /// Number of indexes per item (`k`).
+    pub fn k(&self) -> u32 {
+        self.params.k
+    }
+
+    /// Counter width in bits.
+    pub fn counter_bits(&self) -> u8 {
+        self.counter_bits
+    }
+
+    /// Maximum value a counter can hold (`2^bits - 1`); cells freeze there.
+    pub fn counter_max(&self) -> u8 {
+        ((1u16 << self.counter_bits) - 1) as u8
+    }
+
+    /// Number of insert calls performed.
+    pub fn inserted(&self) -> u64 {
+        self.inserted.load(Ordering::Relaxed)
+    }
+
+    /// Number of remove calls performed.
+    pub fn deleted(&self) -> u64 {
+        self.deleted.load(Ordering::Relaxed)
+    }
+
+    /// Counter-overflow events observed (increments refused at saturation).
+    pub fn overflows(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
+    }
+
+    /// The `k` cell indexes of `item`.
+    pub fn indexes(&self, item: &[u8]) -> Vec<u64> {
+        self.strategy.indexes(item, self.params.k, self.params.m)
+    }
+
+    /// The shared index strategy.
+    pub fn strategy(&self) -> &Arc<dyn IndexStrategy> {
+        &self.strategy
+    }
+
+    #[inline]
+    fn locate(&self, index: u64) -> (usize, u32) {
+        assert!(index < self.params.m, "cell index {index} out of range (m {})", self.params.m);
+        ((index / CELLS_PER_WORD) as usize, (index % CELLS_PER_WORD) as u32 * 8)
+    }
+
+    /// Value of the counter at `index` (acquire load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= m`.
+    pub fn counter(&self, index: u64) -> u8 {
+        let (word, shift) = self.locate(index);
+        ((self.words[word].load(Ordering::Acquire) >> shift) & 0xFF) as u8
+    }
+
+    /// Atomically increments the cell at `index` unless it is frozen at the
+    /// maximum; returns the prior value.
+    fn increment_cell(&self, index: u64) -> u8 {
+        let (word, shift) = self.locate(index);
+        let max = self.counter_max();
+        let slot = &self.words[word];
+        let mut current = slot.load(Ordering::Relaxed);
+        loop {
+            let prior = ((current >> shift) & 0xFF) as u8;
+            if prior >= max {
+                // Saturated: frozen, no transition to publish.
+                return prior;
+            }
+            match slot.compare_exchange_weak(
+                current,
+                current + (1u64 << shift),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    if prior == 0 {
+                        self.occupied.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return prior;
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Atomically decrements the cell at `index` unless it is zero or frozen
+    /// at the maximum; returns the prior value.
+    fn decrement_cell(&self, index: u64) -> u8 {
+        let (word, shift) = self.locate(index);
+        let max = self.counter_max();
+        let slot = &self.words[word];
+        let mut current = slot.load(Ordering::Relaxed);
+        loop {
+            let prior = ((current >> shift) & 0xFF) as u8;
+            if prior == 0 || prior >= max {
+                // Empty cells stay empty; frozen cells stay frozen (the
+                // saturate policy the overflow attack exploits).
+                return prior;
+            }
+            match slot.compare_exchange_weak(
+                current,
+                current - (1u64 << shift),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    if prior == 1 {
+                        self.occupied.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    return prior;
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Inserts by pre-computed indexes (the batch paths derive indexes once).
+    /// Returns how many cells this call took 0 → 1.
+    pub fn insert_indexes(&self, indexes: &[u64]) -> u32 {
+        let max = self.counter_max();
+        let mut fresh = 0;
+        for &i in indexes {
+            let prior = self.increment_cell(i);
+            if prior == 0 {
+                fresh += 1;
+            } else if prior >= max {
+                self.overflows.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.inserted.fetch_add(1, Ordering::Relaxed);
+        fresh
+    }
+
+    /// Inserts `item`; returns the number of cells taken 0 → 1.
+    pub fn insert(&self, item: &[u8]) -> u32 {
+        self.insert_indexes(&self.indexes(item))
+    }
+
+    /// Membership query by pre-computed indexes.
+    pub fn contains_indexes(&self, indexes: &[u64]) -> bool {
+        indexes.iter().all(|&i| self.counter(i) > 0)
+    }
+
+    /// Membership query.
+    pub fn contains(&self, item: &[u8]) -> bool {
+        self.contains_indexes(&self.indexes(item))
+    }
+
+    /// Removes by pre-computed indexes; returns whether the item appeared
+    /// present before deletion. See the module docs for the cross-cell
+    /// atomicity caveat.
+    pub fn remove_indexes(&self, indexes: &[u64]) -> bool {
+        let was_present = self.contains_indexes(indexes);
+        for &i in indexes {
+            self.decrement_cell(i);
+        }
+        self.deleted.fetch_add(1, Ordering::Relaxed);
+        was_present
+    }
+
+    /// Removes `item` (decrementing its `k` counters; zero and frozen cells
+    /// are untouched). Returns whether the item appeared present before.
+    pub fn remove(&self, item: &[u8]) -> bool {
+        self.remove_indexes(&self.indexes(item))
+    }
+
+    /// Exact count of non-zero cells (scans every word).
+    pub fn occupied_cells(&self) -> u64 {
+        let mut count = 0u64;
+        for (wi, word) in self.words.iter().enumerate() {
+            let bits = word.load(Ordering::Acquire);
+            let base = wi as u64 * CELLS_PER_WORD;
+            for lane in 0..CELLS_PER_WORD {
+                if base + lane < self.params.m && (bits >> (lane * 8)) & 0xFF != 0 {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// O(1) approximate count of non-zero cells from the running counter
+    /// (exact once writers are quiescent).
+    pub fn occupied_cells_approx(&self) -> u64 {
+        self.occupied.load(Ordering::Relaxed)
+    }
+
+    /// Number of cells currently frozen at the maximum counter value.
+    pub fn saturated_cells(&self) -> u64 {
+        let max = self.counter_max();
+        let mut count = 0u64;
+        for (wi, word) in self.words.iter().enumerate() {
+            let bits = word.load(Ordering::Acquire);
+            let base = wi as u64 * CELLS_PER_WORD;
+            for lane in 0..CELLS_PER_WORD {
+                if base + lane < self.params.m && ((bits >> (lane * 8)) & 0xFF) as u8 == max {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Exact fraction of non-zero cells.
+    pub fn fill_ratio(&self) -> f64 {
+        self.occupied_cells() as f64 / self.params.m as f64
+    }
+
+    /// Current false-positive probability `(occupied/m)^k` from the O(1)
+    /// approximate fill.
+    pub fn current_false_positive_probability(&self) -> f64 {
+        evilbloom_analysis::false_positive::false_positive_for_fill(
+            self.occupied_cells_approx() as f64 / self.params.m as f64,
+            self.params.k,
+        )
+    }
+
+    /// Memory footprint as persisted/reported: the *packed* `counter_bits`
+    /// size, for comparability with the sequential filter and the paper.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.params.m * u64::from(self.counter_bits)).div_ceil(8)
+    }
+
+    /// Racy word-array copy of the packed cells under `&self`.
+    ///
+    /// Unlike the plain filter's monotone bits, counters move both ways, so
+    /// a copy taken under concurrent traffic may mix before/after words of
+    /// in-flight operations. The mix is still *conservative* for membership:
+    /// an acknowledged insert's cells are each ≥ 1 in any later copy (cells
+    /// only drop on explicit removes), so recovery never invents false
+    /// negatives for acknowledged-and-not-removed items. Bit-for-bit
+    /// equality with the live filter is only guaranteed under quiescence.
+    pub fn snapshot_words(&self) -> Vec<u64> {
+        self.words.iter().map(|w| w.load(Ordering::Acquire)).collect()
+    }
+
+    /// Rebuilds a filter from a persisted word array (the recovery inverse
+    /// of [`ConcurrentCountingFilter::snapshot_words`]). Padding lanes past
+    /// `m` are masked off and corrupt lanes above the counter maximum clamp
+    /// to it (saturated); the occupied counter is recounted from the words.
+    ///
+    /// Returns `None` if `words` is not exactly `m.div_ceil(8)` words long.
+    pub fn from_words(
+        params: FilterParams,
+        strategy: Arc<dyn IndexStrategy>,
+        mut words: Vec<u64>,
+        inserted: u64,
+        options: CountingOptions,
+    ) -> Option<Self> {
+        if words.len() as u64 != params.m.div_ceil(CELLS_PER_WORD) {
+            return None;
+        }
+        let max = u64::from(((1u16 << options.counter_bits) - 1) as u8);
+        let mut occupied = 0u64;
+        for (wi, word) in words.iter_mut().enumerate() {
+            let base = wi as u64 * CELLS_PER_WORD;
+            let mut clean = 0u64;
+            for lane in 0..CELLS_PER_WORD {
+                if base + lane >= params.m {
+                    break;
+                }
+                let value = ((*word >> (lane * 8)) & 0xFF).min(max);
+                if value > 0 {
+                    occupied += 1;
+                }
+                clean |= value << (lane * 8);
+            }
+            *word = clean;
+        }
+        let filter = ConcurrentCountingFilter::with_shared_strategy(params, strategy, options);
+        for (slot, word) in filter.words.iter().zip(words) {
+            slot.store(word, Ordering::Relaxed);
+        }
+        filter.occupied.store(occupied, Ordering::Relaxed);
+        filter.inserted.store(inserted, Ordering::Relaxed);
+        Some(filter)
+    }
+}
+
+impl core::fmt::Debug for ConcurrentCountingFilter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ConcurrentCountingFilter")
+            .field("m", &self.params.m)
+            .field("k", &self.params.k)
+            .field("counter_bits", &self.counter_bits)
+            .field("inserted", &self.inserted())
+            .field("deleted", &self.deleted())
+            .field("occupied_approx", &self.occupied_cells_approx())
+            .field("overflows", &self.overflows())
+            .finish()
+    }
+}
+
+impl FilterBackend for ConcurrentCountingFilter {
+    const KIND: BackendKind = BackendKind::Counting;
+
+    type Options = CountingOptions;
+
+    fn fresh(
+        params: FilterParams,
+        strategy: Arc<dyn IndexStrategy>,
+        options: &Self::Options,
+    ) -> Self {
+        ConcurrentCountingFilter::with_shared_strategy(params, strategy, *options)
+    }
+
+    fn params(&self) -> FilterParams {
+        ConcurrentCountingFilter::params(self)
+    }
+
+    fn m(&self) -> u64 {
+        ConcurrentCountingFilter::m(self)
+    }
+
+    fn k(&self) -> u32 {
+        ConcurrentCountingFilter::k(self)
+    }
+
+    fn inserted(&self) -> u64 {
+        ConcurrentCountingFilter::inserted(self)
+    }
+
+    fn insert(&self, item: &[u8]) -> u32 {
+        ConcurrentCountingFilter::insert(self, item)
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        ConcurrentCountingFilter::contains(self, item)
+    }
+
+    fn insert_batch(&self, items: &[&[u8]]) -> u64 {
+        let k = self.params.k as usize;
+        let mut indexes = Vec::with_capacity(items.len() * k);
+        for item in items {
+            self.strategy.indexes_into(item, self.params.k, self.params.m, &mut indexes);
+        }
+        let mut fresh = 0u64;
+        for chunk in indexes.chunks_exact(k) {
+            fresh += u64::from(self.insert_indexes(chunk));
+        }
+        fresh
+    }
+
+    fn query_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        let k = self.params.k as usize;
+        let mut indexes = Vec::with_capacity(items.len() * k);
+        for item in items {
+            self.strategy.indexes_into(item, self.params.k, self.params.m, &mut indexes);
+        }
+        indexes.chunks_exact(k).map(|chunk| self.contains_indexes(chunk)).collect()
+    }
+
+    fn supports_remove() -> bool {
+        true
+    }
+
+    fn remove(&self, item: &[u8]) -> Option<bool> {
+        Some(ConcurrentCountingFilter::remove(self, item))
+    }
+
+    fn weight(&self) -> u64 {
+        self.occupied_cells()
+    }
+
+    fn weight_approx(&self) -> u64 {
+        self.occupied_cells_approx()
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        ConcurrentCountingFilter::memory_bytes(self)
+    }
+
+    fn current_false_positive_probability(&self) -> f64 {
+        ConcurrentCountingFilter::current_false_positive_probability(self)
+    }
+
+    fn is_set(&self, index: u64) -> bool {
+        self.counter(index) > 0
+    }
+
+    fn persist_words_len(params: &FilterParams, _options: &Self::Options) -> Option<u64> {
+        Some(params.m.div_ceil(CELLS_PER_WORD))
+    }
+
+    fn snapshot_words(&self) -> Option<Vec<u64>> {
+        Some(ConcurrentCountingFilter::snapshot_words(self))
+    }
+
+    fn from_words(
+        params: FilterParams,
+        strategy: Arc<dyn IndexStrategy>,
+        words: Vec<u64>,
+        inserted: u64,
+        options: &Self::Options,
+    ) -> Option<Self> {
+        ConcurrentCountingFilter::from_words(params, strategy, words, inserted, *options)
+    }
+
+    fn persist_aux(options: &Self::Options) -> u8 {
+        options.counter_bits
+    }
+
+    fn options_from_persist_aux(aux: u8) -> Option<Self::Options> {
+        (1..=8).contains(&aux).then_some(CountingOptions { counter_bits: aux })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountingBloomFilter;
+    use evilbloom_hashes::{KirschMitzenmacher, Murmur3_128};
+
+    fn strategy() -> Arc<dyn IndexStrategy> {
+        Arc::new(KirschMitzenmacher::new(Murmur3_128))
+    }
+
+    fn small(m: u64, k: u32, bits: u8) -> ConcurrentCountingFilter {
+        ConcurrentCountingFilter::with_shared_strategy(
+            FilterParams::explicit(m, k, m / 10),
+            strategy(),
+            CountingOptions { counter_bits: bits },
+        )
+    }
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let filter = small(1024, 4, 4);
+        assert!(filter.insert(b"url") > 0);
+        assert!(filter.contains(b"url"));
+        assert!(filter.remove(b"url"));
+        assert!(!filter.contains(b"url"));
+        assert!(!filter.remove(b"url"), "second remove reports absent");
+        assert_eq!(filter.inserted(), 1);
+        assert_eq!(filter.deleted(), 2);
+    }
+
+    #[test]
+    fn matches_sequential_counting_filter_cell_for_cell() {
+        let params = FilterParams::explicit(2048, 4, 200);
+        let shared = strategy();
+        let concurrent = ConcurrentCountingFilter::with_shared_strategy(
+            params,
+            Arc::clone(&shared),
+            CountingOptions::default(),
+        );
+        let mut sequential = CountingBloomFilter::with_counter_bits(params, shared, 4);
+        for i in 0..200 {
+            let item = format!("item-{i}");
+            concurrent.insert(item.as_bytes());
+            sequential.insert(item.as_bytes());
+        }
+        // Delete a third of them (including some never-inserted items, the
+        // deletion-adversary shape) and compare every cell.
+        for i in (0..260).step_by(3) {
+            let item = format!("item-{i}");
+            assert_eq!(
+                concurrent.remove(item.as_bytes()),
+                sequential.delete(item.as_bytes()),
+                "{item}"
+            );
+        }
+        for cell in 0..params.m {
+            assert_eq!(concurrent.counter(cell), sequential.counter(cell), "cell {cell}");
+        }
+        assert_eq!(concurrent.occupied_cells(), sequential.occupied_cells());
+        assert_eq!(concurrent.occupied_cells_approx(), sequential.occupied_cells());
+    }
+
+    #[test]
+    fn saturation_freezes_cells_like_sequential() {
+        let filter = small(32, 2, 4);
+        assert_eq!(filter.counter_max(), 15);
+        for _ in 0..20 {
+            filter.insert(b"hot");
+        }
+        assert!(filter.overflows() > 0);
+        assert!(filter.saturated_cells() > 0);
+        for _ in 0..40 {
+            filter.remove(b"hot");
+        }
+        assert!(filter.contains(b"hot"), "frozen counters keep the item visible");
+    }
+
+    #[test]
+    fn concurrent_insert_remove_keeps_occupied_counter_exact() {
+        let filter = small(4096, 4, 8);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let filter = &filter;
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        filter.insert(format!("t{t}-i{i}").as_bytes());
+                    }
+                    for i in (0..500).step_by(2) {
+                        filter.remove(format!("t{t}-i{i}").as_bytes());
+                    }
+                });
+            }
+        });
+        assert_eq!(filter.occupied_cells(), filter.occupied_cells_approx());
+        for t in 0..4 {
+            for i in (1..500).step_by(2) {
+                assert!(filter.contains(format!("t{t}-i{i}").as_bytes()), "t{t}-i{i}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_snapshot_roundtrips_cell_for_cell() {
+        let filter = small(1000, 4, 4); // m not a multiple of 8
+        for i in 0..150 {
+            filter.insert(format!("i{i}").as_bytes());
+        }
+        for i in (0..150).step_by(4) {
+            filter.remove(format!("i{i}").as_bytes());
+        }
+        let words = ConcurrentCountingFilter::snapshot_words(&filter);
+        let restored = ConcurrentCountingFilter::from_words(
+            filter.params(),
+            strategy(),
+            words,
+            filter.inserted(),
+            CountingOptions::default(),
+        )
+        .expect("geometry matches");
+        for cell in 0..filter.m() {
+            assert_eq!(restored.counter(cell), filter.counter(cell), "cell {cell}");
+        }
+        assert_eq!(restored.occupied_cells_approx(), filter.occupied_cells());
+        assert_eq!(restored.inserted(), filter.inserted());
+    }
+
+    #[test]
+    fn from_words_masks_padding_and_clamps_corrupt_lanes() {
+        let params = FilterParams::explicit(10, 2, 4);
+        let words = vec![u64::MAX; 2]; // every lane 0xFF, incl. padding
+        let restored = ConcurrentCountingFilter::from_words(
+            params,
+            strategy(),
+            words,
+            0,
+            CountingOptions::default(),
+        )
+        .expect("right word count");
+        for cell in 0..10 {
+            assert_eq!(restored.counter(cell), 15, "clamped to 4-bit max");
+        }
+        assert_eq!(restored.occupied_cells(), 10, "padding lanes masked off");
+        assert_eq!(restored.occupied_cells_approx(), 10);
+        // Wrong geometry is a typed failure.
+        assert!(ConcurrentCountingFilter::from_words(
+            params,
+            strategy(),
+            vec![0u64; 5],
+            0,
+            CountingOptions::default(),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn backend_batch_ops_match_loops() {
+        let params = FilterParams::explicit(4096, 5, 400);
+        let batch = ConcurrentCountingFilter::with_shared_strategy(
+            params,
+            strategy(),
+            CountingOptions::default(),
+        );
+        let looped = ConcurrentCountingFilter::with_shared_strategy(
+            params,
+            strategy(),
+            CountingOptions::default(),
+        );
+        let items: Vec<String> = (0..400).map(|i| format!("item-{i}")).collect();
+        let refs: Vec<&[u8]> = items.iter().map(|s| s.as_bytes()).collect();
+        let fresh_batch = FilterBackend::insert_batch(&batch, &refs);
+        let mut fresh_loop = 0u64;
+        for item in &refs {
+            fresh_loop += u64::from(looped.insert(item));
+        }
+        assert_eq!(fresh_batch, fresh_loop);
+        for cell in 0..params.m {
+            assert_eq!(batch.counter(cell), looped.counter(cell));
+        }
+        let probes: Vec<&[u8]> = refs.iter().copied().chain([b"absent".as_slice()]).collect();
+        let answers = FilterBackend::query_batch(&batch, &probes);
+        for (probe, answer) in probes.iter().zip(&answers) {
+            assert_eq!(*answer, looped.contains(probe));
+        }
+        let removed = FilterBackend::remove_batch(&batch, &refs[..10]).expect("deletable");
+        assert!(removed.iter().all(|&r| r));
+    }
+
+    #[test]
+    fn backend_capability_and_aux_byte() {
+        assert!(<ConcurrentCountingFilter as FilterBackend>::supports_remove());
+        assert_eq!(<ConcurrentCountingFilter as FilterBackend>::KIND, BackendKind::Counting);
+        let options = CountingOptions { counter_bits: 6 };
+        let aux = <ConcurrentCountingFilter as FilterBackend>::persist_aux(&options);
+        assert_eq!(
+            <ConcurrentCountingFilter as FilterBackend>::options_from_persist_aux(aux),
+            Some(options)
+        );
+        assert_eq!(<ConcurrentCountingFilter as FilterBackend>::options_from_persist_aux(0), None);
+        assert_eq!(<ConcurrentCountingFilter as FilterBackend>::options_from_persist_aux(9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn zero_width_counters_rejected() {
+        small(64, 2, 0);
+    }
+
+    #[test]
+    fn deletion_of_overlapping_item_creates_false_negative() {
+        // The Section 4.3 deletion-adversary failure mode survives the
+        // concurrent formulation: removing a never-inserted item that shares
+        // cells with a member can evict the member.
+        let filter = small(64, 4, 4);
+        filter.insert(b"victim");
+        let victim_cells: std::collections::HashSet<u64> =
+            filter.indexes(b"victim").into_iter().collect();
+        let attacker = (0..10_000)
+            .map(|i| format!("candidate-{i}"))
+            .find(|c| filter.indexes(c.as_bytes()).iter().any(|i| victim_cells.contains(i)))
+            .expect("small filter guarantees an overlap");
+        for _ in 0..4 {
+            filter.remove(attacker.as_bytes());
+        }
+        assert!(!filter.contains(b"victim"), "victim evicted by overlapping deletes");
+    }
+}

@@ -114,7 +114,10 @@ pub fn hardened_params(capacity: u64, target_fpp: f64, level: HardeningLevel) ->
 
 /// Parameter + strategy selection shared by the sequential and concurrent
 /// hardened constructors, so the two stay index-compatible by construction.
-fn hardened_parts(
+/// Public so the generic store can build any
+/// [`FilterBackend`](crate::backend::FilterBackend) — counting, scalable —
+/// over the same keyed strategies.
+pub fn hardened_parts(
     capacity: u64,
     target_fpp: f64,
     level: HardeningLevel,

@@ -45,11 +45,14 @@
 #![warn(missing_docs)]
 
 pub mod atomic_bitvec;
+pub mod backend;
 pub mod bitvec;
 pub mod blocked;
 pub mod bloom;
 pub mod cache_digest;
 pub mod concurrent;
+pub mod concurrent_counting;
+pub mod concurrent_scalable;
 pub mod counting;
 pub mod dablooms;
 pub mod hardened;
@@ -60,16 +63,19 @@ pub mod scalable;
 pub mod stats;
 
 pub use atomic_bitvec::AtomicBitVec;
+pub use backend::{BackendKind, FilterBackend};
 pub use bitvec::BitVec;
 pub use blocked::{BlockedBloomFilter, BLOCK_BITS, BLOCK_WORDS};
 pub use bloom::BloomFilter;
 pub use cache_digest::CacheDigest;
 pub use concurrent::ConcurrentBloomFilter;
+pub use concurrent_counting::{ConcurrentCountingFilter, CountingOptions};
+pub use concurrent_scalable::{ConcurrentScalableFilter, ScalableOptions};
 pub use counting::CountingBloomFilter;
 pub use dablooms::Dablooms;
 pub use hardened::{
-    audit, hardened_concurrent_filter, hardened_filter, hardened_params, FilterKey, HardeningAudit,
-    HardeningLevel,
+    audit, hardened_concurrent_filter, hardened_filter, hardened_params, hardened_parts, FilterKey,
+    HardeningAudit, HardeningLevel,
 };
 pub use params::{FilterParams, ParamDerivation};
 pub use partitioned::PartitionedBloomFilter;

@@ -34,6 +34,10 @@ pub enum ClientError {
     Wire(WireError),
     /// The server answered with an `ERROR` response.
     Remote(String),
+    /// The server answered with an `UNSUPPORTED` response: the served
+    /// filter family cannot honour the request (e.g. `DELETE` against a
+    /// plain Bloom backend). The connection remains usable.
+    Unsupported(String),
     /// The server answered with the wrong response kind for the request.
     Unexpected {
         /// Response the request called for.
@@ -51,6 +55,9 @@ impl core::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Wire(e) => write!(f, "wire error: {e}"),
             ClientError::Remote(message) => write!(f, "server error: {message}"),
+            ClientError::Unsupported(message) => {
+                write!(f, "unsupported by the served backend: {message}")
+            }
             ClientError::Unexpected { expected, got } => {
                 write!(f, "expected {expected} response, got {got}")
             }
@@ -155,6 +162,7 @@ impl Client {
         }
         match Response::decode(&self.frame)? {
             Response::Error(message) => Err(ClientError::Remote(message)),
+            Response::Unsupported(message) => Err(ClientError::Unsupported(message)),
             response => Ok(response),
         }
     }
@@ -211,6 +219,28 @@ impl Client {
                 Err(ClientError::Wire(WireError::Malformed("answer count mismatch")))
             }
             other => unexpected("MFOUND", &other),
+        }
+    }
+
+    /// Deletes one item (deletable filter families); returns whether it was
+    /// (probably) present. [`ClientError::Unsupported`] on families without
+    /// deletion — the connection stays usable.
+    pub fn delete(&mut self, item: &[u8]) -> Result<bool, ClientError> {
+        match self.call(&Command::Delete(item))? {
+            Response::Deleted { was_present } => Ok(was_present),
+            other => unexpected("DELETED", &other),
+        }
+    }
+
+    /// Batch delete; answers are in input order.
+    pub fn delete_batch<I: AsRef<[u8]>>(&mut self, items: &[I]) -> Result<Vec<bool>, ClientError> {
+        let borrowed: Vec<&[u8]> = items.iter().map(AsRef::as_ref).collect();
+        match self.call(&Command::DeleteBatch(borrowed))? {
+            Response::BatchDeleted(answers) if answers.len() == items.len() => Ok(answers),
+            Response::BatchDeleted(_) => {
+                Err(ClientError::Wire(WireError::Malformed("answer count mismatch")))
+            }
+            other => unexpected("MDELETED", &other),
         }
     }
 

@@ -161,6 +161,68 @@ impl ClientPool {
         Ok(answers)
     }
 
+    /// Pipelined pooled batch delete: like [`ClientPool::mquery_pooled`]
+    /// but with `MDELETE` frames; answers come back in `items` order.
+    /// [`ClientError::Unsupported`] when the served family has no deletion
+    /// (the lanes that answered are dropped, not checked in, since
+    /// responses may still be in flight on the others).
+    pub fn mdelete_pooled<I: AsRef<[u8]>>(
+        &mut self,
+        items: &[I],
+        frame_items: usize,
+    ) -> Result<Vec<bool>, ClientError> {
+        let chunks: Vec<&[I]> = items.chunks(frame_items.max(1)).collect();
+        let mut lanes = self.lanes(chunks.len())?;
+        let lane_count = lanes.len();
+        for (i, chunk) in chunks.iter().enumerate() {
+            let borrowed: Vec<&[u8]> = chunk.iter().map(AsRef::as_ref).collect();
+            lanes[i % lane_count].send(&Command::DeleteBatch(borrowed))?;
+        }
+        let mut answers = Vec::with_capacity(items.len());
+        for (i, chunk) in chunks.iter().enumerate() {
+            match lanes[i % lane_count].recv()? {
+                Response::BatchDeleted(deleted) if deleted.len() == chunk.len() => {
+                    answers.extend(deleted);
+                }
+                Response::BatchDeleted(_) => {
+                    return Err(ClientError::Wire(WireError::Malformed("answer count mismatch")))
+                }
+                other => {
+                    return Err(ClientError::Unexpected { expected: "MDELETED", got: other.name() })
+                }
+            }
+        }
+        self.checkin_all(lanes);
+        Ok(answers)
+    }
+
+    /// Health snapshot over one pooled connection (see [`Client::stats`]);
+    /// stats are store-global, so one lane suffices.
+    pub fn stats(&mut self) -> Result<crate::wire::WireStats, ClientError> {
+        let mut client = self.checkout_validated()?;
+        let stats = client.stats()?;
+        self.checkin(client);
+        Ok(stats)
+    }
+
+    /// Starts a key rotation on one shard over one pooled connection (see
+    /// [`Client::rotate_begin`]).
+    pub fn rotate_begin(&mut self, shard: u32) -> Result<Option<u64>, ClientError> {
+        let mut client = self.checkout_validated()?;
+        let generation = client.rotate_begin(shard)?;
+        self.checkin(client);
+        Ok(generation)
+    }
+
+    /// Completes a shard's rotation over one pooled connection (see
+    /// [`Client::rotate_complete`]).
+    pub fn rotate_complete(&mut self, shard: u32) -> Result<bool, ClientError> {
+        let mut client = self.checkout_validated()?;
+        let completed = client.rotate_complete(shard)?;
+        self.checkin(client);
+        Ok(completed)
+    }
+
     /// Asks the server for a durable snapshot over one pooled connection
     /// (see [`Client::snapshot`]). Snapshots are store-global, so one lane
     /// suffices no matter how many connections the pool holds.

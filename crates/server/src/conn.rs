@@ -90,7 +90,7 @@ fn emit(response: &Response, out: &mut Vec<u8>) {
 /// borrowed item slices straight through to the store's batch APIs, which
 /// visit each shard lock exactly once per frame.
 pub(crate) fn execute(command: &Command<'_>, inner: &Inner) -> Response {
-    let store = &inner.store;
+    let store = inner.store.as_ref();
     match command {
         Command::Ping => Response::Pong,
         Command::Insert(item) => Response::Inserted { fresh_bits: store.insert(item) },
@@ -103,6 +103,18 @@ pub(crate) fn execute(command: &Command<'_>, inner: &Inner) -> Response {
             Err(err) => Response::Error(format!("protocol error: {err}")),
         },
         Command::QueryBatch(items) => Response::BatchFound(store.query_batch(items)),
+        // Deletion is a *capability*, not a protocol feature: non-deletable
+        // families answer UNSUPPORTED (typed, connection stays open), so a
+        // remote deletion adversary learns the family refuses rather than
+        // tripping a protocol error.
+        Command::Delete(item) => match store.remove(item) {
+            Ok(was_present) => Response::Deleted { was_present },
+            Err(err) => Response::Unsupported(err.to_string()),
+        },
+        Command::DeleteBatch(items) => match store.remove_batch(items) {
+            Ok(answers) => Response::BatchDeleted(answers),
+            Err(err) => Response::Unsupported(err.to_string()),
+        },
         Command::Stats => {
             let uptime = inner.started.elapsed().as_secs();
             match WireStats::from_stats(&store.stats(), store.is_hardened(), uptime) {
@@ -134,7 +146,7 @@ pub(crate) fn execute(command: &Command<'_>, inner: &Inner) -> Response {
             Err(error) => error,
             Ok(shard) => {
                 let mut rng = inner.rotation_rng.lock().expect("rotation rng poisoned");
-                Response::Rotated { generation: store.begin_rotation(shard, &mut *rng) }
+                Response::Rotated { generation: store.begin_rotation_dyn(shard, &mut *rng) }
             }
         },
         Command::RotateComplete { shard } => match checked_shard(store, *shard) {
@@ -144,7 +156,7 @@ pub(crate) fn execute(command: &Command<'_>, inner: &Inner) -> Response {
     }
 }
 
-fn checked_shard(store: &evilbloom_store::BloomStore, shard: u32) -> Result<usize, Response> {
+fn checked_shard(store: &dyn evilbloom_store::ServeStore, shard: u32) -> Result<usize, Response> {
     let index = shard as usize;
     if index >= store.shard_count() {
         return Err(Response::Error(format!(

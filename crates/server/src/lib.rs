@@ -16,9 +16,11 @@
 //! so connection scaling is a first-class concern here.
 //!
 //! * [`wire`] — the protocol: versioned, length-prefixed binary frames
-//!   (`PING`/`INSERT`/`QUERY`/`MINSERT`/`MQUERY`/`STATS`/`ROTATE`), one
-//!   encoder/decoder shared by both ends, panic-free on arbitrary input,
-//!   with commands borrowing item bytes straight from the receive buffer;
+//!   (`PING`/`INSERT`/`QUERY`/`MINSERT`/`MQUERY`/`DELETE`/`MDELETE`/
+//!   `STATS`/`ROTATE`), one encoder/decoder shared by both ends, panic-free
+//!   on arbitrary input, with commands borrowing item bytes straight from
+//!   the receive buffer. `DELETE` is honoured by deletable filter families
+//!   and answered with a typed `UNSUPPORTED` elsewhere;
 //! * [`server`] — the serving layer behind a [`Backend`] switch:
 //!   - **threaded** (default, portable): acceptor + blocking worker-thread
 //!     pool, one worker per active connection;
@@ -35,7 +37,10 @@
 //!   [`Client::recv`] pipelining;
 //! * [`client_pool`] — [`ClientPool`]: checkout/checkin connection reuse
 //!   with dead-connection replacement, and pooled pipelined batch helpers
-//!   that stripe one logical batch over several sockets.
+//!   that stripe one logical batch over several sockets;
+//! * [`remote`] — [`RemoteStore`]: the one trait both `Client` and
+//!   `ClientPool` implement, so attack drivers and bench workloads are
+//!   generic over a single connection vs a pool.
 //!
 //! ## Example
 //!
@@ -43,14 +48,13 @@
 //! use std::sync::Arc;
 //!
 //! use evilbloom_server::{Backend, Client, Server, ServerConfig};
-//! use evilbloom_store::{BloomStore, StoreConfig};
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use evilbloom_store::BloomStore;
 //!
-//! let store = Arc::new(BloomStore::new(
-//!     StoreConfig::hardened(4, 4_000, 0.01),
-//!     &mut StdRng::seed_from_u64(42),
-//! ));
+//! // Any filter family serves: add `.counting(4)` or `.scalable(0.9)`
+//! // before `.build()` to serve a deletable or growing store instead.
+//! let store = Arc::new(
+//!     BloomStore::builder().shards(4).capacity(4_000).target_fpp(0.01).seed(42).build(),
+//! );
 //! // Backend::Async selects the Linux epoll reactor instead.
 //! let config = ServerConfig::with_backend(Backend::Threaded);
 //! let handle = Server::spawn(store, "127.0.0.1:0", config).unwrap();
@@ -78,12 +82,14 @@ mod conn;
 mod metrics;
 #[cfg(target_os = "linux")]
 mod reactor;
+pub mod remote;
 pub mod server;
 pub mod wire;
 
 pub use backend::{fd_soft_limit, loopback_connection_budget, Backend};
 pub use client::{Client, ClientError, RemoteBatchOutcome};
 pub use client_pool::ClientPool;
+pub use remote::{RemoteStore, POOL_FRAME_ITEMS};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{
     Command, Response, WireError, WireShardStats, WireSnapshot, WireStats, DEFAULT_MAX_FRAME_BYTES,

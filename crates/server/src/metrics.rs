@@ -17,8 +17,10 @@ use evilbloom_metrics::{Counter, Gauge, Histogram, Registry};
 use crate::wire::Command;
 
 /// Wire opcodes as metric label values, indexed by [`op_of`].
-const OPS: [&str; 9] =
-    ["ping", "insert", "query", "minsert", "mquery", "stats", "rotate", "snapshot", "metrics"];
+const OPS: [&str; 11] = [
+    "ping", "insert", "query", "minsert", "mquery", "stats", "rotate", "snapshot", "metrics",
+    "delete", "mdelete",
+];
 
 /// Maps a decoded command to its slot in the per-opcode metric arrays.
 pub(crate) fn op_of(command: &Command<'_>) -> usize {
@@ -32,6 +34,8 @@ pub(crate) fn op_of(command: &Command<'_>) -> usize {
         Command::RotateBegin { .. } | Command::RotateComplete { .. } => 6,
         Command::Snapshot => 7,
         Command::Metrics => 8,
+        Command::Delete(_) => 9,
+        Command::DeleteBatch(_) => 10,
     }
 }
 
@@ -177,6 +181,8 @@ mod tests {
             (Command::RotateComplete { shard: 0 }, 6),
             (Command::Snapshot, 7),
             (Command::Metrics, 8),
+            (Command::Delete(b"x"), 9),
+            (Command::DeleteBatch(vec![]), 10),
         ] {
             let op = op_of(&command);
             assert_eq!(op, expected, "{command:?}");
@@ -185,6 +191,8 @@ mod tests {
         let text = metrics.registry().render();
         assert!(text.contains(r#"evilbloom_server_requests_total{op="rotate"} 2"#), "{text}");
         assert!(text.contains(r#"evilbloom_server_requests_total{op="metrics"} 1"#), "{text}");
+        assert!(text.contains(r#"evilbloom_server_requests_total{op="delete"} 1"#), "{text}");
+        assert!(text.contains(r#"evilbloom_server_requests_total{op="mdelete"} 1"#), "{text}");
     }
 
     #[test]

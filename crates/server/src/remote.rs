@@ -1,0 +1,155 @@
+//! [`RemoteStore`]: one interface over a single pipelined [`Client`] and a
+//! striped [`ClientPool`].
+//!
+//! The client and the pool grew matching method pairs (`insert_batch` /
+//! `minsert_pooled`, `query_batch` / `mquery_pooled`, stats, rotate,
+//! snapshot, metrics) that examples and bench workloads kept duplicating
+//! call sites for. `RemoteStore` is the shared contract: code written
+//! against it — an attack driver, a bench workload — runs unchanged over
+//! one socket or a pool of them, so "does striping change the measured
+//! drift?" is a one-line swap instead of a second code path.
+//!
+//! Batch methods take the whole logical batch; how it is framed is the
+//! implementation's business (the client sends one frame, the pool splits
+//! into [`POOL_FRAME_ITEMS`]-item frames striped round-robin over its
+//! lanes).
+
+use crate::client::{Client, ClientError};
+use crate::client_pool::ClientPool;
+use crate::wire::{WireSnapshot, WireStats};
+
+/// Items per `MINSERT`/`MQUERY`/`MDELETE` frame when a [`ClientPool`]
+/// splits a logical batch: large enough to amortise framing, small enough
+/// that several frames exist to stripe over the lanes.
+pub const POOL_FRAME_ITEMS: usize = 512;
+
+/// The remote-store operations shared by [`Client`] and [`ClientPool`].
+///
+/// All methods are `&mut self`: both implementations own their sockets and
+/// model one operating (or attacking) process.
+pub trait RemoteStore {
+    /// Batch insert; returns the fresh cells the batch set across shards.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] from the transport or the server.
+    fn minsert<I: AsRef<[u8]>>(&mut self, items: &[I]) -> Result<u64, ClientError>;
+
+    /// Batch membership query; answers in `items` order.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] from the transport or the server.
+    fn mquery<I: AsRef<[u8]>>(&mut self, items: &[I]) -> Result<Vec<bool>, ClientError>;
+
+    /// Batch delete; answers in `items` order.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Unsupported`] on filter families without deletion.
+    fn mdelete<I: AsRef<[u8]>>(&mut self, items: &[I]) -> Result<Vec<bool>, ClientError>;
+
+    /// Health snapshot, including the served filter family and per-shard
+    /// pollution alarms.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] from the transport or the server.
+    fn stats(&mut self) -> Result<WireStats, ClientError>;
+
+    /// Starts a key rotation on one shard.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] from the transport or the server.
+    fn rotate_begin(&mut self, shard: u32) -> Result<Option<u64>, ClientError>;
+
+    /// Completes a shard's rotation.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] from the transport or the server.
+    fn rotate_complete(&mut self, shard: u32) -> Result<bool, ClientError>;
+
+    /// Asks the server for a durable snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Remote`] when the server has no persistence enabled.
+    fn snapshot(&mut self) -> Result<WireSnapshot, ClientError>;
+
+    /// Scrapes the server's telemetry text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] from the transport or the server.
+    fn metrics(&mut self) -> Result<String, ClientError>;
+}
+
+impl RemoteStore for Client {
+    fn minsert<I: AsRef<[u8]>>(&mut self, items: &[I]) -> Result<u64, ClientError> {
+        Ok(self.insert_batch(items)?.fresh_bits)
+    }
+
+    fn mquery<I: AsRef<[u8]>>(&mut self, items: &[I]) -> Result<Vec<bool>, ClientError> {
+        self.query_batch(items)
+    }
+
+    fn mdelete<I: AsRef<[u8]>>(&mut self, items: &[I]) -> Result<Vec<bool>, ClientError> {
+        self.delete_batch(items)
+    }
+
+    fn stats(&mut self) -> Result<WireStats, ClientError> {
+        Client::stats(self)
+    }
+
+    fn rotate_begin(&mut self, shard: u32) -> Result<Option<u64>, ClientError> {
+        Client::rotate_begin(self, shard)
+    }
+
+    fn rotate_complete(&mut self, shard: u32) -> Result<bool, ClientError> {
+        Client::rotate_complete(self, shard)
+    }
+
+    fn snapshot(&mut self) -> Result<WireSnapshot, ClientError> {
+        Client::snapshot(self)
+    }
+
+    fn metrics(&mut self) -> Result<String, ClientError> {
+        Client::metrics(self)
+    }
+}
+
+impl RemoteStore for ClientPool {
+    fn minsert<I: AsRef<[u8]>>(&mut self, items: &[I]) -> Result<u64, ClientError> {
+        self.minsert_pooled(items, POOL_FRAME_ITEMS)
+    }
+
+    fn mquery<I: AsRef<[u8]>>(&mut self, items: &[I]) -> Result<Vec<bool>, ClientError> {
+        self.mquery_pooled(items, POOL_FRAME_ITEMS)
+    }
+
+    fn mdelete<I: AsRef<[u8]>>(&mut self, items: &[I]) -> Result<Vec<bool>, ClientError> {
+        self.mdelete_pooled(items, POOL_FRAME_ITEMS)
+    }
+
+    fn stats(&mut self) -> Result<WireStats, ClientError> {
+        ClientPool::stats(self)
+    }
+
+    fn rotate_begin(&mut self, shard: u32) -> Result<Option<u64>, ClientError> {
+        ClientPool::rotate_begin(self, shard)
+    }
+
+    fn rotate_complete(&mut self, shard: u32) -> Result<bool, ClientError> {
+        ClientPool::rotate_complete(self, shard)
+    }
+
+    fn snapshot(&mut self) -> Result<WireSnapshot, ClientError> {
+        ClientPool::snapshot(self)
+    }
+
+    fn metrics(&mut self) -> Result<String, ClientError> {
+        ClientPool::metrics(self)
+    }
+}

@@ -1,5 +1,6 @@
-//! The TCP server in front of a [`BloomStore`], with two I/O backends
-//! behind one configuration surface (see [`Backend`]).
+//! The TCP server in front of any [`ServeStore`] (a
+//! [`evilbloom_store::BloomStore`] of any filter family), with two I/O
+//! backends behind one configuration surface (see [`Backend`]).
 //!
 //! **Threaded** (default, portable): one acceptor thread hands connections
 //! to a fixed pool of worker threads over an mpsc channel; each worker
@@ -35,7 +36,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use evilbloom_store::BloomStore;
+use evilbloom_store::{BackendKind, ServeStore};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -67,6 +68,14 @@ pub struct ServerConfig {
     /// re-check the shutdown flag — the upper bound on how long
     /// [`ServerHandle::shutdown`] waits for an idle server.
     pub poll_interval: Duration,
+    /// Filter-family selector: the backend this deployment expects to
+    /// serve. `None` (default) serves whatever store it is handed;
+    /// `Some(kind)` makes [`Server::spawn`] refuse a store of a different
+    /// family with [`io::ErrorKind::InvalidInput`] — a config/deployment
+    /// assertion, since `DELETE` support and persistence semantics depend
+    /// on the family. The served family is surfaced remotely in `STATS`
+    /// and as the `evilbloom_store_backend_info` metric.
+    pub store_backend: Option<BackendKind>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +86,7 @@ impl Default for ServerConfig {
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             rotation_seed: 0x5EED_0F0D_D5EE_D545,
             poll_interval: Duration::from_millis(25),
+            store_backend: None,
         }
     }
 }
@@ -86,11 +96,18 @@ impl ServerConfig {
     pub fn with_backend(backend: Backend) -> Self {
         ServerConfig { backend, ..ServerConfig::default() }
     }
+
+    /// Sets the expected filter family (see
+    /// [`ServerConfig::store_backend`]).
+    pub fn expect_store_backend(mut self, kind: BackendKind) -> Self {
+        self.store_backend = Some(kind);
+        self
+    }
 }
 
 /// Shared state of a running server (both backends).
 pub(crate) struct Inner {
-    pub(crate) store: Arc<BloomStore>,
+    pub(crate) store: Arc<dyn ServeStore>,
     pub(crate) shutdown: AtomicBool,
     pub(crate) rotation_rng: Mutex<StdRng>,
     pub(crate) requests_served: AtomicU64,
@@ -116,14 +133,36 @@ pub struct Server;
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral loopback port) and starts
-    /// serving `store` on the configured backend. Returns a handle owning
+    /// serving `store` — any [`ServeStore`], so a `BloomStore` of any
+    /// filter family — on the configured backend. Returns a handle owning
     /// the background threads. Asking for [`Backend::Async`] on a
-    /// non-Linux platform fails with [`io::ErrorKind::Unsupported`].
-    pub fn spawn(
-        store: Arc<BloomStore>,
+    /// non-Linux platform fails with [`io::ErrorKind::Unsupported`]; a
+    /// store whose family contradicts `config.store_backend` fails with
+    /// [`io::ErrorKind::InvalidInput`].
+    pub fn spawn<S: ServeStore + 'static>(
+        store: Arc<S>,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
+        Server::spawn_dyn(store, addr, config)
+    }
+
+    /// [`Server::spawn`] for a store whose filter family was chosen at
+    /// runtime (an already-erased `Arc<dyn ServeStore>`).
+    pub fn spawn_dyn(
+        store: Arc<dyn ServeStore>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        if let Some(expected) = config.store_backend {
+            let actual = store.backend_kind();
+            if actual != expected {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("config expects a {expected} store, got {actual}"),
+                ));
+            }
+        }
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let metrics = ServerMetrics::new();

@@ -29,7 +29,15 @@
 //! | `0x07` | `ROTATE` | `u8` phase, `u32` shard | `0x87 ROTATED` |
 //! | `0x08` | `SNAPSHOT` | — | `0x88 SNAPSHOTTED` (seq `u64`, WAL seq `u64`, shards `u32`, bytes `u64`) |
 //! | `0x09` | `METRICS` | — | `0x89 METRICS` (UTF-8 text exposition) |
+//! | `0x0A` | `DELETE` | item bytes | `0x8A DELETED` (`u8` was-present) |
+//! | `0x0B` | `MDELETE` | item list | `0x8B MDELETED` (`u32` count + bitmap) |
 //! | — | — | — | `0xEE ERROR` (UTF-8 message) |
+//! | — | — | — | `0xEF UNSUPPORTED` (UTF-8 message) |
+//!
+//! `DELETE`/`MDELETE` are honoured only by deletable filter families
+//! (counting backends); elsewhere the server answers `UNSUPPORTED` — a typed
+//! capability refusal that, unlike `ERROR` on a protocol violation, leaves
+//! the connection open.
 //!
 //! An *item list* is a `u32` count followed by `count` entries of `u32`
 //! length then bytes. The `MFOUND` bitmap packs answer `i` into bit `i % 8`
@@ -43,7 +51,7 @@
 
 use std::io::{self, Read};
 
-use evilbloom_store::StoreStats;
+use evilbloom_store::{BackendKind, StoreStats};
 
 /// Version byte every payload starts with. Bump on incompatible changes.
 pub const PROTOCOL_VERSION: u8 = 1;
@@ -62,6 +70,8 @@ const OP_STATS: u8 = 0x06;
 const OP_ROTATE: u8 = 0x07;
 const OP_SNAPSHOT: u8 = 0x08;
 const OP_METRICS: u8 = 0x09;
+const OP_DELETE: u8 = 0x0A;
+const OP_MDELETE: u8 = 0x0B;
 
 const OP_PONG: u8 = 0x81;
 const OP_INSERTED: u8 = 0x82;
@@ -72,7 +82,10 @@ const OP_STATS_REPLY: u8 = 0x86;
 const OP_ROTATED: u8 = 0x87;
 const OP_SNAPSHOT_REPLY: u8 = 0x88;
 const OP_METRICS_REPLY: u8 = 0x89;
+const OP_DELETED: u8 = 0x8A;
+const OP_MDELETED: u8 = 0x8B;
 const OP_ERROR: u8 = 0xEE;
+const OP_UNSUPPORTED: u8 = 0xEF;
 
 const ROTATE_BEGIN: u8 = 0;
 const ROTATE_COMPLETE: u8 = 1;
@@ -162,6 +175,11 @@ pub enum Command<'a> {
     Snapshot,
     /// Scrape the server's runtime telemetry as a text exposition.
     Metrics,
+    /// Delete one item (deletable filter families only; elsewhere the
+    /// server answers [`Response::Unsupported`]).
+    Delete(&'a [u8]),
+    /// Batch delete; answers come back in input order as a bitmap.
+    DeleteBatch(Vec<&'a [u8]>),
 }
 
 impl<'a> Command<'a> {
@@ -206,6 +224,14 @@ impl<'a> Command<'a> {
                 }
                 Command::Snapshot => out.push(OP_SNAPSHOT),
                 Command::Metrics => out.push(OP_METRICS),
+                Command::Delete(item) => {
+                    out.push(OP_DELETE);
+                    out.extend_from_slice(item);
+                }
+                Command::DeleteBatch(items) => {
+                    out.push(OP_MDELETE);
+                    put_items(out, items)?;
+                }
             }
             finish_frame(out, start)
         })();
@@ -228,6 +254,8 @@ impl<'a> Command<'a> {
             OP_STATS => Command::Stats,
             OP_SNAPSHOT => Command::Snapshot,
             OP_METRICS => Command::Metrics,
+            OP_DELETE => Command::Delete(r.rest()),
+            OP_MDELETE => Command::DeleteBatch(r.items()?),
             OP_ROTATE => {
                 let phase = r.u8()?;
                 let shard = r.u32()?;
@@ -281,6 +309,18 @@ pub enum Response {
     Snapshotted(WireSnapshot),
     /// Reply to [`Command::Metrics`]: the telemetry text exposition.
     Metrics(String),
+    /// Reply to [`Command::Delete`]: whether the item was (probably)
+    /// present before removal.
+    Deleted {
+        /// Every index of the item held a live cell before the decrement.
+        was_present: bool,
+    },
+    /// Reply to [`Command::DeleteBatch`], answers in input order.
+    BatchDeleted(Vec<bool>),
+    /// The served filter family cannot honour the request (e.g. `DELETE`
+    /// against a plain Bloom backend). Unlike [`Response::Error`] for a
+    /// protocol violation, the connection stays open.
+    Unsupported(String),
     /// The server could not serve the request (protocol violation, shard
     /// out of range, …). Protocol violations also close the connection.
     Error(String),
@@ -300,6 +340,9 @@ impl Response {
             Response::RotationCompleted(_) => "ROTATION_COMPLETED",
             Response::Snapshotted(_) => "SNAPSHOTTED",
             Response::Metrics(_) => "METRICS",
+            Response::Deleted { .. } => "DELETED",
+            Response::BatchDeleted(_) => "MDELETED",
+            Response::Unsupported(_) => "UNSUPPORTED",
             Response::Error(_) => "ERROR",
         }
     }
@@ -331,19 +374,7 @@ impl Response {
                 }
                 Response::BatchFound(answers) => {
                     out.push(OP_MFOUND);
-                    let count = wire_count("answer count", answers.len())?;
-                    out.extend_from_slice(&count.to_le_bytes());
-                    let mut byte = 0u8;
-                    for (i, &answer) in answers.iter().enumerate() {
-                        byte |= u8::from(answer) << (i % 8);
-                        if i % 8 == 7 {
-                            out.push(byte);
-                            byte = 0;
-                        }
-                    }
-                    if !answers.len().is_multiple_of(8) {
-                        out.push(byte);
-                    }
+                    put_bitmap(out, answers)?;
                 }
                 Response::Stats(stats) => {
                     out.push(OP_STATS_REPLY);
@@ -372,6 +403,18 @@ impl Response {
                     out.push(OP_METRICS_REPLY);
                     out.extend_from_slice(text.as_bytes());
                 }
+                Response::Deleted { was_present } => {
+                    out.push(OP_DELETED);
+                    out.push(u8::from(*was_present));
+                }
+                Response::BatchDeleted(answers) => {
+                    out.push(OP_MDELETED);
+                    put_bitmap(out, answers)?;
+                }
+                Response::Unsupported(message) => {
+                    out.push(OP_UNSUPPORTED);
+                    out.extend_from_slice(message.as_bytes());
+                }
                 Response::Error(message) => {
                     out.push(OP_ERROR);
                     out.extend_from_slice(message.as_bytes());
@@ -393,13 +436,9 @@ impl Response {
             OP_INSERTED => Response::Inserted { fresh_bits: r.u32()? },
             OP_FOUND => Response::Found(r.flag()?),
             OP_MINSERTED => Response::BatchInserted { items: r.u32()?, fresh_bits: r.u64()? },
-            OP_MFOUND => {
-                let count = r.u32()? as usize;
-                let bitmap = r.bytes(count.div_ceil(8))?;
-                Response::BatchFound(
-                    (0..count).map(|i| bitmap[i / 8] >> (i % 8) & 1 == 1).collect(),
-                )
-            }
+            OP_MFOUND => Response::BatchFound(r.bitmap()?),
+            OP_DELETED => Response::Deleted { was_present: r.flag()? },
+            OP_MDELETED => Response::BatchDeleted(r.bitmap()?),
             OP_STATS_REPLY => Response::Stats(WireStats::decode(&mut r)?),
             OP_SNAPSHOT_REPLY => Response::Snapshotted(WireSnapshot {
                 seq: r.u64()?,
@@ -427,6 +466,10 @@ impl Response {
             OP_METRICS_REPLY => Response::Metrics(
                 String::from_utf8(r.rest().to_vec())
                     .map_err(|_| WireError::Malformed("metrics exposition is not UTF-8"))?,
+            ),
+            OP_UNSUPPORTED => Response::Unsupported(
+                String::from_utf8(r.rest().to_vec())
+                    .map_err(|_| WireError::Malformed("unsupported message is not UTF-8"))?,
             ),
             OP_ERROR => Response::Error(
                 String::from_utf8(r.rest().to_vec())
@@ -476,6 +519,9 @@ pub struct WireStats {
     /// Seconds the server has been up. Decodes as 0 from servers predating
     /// this field.
     pub uptime_secs: u64,
+    /// Filter family the store serves. Decodes as [`BackendKind::Bloom`]
+    /// from servers predating the backend selector.
+    pub backend: BackendKind,
 }
 
 /// One shard's health snapshot on the wire.
@@ -521,6 +567,7 @@ impl WireStats {
             alarms: wire_count("alarm count", stats.alarms)?,
             generation: stats.shards.iter().map(|s| s.generation).max().unwrap_or(0),
             uptime_secs,
+            backend: stats.backend,
             shards: stats
                 .shards
                 .iter()
@@ -559,9 +606,12 @@ impl WireStats {
         }
         // Appended after the original layout so old decoders (which stop at
         // the shard array) and new decoders (which read the tail when it is
-        // present) both stay compatible.
+        // present) both stay compatible. The backend byte rides after the
+        // generation/uptime pair, appended by servers with the backend
+        // selector.
         out.extend_from_slice(&self.generation.to_le_bytes());
         out.extend_from_slice(&self.uptime_secs.to_le_bytes());
+        out.push(self.backend.code());
         Ok(())
     }
 
@@ -594,9 +644,23 @@ impl WireStats {
             });
         }
         // Fields appended by newer servers: absent on the wire means a
-        // server predating them, not a malformed frame.
-        let (generation, uptime_secs) =
-            if r.remaining() >= 16 { (r.u64()?, r.u64()?) } else { (0, 0) };
+        // server predating them, not a malformed frame. The tail is strictly
+        // layered — the backend byte only ever rides after a full
+        // generation/uptime pair (it was introduced later), so a lone stray
+        // byte after the shard array is trailing garbage, not a backend code.
+        let (generation, uptime_secs, backend) = if r.remaining() >= 16 {
+            let generation = r.u64()?;
+            let uptime_secs = r.u64()?;
+            let backend = if r.remaining() >= 1 {
+                BackendKind::from_code(r.u8()?)
+                    .ok_or(WireError::Malformed("unknown backend code in stats"))?
+            } else {
+                BackendKind::Bloom
+            };
+            (generation, uptime_secs, backend)
+        } else {
+            (0, 0, BackendKind::Bloom)
+        };
         Ok(WireStats {
             hardened,
             total_inserted,
@@ -606,6 +670,7 @@ impl WireStats {
             shards,
             generation,
             uptime_secs,
+            backend,
         })
     }
 }
@@ -624,6 +689,26 @@ fn begin_frame(out: &mut Vec<u8>) -> usize {
 fn finish_frame(out: &mut [u8], start: usize) -> Result<(), WireError> {
     let len = wire_count("frame payload length", out.len() - start - 4)?;
     out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    Ok(())
+}
+
+/// Encodes a boolean list as its `u32` count plus a packed bitmap (answer
+/// `i` in bit `i % 8` of byte `i / 8`) — the shared `MFOUND`/`MDELETED`
+/// body layout.
+fn put_bitmap(out: &mut Vec<u8>, answers: &[bool]) -> Result<(), WireError> {
+    let count = wire_count("answer count", answers.len())?;
+    out.extend_from_slice(&count.to_le_bytes());
+    let mut byte = 0u8;
+    for (i, &answer) in answers.iter().enumerate() {
+        byte |= u8::from(answer) << (i % 8);
+        if i % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !answers.len().is_multiple_of(8) {
+        out.push(byte);
+    }
     Ok(())
 }
 
@@ -703,6 +788,13 @@ impl<'a> Reader<'a> {
 
     fn f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Decodes the count-plus-bitmap body shared by `MFOUND` and `MDELETED`.
+    fn bitmap(&mut self) -> Result<Vec<bool>, WireError> {
+        let count = self.u32()? as usize;
+        let bitmap = self.bytes(count.div_ceil(8))?;
+        Ok((0..count).map(|i| bitmap[i / 8] >> (i % 8) & 1 == 1).collect())
     }
 
     fn items(&mut self) -> Result<Vec<&'a [u8]>, WireError> {
@@ -822,6 +914,9 @@ mod tests {
         roundtrip_command(&Command::RotateComplete { shard: u32::MAX });
         roundtrip_command(&Command::Snapshot);
         roundtrip_command(&Command::Metrics);
+        roundtrip_command(&Command::Delete(b"http://example.com/victim"));
+        roundtrip_command(&Command::DeleteBatch(vec![b"a".as_slice(), b"", b"ccc"]));
+        roundtrip_command(&Command::DeleteBatch(vec![]));
     }
 
     #[test]
@@ -843,6 +938,13 @@ mod tests {
             shards: 8,
             bytes: 1 << 20,
         }));
+        roundtrip_response(&Response::Deleted { was_present: true });
+        roundtrip_response(&Response::Deleted { was_present: false });
+        roundtrip_response(&Response::BatchDeleted(vec![]));
+        roundtrip_response(&Response::BatchDeleted(vec![true, false, true, true]));
+        roundtrip_response(&Response::Unsupported(
+            "the bloom backend does not support delete".to_string(),
+        ));
         roundtrip_response(&Response::Error("shard 9 out of range".to_string()));
         roundtrip_response(&Response::Metrics(String::new()));
         roundtrip_response(&Response::Metrics(
@@ -870,6 +972,7 @@ mod tests {
             alarms: 2,
             generation: 3,
             uptime_secs: 7200,
+            backend: BackendKind::Counting,
             shards: vec![
                 WireShardStats {
                     generation: 3,
@@ -900,9 +1003,9 @@ mod tests {
 
     #[test]
     fn stats_from_old_servers_decode_with_zero_tail_fields() {
-        // Version tolerance: a payload without the appended generation and
-        // uptime fields (an older server) must decode with both at 0, not
-        // error as truncated.
+        // Version tolerance: a payload without the appended tail fields
+        // (generation, uptime, backend byte — an older server) must decode
+        // with zero/Bloom defaults, not error as truncated.
         let stats = WireStats {
             hardened: false,
             total_inserted: 9,
@@ -911,23 +1014,78 @@ mod tests {
             alarms: 0,
             generation: 11,
             uptime_secs: 300,
+            backend: BackendKind::Scalable,
             shards: vec![],
         };
         let mut frame = Vec::new();
         Response::Stats(stats.clone()).encode(&mut frame).expect("encodes");
-        // Strip the 16-byte tail and patch the length prefix, recreating
-        // the pre-field wire image.
-        frame.truncate(frame.len() - 16);
+        // Strip the 17-byte tail (16 + backend byte) and patch the length
+        // prefix, recreating the pre-field wire image.
+        frame.truncate(frame.len() - 17);
         let len = (frame.len() - 4) as u32;
         frame[..4].copy_from_slice(&len.to_le_bytes());
         match Response::decode(&frame[4..]).expect("old layout decodes") {
             Response::Stats(decoded) => {
                 assert_eq!(decoded.generation, 0);
                 assert_eq!(decoded.uptime_secs, 0);
+                assert_eq!(decoded.backend, BackendKind::Bloom);
                 assert_eq!(decoded.total_inserted, stats.total_inserted);
             }
             other => panic!("expected STATS, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_without_the_backend_byte_decode_as_bloom() {
+        // A server with the generation/uptime tail but not yet the backend
+        // byte: strip only the last byte.
+        let stats = WireStats {
+            hardened: true,
+            total_inserted: 4,
+            mean_fill: 0.1,
+            max_estimated_fpp: 0.002,
+            alarms: 0,
+            generation: 2,
+            uptime_secs: 60,
+            backend: BackendKind::Counting,
+            shards: vec![],
+        };
+        let mut frame = Vec::new();
+        Response::Stats(stats).encode(&mut frame).expect("encodes");
+        frame.truncate(frame.len() - 1);
+        let len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        match Response::decode(&frame[4..]).expect("tail-less layout decodes") {
+            Response::Stats(decoded) => {
+                assert_eq!(decoded.backend, BackendKind::Bloom);
+                assert_eq!(decoded.generation, 2);
+                assert_eq!(decoded.uptime_secs, 60);
+            }
+            other => panic!("expected STATS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_backend_codes_in_stats_are_rejected() {
+        let stats = WireStats {
+            hardened: false,
+            total_inserted: 0,
+            mean_fill: 0.0,
+            max_estimated_fpp: 0.0,
+            alarms: 0,
+            generation: 0,
+            uptime_secs: 0,
+            backend: BackendKind::Bloom,
+            shards: vec![],
+        };
+        let mut frame = Vec::new();
+        Response::Stats(stats).encode(&mut frame).expect("encodes");
+        let last = frame.len() - 1;
+        frame[last] = 0x7F;
+        assert_eq!(
+            Response::decode(&frame[4..]),
+            Err(WireError::Malformed("unknown backend code in stats"))
+        );
     }
 
     #[test]
@@ -995,6 +1153,7 @@ mod tests {
         // for real needs > u32::MAX shards; the host-side struct gets us to
         // the boundary without them.)
         let stats = StoreStats {
+            backend: BackendKind::Bloom,
             shards: Vec::new(),
             total_inserted: 0,
             mean_fill: 0.0,

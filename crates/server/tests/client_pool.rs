@@ -5,15 +5,18 @@
 use std::sync::Arc;
 
 use evilbloom_server::{Backend, ClientPool, Server, ServerConfig, ServerHandle};
-use evilbloom_store::{BloomStore, StoreConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use evilbloom_store::BloomStore;
 
 fn spawn(backend: Backend) -> (ServerHandle, Arc<BloomStore>) {
-    let store = Arc::new(BloomStore::new(
-        StoreConfig::hardened(4, 8_000, 0.01),
-        &mut StdRng::seed_from_u64(42),
-    ));
+    let store = Arc::new(
+        BloomStore::builder()
+            .shards(4)
+            .capacity(8_000)
+            .target_fpp(0.01)
+            .hardened()
+            .seed(42)
+            .build(),
+    );
     let handle =
         Server::spawn(Arc::clone(&store), "127.0.0.1:0", ServerConfig::with_backend(backend))
             .expect("bind loopback");

@@ -4,6 +4,7 @@
 
 use evilbloom_server::wire::{frame_bounds, DEFAULT_MAX_FRAME_BYTES};
 use evilbloom_server::{Command, Response, WireShardStats, WireSnapshot, WireStats};
+use evilbloom_store::BackendKind;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -26,6 +27,8 @@ enum OwnedCommand {
     Query(Vec<u8>),
     InsertBatch(Vec<Vec<u8>>),
     QueryBatch(Vec<Vec<u8>>),
+    Delete(Vec<u8>),
+    DeleteBatch(Vec<Vec<u8>>),
     Stats,
     RotateBegin(u32),
     RotateComplete(u32),
@@ -35,7 +38,7 @@ enum OwnedCommand {
 
 impl OwnedCommand {
     fn random(rng: &mut StdRng) -> Self {
-        match rng.gen_range(0u32..10) {
+        match rng.gen_range(0u32..12) {
             0 => OwnedCommand::Ping,
             1 => OwnedCommand::Insert(random_item(rng)),
             2 => OwnedCommand::Query(random_item(rng)),
@@ -45,6 +48,8 @@ impl OwnedCommand {
             6 => OwnedCommand::RotateBegin(rng.gen_range(0u64..1 << 32) as u32),
             7 => OwnedCommand::Snapshot,
             8 => OwnedCommand::Metrics,
+            9 => OwnedCommand::Delete(random_item(rng)),
+            10 => OwnedCommand::DeleteBatch(random_items(rng)),
             _ => OwnedCommand::RotateComplete(rng.gen_range(0u64..1 << 32) as u32),
         }
     }
@@ -59,6 +64,10 @@ impl OwnedCommand {
             }
             OwnedCommand::QueryBatch(items) => {
                 Command::QueryBatch(items.iter().map(Vec::as_slice).collect())
+            }
+            OwnedCommand::Delete(item) => Command::Delete(item),
+            OwnedCommand::DeleteBatch(items) => {
+                Command::DeleteBatch(items.iter().map(Vec::as_slice).collect())
             }
             OwnedCommand::Stats => Command::Stats,
             OwnedCommand::RotateBegin(shard) => Command::RotateBegin { shard: *shard },
@@ -83,8 +92,16 @@ fn random_shard_stats(rng: &mut StdRng) -> WireShardStats {
     }
 }
 
+fn random_backend(rng: &mut StdRng) -> BackendKind {
+    match rng.gen_range(0u32..3) {
+        0 => BackendKind::Bloom,
+        1 => BackendKind::Counting,
+        _ => BackendKind::Scalable,
+    }
+}
+
 fn random_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0u32..11) {
+    match rng.gen_range(0u32..14) {
         0 => Response::Pong,
         1 => Response::Inserted { fresh_bits: rng.gen_range(0u64..1 << 32) as u32 },
         2 => Response::Found(rng.gen_range(0u32..2) == 1),
@@ -106,6 +123,7 @@ fn random_response(rng: &mut StdRng) -> Response {
                 alarms: rng.gen_range(0u64..1 << 32) as u32,
                 generation: rng.next_u64(),
                 uptime_secs: rng.next_u64(),
+                backend: random_backend(rng),
                 shards: (0..shards).map(|_| random_shard_stats(rng)).collect(),
             })
         }
@@ -123,6 +141,16 @@ fn random_response(rng: &mut StdRng) -> Response {
             let len = rng.gen_range(0usize..160);
             let text: String = (0..len).map(|_| rng.gen_range(b' '..b'~') as char).collect();
             Response::Metrics(text)
+        }
+        10 => Response::Deleted { was_present: rng.gen_range(0u32..2) == 1 },
+        11 => {
+            let count = rng.gen_range(0usize..40);
+            Response::BatchDeleted((0..count).map(|_| rng.gen_range(0u32..2) == 1).collect())
+        }
+        12 => {
+            let len = rng.gen_range(0usize..48);
+            let message: String = (0..len).map(|_| rng.gen_range(b' '..b'~') as char).collect();
+            Response::Unsupported(message)
         }
         _ => {
             let len = rng.gen_range(0usize..48);
@@ -213,10 +241,12 @@ fn truncated_response_frames_are_rejected_or_self_consistent() {
                     let re = payload(&reencoded);
                     // One deliberate exception to byte-identity: a STATS
                     // payload cut exactly before its appended
-                    // generation/uptime tail is the pre-tail wire layout,
-                    // which version tolerance decodes (fields read as 0);
-                    // re-encoding restores the 16-byte tail as zeros.
-                    let compat_tail_restored = re.len() == cut + 16
+                    // generation/uptime/backend tail (or before just the
+                    // backend byte) is an older wire layout, which version
+                    // tolerance decodes (fields read as 0 / Bloom);
+                    // re-encoding restores the missing tail bytes as zeros
+                    // (Bloom's backend code is 0).
+                    let compat_tail_restored = re.len() > cut
                         && re[..cut] == body[..cut]
                         && re[cut..].iter().all(|&b| b == 0);
                     assert!(

@@ -12,9 +12,7 @@ use std::time::Duration;
 use evilbloom_server::{
     Backend, Client, ClientError, ClientPool, Command, Response, Server, ServerConfig, ServerHandle,
 };
-use evilbloom_store::{BloomStore, PersistConfig, StoreConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use evilbloom_store::{BackendKind, BloomStore, ConcurrentCountingFilter, PersistConfig};
 
 /// Unique scratch directory, removed on drop.
 struct TempDir(std::path::PathBuf);
@@ -45,12 +43,9 @@ fn backends() -> Vec<Backend> {
 }
 
 fn spawn_on(backend: Backend, hardened: bool, shards: usize) -> (ServerHandle, Arc<BloomStore>) {
-    let config = if hardened {
-        StoreConfig::hardened(shards, 4_000, 0.01)
-    } else {
-        StoreConfig::unhardened(shards, 4_000, 0.01)
-    };
-    let store = Arc::new(BloomStore::new(config, &mut StdRng::seed_from_u64(42)));
+    let builder = BloomStore::builder().shards(shards).capacity(4_000).target_fpp(0.01).seed(42);
+    let builder = if hardened { builder.hardened() } else { builder.unhardened() };
+    let store = Arc::new(builder.build());
     let handle =
         Server::spawn(Arc::clone(&store), "127.0.0.1:0", ServerConfig::with_backend(backend))
             .expect("bind loopback");
@@ -87,6 +82,7 @@ fn every_command_round_trips() {
         let remote = client.stats().expect("stats");
         let local = store.stats();
         assert!(remote.hardened);
+        assert_eq!(remote.backend, BackendKind::Bloom, "{backend}");
         assert_eq!(remote.total_inserted, local.total_inserted);
         assert_eq!(remote.alarms as usize, local.alarms);
         assert_eq!(remote.shards.len(), local.shards.len());
@@ -213,10 +209,15 @@ fn protocol_violations_get_an_error_and_a_close() {
 #[test]
 fn oversized_frames_are_refused_without_allocation() {
     for backend in backends() {
-        let store = Arc::new(BloomStore::new(
-            StoreConfig::hardened(2, 1_000, 0.01),
-            &mut StdRng::seed_from_u64(1),
-        ));
+        let store = Arc::new(
+            BloomStore::builder()
+                .shards(2)
+                .capacity(1_000)
+                .target_fpp(0.01)
+                .hardened()
+                .seed(1)
+                .build(),
+        );
         let config = ServerConfig { max_frame_bytes: 1024, ..ServerConfig::with_backend(backend) };
         let handle = Server::spawn(store, "127.0.0.1:0", config).expect("bind");
         let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
@@ -395,8 +396,13 @@ fn restarted_server_answers_bit_for_bit_identically() {
         let tmp = TempDir::new("restart");
         let persist = PersistConfig::new(&tmp.0);
 
-        let mut store =
-            BloomStore::new(StoreConfig::unhardened(4, 4_000, 0.01), &mut StdRng::seed_from_u64(7));
+        let mut store = BloomStore::builder()
+            .shards(4)
+            .capacity(4_000)
+            .target_fpp(0.01)
+            .unhardened()
+            .seed(7)
+            .build();
         store.enable_persistence(&persist).expect("enable persistence");
         let handle =
             Server::spawn(Arc::new(store), "127.0.0.1:0", ServerConfig::with_backend(backend))
@@ -425,7 +431,7 @@ fn restarted_server_answers_bit_for_bit_identically() {
         drop(client);
         handle.shutdown();
 
-        let (recovered, report) = BloomStore::recover(&persist).expect("recover");
+        let (recovered, report): (BloomStore, _) = BloomStore::recover(&persist).expect("recover");
         assert_eq!(report.replayed_inserts, 400, "WAL tail replays ({backend})");
         let handle =
             Server::spawn(Arc::new(recovered), "127.0.0.1:0", ServerConfig::with_backend(backend))
@@ -461,8 +467,13 @@ fn pooled_snapshot_round_trips() {
     for backend in backends() {
         let tmp = TempDir::new("pooled-snap");
         let persist = PersistConfig::new(&tmp.0);
-        let mut store =
-            BloomStore::new(StoreConfig::unhardened(2, 2_000, 0.01), &mut StdRng::seed_from_u64(3));
+        let mut store = BloomStore::builder()
+            .shards(2)
+            .capacity(2_000)
+            .target_fpp(0.01)
+            .unhardened()
+            .seed(3)
+            .build();
         store.enable_persistence(&persist).expect("enable persistence");
         let handle =
             Server::spawn(Arc::new(store), "127.0.0.1:0", ServerConfig::with_backend(backend))
@@ -625,4 +636,183 @@ fn pooled_metrics_scrape_round_trips() {
         assert!(text.contains("evilbloom_server_uptime_seconds"), "{backend}:\n{text}");
         handle.shutdown();
     }
+}
+
+/// `DELETE` against a family that cannot delete is a *typed* refusal
+/// (`UNSUPPORTED`, surfacing as [`ClientError::Unsupported`]), not a
+/// protocol error — and the connection keeps serving afterwards.
+#[test]
+fn delete_on_a_plain_bloom_server_is_typed_unsupported() {
+    for backend in backends() {
+        let (handle, _store) = spawn_on(backend, true, 4);
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        client.insert(b"undeletable").expect("insert");
+        match client.delete(b"undeletable") {
+            Err(ClientError::Unsupported(message)) => {
+                assert!(message.contains("bloom") && message.contains("remove"), "{message}")
+            }
+            other => panic!("expected UNSUPPORTED, got {other:?} ({backend})"),
+        }
+        match client.delete_batch(&["a", "b"]) {
+            Err(ClientError::Unsupported(_)) => {}
+            other => panic!("expected UNSUPPORTED, got {other:?} ({backend})"),
+        }
+        // The refusal changed nothing and poisoned nothing.
+        assert!(client.query(b"undeletable").expect("query"));
+        client.ping().expect("connection still serves");
+        handle.shutdown();
+    }
+}
+
+/// The counting family end-to-end: populate over TCP, evict with `DELETE`
+/// and `MDELETE`, snapshot remotely, keep mutating (WAL-only tail), restart
+/// — and the recovered server answers bit-for-bit identically, deletions
+/// and false positives included.
+#[test]
+fn counting_store_serves_deletes_and_recovers_over_tcp() {
+    for backend in backends() {
+        let tmp = TempDir::new("counting");
+        let persist = PersistConfig::new(&tmp.0);
+        let mut store = BloomStore::builder()
+            .shards(4)
+            .capacity(4_000)
+            .target_fpp(0.01)
+            .unhardened()
+            .seed(9)
+            .counting(4)
+            .build();
+        store.enable_persistence(&persist).expect("enable persistence");
+        let handle =
+            Server::spawn(Arc::new(store), "127.0.0.1:0", ServerConfig::with_backend(backend))
+                .expect("bind");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        assert_eq!(client.stats().expect("stats").backend, BackendKind::Counting, "{backend}");
+
+        let members: Vec<String> = (0..500).map(|i| format!("member-{i}")).collect();
+        let transient: Vec<String> = (0..200).map(|i| format!("transient-{i}")).collect();
+        client.insert_batch(&members).expect("minsert members");
+        client.insert_batch(&transient).expect("minsert transient");
+
+        // Scalar and batch deletion both report the items as present.
+        assert!(client.delete(transient[0].as_bytes()).expect("delete"), "{backend}");
+        let answers = client.delete_batch(&transient[1..]).expect("mdelete");
+        assert!(answers.iter().all(|&a| a), "present items evict as present ({backend})");
+        assert!(
+            client.query_batch(&members).expect("mquery").iter().all(|&a| a),
+            "members survive the eviction ({backend})"
+        );
+
+        let info = client.snapshot().expect("remote snapshot");
+        assert!(info.seq > 0 && info.bytes > 0, "{backend}");
+
+        // This tail lives only in the WAL: inserts and one more delete.
+        let post: Vec<String> = (0..100).map(|i| format!("post-{i}")).collect();
+        client.insert_batch(&post).expect("minsert post-snapshot");
+        assert!(client.delete(post[0].as_bytes()).expect("delete post-snapshot"), "{backend}");
+
+        let mut probes: Vec<String> = Vec::new();
+        probes.extend(members.iter().cloned());
+        probes.extend(transient.iter().cloned());
+        probes.extend(post.iter().cloned());
+        probes.extend((0..2_000).map(|i| format!("absent-{i}")));
+        let original = client.query_batch(&probes).expect("mquery");
+
+        drop(client);
+        handle.shutdown();
+
+        let (recovered, report): (BloomStore<ConcurrentCountingFilter>, _) =
+            BloomStore::recover(&persist).expect("recover counting");
+        assert_eq!(report.replayed_inserts, 100, "{backend}");
+        assert_eq!(report.replayed_removes, 1, "WAL delete tail replays ({backend})");
+        let handle =
+            Server::spawn(Arc::new(recovered), "127.0.0.1:0", ServerConfig::with_backend(backend))
+                .expect("rebind");
+        let mut client = Client::connect(handle.local_addr()).expect("reconnect");
+        let replayed = client.query_batch(&probes).expect("mquery after restart");
+        assert_eq!(replayed, original, "bit-for-bit equivalence over TCP ({backend})");
+        handle.shutdown();
+    }
+}
+
+/// The scalable family end-to-end: a store sized for 500 items absorbs
+/// 3 000 over TCP by growing levels, never false-negatives, reports its
+/// family in `STATS`, and refuses `DELETE` with the typed error.
+#[test]
+fn scalable_store_serves_and_grows_over_tcp() {
+    for backend in backends() {
+        let store = Arc::new(
+            BloomStore::builder()
+                .shards(2)
+                .capacity(500)
+                .target_fpp(0.01)
+                .unhardened()
+                .seed(5)
+                .scalable(0.9)
+                .build(),
+        );
+        let handle =
+            Server::spawn(Arc::clone(&store), "127.0.0.1:0", ServerConfig::with_backend(backend))
+                .expect("bind");
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+
+        let items: Vec<String> = (0..3_000).map(|i| format!("grow-{backend}-{i}")).collect();
+        client.insert_batch(&items).expect("minsert past capacity");
+        assert!(
+            client.query_batch(&items).expect("mquery").iter().all(|&a| a),
+            "no false negatives after growth ({backend})"
+        );
+        let stats = client.stats().expect("stats");
+        assert_eq!(stats.backend, BackendKind::Scalable, "{backend}");
+        assert_eq!(stats.total_inserted, 3_000, "{backend}");
+        match client.delete(items[0].as_bytes()) {
+            Err(ClientError::Unsupported(message)) => {
+                assert!(message.contains("scalable"), "{message}")
+            }
+            other => panic!("expected UNSUPPORTED, got {other:?} ({backend})"),
+        }
+        handle.shutdown();
+    }
+}
+
+/// `ServerConfig::expect_store_backend` is a deployment assertion: spawning
+/// with a mismatched family is refused at bind time, a matching one binds.
+#[test]
+fn backend_selector_refuses_a_mismatched_store() {
+    let store =
+        Arc::new(BloomStore::builder().shards(2).capacity(1_000).target_fpp(0.01).seed(1).build());
+    let config = ServerConfig::default().expect_store_backend(BackendKind::Counting);
+    let err = match Server::spawn(Arc::clone(&store), "127.0.0.1:0", config) {
+        Err(err) => err,
+        Ok(_) => panic!("a mismatched backend selector must refuse to spawn"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("counting") && err.to_string().contains("bloom"), "{err}");
+
+    let config = ServerConfig::default().expect_store_backend(BackendKind::Bloom);
+    let handle = Server::spawn(store, "127.0.0.1:0", config).expect("matching selector binds");
+    handle.shutdown();
+}
+
+/// The served family is visible to a metrics scraper as the
+/// `evilbloom_store_backend_info` info metric.
+#[test]
+fn metrics_expose_the_served_family() {
+    let store = Arc::new(
+        BloomStore::builder()
+            .shards(2)
+            .capacity(1_000)
+            .target_fpp(0.01)
+            .seed(2)
+            .counting(4)
+            .build(),
+    );
+    let handle = Server::spawn(store, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(handle.local_addr()).expect("connect");
+    let text = client.metrics().expect("metrics");
+    assert!(
+        text.contains(r#"evilbloom_store_backend_info{backend="counting"} 1"#),
+        "family info metric missing in:\n{text}"
+    );
+    handle.shutdown();
 }

@@ -1,73 +1,100 @@
 //! The adversary's view of an *unhardened* store, wired into the existing
 //! attack machinery of `evilbloom-attacks`.
 //!
-//! An unhardened store is just a bigger predictable Bloom filter: routing
-//! and index derivation are public, so the chosen-insertion adversary
-//! computes everything offline. [`AdversarialStoreView`] flattens the `N`
-//! shards into one virtual `N * m`-bit filter (an item's `k` indexes all
-//! fall inside its shard's window) and implements
-//! [`evilbloom_attacks::TargetFilter`], which makes
-//! [`evilbloom_attacks::pollution::craft_polluting_items`] — and every other
-//! offline search — work against the store unchanged.
+//! An unhardened store is just a bigger predictable filter: routing and
+//! index derivation are public, so the chosen-insertion adversary computes
+//! everything offline. [`AdversarialStoreView`] flattens the `N` shards
+//! into one virtual filter (an item's `k` indexes all fall inside its
+//! shard's window) and implements [`evilbloom_attacks::TargetFilter`],
+//! which makes [`evilbloom_attacks::pollution::craft_polluting_items`] —
+//! and every other offline search — work against the store unchanged.
+//!
+//! The view is generic over the store's [`FilterBackend`], because the
+//! paper's attacks are too: pollution hits every family, deletion hits
+//! counting shards, forced growth hits scalable shards. Each shard
+//! contributes its backend's *attack surface*
+//! ([`FilterBackend::attack_params`] — for a scalable shard that is the
+//! active slice, the one accepting new bits), recorded as a `(offset,
+//! params)` region at construction time. The view is therefore a
+//! point-in-time geometry snapshot: after a scalable shard grows a new
+//! slice, rebuild the view to target it.
 //!
 //! A hardened store refuses to produce a view at all: without the routing
 //! and filter keys there is nothing the offline searches can compute. That
 //! refusal *is* the paper's Section 8.2 defence.
 
+use evilbloom_attacks::deletion::{plan_targeted_deletion, DeletionPlan};
+use evilbloom_attacks::forgery::{craft_false_positives, ForgeryOutcome};
 use evilbloom_attacks::pollution::{craft_polluting_items, PollutionPlan};
 use evilbloom_attacks::TargetFilter;
+use evilbloom_filters::{ConcurrentBloomFilter, FilterBackend, FilterParams};
 use evilbloom_urlgen::UrlGenerator;
 
 use crate::store::BloomStore;
 
-/// Flattened adversarial view of an unhardened [`BloomStore`]: shard `s`
-/// occupies virtual bits `[s * m, (s + 1) * m)`.
-pub struct AdversarialStoreView<'a> {
-    store: &'a BloomStore,
-    shard_m: u64,
+/// Flattened adversarial view of an unhardened [`BloomStore`]: shard `s`'s
+/// attack surface occupies the virtual bit range starting at its region
+/// offset (regions are consecutive but not necessarily equal-sized once a
+/// scalable shard has grown).
+pub struct AdversarialStoreView<'a, B: FilterBackend = ConcurrentBloomFilter> {
+    store: &'a BloomStore<B>,
+    /// Per-shard `(virtual offset, attack-surface params)`, offsets strictly
+    /// increasing; captured when the view was built.
+    regions: Vec<(u64, FilterParams)>,
+    total_m: u64,
 }
 
-impl<'a> AdversarialStoreView<'a> {
+impl<'a, B: FilterBackend> AdversarialStoreView<'a, B> {
     /// Builds the view, or `None` if the store is hardened (keyed routing
     /// and index derivation leave the adversary nothing to compute).
-    pub fn new(store: &'a BloomStore) -> Option<Self> {
+    pub fn new(store: &'a BloomStore<B>) -> Option<Self> {
         if store.is_hardened() {
             return None;
         }
-        Some(AdversarialStoreView { store, shard_m: store.shard_params().m })
+        let mut regions = Vec::with_capacity(store.shard_count());
+        let mut total_m = 0u64;
+        for index in 0..store.shard_count() {
+            let params =
+                store.shard(index).with_generations(|active, _| active.filter.attack_params());
+            regions.push((total_m, params));
+            total_m += params.m;
+        }
+        Some(AdversarialStoreView { store, regions, total_m })
+    }
+
+    /// The region (shard index, offset, params) a virtual index falls in.
+    fn region_of(&self, index: u64) -> (usize, u64, FilterParams) {
+        let shard = self.regions.partition_point(|&(offset, _)| offset <= index) - 1;
+        let (offset, params) = self.regions[shard];
+        (shard, offset, params)
     }
 }
 
-impl TargetFilter for AdversarialStoreView<'_> {
+impl<B: FilterBackend> TargetFilter for AdversarialStoreView<'_, B> {
     fn m(&self) -> u64 {
-        self.store.shard_count() as u64 * self.shard_m
+        self.total_m
     }
 
     fn k(&self) -> u32 {
-        self.store.shard_params().k
+        self.regions[0].1.k
     }
 
     fn indexes_of(&self, item: &[u8]) -> Vec<u64> {
-        let shard = self.store.route(item) as u64;
-        let offset = shard * self.shard_m;
+        let shard = self.store.route(item);
+        let (offset, params) = self.regions[shard];
         let strategy = self.store.public_strategy().expect("view exists only unhardened");
-        strategy
-            .indexes(item, self.store.shard_params().k, self.shard_m)
-            .into_iter()
-            .map(|index| offset + index)
-            .collect()
+        strategy.indexes(item, params.k, params.m).into_iter().map(|index| offset + index).collect()
     }
 
     fn is_set(&self, index: u64) -> bool {
-        let shard = (index / self.shard_m) as usize;
-        let local = index % self.shard_m;
-        self.store.shard(shard).with_generations(|active, _| active.filter.is_set(local))
+        let (shard, offset, _) = self.region_of(index);
+        self.store.shard(shard).with_generations(|active, _| active.filter.is_set(index - offset))
     }
 
     fn weight(&self) -> u64 {
         (0..self.store.shard_count())
             .map(|s| {
-                self.store.shard(s).with_generations(|active, _| active.filter.hamming_weight())
+                self.store.shard(s).with_generations(|active, _| active.filter.attack_weight())
             })
             .sum()
     }
@@ -76,8 +103,8 @@ impl TargetFilter for AdversarialStoreView<'_> {
 /// Crafts `count` polluting items against an unhardened store (each sets
 /// `k` fresh bits in whichever shard it routes to). Returns `None` for a
 /// hardened store — the offline search cannot even start.
-pub fn craft_store_pollution(
-    store: &BloomStore,
+pub fn craft_store_pollution<B: FilterBackend>(
+    store: &BloomStore<B>,
     generator: &UrlGenerator,
     count: usize,
     max_attempts: u64,
@@ -86,21 +113,56 @@ pub fn craft_store_pollution(
     Some(craft_polluting_items(&view, generator, count, max_attempts))
 }
 
+/// Plans the paper's deletion attack against an unhardened store: crafted
+/// items that cover every cell of `victim` in its shard, so deleting them
+/// (locally via [`BloomStore::remove`] or remotely as `DELETE` frames)
+/// evicts the victim from a counting backend. Returns `None` for a hardened
+/// store. The plan is pure geometry — building it never requires deletion
+/// support, but *executing* it does.
+pub fn plan_store_deletion<B: FilterBackend>(
+    store: &BloomStore<B>,
+    victim: &[u8],
+    generator: &UrlGenerator,
+    max_attempts: u64,
+) -> Option<DeletionPlan> {
+    let view = AdversarialStoreView::new(store)?;
+    Some(plan_targeted_deletion(&view, victim, generator, max_attempts))
+}
+
+/// Forges `count` ghost items against an unhardened store: never-inserted
+/// items whose `k` indexes all land on set bits, so the store (or a server
+/// mirroring its state) answers "present" for them — the paper's query-only
+/// false-positive forgery (Section 4.2). Returns `None` for a hardened
+/// store: without the keys the adversary cannot tell a set bit from a
+/// clear one.
+pub fn forge_store_ghosts<B: FilterBackend>(
+    store: &BloomStore<B>,
+    generator: &UrlGenerator,
+    count: usize,
+    max_attempts: u64,
+) -> Option<ForgeryOutcome> {
+    let view = AdversarialStoreView::new(store)?;
+    Some(craft_false_positives(&view, generator, count, max_attempts))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::StoreConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn unhardened_store() -> BloomStore {
-        BloomStore::new(StoreConfig::unhardened(4, 2_000, 0.02), &mut StdRng::seed_from_u64(9))
+        BloomStore::builder()
+            .shards(4)
+            .capacity(2_000)
+            .target_fpp(0.02)
+            .unhardened()
+            .seed(9)
+            .build()
     }
 
     #[test]
     fn hardened_store_yields_no_view() {
         let store =
-            BloomStore::new(StoreConfig::hardened(4, 2_000, 0.02), &mut StdRng::seed_from_u64(9));
+            BloomStore::builder().shards(4).capacity(2_000).target_fpp(0.02).seed(9).build();
         assert!(AdversarialStoreView::new(&store).is_none());
         assert!(craft_store_pollution(&store, &UrlGenerator::new("x"), 5, 1_000).is_none());
     }
@@ -147,5 +209,117 @@ mod tests {
             let fresh = store.insert(item.as_bytes());
             assert_eq!(fresh, k, "every crafted item must set exactly k fresh bits");
         }
+    }
+
+    #[test]
+    fn counting_store_view_drives_offline_pollution_too() {
+        let store = BloomStore::builder()
+            .shards(4)
+            .capacity(2_000)
+            .target_fpp(0.02)
+            .unhardened()
+            .counting(4)
+            .build();
+        let generator = UrlGenerator::new("counting-pollution");
+        let plan = craft_store_pollution(&store, &generator, 50, 10_000_000).expect("unhardened");
+        let k = store.shard_params().k;
+        for item in &plan.items {
+            assert_eq!(store.insert(item.as_bytes()), k);
+        }
+    }
+
+    #[test]
+    fn planned_deletions_evict_a_victim_from_a_counting_store() {
+        let store = BloomStore::builder()
+            .shards(4)
+            .capacity(2_000)
+            .target_fpp(0.02)
+            .unhardened()
+            .seed(11)
+            .counting(4)
+            .build();
+        for i in 0..100 {
+            store.insert(format!("legit-{i}").as_bytes());
+        }
+        let victim = b"http://victim.example/delisted";
+        store.insert(victim);
+        assert!(store.contains(victim));
+
+        let generator = UrlGenerator::new("store-deletion");
+        let plan = plan_store_deletion(&store, victim, &generator, 10_000_000).expect("unhardened");
+        assert!(!plan.items.is_empty());
+
+        // Victim cells shared with legitimate members may hold counts above
+        // one, so replay the plan until the eviction lands (the paper's
+        // "deletion of an item may require other deletions" caveat).
+        let mut rounds = 0;
+        while store.contains(victim) && rounds < 8 {
+            for item in &plan.items {
+                let _ = store.remove(item.as_bytes()).expect("counting stores delete");
+            }
+            rounds += 1;
+        }
+        assert!(!store.contains(victim), "victim must be evicted after {rounds} rounds");
+    }
+
+    #[test]
+    fn forged_ghosts_test_positive_without_insertion() {
+        let store = unhardened_store();
+        for i in 0..400 {
+            store.insert(format!("legit-{i}").as_bytes());
+        }
+        let outcome = forge_store_ghosts(&store, &UrlGenerator::new("ghost"), 20, 50_000_000)
+            .expect("unhardened");
+        assert_eq!(outcome.items.len(), 20);
+        for ghost in &outcome.items {
+            assert!(store.contains(ghost.as_bytes()), "{ghost} must be a false positive");
+        }
+    }
+
+    #[test]
+    fn hardened_store_yields_no_ghosts() {
+        let store =
+            BloomStore::builder().shards(4).capacity(2_000).target_fpp(0.02).seed(5).build();
+        assert!(forge_store_ghosts(&store, &UrlGenerator::new("x"), 5, 1_000).is_none());
+    }
+
+    #[test]
+    fn hardened_store_yields_no_deletion_plan() {
+        let store = BloomStore::builder()
+            .shards(2)
+            .capacity(1_000)
+            .target_fpp(0.02)
+            .seed(3)
+            .counting(4)
+            .build();
+        assert!(plan_store_deletion(&store, b"victim", &UrlGenerator::new("x"), 1_000).is_none());
+    }
+
+    #[test]
+    fn scalable_view_targets_the_active_slice_and_tracks_growth() {
+        let store = BloomStore::builder()
+            .shards(2)
+            .capacity(200)
+            .target_fpp(0.02)
+            .unhardened()
+            .scalable(0.9)
+            .build();
+        let before = AdversarialStoreView::new(&store).expect("unhardened");
+        assert_eq!(before.m(), 2 * store.shard_params().m, "fresh store: base slices only");
+
+        // Overfill so every shard grows at least one slice.
+        let items: Vec<String> = (0..2_000).map(|i| format!("item-{i}")).collect();
+        store.insert_batch(&items);
+        let after = AdversarialStoreView::new(&store).expect("unhardened");
+        assert!(
+            after.m() > before.m(),
+            "a rebuilt view reflects the grown active slice ({} vs {})",
+            after.m(),
+            before.m()
+        );
+        // The view still answers coherently over the new geometry.
+        let probe = b"item-1999";
+        assert!(after.indexes_of(probe).iter().all(|&i| i < after.m()));
+        assert!(after.indexes_of(probe).iter().all(|&i| after.is_set(i)));
     }
 }

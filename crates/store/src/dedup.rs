@@ -9,10 +9,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use crate::store::{BloomStore, StoreConfig};
+use crate::store::BloomStore;
 
 /// Concurrent de-duplication set backed by a shared [`BloomStore`].
 ///
@@ -31,13 +28,16 @@ impl ConcurrentDedup {
     /// Builds a hardened dedup store sized for `capacity` items at
     /// false-positive probability `fpp`, spread over `shards` shards, with
     /// keys drawn from a seeded RNG (deterministic for tests; production
-    /// callers should use [`BloomStore::new`] with an entropy-seeded RNG and
+    /// callers should use [`BloomStore::builder`] with an entropy seed and
     /// [`ConcurrentDedup::from_store`]).
     pub fn hardened_seeded(shards: usize, capacity: u64, fpp: f64, seed: u64) -> Self {
-        let store = BloomStore::new(
-            StoreConfig::hardened(shards, capacity, fpp),
-            &mut StdRng::seed_from_u64(seed),
-        );
+        let store = BloomStore::builder()
+            .shards(shards)
+            .capacity(capacity)
+            .target_fpp(fpp)
+            .hardened()
+            .seed(seed)
+            .build();
         ConcurrentDedup { store: Arc::new(store) }
     }
 

@@ -12,7 +12,7 @@ use rand::SeedableRng;
 use evilbloom_urlgen::UrlGenerator;
 
 use crate::adversary::craft_store_pollution;
-use crate::store::{BloomStore, StoreConfig};
+use crate::store::BloomStore;
 
 /// Workload sizing for one harness run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,12 +59,10 @@ impl LoadScale {
 
 /// Builds a store at the harness sizing, at 1% target false positives.
 pub fn fresh_store(scale: &LoadScale, hardened: bool, seed: u64) -> BloomStore {
-    let config = if hardened {
-        StoreConfig::hardened(scale.shards, scale.capacity, 0.01)
-    } else {
-        StoreConfig::unhardened(scale.shards, scale.capacity, 0.01)
-    };
-    BloomStore::new(config, &mut StdRng::seed_from_u64(seed))
+    let builder =
+        BloomStore::builder().shards(scale.shards).capacity(scale.capacity).target_fpp(0.01);
+    let builder = if hardened { builder.hardened() } else { builder.unhardened() };
+    builder.seed(seed).build()
 }
 
 /// Honest mix at `threads` workers over a fresh hardened store: each worker

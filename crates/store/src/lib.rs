@@ -9,11 +9,20 @@
 //! Squid digests, Bitly's dablooms and Scrapy's dupe filter are all
 //! concurrent services. This crate provides:
 //!
-//! * [`BloomStore`] — `N` power-of-two shards of
-//!   [`evilbloom_filters::ConcurrentBloomFilter`], routed by a keyed shard
-//!   hash so an adversary cannot target one shard, with batch
+//! * [`BloomStore`] — `N` power-of-two shards, generic over the
+//!   [`FilterBackend`] family they hold (plain
+//!   [`evilbloom_filters::ConcurrentBloomFilter`], deletable
+//!   [`evilbloom_filters::ConcurrentCountingFilter`], growing
+//!   [`evilbloom_filters::ConcurrentScalableFilter`]), routed by a keyed
+//!   shard hash so an adversary cannot target one shard, with batch
 //!   [`BloomStore::insert_batch`] / [`BloomStore::query_batch`] APIs that
-//!   amortise routing and locking;
+//!   amortise routing and locking — built fluently via
+//!   [`BloomStore::builder`];
+//! * deletion ([`BloomStore::remove`] / [`BloomStore::remove_batch`]) on
+//!   counting backends, refused with a typed [`UnsupportedOp`] elsewhere —
+//!   the substrate of the paper's deletion adversary;
+//! * [`ServeStore`] — the object-safe facade a wire server holds so the
+//!   backend family can be a runtime choice ([`serve`]);
 //! * generation-based key rotation ([`BloomStore::begin_rotation`] /
 //!   [`BloomStore::complete_rotation`]): a shard re-keys and rebuilds in the
 //!   background while its old generation keeps answering queries;
@@ -38,15 +47,10 @@
 //! ## Example
 //!
 //! ```
-//! use evilbloom_store::{BloomStore, StoreConfig};
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use evilbloom_store::BloomStore;
 //!
 //! // 8 keyed shards sized for 8000 items at 1% false positives.
-//! let store = BloomStore::new(
-//!     StoreConfig::hardened(8, 8_000, 0.01),
-//!     &mut StdRng::seed_from_u64(42),
-//! );
+//! let store = BloomStore::builder().shards(8).capacity(8_000).target_fpp(0.01).seed(42).build();
 //!
 //! // Serve inserts from four workers sharing the store by reference.
 //! std::thread::scope(|scope| {
@@ -74,20 +78,31 @@ pub mod dedup;
 pub mod harness;
 pub mod metrics;
 pub mod persist;
+pub mod serve;
 pub mod shard;
 pub mod stats;
 pub mod store;
 
-pub use adversary::{craft_store_pollution, AdversarialStoreView};
+pub use adversary::{
+    craft_store_pollution, forge_store_ghosts, plan_store_deletion, AdversarialStoreView,
+};
 pub use dedup::ConcurrentDedup;
 pub use metrics::StoreMetrics;
 pub use persist::{
     PersistConfig, PersistError, RecoveryReport, SnapshotInfo, StorePersistence, SyncPolicy,
 };
+pub use serve::ServeStore;
 pub use shard::{Generation, Shard};
 pub use stats::{pollution_alarm, ShardStats, StoreStats, ALARM_MIN_INSERTIONS};
-pub use store::{BatchOutcome, BloomStore, StoreConfig, StoreHardening};
+pub use store::{
+    BatchOutcome, BloomStore, StoreBuilder, StoreConfig, StoreHardening, UnsupportedOp,
+};
 
 // Re-exported so the doc examples and downstream callers can name the trait
-// the adversarial view implements without importing `evilbloom-attacks`.
+// the adversarial view implements without importing `evilbloom-attacks`, and
+// the backend vocabulary without importing `evilbloom-filters`.
 pub use evilbloom_attacks::TargetFilter;
+pub use evilbloom_filters::{
+    BackendKind, ConcurrentBloomFilter, ConcurrentCountingFilter, ConcurrentScalableFilter,
+    FilterBackend,
+};

@@ -24,6 +24,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+use evilbloom_filters::BackendKind;
 use evilbloom_metrics::{Counter, Gauge, Histogram, Registry};
 
 use crate::stats::StoreStats;
@@ -35,7 +36,7 @@ const DRIFT_WINDOW: usize = 32;
 
 /// All store- and persist-layer metrics, registered in one [`Registry`].
 ///
-/// Created by [`crate::BloomStore::new`] (and therefore present on every
+/// Created at store construction (and therefore present on every
 /// store, persistent or not — a scraper can rely on the persist-layer
 /// metric names existing at zero before persistence is attached). Shared
 /// with the persistence layer via `Arc`.
@@ -47,6 +48,9 @@ pub struct StoreMetrics {
     pub(crate) fresh_bits: Arc<Counter>,
     /// Membership queries answered (scalar and batch paths).
     pub(crate) queries: Arc<Counter>,
+    /// Items removed (scalar and batch paths); only deletable backends bump
+    /// this, so it stays zero on plain/scalable stores.
+    pub(crate) deletes: Arc<Counter>,
     /// Rotations started / completed.
     pub(crate) rotations_begun: Arc<Counter>,
     /// See [`StoreMetrics::rotations_begun`].
@@ -82,9 +86,17 @@ pub struct StoreMetrics {
 
 impl StoreMetrics {
     /// Registers every store- and persist-layer metric for a store with
-    /// `shards` shards.
-    pub(crate) fn new(shards: usize) -> StoreMetrics {
+    /// `shards` shards serving the `backend` filter family.
+    pub(crate) fn new(shards: usize, backend: BackendKind) -> StoreMetrics {
         let r = Registry::new();
+        // Prometheus-style info metric: constant 1, the interesting part is
+        // the label. Scrapers join on it to slice dashboards by family.
+        r.gauge_with(
+            "evilbloom_store_backend_info",
+            "Filter family this store serves (constant 1; see the backend label)",
+            &[("backend", backend.name())],
+        )
+        .set(1.0);
         let shard_fill = (0..shards)
             .map(|index| {
                 r.gauge_with(
@@ -101,6 +113,10 @@ impl StoreMetrics {
                 "Bits flipped 0 to 1 by inserts (drift-series numerator)",
             ),
             queries: r.counter("evilbloom_store_queries_total", "Membership queries answered"),
+            deletes: r.counter(
+                "evilbloom_store_deletes_total",
+                "Items removed from the store (deletable backends only)",
+            ),
             rotations_begun: r
                 .counter("evilbloom_store_rotations_begun_total", "Shard rotations started"),
             rotations_completed: r

@@ -75,6 +75,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use evilbloom_filters::{BackendKind, FilterBackend};
 use evilbloom_metrics::log_warn;
 
 use crate::metrics::StoreMetrics;
@@ -154,6 +155,9 @@ pub enum PersistError {
     /// under secret keys that are never written to disk, so a restored word
     /// array could not answer queries; see the module docs.
     HardenedStore,
+    /// Persistence was asked of a backend family that opts out of word-array
+    /// snapshots (a scalable filter's slice stack has no fixed geometry).
+    UnsupportedBackend(BackendKind),
     /// Recovery found no valid snapshot in the directory.
     NoSnapshot,
     /// A previous WAL write failed; the log is no longer trustworthy and
@@ -182,6 +186,9 @@ impl core::fmt::Display for PersistError {
                 "hardened stores refuse persistence: their bits are derived under \
                  secret keys that are never written to disk"
             ),
+            PersistError::UnsupportedBackend(kind) => {
+                write!(f, "the {kind} backend does not support word-array persistence")
+            }
             PersistError::NoSnapshot => write!(f, "no valid snapshot found in the directory"),
             PersistError::WalBroken(e) => write!(f, "write-ahead log is broken: {e}"),
             PersistError::AlreadyPersistent => write!(f, "persistence is already attached"),
@@ -220,6 +227,8 @@ pub struct RecoveryReport {
     pub wal_segments: u64,
     /// Insert records applied.
     pub replayed_inserts: u64,
+    /// Remove records applied (deletable backends only).
+    pub replayed_removes: u64,
     /// Rotation records applied.
     pub replayed_rotations: u64,
     /// Insert records discarded because their generation was rotated out
@@ -238,8 +247,10 @@ pub struct RecoveryReport {
 // ---------------------------------------------------------------------------
 
 /// Format version shared by snapshot and WAL files. Bump on incompatible
-/// layout changes.
-pub const PERSIST_FORMAT_VERSION: u8 = 1;
+/// layout changes. Version 2 added the backend-family byte pair to the
+/// snapshot header and the `REMOVE` WAL record; version-1 files are
+/// rejected with [`PersistError::BadVersion`].
+pub const PERSIST_FORMAT_VERSION: u8 = 2;
 
 const SNAPSHOT_MAGIC: &[u8; 4] = b"EVBS";
 const WAL_MAGIC: &[u8; 4] = b"EVBW";
@@ -250,6 +261,7 @@ const REC_SNAP_END: u8 = 0x03;
 const REC_WAL_INSERT: u8 = 0x10;
 const REC_WAL_ROTATE_BEGIN: u8 = 0x11;
 const REC_WAL_ROTATE_COMPLETE: u8 = 0x12;
+const REC_WAL_REMOVE: u8 = 0x13;
 
 const ROLE_ACTIVE: u8 = 0;
 const ROLE_DRAINING: u8 = 1;
@@ -685,6 +697,30 @@ impl StorePersistence {
         })
     }
 
+    /// Logs one applied per-shard remove bucket (deletable backends only).
+    /// Called under that shard's read lock. Same body layout as an insert
+    /// record, distinguished by the record type.
+    pub(crate) fn log_remove_bucket(
+        &self,
+        shard: usize,
+        generation: u64,
+        items: &[&[u8]],
+    ) -> Option<u64> {
+        let wal = self.wal.as_ref()?;
+        wal.append(|out| {
+            let payload: usize = items.iter().map(|i| 4 + i.len()).sum();
+            let mut body = Vec::with_capacity(4 + 8 + 4 + payload);
+            body.extend_from_slice(&(shard as u32).to_le_bytes());
+            body.extend_from_slice(&generation.to_le_bytes());
+            body.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                body.extend_from_slice(&(item.len() as u32).to_le_bytes());
+                body.extend_from_slice(item);
+            }
+            put_record(out, REC_WAL_REMOVE, &body);
+        })
+    }
+
     /// Logs a rotation phase. Called under the shard write lock.
     pub(crate) fn log_rotation(&self, shard: usize, generation: u64, begin: bool) -> Option<u64> {
         let wal = self.wal.as_ref()?;
@@ -710,7 +746,10 @@ impl StorePersistence {
 
     /// Writes a snapshot of `store` and prunes superseded files. See the
     /// module docs for the full protocol.
-    pub(crate) fn snapshot(&self, store: &BloomStore) -> Result<SnapshotInfo, PersistError> {
+    pub(crate) fn snapshot<B: FilterBackend>(
+        &self,
+        store: &BloomStore<B>,
+    ) -> Result<SnapshotInfo, PersistError> {
         let started = Instant::now();
         let _serialised = self.snapshot_lock.lock().expect("snapshot lock poisoned");
         if let Some(e) = self.wal_error() {
@@ -734,7 +773,7 @@ impl StorePersistence {
         out.push(PERSIST_FORMAT_VERSION);
         let config = store.config();
         let params = store.shard_params();
-        let mut header = Vec::with_capacity(44);
+        let mut header = Vec::with_capacity(46);
         header.extend_from_slice(&(config.shards as u32).to_le_bytes());
         header.extend_from_slice(&config.capacity.to_le_bytes());
         header.extend_from_slice(&config.target_fpp.to_bits().to_le_bytes());
@@ -742,18 +781,21 @@ impl StorePersistence {
         header.extend_from_slice(&params.k.to_le_bytes());
         header.extend_from_slice(&seq.to_le_bytes());
         header.extend_from_slice(&wal_seq.to_le_bytes());
+        header.push(B::KIND.code());
+        header.push(B::persist_aux(store.options()));
         put_record(&mut out, REC_SNAP_HEADER, &header);
 
         let mut generations = 0u32;
         for index in 0..store.shard_count() {
             store.shard(index).with_generations(|active, draining| {
-                put_generation(&mut out, index, ROLE_ACTIVE, active);
+                put_generation(&mut out, index, ROLE_ACTIVE, active)?;
                 generations += 1;
                 if let Some(draining) = draining {
-                    put_generation(&mut out, index, ROLE_DRAINING, draining);
+                    put_generation(&mut out, index, ROLE_DRAINING, draining)?;
                     generations += 1;
                 }
-            });
+                Ok::<(), PersistError>(())
+            })?;
         }
         put_record(&mut out, REC_SNAP_END, &generations.to_le_bytes());
 
@@ -798,17 +840,21 @@ impl StorePersistence {
     }
 }
 
-fn put_generation(
+fn put_generation<B: FilterBackend>(
     out: &mut Vec<u8>,
     shard: usize,
     role: u8,
-    generation: &crate::shard::Generation,
-) {
+    generation: &crate::shard::Generation<B>,
+) -> Result<(), PersistError> {
     let filter = &generation.filter;
     // The racy word copy; the ones count is deliberately NOT persisted —
     // recovery recounts it from these words (the live RMW counter may
     // disagree with any given copy; see the module docs).
-    let words = filter.snapshot_words();
+    let Some(words) = filter.snapshot_words() else {
+        // `enable_persistence` gates on `persist_words_len`, so only a
+        // backend lying about its own capability can reach this.
+        return Err(PersistError::UnsupportedBackend(B::KIND));
+    };
     let mut body = Vec::with_capacity(4 + 1 + 8 + 8 + 8 + 4 + words.len() * 8);
     body.extend_from_slice(&(shard as u32).to_le_bytes());
     body.push(role);
@@ -820,6 +866,7 @@ fn put_generation(
         body.extend_from_slice(&word.to_le_bytes());
     }
     put_record(out, REC_SNAP_GENERATION, &body);
+    Ok(())
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -851,8 +898,18 @@ pub(crate) struct SnapshotDoc {
     pub(crate) k: u32,
     pub(crate) seq: u64,
     pub(crate) wal_seq: u64,
+    /// Backend family code ([`BackendKind::code`]) the snapshot was written
+    /// by.
+    pub(crate) backend: u8,
+    /// Backend-specific options byte ([`FilterBackend::persist_aux`]).
+    pub(crate) backend_aux: u8,
     /// `(shard, role, generation id, inserted, words)` in file order.
     pub(crate) generations: Vec<(u32, u8, u64, u64, Vec<u64>)>,
+}
+
+/// The [`BackendKind`] a decoded snapshot claims, if its code is known.
+pub(crate) fn doc_backend_kind(doc: &SnapshotDoc) -> Option<BackendKind> {
+    BackendKind::from_code(doc.backend)
 }
 
 fn corrupt(file: &Path, what: &'static str) -> PersistError {
@@ -892,7 +949,9 @@ pub(crate) fn read_snapshot(path: &Path) -> Result<SnapshotDoc, PersistError> {
         Some(k),
         Some(seq),
         Some(wal_seq),
-    ) = (c.u32(), c.u64(), c.f64(), c.u64(), c.u32(), c.u64(), c.u64())
+        Some(backend),
+        Some(backend_aux),
+    ) = (c.u32(), c.u64(), c.f64(), c.u64(), c.u32(), c.u64(), c.u64(), c.u8(), c.u8())
     else {
         return Err(corrupt(path, "short header record"));
     };
@@ -914,7 +973,11 @@ pub(crate) fn read_snapshot(path: &Path) -> Result<SnapshotDoc, PersistError> {
                 if shard >= shards || role > ROLE_DRAINING {
                     return Err(corrupt(path, "generation record out of range"));
                 }
-                if gen_m != m || u64::from(count) != m.div_ceil(64) {
+                // The word count is NOT validated against `m` here: the
+                // words-per-bit ratio is backend-specific (a counting
+                // filter stores one multi-bit cell per index), so the
+                // backend's `from_words` is the authority on it.
+                if gen_m != m {
                     return Err(corrupt(path, "generation geometry mismatch"));
                 }
                 let mut words = Vec::with_capacity(count as usize);
@@ -945,7 +1008,18 @@ pub(crate) fn read_snapshot(path: &Path) -> Result<SnapshotDoc, PersistError> {
             RecordRead::Corrupt(what) => return Err(corrupt(path, what)),
         }
     }
-    Ok(SnapshotDoc { shards, capacity, target_fpp, m, k, seq, wal_seq, generations })
+    Ok(SnapshotDoc {
+        shards,
+        capacity,
+        target_fpp,
+        m,
+        k,
+        seq,
+        wal_seq,
+        backend,
+        backend_aux,
+        generations,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -955,6 +1029,7 @@ pub(crate) fn read_snapshot(path: &Path) -> Result<SnapshotDoc, PersistError> {
 /// One decoded WAL record.
 pub(crate) enum WalRecord<'a> {
     Insert { shard: u32, generation: u64, items: Vec<&'a [u8]> },
+    Remove { shard: u32, generation: u64, items: Vec<&'a [u8]> },
     RotateBegin { shard: u32, generation: u64 },
     RotateComplete { shard: u32, generation: u64 },
 }
@@ -972,7 +1047,7 @@ pub(crate) fn decode_wal_records(bytes: &[u8]) -> (Vec<WalRecord<'_>>, bool) {
                 pos += consumed;
                 let mut c = Cursor::new(body);
                 let decoded = match kind {
-                    REC_WAL_INSERT => {
+                    REC_WAL_INSERT | REC_WAL_REMOVE => {
                         let (Some(shard), Some(generation), Some(count)) =
                             (c.u32(), c.u64(), c.u32())
                         else {
@@ -989,7 +1064,11 @@ pub(crate) fn decode_wal_records(bytes: &[u8]) -> (Vec<WalRecord<'_>>, bool) {
                             };
                             items.push(item);
                         }
-                        WalRecord::Insert { shard, generation, items }
+                        if kind == REC_WAL_INSERT {
+                            WalRecord::Insert { shard, generation, items }
+                        } else {
+                            WalRecord::Remove { shard, generation, items }
+                        }
                     }
                     REC_WAL_ROTATE_BEGIN | REC_WAL_ROTATE_COMPLETE => {
                         let (Some(shard), Some(generation)) = (c.u32(), c.u64()) else {

@@ -1,0 +1,242 @@
+//! [`ServeStore`]: the object-safe facade a wire server holds.
+//!
+//! [`crate::BloomStore`] is generic over its [`FilterBackend`] — the right
+//! shape for callers that know their filter family at compile time, and the
+//! wrong shape for a TCP server that picks the family from a CLI flag at
+//! runtime. `ServeStore` erases the type parameter: every serving operation
+//! the wire protocol needs, expressed with object-safe signatures, so the
+//! server stores an `Arc<dyn ServeStore>` and serves plain, counting and
+//! scalable stores through one code path.
+//!
+//! Deletion is part of the trait (the wire has a `DELETE` opcode) but not
+//! every family honours it: non-deletable backends answer with the same
+//! typed [`UnsupportedOp`] the generic store raises, which the server maps
+//! to its `Unsupported` response rather than a connection error.
+
+use rand::RngCore;
+
+use evilbloom_filters::{BackendKind, FilterBackend};
+
+use crate::metrics::StoreMetrics;
+use crate::persist::{PersistError, SnapshotInfo};
+use crate::stats::StoreStats;
+use crate::store::{BatchOutcome, BloomStore, UnsupportedOp};
+
+/// Every operation a wire server performs on a store, object-safe so the
+/// backend family can be chosen at runtime.
+///
+/// Implemented by [`BloomStore`] for every backend; the trait methods
+/// delegate to the inherent ones, so behaviour (WAL logging, metrics,
+/// rotation semantics) is identical through either interface.
+pub trait ServeStore: Send + Sync {
+    /// Inserts one item; returns the number of fresh cells it set.
+    fn insert(&self, item: &[u8]) -> u32;
+
+    /// Membership query.
+    fn contains(&self, item: &[u8]) -> bool;
+
+    /// Batch insert; each shard is visited once.
+    fn insert_batch(&self, items: &[&[u8]]) -> BatchOutcome;
+
+    /// Batch membership query; answers in input order.
+    fn query_batch(&self, items: &[&[u8]]) -> Vec<bool>;
+
+    /// Removes one item (deletable backends); `Ok(was_present)`.
+    ///
+    /// # Errors
+    ///
+    /// [`UnsupportedOp`] on families without deletion.
+    fn remove(&self, item: &[u8]) -> Result<bool, UnsupportedOp>;
+
+    /// Batch removal; answers in input order.
+    ///
+    /// # Errors
+    ///
+    /// [`UnsupportedOp`] on families without deletion.
+    fn remove_batch(&self, items: &[&[u8]]) -> Result<Vec<bool>, UnsupportedOp>;
+
+    /// Health snapshot (per-shard fill, fpp estimates, pollution alarms).
+    fn stats(&self) -> StoreStats;
+
+    /// Stats pass that also refreshes the sampled gauges and the drift
+    /// series (what a metrics scrape calls).
+    fn sample_metrics(&self) -> StoreStats;
+
+    /// The store's telemetry registry handle.
+    fn metrics(&self) -> &StoreMetrics;
+
+    /// Whether routing and index derivation are secret-keyed.
+    fn is_hardened(&self) -> bool;
+
+    /// The filter family being served.
+    fn backend_kind(&self) -> BackendKind;
+
+    /// Number of shards.
+    fn shard_count(&self) -> usize;
+
+    /// Active generation id of a shard.
+    fn generation_id(&self, shard: usize) -> u64;
+
+    /// Starts a rotation on `shard`, drawing any fresh key material from
+    /// `rng`. Returns the new generation id, or `None` if a rotation is
+    /// already draining there.
+    fn begin_rotation_dyn(&self, shard: usize, rng: &mut dyn RngCore) -> Option<u64>;
+
+    /// Completes a draining rotation on `shard`.
+    fn complete_rotation(&self, shard: usize) -> bool;
+
+    /// Writes a snapshot, if persistence is attached.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::NotPersistent`] without persistence, or any snapshot
+    /// failure.
+    fn snapshot_to_disk(&self) -> Result<SnapshotInfo, PersistError>;
+}
+
+impl<B: FilterBackend> ServeStore for BloomStore<B> {
+    fn insert(&self, item: &[u8]) -> u32 {
+        BloomStore::insert(self, item)
+    }
+
+    fn contains(&self, item: &[u8]) -> bool {
+        BloomStore::contains(self, item)
+    }
+
+    fn insert_batch(&self, items: &[&[u8]]) -> BatchOutcome {
+        BloomStore::insert_batch(self, items)
+    }
+
+    fn query_batch(&self, items: &[&[u8]]) -> Vec<bool> {
+        BloomStore::query_batch(self, items)
+    }
+
+    fn remove(&self, item: &[u8]) -> Result<bool, UnsupportedOp> {
+        BloomStore::remove(self, item)
+    }
+
+    fn remove_batch(&self, items: &[&[u8]]) -> Result<Vec<bool>, UnsupportedOp> {
+        BloomStore::remove_batch(self, items)
+    }
+
+    fn stats(&self) -> StoreStats {
+        BloomStore::stats(self)
+    }
+
+    fn sample_metrics(&self) -> StoreStats {
+        BloomStore::sample_metrics(self)
+    }
+
+    fn metrics(&self) -> &StoreMetrics {
+        BloomStore::metrics(self)
+    }
+
+    fn is_hardened(&self) -> bool {
+        BloomStore::is_hardened(self)
+    }
+
+    fn backend_kind(&self) -> BackendKind {
+        BloomStore::backend_kind(self)
+    }
+
+    fn shard_count(&self) -> usize {
+        BloomStore::shard_count(self)
+    }
+
+    fn generation_id(&self, shard: usize) -> u64 {
+        BloomStore::generation_id(self, shard)
+    }
+
+    fn begin_rotation_dyn(&self, shard: usize, rng: &mut dyn RngCore) -> Option<u64> {
+        // Reborrow: `&mut dyn RngCore` itself implements `RngCore` via the
+        // blanket impl, satisfying the inherent method's `R: RngCore`.
+        let mut rng = rng;
+        BloomStore::begin_rotation(self, shard, &mut rng)
+    }
+
+    fn complete_rotation(&self, shard: usize) -> bool {
+        BloomStore::complete_rotation(self, shard)
+    }
+
+    fn snapshot_to_disk(&self) -> Result<SnapshotInfo, PersistError> {
+        BloomStore::snapshot_to_disk(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    /// Builds each backend family behind the same trait object, the way the
+    /// server will.
+    fn all_backends() -> Vec<(&'static str, Arc<dyn ServeStore>)> {
+        vec![
+            ("bloom", Arc::new(BloomStore::builder().shards(4).capacity(4_000).seed(1).build())),
+            (
+                "counting",
+                Arc::new(BloomStore::builder().shards(4).capacity(4_000).counting(4).build()),
+            ),
+            (
+                "scalable",
+                Arc::new(BloomStore::builder().shards(4).capacity(4_000).scalable(0.9).build()),
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_family_serves_through_the_trait_object() {
+        for (name, store) in all_backends() {
+            assert_eq!(store.insert(b"one"), store.stats().shards[0].k.max(1), "{name}");
+            assert!(store.contains(b"one"), "{name}");
+            let outcome = store.insert_batch(&[b"two".as_slice(), b"three"]);
+            assert_eq!(outcome.items, 2, "{name}");
+            assert_eq!(
+                store.query_batch(&[b"one".as_slice(), b"two", b"absent-xyz"])[..2],
+                [true, true],
+                "{name}"
+            );
+            assert_eq!(store.shard_count(), 4, "{name}");
+        }
+    }
+
+    #[test]
+    fn remove_capability_matches_the_family() {
+        for (name, store) in all_backends() {
+            let result = store.remove(b"one");
+            match store.backend_kind() {
+                BackendKind::Counting => assert!(result.is_ok(), "{name}"),
+                kind => {
+                    let err = result.unwrap_err();
+                    assert_eq!(err.backend, kind, "{name}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_through_the_trait_object() {
+        for (name, store) in all_backends() {
+            store.insert(b"old");
+            let mut rng = StdRng::seed_from_u64(5);
+            for shard in 0..store.shard_count() {
+                assert_eq!(store.begin_rotation_dyn(shard, &mut rng), Some(1), "{name}");
+            }
+            assert!(store.contains(b"old"), "{name}: draining generation answers");
+            for shard in 0..store.shard_count() {
+                assert!(store.complete_rotation(shard), "{name}");
+                assert_eq!(store.generation_id(shard), 1, "{name}");
+            }
+            assert!(!store.contains(b"old"), "{name}: rotation dropped the old bits");
+        }
+    }
+
+    #[test]
+    fn snapshot_without_persistence_is_a_typed_error() {
+        for (name, store) in all_backends() {
+            assert!(matches!(store.snapshot_to_disk(), Err(PersistError::NotPersistent)), "{name}");
+        }
+    }
+}

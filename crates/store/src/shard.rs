@@ -1,4 +1,4 @@
-//! A single store shard: a concurrent Bloom filter wrapped in a generation
+//! A single store shard: a concurrent filter backend wrapped in a generation
 //! pair so its secret key can be rotated without a service interruption.
 //!
 //! Rotation model: a Bloom filter cannot enumerate its items, so rotation is
@@ -13,24 +13,28 @@
 //!    (the rebuild), then calls [`Shard::complete_rotation`] to drop the
 //!    drained generation — and with it every bit the adversary polluted
 //!    under the old key.
+//!
+//! The shard is generic over the [`FilterBackend`] family it holds (plain,
+//! counting, scalable); the default keeps existing `Shard` mentions meaning
+//! what they always did.
 
 use std::sync::RwLock;
 
-use evilbloom_filters::ConcurrentBloomFilter;
+use evilbloom_filters::{ConcurrentBloomFilter, FilterBackend};
 
 /// One filter generation: the filter plus a monotonically increasing id.
 #[derive(Debug)]
-pub struct Generation {
+pub struct Generation<B = ConcurrentBloomFilter> {
     /// The concurrent filter answering for this generation.
-    pub filter: ConcurrentBloomFilter,
+    pub filter: B,
     /// Generation number (0 at shard creation, +1 per rotation).
     pub id: u64,
 }
 
 #[derive(Debug)]
-struct GenerationPair {
-    active: Generation,
-    draining: Option<Generation>,
+struct GenerationPair<B> {
+    active: Generation<B>,
+    draining: Option<Generation<B>>,
 }
 
 /// A store shard: an active filter generation, plus an optional draining
@@ -38,15 +42,15 @@ struct GenerationPair {
 ///
 /// The `RwLock` only guards the *installation* of generations; inserts and
 /// queries take the read lock (shared, uncontended in steady state) and then
-/// operate lock-free on the `ConcurrentBloomFilter` inside.
+/// operate lock-free on the [`FilterBackend`] inside.
 #[derive(Debug)]
-pub struct Shard {
-    generations: RwLock<GenerationPair>,
+pub struct Shard<B = ConcurrentBloomFilter> {
+    generations: RwLock<GenerationPair<B>>,
 }
 
-impl Shard {
+impl<B: FilterBackend> Shard<B> {
     /// Creates a shard serving `filter` as generation 0.
-    pub fn new(filter: ConcurrentBloomFilter) -> Self {
+    pub fn new(filter: B) -> Self {
         Shard {
             generations: RwLock::new(GenerationPair {
                 active: Generation { filter, id: 0 },
@@ -59,20 +63,23 @@ impl Shard {
     /// constructor (generation ids restored from a snapshot are usually
     /// non-zero, and a shard persisted mid-rotation restores both
     /// generations).
-    pub(crate) fn restore(active: Generation, draining: Option<Generation>) -> Self {
+    pub(crate) fn restore(active: Generation<B>, draining: Option<Generation<B>>) -> Self {
         Shard { generations: RwLock::new(GenerationPair { active, draining }) }
     }
 
     /// Runs `f` with the active generation and (if a rotation is draining)
     /// the previous one. This is the primitive the store's batch APIs use to
     /// amortise lock acquisition over many items.
-    pub fn with_generations<R>(&self, f: impl FnOnce(&Generation, Option<&Generation>) -> R) -> R {
+    pub fn with_generations<R>(
+        &self,
+        f: impl FnOnce(&Generation<B>, Option<&Generation<B>>) -> R,
+    ) -> R {
         let pair = self.generations.read().expect("shard lock poisoned");
         f(&pair.active, pair.draining.as_ref())
     }
 
     /// Inserts `item` into the active generation; returns the number of
-    /// fresh bits set.
+    /// fresh cells set.
     pub fn insert(&self, item: &[u8]) -> u32 {
         self.with_generations(|active, _| active.filter.insert(item))
     }
@@ -90,7 +97,7 @@ impl Shard {
     /// active generation and the current one drains. Returns the new
     /// generation id, or `None` if a rotation is already in flight (finish
     /// it first — dropping a draining generation early would lose answers).
-    pub fn begin_rotation(&self, fresh: ConcurrentBloomFilter) -> Option<u64> {
+    pub fn begin_rotation(&self, fresh: B) -> Option<u64> {
         self.begin_rotation_logged(fresh, |_| {})
     }
 
@@ -98,11 +105,7 @@ impl Shard {
     /// is still held* — the store's WAL append point. Holding the lock keeps
     /// log order consistent with apply order: no insert (read lock) can log
     /// between the generation switch and its log record.
-    pub(crate) fn begin_rotation_logged(
-        &self,
-        fresh: ConcurrentBloomFilter,
-        log: impl FnOnce(u64),
-    ) -> Option<u64> {
+    pub(crate) fn begin_rotation_logged(&self, fresh: B, log: impl FnOnce(u64)) -> Option<u64> {
         let mut pair = self.generations.write().expect("shard lock poisoned");
         if pair.draining.is_some() {
             return None;
@@ -147,8 +150,9 @@ impl Shard {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use evilbloom_filters::FilterParams;
+    use evilbloom_filters::{ConcurrentCountingFilter, CountingOptions, FilterParams};
     use evilbloom_hashes::{KirschMitzenmacher, Murmur3_128};
+    use std::sync::Arc;
 
     fn fresh_filter() -> ConcurrentBloomFilter {
         ConcurrentBloomFilter::new(
@@ -214,5 +218,19 @@ mod tests {
         shard.complete_rotation();
         // The polluted bits lived only in the dropped generation.
         assert!(!shard.contains(b"pollution"));
+    }
+
+    #[test]
+    fn counting_backend_shards_support_removal_through_the_generation_pair() {
+        let shard = Shard::new(ConcurrentCountingFilter::fresh(
+            FilterParams::optimal(200, 0.01),
+            Arc::new(KirschMitzenmacher::new(Murmur3_128)),
+            &CountingOptions::default(),
+        ));
+        shard.insert(b"victim");
+        assert!(shard.contains(b"victim"));
+        let removed = shard.with_generations(|active, _| active.filter.remove(b"victim"));
+        assert!(removed);
+        assert!(!shard.contains(b"victim"));
     }
 }

@@ -11,6 +11,7 @@
 //! path and almost certainly under attack — that is the pollution alarm.
 
 use evilbloom_analysis::{false_positive, worst_case};
+use evilbloom_filters::BackendKind;
 
 /// Insertions below this count are too noisy to judge — a couple of lucky
 /// collisions either way dominate the honest/adversarial gap.
@@ -69,6 +70,9 @@ pub struct ShardStats {
 /// Snapshot of the whole store's health.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreStats {
+    /// Filter family the shards hold (what the wire-level `STATS` response
+    /// reports so clients know whether `DELETE` will be honoured).
+    pub backend: BackendKind,
     /// Per-shard statistics, indexed by shard.
     pub shards: Vec<ShardStats>,
     /// Total insert calls across shards (active generations).
@@ -83,8 +87,9 @@ pub struct StoreStats {
 }
 
 impl StoreStats {
-    /// Aggregates per-shard snapshots.
-    pub fn from_shards(shards: Vec<ShardStats>) -> Self {
+    /// Aggregates per-shard snapshots for a store of the given backend
+    /// family.
+    pub fn from_shards(backend: BackendKind, shards: Vec<ShardStats>) -> Self {
         let total_inserted = shards.iter().map(|s| s.inserted).sum();
         let mean_fill = if shards.is_empty() {
             0.0
@@ -93,7 +98,7 @@ impl StoreStats {
         };
         let max_estimated_fpp = shards.iter().map(|s| s.estimated_fpp).fold(0.0f64, f64::max);
         let alarms = shards.iter().filter(|s| s.pollution_alarm).count();
-        StoreStats { shards, total_inserted, mean_fill, max_estimated_fpp, alarms }
+        StoreStats { backend, shards, total_inserted, mean_fill, max_estimated_fpp, alarms }
     }
 }
 
@@ -140,8 +145,11 @@ mod tests {
             estimated_fpp: fpp,
             pollution_alarm: alarm,
         };
-        let stats =
-            StoreStats::from_shards(vec![shard(0, 0.3, 0.01, false), shard(1, 0.9, 0.65, true)]);
+        let stats = StoreStats::from_shards(
+            BackendKind::Counting,
+            vec![shard(0, 0.3, 0.01, false), shard(1, 0.9, 0.65, true)],
+        );
+        assert_eq!(stats.backend, BackendKind::Counting);
         assert_eq!(stats.total_inserted, 200);
         assert_eq!(stats.alarms, 1);
         assert!((stats.mean_fill - 0.6).abs() < 1e-12);

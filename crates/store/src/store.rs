@@ -1,4 +1,5 @@
-//! The sharded concurrent Bloom-filter store.
+//! The sharded concurrent filter store, generic over the
+//! [`FilterBackend`] family its shards hold.
 
 use std::sync::Arc;
 
@@ -6,8 +7,9 @@ use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
 use evilbloom_filters::{
-    hardened_concurrent_filter, hardened_params, ConcurrentBloomFilter, FilterKey, FilterParams,
-    HardeningLevel,
+    hardened_params, hardened_parts, BackendKind, ConcurrentBloomFilter, ConcurrentCountingFilter,
+    ConcurrentScalableFilter, CountingOptions, FilterBackend, FilterKey, FilterParams,
+    HardeningLevel, ScalableOptions,
 };
 use evilbloom_hashes::{
     Hasher64, IndexStrategy, KeyedHash64, KirschMitzenmacher, Murmur3_128, SipHash24, SipKey,
@@ -49,6 +51,11 @@ pub struct StoreConfig {
     pub target_fpp: f64,
     /// Hardening posture.
     pub hardening: StoreHardening,
+    /// Filter family the shards hold. Informational on input (the store's
+    /// type parameter is authoritative, and construction overwrites this
+    /// field with [`FilterBackend::KIND`]); authoritative on output
+    /// ([`BloomStore::config`] always reports the served family).
+    pub backend: BackendKind,
 }
 
 impl StoreConfig {
@@ -60,13 +67,20 @@ impl StoreConfig {
             capacity,
             target_fpp,
             hardening: StoreHardening::Hardened(HardeningLevel::KeyedSipHash),
+            backend: BackendKind::Bloom,
         }
     }
 
     /// An unhardened store mirroring the attacked deployments (useful as the
     /// baseline in the adversarial load harness).
     pub fn unhardened(shards: usize, capacity: u64, target_fpp: f64) -> Self {
-        StoreConfig { shards, capacity, target_fpp, hardening: StoreHardening::Unhardened }
+        StoreConfig {
+            shards,
+            capacity,
+            target_fpp,
+            hardening: StoreHardening::Unhardened,
+            backend: BackendKind::Bloom,
+        }
     }
 }
 
@@ -75,9 +89,28 @@ impl StoreConfig {
 pub struct BatchOutcome {
     /// Items inserted.
     pub items: usize,
-    /// Bits flipped 0 → 1 across all shards by this batch.
+    /// Cells flipped empty → occupied across all shards by this batch.
     pub fresh_bits: u64,
 }
+
+/// A typed refusal: the operation exists on the wire and in the API, but the
+/// store's filter family cannot perform it (e.g. `DELETE` against a plain
+/// Bloom backend, which has no way to unset a shared bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedOp {
+    /// The family that refused.
+    pub backend: BackendKind,
+    /// The operation it refused.
+    pub op: &'static str,
+}
+
+impl core::fmt::Display for UnsupportedOp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "the {} backend does not support {}", self.backend, self.op)
+    }
+}
+
+impl std::error::Error for UnsupportedOp {}
 
 enum Router {
     /// Secret-keyed routing: the adversary cannot predict (or choose) which
@@ -97,22 +130,35 @@ impl Router {
     }
 }
 
-/// A sharded, lock-free concurrent Bloom-filter store.
+/// A sharded, lock-free concurrent filter store.
 ///
 /// Items are routed to one of `N` power-of-two shards by a routing hash
 /// (secret-keyed unless the store is [`StoreHardening::Unhardened`]); each
-/// shard is a [`ConcurrentBloomFilter`] built by the Section 8 hardened
+/// shard holds a [`FilterBackend`] built by the Section 8 hardened
 /// constructors and wrapped in a generation pair so its key can be rotated
 /// without downtime (see [`crate::shard::Shard`]).
 ///
+/// The backend type parameter picks the filter family — the default
+/// [`ConcurrentBloomFilter`], a deletable [`ConcurrentCountingFilter`], or a
+/// growing [`ConcurrentScalableFilter`] — via [`BloomStore::builder`]:
+///
+/// ```
+/// use evilbloom_store::BloomStore;
+///
+/// let counting = BloomStore::builder().shards(4).capacity(4_000).counting(4).build();
+/// assert_eq!(counting.remove(b"never inserted"), Ok(false));
+/// ```
+///
 /// All serving operations take `&self`: share the store across worker
 /// threads by reference (`std::thread::scope`) or in an [`Arc`].
-pub struct BloomStore {
-    shards: Vec<Shard>,
+pub struct BloomStore<B: FilterBackend = ConcurrentBloomFilter> {
+    shards: Vec<Shard<B>>,
     router: Router,
     config: StoreConfig,
     shard_capacity: u64,
     shard_params: FilterParams,
+    /// Backend-family construction options (counter width, tightening ratio).
+    options: B::Options,
     /// The shared predictable strategy of an unhardened store (what the
     /// adversarial view uses to compute indexes offline); `None` when keyed.
     public_strategy: Option<Arc<dyn IndexStrategy>>,
@@ -124,15 +170,178 @@ pub struct BloomStore {
     metrics: Arc<StoreMetrics>,
 }
 
+/// Fluent constructor for [`BloomStore`], including backend selection.
+///
+/// Defaults: 8 shards, 8 000-item capacity, 1% target false positives,
+/// hardened with [`HardeningLevel::KeyedSipHash`], RNG seed 0. The seed
+/// drives all secret key material — production deployments of a *hardened*
+/// store must either set [`StoreBuilder::seed`] from real entropy or use
+/// [`StoreBuilder::build_with_rng`] with an entropy-seeded RNG.
+#[derive(Debug)]
+pub struct StoreBuilder<B: FilterBackend = ConcurrentBloomFilter> {
+    shards: usize,
+    capacity: u64,
+    target_fpp: f64,
+    hardening: StoreHardening,
+    seed: u64,
+    options: B::Options,
+}
+
+impl StoreBuilder {
+    fn new() -> Self {
+        StoreBuilder {
+            shards: 8,
+            capacity: 8_000,
+            target_fpp: 0.01,
+            hardening: StoreHardening::Hardened(HardeningLevel::KeyedSipHash),
+            seed: 0,
+            options: (),
+        }
+    }
+}
+
+impl<B: FilterBackend> StoreBuilder<B> {
+    /// Number of shards (must be a power of two).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Total item capacity, split evenly across shards.
+    pub fn capacity(mut self, capacity: u64) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Target false-positive probability per shard.
+    pub fn target_fpp(mut self, target_fpp: f64) -> Self {
+        self.target_fpp = target_fpp;
+        self
+    }
+
+    /// Explicit hardening posture.
+    pub fn hardening(mut self, hardening: StoreHardening) -> Self {
+        self.hardening = hardening;
+        self
+    }
+
+    /// Keyed-SipHash hardening (the recommended serving posture).
+    pub fn hardened(self) -> Self {
+        self.hardening(StoreHardening::Hardened(HardeningLevel::KeyedSipHash))
+    }
+
+    /// Hardening at an explicit [`HardeningLevel`].
+    pub fn hardened_at(self, level: HardeningLevel) -> Self {
+        self.hardening(StoreHardening::Hardened(level))
+    }
+
+    /// No hardening: public routing and index derivation, the posture of the
+    /// attacked deployments.
+    pub fn unhardened(self) -> Self {
+        self.hardening(StoreHardening::Unhardened)
+    }
+
+    /// Copies sizing and hardening from an existing [`StoreConfig`] (its
+    /// `backend` field is ignored — the builder's type parameter decides).
+    pub fn config(mut self, config: StoreConfig) -> Self {
+        self.shards = config.shards;
+        self.capacity = config.capacity;
+        self.target_fpp = config.target_fpp;
+        self.hardening = config.hardening;
+        self
+    }
+
+    /// Seed of the RNG that [`StoreBuilder::build`] draws secret key
+    /// material from. Deterministic by design for tests and reproducible
+    /// experiments; hardened production stores need real entropy here.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Switches the builder to an arbitrary backend family with explicit
+    /// options; [`StoreBuilder::counting`] and [`StoreBuilder::scalable`]
+    /// are shorthands for the built-in families.
+    pub fn backend<B2: FilterBackend>(self, options: B2::Options) -> StoreBuilder<B2> {
+        StoreBuilder {
+            shards: self.shards,
+            capacity: self.capacity,
+            target_fpp: self.target_fpp,
+            hardening: self.hardening,
+            seed: self.seed,
+            options,
+        }
+    }
+
+    /// Counting-filter shards with `counter_bits`-bit saturating cells —
+    /// the deletable family (and the deletion adversary's target).
+    pub fn counting(self, counter_bits: u8) -> StoreBuilder<ConcurrentCountingFilter> {
+        self.backend(CountingOptions { counter_bits })
+    }
+
+    /// Scalable shards growing by `tightening_ratio` — the forced-growth
+    /// target. Refuses persistence (slice stacks have no fixed geometry).
+    pub fn scalable(self, tightening_ratio: f64) -> StoreBuilder<ConcurrentScalableFilter> {
+        self.backend(ScalableOptions { tightening_ratio })
+    }
+
+    /// Builds the store, drawing key material from a [`StdRng`] seeded with
+    /// [`StoreBuilder::seed`].
+    pub fn build(self) -> BloomStore<B> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.build_with_rng(&mut rng)
+    }
+
+    /// Builds the store with an explicit RNG (overrides the seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shard count is zero or not a power of two, if the
+    /// per-shard capacity would be zero, or if the backend options are
+    /// invalid (zero counter width, tightening ratio outside `(0, 1]`).
+    pub fn build_with_rng<R: RngCore + ?Sized>(self, rng: &mut R) -> BloomStore<B> {
+        let config = StoreConfig {
+            shards: self.shards,
+            capacity: self.capacity,
+            target_fpp: self.target_fpp,
+            hardening: self.hardening,
+            backend: B::KIND,
+        };
+        BloomStore::build_with(config, self.options, rng)
+    }
+}
+
 impl BloomStore {
-    /// Builds a store, drawing all secret key material (per-shard filter
-    /// keys and the shard-routing key) from `rng`.
+    /// Starts a fluent [`StoreBuilder`] (plain Bloom shards unless
+    /// [`StoreBuilder::counting`] / [`StoreBuilder::scalable`] switch the
+    /// family).
+    pub fn builder() -> StoreBuilder {
+        StoreBuilder::new()
+    }
+
+    /// Builds a plain-Bloom store, drawing all secret key material (per-shard
+    /// filter keys and the shard-routing key) from `rng`.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is zero or not a power of two, or if the per-shard
     /// capacity would be zero.
+    #[deprecated(note = "use BloomStore::builder(), which also selects counting/scalable backends")]
     pub fn new<R: RngCore>(config: StoreConfig, rng: &mut R) -> Self {
+        BloomStore::build_with(config, (), rng)
+    }
+}
+
+impl<B: FilterBackend> BloomStore<B> {
+    /// The shared non-deprecated constructor behind the builder, the legacy
+    /// shim and recovery. Overwrites `config.backend` with the type
+    /// parameter's [`FilterBackend::KIND`] so the two can never disagree.
+    fn build_with<R: RngCore + ?Sized>(
+        mut config: StoreConfig,
+        options: B::Options,
+        rng: &mut R,
+    ) -> Self {
+        config.backend = B::KIND;
         assert!(
             config.shards > 0 && config.shards.is_power_of_two(),
             "shard count must be a power of two"
@@ -163,33 +372,46 @@ impl BloomStore {
             config,
             shard_capacity,
             shard_params,
+            options,
             public_strategy,
             persistence: None,
-            metrics: Arc::new(StoreMetrics::new(config.shards)),
+            metrics: Arc::new(StoreMetrics::new(config.shards, B::KIND)),
         };
+        // Reborrow so the possibly-unsized `R` is driven through the Sized
+        // `&mut R`, which implements `RngCore` via the blanket impl.
+        let mut rng = rng;
         for _ in 0..config.shards {
-            let filter = store.build_shard_filter(&FilterKey::generate(rng));
+            let filter = store.build_shard_filter(&FilterKey::generate(&mut rng));
             store.shards.push(Shard::new(filter));
         }
         store
     }
 
     /// Builds a fresh (empty) per-shard filter for construction or rotation.
-    fn build_shard_filter(&self, key: &FilterKey) -> ConcurrentBloomFilter {
+    fn build_shard_filter(&self, key: &FilterKey) -> B {
         match self.config.hardening {
             StoreHardening::Hardened(level) => {
-                hardened_concurrent_filter(self.shard_capacity, self.config.target_fpp, level, key)
+                let (params, strategy) =
+                    hardened_parts(self.shard_capacity, self.config.target_fpp, level, key);
+                B::fresh(params, strategy.into(), &self.options)
             }
-            StoreHardening::Unhardened => ConcurrentBloomFilter::with_shared_strategy(
+            StoreHardening::Unhardened => B::fresh(
                 self.shard_params,
                 Arc::clone(self.public_strategy.as_ref().expect("unhardened strategy")),
+                &self.options,
             ),
         }
     }
 
-    /// The store's configuration.
+    /// The store's configuration (its `backend` field always reports the
+    /// served [`BackendKind`]).
     pub fn config(&self) -> StoreConfig {
         self.config
+    }
+
+    /// The filter family the shards hold.
+    pub fn backend_kind(&self) -> BackendKind {
+        B::KIND
     }
 
     /// Number of shards.
@@ -197,7 +419,8 @@ impl BloomStore {
         self.shards.len()
     }
 
-    /// The sizing parameters every shard uses.
+    /// The sizing parameters every shard uses (the base slice, for growing
+    /// families).
     pub fn shard_params(&self) -> FilterParams {
         self.shard_params
     }
@@ -212,8 +435,12 @@ impl BloomStore {
         self.router.route(item, self.shards.len() as u64 - 1)
     }
 
-    pub(crate) fn shard(&self, index: usize) -> &Shard {
+    pub(crate) fn shard(&self, index: usize) -> &Shard<B> {
         &self.shards[index]
+    }
+
+    pub(crate) fn options(&self) -> &B::Options {
+        &self.options
     }
 
     /// The shared predictable index strategy of an unhardened store (`None`
@@ -222,7 +449,7 @@ impl BloomStore {
         self.public_strategy.as_ref()
     }
 
-    /// Inserts one item; returns the number of fresh bits it set.
+    /// Inserts one item; returns the number of fresh cells it set.
     ///
     /// With persistence attached the insert is appended to the write-ahead
     /// log *after* it is applied, while the shard read lock is still held
@@ -252,9 +479,91 @@ impl BloomStore {
         self.shards[self.route(item)].contains(item)
     }
 
+    /// Removes one item, when the backend family supports deletion
+    /// (counting filters). Returns whether the item read as present before
+    /// the removal. Like inserts, removals are WAL-logged under the shard
+    /// read lock so recovery replays them in apply order.
+    ///
+    /// Deleting items that were never inserted is exactly the paper's
+    /// deletion adversary (Section 4.3): each such call can evict *other*
+    /// items' cells. The store intentionally does not police this — the
+    /// defence is hardening, which makes the required cell indexes
+    /// uncomputable — but `was_present == false` returns are the audit
+    /// trail.
+    ///
+    /// # Errors
+    ///
+    /// [`UnsupportedOp`] on families without deletion (plain, scalable).
+    pub fn remove(&self, item: &[u8]) -> Result<bool, UnsupportedOp> {
+        if !B::supports_remove() {
+            return Err(UnsupportedOp { backend: B::KIND, op: "remove" });
+        }
+        let shard = self.route(item);
+        let (was_present, lsn) = self.shards[shard].with_generations(|active, _| {
+            let was_present = active.filter.remove(item).expect("supports_remove() checked above");
+            let lsn = self
+                .persistence
+                .as_ref()
+                .and_then(|p| p.log_remove_bucket(shard, active.id, &[item]));
+            (was_present, lsn)
+        });
+        if let (Some(p), Some(lsn)) = (self.persistence.as_ref(), lsn) {
+            p.commit(lsn);
+        }
+        self.metrics.deletes.inc();
+        Ok(was_present)
+    }
+
+    /// Batch removal; answers (`was_present` per item) are in input order.
+    /// Each shard is visited once, mirroring [`BloomStore::insert_batch`].
+    ///
+    /// # Errors
+    ///
+    /// [`UnsupportedOp`] on families without deletion.
+    pub fn remove_batch<I: AsRef<[u8]>>(&self, items: &[I]) -> Result<Vec<bool>, UnsupportedOp> {
+        if !B::supports_remove() {
+            return Err(UnsupportedOp { backend: B::KIND, op: "remove_batch" });
+        }
+        let shards = self.shards.len();
+        let mut positions: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut buckets: Vec<Vec<&[u8]>> = (0..shards).map(|_| Vec::new()).collect();
+        for (position, item) in items.iter().enumerate() {
+            let item = item.as_ref();
+            let shard = self.route(item);
+            positions[shard].push(position);
+            buckets[shard].push(item);
+        }
+        let mut answers = vec![false; items.len()];
+        let mut last_lsn = None;
+        for (index, ((shard, bucket), bucket_positions)) in
+            self.shards.iter().zip(&buckets).zip(&positions).enumerate()
+        {
+            if bucket.is_empty() {
+                continue;
+            }
+            shard.with_generations(|active, _| {
+                let removed =
+                    active.filter.remove_batch(bucket).expect("supports_remove() checked above");
+                for (&position, was_present) in bucket_positions.iter().zip(removed) {
+                    answers[position] = was_present;
+                }
+                if let Some(p) = &self.persistence {
+                    if let Some(lsn) = p.log_remove_bucket(index, active.id, bucket) {
+                        last_lsn = Some(lsn);
+                    }
+                }
+            });
+        }
+        if let (Some(p), Some(lsn)) = (self.persistence.as_ref(), last_lsn) {
+            p.commit(lsn);
+        }
+        self.metrics.deletes.add(items.len() as u64);
+        Ok(answers)
+    }
+
     /// Inserts a batch: routes every item first, then visits each shard
     /// exactly once and hands its whole bucket to the filter's
-    /// hash-precomputing [`ConcurrentBloomFilter::insert_batch`] — amortising
+    /// hash-precomputing [`FilterBackend::insert_batch`] — amortising
     /// routing hashes, shard-lock acquisitions *and* per-item index-buffer
     /// allocations over the batch.
     pub fn insert_batch<I: AsRef<[u8]>>(&self, items: &[I]) -> BatchOutcome {
@@ -381,14 +690,20 @@ impl BloomStore {
     ///
     /// [`PersistError::HardenedStore`] — hardened bits are derived under
     /// secret keys that are never written to disk, so a restored hardened
-    /// store could not answer queries. [`PersistError::AlreadyPersistent`]
-    /// if called twice, or [`PersistError::Io`] on filesystem failure.
+    /// store could not answer queries.
+    /// [`PersistError::UnsupportedBackend`] — the family opts out of
+    /// word-array persistence (a scalable filter's slice stack has no fixed
+    /// geometry to snapshot). [`PersistError::AlreadyPersistent`] if called
+    /// twice, or [`PersistError::Io`] on filesystem failure.
     pub fn enable_persistence(
         &mut self,
         config: &PersistConfig,
     ) -> Result<SnapshotInfo, PersistError> {
         if self.is_hardened() {
             return Err(PersistError::HardenedStore);
+        }
+        if B::persist_words_len(&self.shard_params, &self.options).is_none() {
+            return Err(PersistError::UnsupportedBackend(B::KIND));
         }
         if self.persistence.is_some() {
             return Err(PersistError::AlreadyPersistent);
@@ -432,9 +747,9 @@ impl BloomStore {
     /// a fresh WAL segment and writes a post-recovery snapshot so boot cost
     /// stays bounded by the WAL tail.
     ///
-    /// The recovered store answers queries bit-for-bit identically to the
-    /// crashed one for every acknowledged insert (plus any insert that was
-    /// mid-flight, which replay applies idempotently).
+    /// The recovered store answers queries identically to the crashed one
+    /// for every acknowledged insert and removal (plus any operation that
+    /// was mid-flight, which replay applies idempotently).
     ///
     /// # Errors
     ///
@@ -442,9 +757,11 @@ impl BloomStore {
     /// snapshot, [`PersistError::Corrupt`] / [`PersistError::BadVersion`]
     /// on a damaged snapshot file (damaged WAL *tails* are tolerated as a
     /// clean cut instead), [`PersistError::ConfigMismatch`] if the snapshot
-    /// geometry no longer matches what the parameters derive, or
+    /// geometry or filter family no longer matches this store type, or
     /// [`PersistError::Io`].
-    pub fn recover(config: &PersistConfig) -> Result<(BloomStore, RecoveryReport), PersistError> {
+    pub fn recover(
+        config: &PersistConfig,
+    ) -> Result<(BloomStore<B>, RecoveryReport), PersistError> {
         let (newest_snapshot, wal_seqs) = persist::scan_dir(&config.dir)?;
         let snapshot_seq = newest_snapshot.ok_or(PersistError::NoSnapshot)?;
         let path = persist::snapshot_path(&config.dir, snapshot_seq);
@@ -455,6 +772,17 @@ impl BloomStore {
                 what: "snapshot seq does not match its file name",
             });
         }
+        if persist::doc_backend_kind(&doc) != Some(B::KIND) {
+            return Err(PersistError::ConfigMismatch(
+                "snapshot was written by a different filter backend",
+            ));
+        }
+        let Some(options) = B::options_from_persist_aux(doc.backend_aux) else {
+            return Err(PersistError::Corrupt {
+                file: path.display().to_string(),
+                what: "backend options byte is invalid for this filter family",
+            });
+        };
 
         // Validate geometry before handing it to constructors that assert.
         if doc.shards == 0 || !(doc.shards as usize).is_power_of_two() {
@@ -473,25 +801,32 @@ impl BloomStore {
         let store_config =
             StoreConfig::unhardened(doc.shards as usize, doc.capacity, doc.target_fpp);
         // Unhardened stores draw no secret material; the seed is irrelevant.
-        let mut store = BloomStore::new(store_config, &mut StdRng::seed_from_u64(0));
+        let mut store =
+            BloomStore::<B>::build_with(store_config, options, &mut StdRng::seed_from_u64(0));
         if store.shard_params.m != doc.m || store.shard_params.k != doc.k {
             return Err(PersistError::ConfigMismatch(
                 "persisted m/k disagree with what the snapshot's capacity and fpp derive",
             ));
         }
 
-        // Install the persisted generations (ones-counters recounted from
-        // the words inside `from_words`; see the persist module docs).
+        // Install the persisted generations (occupancy counters recounted
+        // from the words inside `from_words`; see the persist module docs).
         let strategy = Arc::clone(store.public_strategy.as_ref().expect("unhardened strategy"));
-        let mut actives: Vec<Option<Generation>> = (0..doc.shards).map(|_| None).collect();
-        let mut drainings: Vec<Option<Generation>> = (0..doc.shards).map(|_| None).collect();
+        let mut actives: Vec<Option<Generation<B>>> = (0..doc.shards).map(|_| None).collect();
+        let mut drainings: Vec<Option<Generation<B>>> = (0..doc.shards).map(|_| None).collect();
         for (shard, role, id, inserted, words) in doc.generations {
-            let filter = ConcurrentBloomFilter::from_words(
+            let Some(filter) = B::from_words(
                 store.shard_params,
                 Arc::clone(&strategy),
                 words,
                 inserted,
-            );
+                &store.options,
+            ) else {
+                return Err(PersistError::Corrupt {
+                    file: path.display().to_string(),
+                    what: "generation geometry mismatch",
+                });
+            };
             let slot = if role == 0 {
                 &mut actives[shard as usize]
             } else {
@@ -592,6 +927,35 @@ impl BloomStore {
                         }
                     });
                 }
+                WalRecord::Remove { shard, generation, items } => {
+                    let Some(target) = self.shards.get(shard as usize) else {
+                        report.anomalies += 1;
+                        continue;
+                    };
+                    target.with_generations(|active, draining| {
+                        let apply = |filter: &B, report: &mut RecoveryReport| {
+                            for item in &items {
+                                if filter.remove(item).is_some() {
+                                    report.replayed_removes += 1;
+                                } else {
+                                    // A remove record against a family with
+                                    // no deletion: a log this module never
+                                    // writes.
+                                    report.anomalies += 1;
+                                }
+                            }
+                        };
+                        if generation == active.id {
+                            apply(&active.filter, report);
+                        } else if let Some(d) = draining.filter(|d| d.id == generation) {
+                            apply(&d.filter, report);
+                        } else if generation < active.id {
+                            report.discarded_stale += items.len() as u64;
+                        } else {
+                            report.anomalies += 1;
+                        }
+                    });
+                }
                 WalRecord::RotateBegin { shard, generation } => {
                     let Some(target) = self.shards.get(shard as usize) else {
                         report.anomalies += 1;
@@ -631,9 +995,12 @@ impl BloomStore {
         Ok(())
     }
 
-    /// Memory footprint in bytes of all active shard bit vectors.
+    /// Memory footprint in bytes of all active shard filter states.
     pub fn memory_bytes(&self) -> u64 {
-        self.shards.len() as u64 * self.shard_params.memory_bytes()
+        self.shards
+            .iter()
+            .map(|s| s.with_generations(|active, _| active.filter.memory_bytes()))
+            .sum()
     }
 
     /// Health snapshot: per-shard fill, false-positive estimates and
@@ -646,8 +1013,8 @@ impl BloomStore {
             .map(|(index, shard)| {
                 shard.with_generations(|active, draining| {
                     let filter = &active.filter;
-                    let weight = filter.hamming_weight_approx();
-                    let fill = weight as f64 / filter.m() as f64;
+                    let weight = filter.weight_approx();
+                    let fill = weight as f64 / filter.m().max(1) as f64;
                     ShardStats {
                         shard: index,
                         generation: active.id,
@@ -671,7 +1038,7 @@ impl BloomStore {
                 })
             })
             .collect();
-        StoreStats::from_shards(shards)
+        StoreStats::from_shards(B::KIND, shards)
     }
 
     /// The store's runtime telemetry (see [`crate::metrics`]).
@@ -691,11 +1058,12 @@ impl BloomStore {
     }
 }
 
-impl core::fmt::Debug for BloomStore {
+impl<B: FilterBackend> core::fmt::Debug for BloomStore<B> {
     /// Deliberately redacted: no routing-key or filter-key material reaches
     /// logs through this impl.
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("BloomStore")
+            .field("backend", &B::KIND)
             .field("shards", &self.shards.len())
             .field("shard_params", &self.shard_params)
             .field("hardening", &self.config.hardening)
@@ -711,7 +1079,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn hardened_store(shards: usize) -> BloomStore {
-        BloomStore::new(StoreConfig::hardened(shards, 4_000, 0.01), &mut StdRng::seed_from_u64(42))
+        BloomStore::builder().shards(shards).capacity(4_000).target_fpp(0.01).seed(42).build()
     }
 
     #[test]
@@ -729,7 +1097,32 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_shards_rejected() {
-        BloomStore::new(StoreConfig::hardened(3, 100, 0.01), &mut StdRng::seed_from_u64(0));
+        BloomStore::builder().shards(3).capacity(100).build();
+    }
+
+    #[test]
+    fn deprecated_constructor_still_builds_an_equivalent_store() {
+        // The pre-builder API must keep working for downstream callers.
+        #[allow(deprecated)]
+        let legacy =
+            BloomStore::new(StoreConfig::hardened(8, 4_000, 0.01), &mut StdRng::seed_from_u64(42));
+        let fluent = hardened_store(8);
+        assert_eq!(legacy.shard_params(), fluent.shard_params());
+        assert_eq!(legacy.config(), fluent.config());
+        assert_eq!(legacy.backend_kind(), BackendKind::Bloom);
+        // Same seed, same construction order: routing keys agree.
+        for i in 0..100 {
+            let item = format!("item-{i}");
+            assert_eq!(legacy.route(item.as_bytes()), fluent.route(item.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn builder_config_setter_copies_sizing_and_hardening() {
+        let config = StoreConfig::unhardened(4, 2_000, 0.02);
+        let store = BloomStore::builder().config(config).seed(7).build();
+        assert_eq!(store.config(), config);
+        assert!(!store.is_hardened());
     }
 
     #[test]
@@ -744,10 +1137,8 @@ mod tests {
 
     #[test]
     fn routing_key_changes_routing() {
-        let a =
-            BloomStore::new(StoreConfig::hardened(16, 1000, 0.01), &mut StdRng::seed_from_u64(1));
-        let b =
-            BloomStore::new(StoreConfig::hardened(16, 1000, 0.01), &mut StdRng::seed_from_u64(2));
+        let a = BloomStore::builder().shards(16).capacity(1000).seed(1).build();
+        let b = BloomStore::builder().shards(16).capacity(1000).seed(2).build();
         let differing = (0..100)
             .filter(|i| {
                 let item = format!("item-{i}");
@@ -759,10 +1150,8 @@ mod tests {
 
     #[test]
     fn unhardened_routing_is_public_and_key_free() {
-        let a =
-            BloomStore::new(StoreConfig::unhardened(8, 1000, 0.01), &mut StdRng::seed_from_u64(1));
-        let b =
-            BloomStore::new(StoreConfig::unhardened(8, 1000, 0.01), &mut StdRng::seed_from_u64(2));
+        let a = BloomStore::builder().shards(8).capacity(1000).unhardened().seed(1).build();
+        let b = BloomStore::builder().shards(8).capacity(1000).unhardened().seed(2).build();
         for i in 0..100 {
             let item = format!("item-{i}");
             assert_eq!(a.route(item.as_bytes()), b.route(item.as_bytes()));
@@ -772,8 +1161,7 @@ mod tests {
     #[test]
     fn batch_and_scalar_apis_agree() {
         let scalar = hardened_store(4);
-        let batch =
-            BloomStore::new(StoreConfig::hardened(4, 4_000, 0.01), &mut StdRng::seed_from_u64(42));
+        let batch = BloomStore::builder().shards(4).capacity(4_000).seed(42).build();
         let items: Vec<String> = (0..500).map(|i| format!("item-{i}")).collect();
         let mut scalar_fresh = 0u64;
         for item in &items {
@@ -841,6 +1229,7 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.shards.len(), 4);
         assert_eq!(stats.alarms, 0);
+        assert_eq!(stats.backend, BackendKind::Bloom);
         for shard in &stats.shards {
             assert_eq!(shard.m, store.shard_params().m);
             assert_eq!(shard.k, store.shard_params().k);
@@ -856,5 +1245,80 @@ mod tests {
         assert!(text.contains("KeyedSipHash"));
         // No 32-byte key rendering can hide in there.
         assert!(!text.contains("SipKey"), "{text}");
+    }
+
+    #[test]
+    fn bloom_backend_refuses_remove_with_a_typed_error() {
+        let store = hardened_store(2);
+        let err = store.remove(b"anything").unwrap_err();
+        assert_eq!(err.backend, BackendKind::Bloom);
+        assert!(err.to_string().contains("bloom backend does not support"));
+        assert!(store.remove_batch(&[b"a".as_slice(), b"b"]).is_err());
+    }
+
+    #[test]
+    fn counting_store_inserts_removes_and_reports_backend() {
+        let store = BloomStore::builder().shards(4).capacity(4_000).counting(4).seed(9).build();
+        assert_eq!(store.backend_kind(), BackendKind::Counting);
+        assert_eq!(store.config().backend, BackendKind::Counting);
+        let items: Vec<String> = (0..300).map(|i| format!("item-{i}")).collect();
+        store.insert_batch(&items);
+        assert!(store.query_batch(&items).iter().all(|&a| a));
+        // Remove half; the removed half must stop answering (no saturation
+        // at this load), the rest must keep answering.
+        let (gone, kept) = items.split_at(150);
+        let answers = store.remove_batch(gone).expect("counting supports removal");
+        assert!(answers.iter().all(|&was_present| was_present));
+        assert!(store.query_batch(kept).iter().all(|&a| a), "kept items still answer");
+        let still: usize = store.query_batch(gone).iter().filter(|&&a| a).count();
+        assert!(still < 10, "{still}/150 removed items still answer (fp-level residue only)");
+        assert_eq!(store.stats().backend, BackendKind::Counting);
+    }
+
+    #[test]
+    fn counting_remove_of_absent_item_reports_not_present() {
+        let store = BloomStore::builder().shards(2).capacity(1_000).counting(4).build();
+        assert_eq!(store.remove(b"never inserted"), Ok(false));
+    }
+
+    #[test]
+    fn scalable_store_grows_past_capacity_without_false_negatives() {
+        let store = BloomStore::builder()
+            .shards(2)
+            .capacity(200)
+            .unhardened()
+            .scalable(0.9)
+            .seed(3)
+            .build();
+        assert_eq!(store.backend_kind(), BackendKind::Scalable);
+        let items: Vec<String> = (0..2_000).map(|i| format!("item-{i}")).collect();
+        store.insert_batch(&items);
+        assert!(store.query_batch(&items).iter().all(|&a| a), "growth never loses items");
+        let stats = store.stats();
+        assert_eq!(stats.backend, BackendKind::Scalable);
+        // The per-shard bit count must have grown past the base slice.
+        assert!(stats.shards.iter().all(|s| s.m > store.shard_params().m));
+        assert!(store.remove(b"x").is_err(), "scalable has no deletion");
+    }
+
+    #[test]
+    fn rotation_works_on_counting_and_scalable_backends() {
+        let counting = BloomStore::builder().shards(2).capacity(1_000).counting(4).build();
+        counting.insert(b"old");
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(counting.begin_rotation(0, &mut rng), Some(1));
+        assert_eq!(counting.begin_rotation(1, &mut rng), Some(1));
+        assert!(counting.contains(b"old"), "draining generation answers");
+        assert!(counting.complete_rotation(0));
+        assert!(counting.complete_rotation(1));
+        assert!(!counting.contains(b"old"));
+
+        let scalable = BloomStore::builder().shards(2).capacity(1_000).scalable(0.8).build();
+        scalable.insert(b"old");
+        assert_eq!(scalable.begin_rotation(0, &mut rng), Some(1));
+        assert_eq!(scalable.begin_rotation(1, &mut rng), Some(1));
+        assert!(scalable.contains(b"old"));
+        assert!(scalable.complete_rotation(0) && scalable.complete_rotation(1));
+        assert!(!scalable.contains(b"old"));
     }
 }

@@ -1,0 +1,161 @@
+//! Backend conformance suite: the properties every [`FilterBackend`] family
+//! must uphold to be servable — no false negatives, batch operations
+//! bit-for-bit identical to scalar loops, deletion (where supported)
+//! restoring pre-insert state, and the chosen-insertion drift signature the
+//! paper predicts (≈ k fresh bits per crafted insert) showing up on every
+//! family's metrics.
+
+use std::sync::Arc;
+
+use evilbloom_filters::{
+    ConcurrentBloomFilter, ConcurrentCountingFilter, ConcurrentScalableFilter, FilterBackend,
+    FilterParams,
+};
+use evilbloom_hashes::{IndexStrategy, KirschMitzenmacher, Murmur3_128};
+use evilbloom_store::{craft_store_pollution, BloomStore};
+use evilbloom_urlgen::UrlGenerator;
+
+fn items(prefix: &str, n: usize) -> Vec<Vec<u8>> {
+    (0..n).map(|i| format!("{prefix}-{i}").into_bytes()).collect()
+}
+
+fn strategy() -> Arc<dyn IndexStrategy> {
+    Arc::new(KirschMitzenmacher::new(Murmur3_128))
+}
+
+/// Runs the store-level no-false-negative property on one store.
+fn assert_no_false_negatives<B: FilterBackend>(store: &BloomStore<B>, tag: &str) {
+    let members = items(tag, 500);
+    store.insert_batch(&members);
+    // Concurrent readers while more writers land: still no false negative.
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let store = &store;
+            let members = &members;
+            scope.spawn(move || {
+                for item in members.iter().skip(worker).step_by(4) {
+                    assert!(store.contains(item), "{tag}: false negative");
+                }
+            });
+        }
+    });
+    assert!(store.query_batch(&members).iter().all(|&a| a), "{tag}: batch false negative");
+    assert_eq!(store.stats().total_inserted, members.len() as u64, "{tag}");
+}
+
+#[test]
+fn no_false_negatives_on_any_backend_or_posture() {
+    let base = || BloomStore::builder().shards(4).capacity(2_000).target_fpp(0.01).seed(11);
+    assert_no_false_negatives(&base().hardened().build(), "bloom-hardened");
+    assert_no_false_negatives(&base().unhardened().build(), "bloom-unhardened");
+    assert_no_false_negatives(&base().hardened().counting(4).build(), "counting-hardened");
+    assert_no_false_negatives(&base().unhardened().counting(4).build(), "counting-unhardened");
+    assert_no_false_negatives(&base().hardened().scalable(0.9).build(), "scalable-hardened");
+    assert_no_false_negatives(&base().unhardened().scalable(0.9).build(), "scalable-unhardened");
+}
+
+/// `insert_batch`/`query_batch` must be bit-for-bit the scalar loop: same
+/// final word array (where the family can snapshot one), same per-item
+/// answers, same fresh-bit totals.
+fn assert_batch_equals_loop<B: FilterBackend>(options: &B::Options, tag: &str) {
+    let params = FilterParams::optimal(1_000, 0.01);
+    let batched = B::fresh(params, strategy(), options);
+    let looped = B::fresh(params, strategy(), options);
+    let members = items(tag, 400);
+    let refs: Vec<&[u8]> = members.iter().map(|m| m.as_slice()).collect();
+
+    let batch_fresh = batched.insert_batch(&refs);
+    let loop_fresh: u64 = refs.iter().map(|item| u64::from(looped.insert(item))).sum();
+    assert_eq!(batch_fresh, loop_fresh, "{tag}: fresh-bit totals diverged");
+    assert_eq!(batched.inserted(), looped.inserted(), "{tag}");
+    assert_eq!(batched.weight(), looped.weight(), "{tag}: weight diverged");
+    if let (Some(a), Some(b)) = (batched.snapshot_words(), looped.snapshot_words()) {
+        assert_eq!(a, b, "{tag}: word arrays diverged");
+    }
+
+    let probes: Vec<Vec<u8>> = members.iter().cloned().chain(items("absent", 300)).collect();
+    let probe_refs: Vec<&[u8]> = probes.iter().map(|p| p.as_slice()).collect();
+    let batch_answers = batched.query_batch(&probe_refs);
+    let loop_answers: Vec<bool> = probe_refs.iter().map(|p| looped.contains(p)).collect();
+    assert_eq!(batch_answers, loop_answers, "{tag}: answers diverged");
+}
+
+#[test]
+fn batch_operations_equal_scalar_loops_bit_for_bit() {
+    assert_batch_equals_loop::<ConcurrentBloomFilter>(&Default::default(), "bloom");
+    assert_batch_equals_loop::<ConcurrentCountingFilter>(&Default::default(), "counting");
+    assert_batch_equals_loop::<ConcurrentScalableFilter>(&Default::default(), "scalable");
+}
+
+#[test]
+fn deletion_restores_pre_insert_state_on_the_counting_backend() {
+    let params = FilterParams::optimal(1_000, 0.01);
+    let filter = ConcurrentCountingFilter::fresh(params, strategy(), &Default::default());
+    let baseline = items("baseline", 60);
+    for item in &baseline {
+        filter.insert(item);
+    }
+    let before = filter.snapshot_words();
+    let before_weight = filter.weight();
+
+    // Insert then fully remove a disjoint set: with Saturate semantics and
+    // counters far from their 15-cap, every decrement must land and the
+    // counter array must return to the exact pre-insert state.
+    let transient = items("transient", 60);
+    for item in &transient {
+        filter.insert(item);
+    }
+    for item in &transient {
+        assert!(filter.remove(item), "member removal reports presence");
+    }
+
+    assert_eq!(filter.snapshot_words(), before, "counter array must be bit-for-bit restored");
+    assert_eq!(filter.weight(), before_weight);
+    for item in &baseline {
+        assert!(filter.contains(item), "baseline members must survive unrelated deletions");
+    }
+}
+
+#[test]
+fn store_remove_is_refused_on_non_deletable_backends() {
+    let bloom = BloomStore::builder().shards(2).capacity(500).seed(3).build();
+    let err = bloom.remove(b"x").expect_err("plain Bloom cannot remove");
+    assert!(err.to_string().contains("bloom"), "{err}");
+    let scalable = BloomStore::builder().shards(2).capacity(500).seed(3).scalable(0.9).build();
+    assert!(scalable.remove(b"x").is_err(), "scalable slices cannot remove");
+    assert!(scalable.remove_batch(&items("x", 4)).is_err());
+}
+
+/// Under crafted chosen insertions the drift gauge must pin at ≈ k fresh
+/// bits per insert — the paper's detection signature — on every family that
+/// exposes an adversarial view.
+fn assert_drift_pins_at_k<B: FilterBackend>(store: &BloomStore<B>, tag: &str) {
+    // Honest prefill, then a baseline scrape to seed the drift window.
+    store.insert_batch(&items("prefill", 400));
+    let stats = store.sample_metrics();
+    let k = stats.shards[0].k;
+
+    let generator = UrlGenerator::new("drift-evil");
+    let plan = craft_store_pollution(store, &generator, 300, 200_000_000)
+        .expect("unhardened stores expose an adversarial view");
+    assert_eq!(plan.items.len(), 300, "{tag}: crafting search starved");
+    for item in &plan.items {
+        store.insert(item.as_bytes());
+    }
+    store.sample_metrics();
+
+    let slope = store.metrics().bits_per_insert_recent();
+    assert!(
+        slope > 0.9 * k as f64,
+        "{tag}: drift gauge reads {slope:.2}, expected ≈ k = {k} under chosen insertions"
+    );
+}
+
+#[test]
+fn drift_gauge_pins_at_k_under_chosen_insertions_on_every_family() {
+    let base =
+        || BloomStore::builder().shards(2).capacity(4_000).target_fpp(0.01).unhardened().seed(17);
+    assert_drift_pins_at_k(&base().build(), "bloom");
+    assert_drift_pins_at_k(&base().counting(4).build(), "counting");
+    assert_drift_pins_at_k(&base().scalable(0.9).build(), "scalable");
+}

@@ -92,7 +92,7 @@ fn store_has_no_false_negatives_under_concurrent_load() {
         } else {
             StoreConfig::unhardened(shards, items.len().max(8) as u64, 0.01)
         };
-        let store = BloomStore::new(config, &mut rng);
+        let store = BloomStore::builder().config(config).build_with_rng(&mut rng);
 
         std::thread::scope(|scope| {
             for worker in 0..WORKERS {
@@ -130,7 +130,12 @@ fn single_shard_store_matches_hardened_filter() {
         // can reconstruct the shard key for the reference filter. new()
         // draws the routing SipKey (two u64s) first, then the shard key.
         let mut store_rng = StdRng::seed_from_u64(3000 + seed);
-        let store = BloomStore::new(StoreConfig::hardened(1, capacity, 0.01), &mut store_rng);
+        let store = BloomStore::builder()
+            .shards(1)
+            .capacity(capacity)
+            .target_fpp(0.01)
+            .hardened()
+            .build_with_rng(&mut store_rng);
 
         let mut key_rng = StdRng::seed_from_u64(3000 + seed);
         let _routing = (key_rng.next_u64(), key_rng.next_u64());
@@ -167,7 +172,12 @@ fn single_shard_store_matches_hardened_filter() {
 fn rotation_keeps_answering_during_rebuild() {
     for seed in 0..8 {
         let mut rng = StdRng::seed_from_u64(4000 + seed);
-        let store = BloomStore::new(StoreConfig::hardened(4, 2_000, 0.01), &mut rng);
+        let store = BloomStore::builder()
+            .shards(4)
+            .capacity(2_000)
+            .target_fpp(0.01)
+            .hardened()
+            .build_with_rng(&mut rng);
         let old_items: Vec<String> = (0..500).map(|i| format!("old-{seed}-{i}")).collect();
         store.insert_batch(&old_items);
 

@@ -8,7 +8,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use evilbloom_store::{BloomStore, PersistConfig, PersistError, StoreConfig};
+use evilbloom_filters::ConcurrentCountingFilter;
+use evilbloom_store::{
+    BackendKind, BloomStore, FilterBackend, PersistConfig, PersistError, RecoveryReport,
+};
 
 /// A unique scratch directory per test, removed on drop.
 struct TempDir(PathBuf);
@@ -35,7 +38,13 @@ impl Drop for TempDir {
 }
 
 fn unhardened_store() -> BloomStore {
-    BloomStore::new(StoreConfig::unhardened(4, 4_000, 0.01), &mut StdRng::seed_from_u64(7))
+    BloomStore::builder().shards(4).capacity(4_000).target_fpp(0.01).unhardened().seed(7).build()
+}
+
+/// `BloomStore::recover` pinned to the default (plain Bloom) backend, so
+/// call sites that never bind the store still infer a type.
+fn recover(config: &PersistConfig) -> Result<(BloomStore, RecoveryReport), PersistError> {
+    BloomStore::recover(config)
 }
 
 fn items(prefix: &str, n: usize) -> Vec<Vec<u8>> {
@@ -45,7 +54,7 @@ fn items(prefix: &str, n: usize) -> Vec<Vec<u8>> {
 /// Asserts two stores answer bit-for-bit identically: same per-shard
 /// hamming weight and generation, and identical answers over a probe set
 /// that mixes members and non-members.
-fn assert_equivalent(a: &BloomStore, b: &BloomStore, probes: &[Vec<u8>]) {
+fn assert_equivalent<B: FilterBackend>(a: &BloomStore<B>, b: &BloomStore<B>, probes: &[Vec<u8>]) {
     let (sa, sb) = (a.stats(), b.stats());
     assert_eq!(sa.shards.len(), sb.shards.len());
     for (x, y) in sa.shards.iter().zip(&sb.shards) {
@@ -66,8 +75,7 @@ fn snapshot_only_roundtrip_is_bit_for_bit() {
     assert_eq!(info.shards, 4);
     assert_eq!(info.wal_seq, 0, "snapshot-only mode records no log to replay");
 
-    let (recovered, report) =
-        BloomStore::recover(&PersistConfig::snapshot_only(dir.path())).expect("recover");
+    let (recovered, report) = recover(&PersistConfig::snapshot_only(dir.path())).expect("recover");
     assert_eq!(report.replayed_inserts, 0);
     let probes: Vec<Vec<u8>> =
         items("member", 800).into_iter().chain(items("absent", 400)).collect();
@@ -90,8 +98,7 @@ fn wal_replays_inserts_after_the_last_snapshot() {
         store.insert(&item);
     }
 
-    let (recovered, report) =
-        BloomStore::recover(&PersistConfig::new(dir.path())).expect("recover");
+    let (recovered, report) = recover(&PersistConfig::new(dir.path())).expect("recover");
     assert_eq!(report.replayed_inserts, 350);
     assert!(!report.torn_tail);
     assert_eq!(report.discarded_stale, 0);
@@ -121,8 +128,7 @@ fn replay_discards_rotated_out_generations() {
         assert!(store.complete_rotation(shard));
     }
 
-    let (recovered, report) =
-        BloomStore::recover(&PersistConfig::new(dir.path())).expect("recover");
+    let (recovered, report) = recover(&PersistConfig::new(dir.path())).expect("recover");
     // Ordered replay re-applies the generation-0 inserts and then replays
     // the rotation that dropped them — ending bit-for-bit where the live
     // store did, with the pollution gone.
@@ -164,8 +170,7 @@ fn stale_generation_records_in_the_tail_are_discarded() {
     tail.extend_from_slice(&stale_records);
     fs::write(&live_segment, &tail).expect("graft stale records");
 
-    let (recovered, report) =
-        BloomStore::recover(&PersistConfig::new(dir.path())).expect("recover");
+    let (recovered, report) = recover(&PersistConfig::new(dir.path())).expect("recover");
     assert_eq!(report.discarded_stale, 200, "generation-0 records must be discarded");
     assert_eq!(report.replayed_inserts, 100);
     assert!(recovered.query_batch(&items("legit", 200)).iter().all(|&a| a));
@@ -194,7 +199,7 @@ fn mid_rotation_snapshot_records_both_generations() {
     store.insert_batch(&items("during", 100));
     store.snapshot_to_disk().expect("mid-rotation snapshot");
 
-    let (recovered, _) = BloomStore::recover(&PersistConfig::new(dir.path())).expect("recover");
+    let (recovered, _) = recover(&PersistConfig::new(dir.path())).expect("recover");
     let stats = recovered.stats();
     assert!(stats.shards[0].rotating, "restored shard 0 must still be mid-rotation");
     assert_eq!(stats.shards[0].generation, 1);
@@ -241,7 +246,7 @@ fn seeded_interleavings_of_rotation_and_snapshot() {
             store.snapshot_to_disk().expect("snapshot after insert");
         }
 
-        let (recovered, _) = BloomStore::recover(&PersistConfig::new(dir.path())).expect("recover");
+        let (recovered, _) = recover(&PersistConfig::new(dir.path())).expect("recover");
         // Post-rotation inserts must all answer; `before` items only if the
         // rotation never completed — exactly like the live store.
         assert!(
@@ -272,8 +277,7 @@ fn group_commit_fsync_policy_roundtrips() {
             });
         }
     });
-    let (recovered, report) =
-        BloomStore::recover(&PersistConfig::fsync(dir.path())).expect("recover");
+    let (recovered, report) = recover(&PersistConfig::fsync(dir.path())).expect("recover");
     assert_eq!(report.replayed_inserts, 300);
     for t in 0..4 {
         assert!(recovered.query_batch(&items(&format!("thread{t}"), 50)).iter().all(|&a| a));
@@ -301,7 +305,7 @@ fn snapshot_while_inserting_never_loses_acknowledged_items() {
         }
         writer.join().expect("writer");
     });
-    let (recovered, _) = BloomStore::recover(&PersistConfig::new(dir.path())).expect("recover");
+    let (recovered, _) = recover(&PersistConfig::new(dir.path())).expect("recover");
     assert!(recovered.query_batch(&items("racing", 2_000)).iter().all(|&a| a));
     assert_equivalent(&store, &recovered, &items("racing", 2_000));
 }
@@ -310,7 +314,7 @@ fn snapshot_while_inserting_never_loses_acknowledged_items() {
 fn hardened_store_refuses_persistence() {
     let dir = TempDir::new("hardened");
     let mut store =
-        BloomStore::new(StoreConfig::hardened(4, 4_000, 0.01), &mut StdRng::seed_from_u64(7));
+        BloomStore::builder().shards(4).capacity(4_000).target_fpp(0.01).hardened().seed(7).build();
     match store.enable_persistence(&PersistConfig::new(dir.path())) {
         Err(PersistError::HardenedStore) => {}
         other => panic!("hardened store must refuse persistence, got {other:?}"),
@@ -333,10 +337,7 @@ fn double_enable_and_snapshot_without_persistence_are_typed_errors() {
 #[test]
 fn recover_from_empty_dir_is_a_typed_error() {
     let dir = TempDir::new("empty");
-    assert!(matches!(
-        BloomStore::recover(&PersistConfig::new(dir.path())),
-        Err(PersistError::NoSnapshot)
-    ));
+    assert!(matches!(recover(&PersistConfig::new(dir.path())), Err(PersistError::NoSnapshot)));
 }
 
 fn newest_snapshot(dir: &std::path::Path) -> PathBuf {
@@ -377,7 +378,7 @@ fn corrupt_snapshot_is_a_typed_error_not_a_panic() {
         let mut bytes = original.clone();
         bytes[offset] ^= 0xA5;
         fs::write(&snapshot, &bytes).expect("write corrupted");
-        match BloomStore::recover(&PersistConfig::new(dir.path())) {
+        match recover(&PersistConfig::new(dir.path())) {
             Err(
                 PersistError::Corrupt { .. }
                 | PersistError::BadVersion { .. }
@@ -391,14 +392,14 @@ fn corrupt_snapshot_is_a_typed_error_not_a_panic() {
     // Truncations at every boundary are equally typed.
     for cut in [0, 1, 4, 5, 9, original.len() / 2, original.len() - 1] {
         fs::write(&snapshot, &original[..cut]).expect("write truncated");
-        match BloomStore::recover(&PersistConfig::new(dir.path())) {
+        match recover(&PersistConfig::new(dir.path())) {
             Err(PersistError::Corrupt { .. } | PersistError::BadVersion { .. }) => {}
             other => panic!("cut {cut}: expected a corruption error, got {other:?}"),
         }
     }
 
     fs::write(&snapshot, &original).expect("restore");
-    BloomStore::recover(&PersistConfig::new(dir.path())).expect("pristine snapshot recovers");
+    recover(&PersistConfig::new(dir.path())).expect("pristine snapshot recovers");
 }
 
 /// Saves every file in `dir`, so destructive recovery runs (which fold and
@@ -438,7 +439,7 @@ fn truncated_wal_tail_recovers_the_prefix() {
         restore_dir(dir.path(), &saved);
         fs::write(&tail, &original[..cut]).expect("write torn");
         let (recovered, report) =
-            BloomStore::recover(&PersistConfig::new(dir.path())).expect("torn tail is a clean cut");
+            recover(&PersistConfig::new(dir.path())).expect("torn tail is a clean cut");
         assert!(report.replayed_inserts <= 100, "cut {cut}");
         // Prefix property: records are in insert order, so exactly the
         // first `replayed_inserts` logged items must answer.
@@ -471,10 +472,104 @@ fn byte_soup_wal_never_panics_recovery() {
             (state >> 56) as u8
         }));
         fs::write(&tail, &bytes).expect("write soup");
-        let (recovered, _) =
-            BloomStore::recover(&PersistConfig::new(dir.path())).expect("soup tail tolerated");
+        let (recovered, _) = recover(&PersistConfig::new(dir.path())).expect("soup tail tolerated");
         assert!(recovered.query_batch(&items("member", 100)).iter().all(|&a| a));
     }
+}
+
+fn counting_store() -> BloomStore<ConcurrentCountingFilter> {
+    BloomStore::builder()
+        .shards(4)
+        .capacity(4_000)
+        .target_fpp(0.01)
+        .unhardened()
+        .seed(7)
+        .counting(4)
+        .build()
+}
+
+#[test]
+fn counting_snapshot_roundtrips_counter_state_including_removes() {
+    let dir = TempDir::new("counting-snap");
+    let mut store = counting_store();
+    store.insert_batch(&items("member", 600));
+    // Delete a slice of real members before the snapshot: the persisted
+    // counter array must carry the post-decrement state, not the inserts.
+    let removed = store.remove_batch(&items("member", 200)).expect("counting supports remove");
+    assert!(removed.iter().all(|&r| r), "removing real members reports presence");
+    store.enable_persistence(&PersistConfig::snapshot_only(dir.path())).expect("enable");
+    store.snapshot_to_disk().expect("snapshot");
+
+    let (recovered, report) =
+        BloomStore::<ConcurrentCountingFilter>::recover(&PersistConfig::snapshot_only(dir.path()))
+            .expect("recover counting");
+    assert_eq!(report.replayed_inserts, 0);
+    assert_eq!(recovered.backend_kind(), BackendKind::Counting);
+    let probes: Vec<Vec<u8>> =
+        items("member", 600).into_iter().chain(items("absent", 300)).collect();
+    assert_equivalent(&store, &recovered, &probes);
+    // Surviving members never go false-negative across the restart.
+    let survivors: Vec<Vec<u8>> = items("member", 600).into_iter().skip(200).collect();
+    assert!(recovered.query_batch(&survivors).iter().all(|&a| a));
+}
+
+#[test]
+fn wal_replays_removes_after_the_last_snapshot() {
+    let dir = TempDir::new("counting-replay");
+    let mut store = counting_store();
+    store.enable_persistence(&PersistConfig::new(dir.path())).expect("enable");
+    store.insert_batch(&items("member", 400));
+    store.snapshot_to_disk().expect("snapshot");
+    // Post-snapshot deletions land only in the WAL tail; the "crash"
+    // happens before any further snapshot.
+    store.remove_batch(&items("member", 150)).expect("batch remove");
+    assert!(store.remove(&items("member", 151)[150]).expect("scalar remove"));
+
+    let (recovered, report) =
+        BloomStore::<ConcurrentCountingFilter>::recover(&PersistConfig::new(dir.path()))
+            .expect("recover");
+    assert_eq!(report.replayed_removes, 151);
+    assert_eq!(report.replayed_inserts, 0);
+    let probes: Vec<Vec<u8>> =
+        items("member", 400).into_iter().chain(items("absent", 200)).collect();
+    assert_equivalent(&store, &recovered, &probes);
+}
+
+#[test]
+fn scalable_store_refuses_persistence_with_a_typed_error() {
+    let dir = TempDir::new("scalable");
+    let mut store = BloomStore::builder()
+        .shards(2)
+        .capacity(1_000)
+        .target_fpp(0.01)
+        .unhardened()
+        .seed(7)
+        .scalable(0.9)
+        .build();
+    match store.enable_persistence(&PersistConfig::new(dir.path())) {
+        Err(PersistError::UnsupportedBackend(BackendKind::Scalable)) => {}
+        other => panic!("scalable store must refuse persistence, got {other:?}"),
+    }
+    assert!(store.persistence().is_none());
+}
+
+#[test]
+fn recovering_a_snapshot_under_the_wrong_backend_is_a_config_mismatch() {
+    let dir = TempDir::new("backend-mismatch");
+    let mut store = unhardened_store();
+    store.insert_batch(&items("member", 100));
+    store.enable_persistence(&PersistConfig::snapshot_only(dir.path())).expect("enable");
+    store.snapshot_to_disk().expect("snapshot");
+
+    match BloomStore::<ConcurrentCountingFilter>::recover(&PersistConfig::snapshot_only(dir.path()))
+    {
+        Err(PersistError::ConfigMismatch(reason)) => {
+            assert!(reason.contains("backend"), "reason should name the backend: {reason}")
+        }
+        other => panic!("expected a backend mismatch, got {other:?}"),
+    }
+    // The same bytes still recover fine under the backend that wrote them.
+    recover(&PersistConfig::snapshot_only(dir.path())).expect("matching backend recovers");
 }
 
 #[test]

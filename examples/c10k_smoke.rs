@@ -13,9 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use evilbloom::server::{loopback_connection_budget, Backend, Client, Server, ServerConfig};
-use evilbloom::store::{BloomStore, StoreConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use evilbloom::store::BloomStore;
 
 const CONNECTIONS: usize = 1000;
 
@@ -39,10 +37,15 @@ fn main() {
         _ => CONNECTIONS,
     };
 
-    let store = Arc::new(BloomStore::new(
-        StoreConfig::hardened(8, 50_000, 0.01),
-        &mut StdRng::seed_from_u64(42),
-    ));
+    let store = Arc::new(
+        BloomStore::builder()
+            .shards(8)
+            .capacity(50_000)
+            .target_fpp(0.01)
+            .hardened()
+            .seed(42)
+            .build(),
+    );
     let handle = Server::spawn(
         Arc::clone(&store),
         "127.0.0.1:0",

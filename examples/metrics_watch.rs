@@ -25,10 +25,8 @@
 use std::sync::Arc;
 
 use evilbloom::server::{Backend, Client, Server, ServerConfig, ServerHandle};
-use evilbloom::store::{craft_store_pollution, BloomStore, StoreConfig};
+use evilbloom::store::{craft_store_pollution, BloomStore};
 use evilbloom::urlgen::UrlGenerator;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const SHARDS: usize = 4;
 const CAPACITY: u64 = 4_000;
@@ -59,12 +57,10 @@ fn backend_from_args() -> Backend {
 }
 
 fn spawn(hardened: bool, backend: Backend) -> (ServerHandle, Arc<BloomStore>) {
-    let config = if hardened {
-        StoreConfig::hardened(SHARDS, CAPACITY, TARGET_FPP)
-    } else {
-        StoreConfig::unhardened(SHARDS, CAPACITY, TARGET_FPP)
-    };
-    let store = Arc::new(BloomStore::new(config, &mut StdRng::seed_from_u64(42)));
+    let builder =
+        BloomStore::builder().shards(SHARDS).capacity(CAPACITY).target_fpp(TARGET_FPP).seed(42);
+    let builder = if hardened { builder.hardened() } else { builder.unhardened() };
+    let store = Arc::new(builder.build());
     let handle =
         Server::spawn(Arc::clone(&store), "127.0.0.1:0", ServerConfig::with_backend(backend))
             .expect("bind loopback");
@@ -152,10 +148,13 @@ fn main() {
     // warm-up. The paper's remote adversary reconstructs this mirror from
     // public parameters; the hardened store's keyed indexes make that
     // reconstruction impossible, so the same bytes hit it like noise.
-    let mirror = BloomStore::new(
-        StoreConfig::unhardened(SHARDS, CAPACITY, TARGET_FPP),
-        &mut StdRng::seed_from_u64(42),
-    );
+    let mirror = BloomStore::builder()
+        .shards(SHARDS)
+        .capacity(CAPACITY)
+        .target_fpp(TARGET_FPP)
+        .unhardened()
+        .seed(42)
+        .build();
     for i in 0..HONEST {
         mirror.insert(format!("https://honest.example/page/{i}").as_bytes());
     }

@@ -21,9 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use evilbloom::server::{Backend, Client, Server, ServerConfig};
-use evilbloom::store::{BloomStore, PersistConfig, StoreConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use evilbloom::store::{BloomStore, PersistConfig};
 
 fn backend_from_args(args: &[String]) -> Backend {
     match args.iter().position(|a| a == "--backend") {
@@ -55,7 +53,7 @@ fn serve_child(dir: &str, backend: Backend) -> ! {
     });
 
     let persist = PersistConfig::new(dir);
-    let store = match BloomStore::recover(&persist) {
+    let store = match BloomStore::<_>::recover(&persist) {
         Ok((store, report)) => {
             eprintln!(
                 "child: recovered snapshot {} (+{} WAL inserts, {} rotations, torn tail: {})",
@@ -67,10 +65,13 @@ fn serve_child(dir: &str, backend: Backend) -> ! {
             store
         }
         Err(_) => {
-            let mut store = BloomStore::new(
-                StoreConfig::unhardened(4, 4_000, 0.01),
-                &mut StdRng::seed_from_u64(7),
-            );
+            let mut store = BloomStore::builder()
+                .shards(4)
+                .capacity(4_000)
+                .target_fpp(0.01)
+                .unhardened()
+                .seed(7)
+                .build();
             store.enable_persistence(&persist).expect("enable persistence");
             store
         }

@@ -19,11 +19,9 @@
 
 use std::sync::Arc;
 
-use evilbloom::server::{ClientPool, Server, ServerConfig, ServerHandle};
-use evilbloom::store::{craft_store_pollution, BloomStore, StoreConfig};
+use evilbloom::server::{ClientPool, RemoteStore, Server, ServerConfig, ServerHandle};
+use evilbloom::store::{craft_store_pollution, BloomStore};
 use evilbloom::urlgen::UrlGenerator;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const SHARDS: usize = 8;
 const CAPACITY: u64 = 8_000;
@@ -34,46 +32,45 @@ const CORPUS: u64 = 6_000;
 const CRAFTED: usize = 4_000;
 /// Non-member probes per false-positive measurement.
 const PROBES: u64 = 60_000;
-/// Items per batch frame (pipelined, several frames in flight).
-const CHUNK: usize = 2_000;
 /// Pooled connections the adversary stripes its frames over.
 const POOL: usize = 4;
 /// Offline crafting budget (the run needs ~22M evaluations).
 const CRAFT_BUDGET: u64 = 500_000_000;
 
 fn spawn_server(hardened: bool, seed: u64) -> (ServerHandle, ClientPool) {
-    let config = if hardened {
-        StoreConfig::hardened(SHARDS, CAPACITY, TARGET_FPP)
-    } else {
-        StoreConfig::unhardened(SHARDS, CAPACITY, TARGET_FPP)
-    };
-    let store = Arc::new(BloomStore::new(config, &mut StdRng::seed_from_u64(seed)));
+    let builder =
+        BloomStore::builder().shards(SHARDS).capacity(CAPACITY).target_fpp(TARGET_FPP).seed(seed);
+    let builder = if hardened { builder.hardened() } else { builder.unhardened() };
+    let store = Arc::new(builder.build());
     let handle =
         Server::spawn(store, "127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
     let pool = ClientPool::connect(handle.local_addr(), POOL).expect("connect pool");
     (handle, pool)
 }
 
-/// Inserts `count` URLs from `namespace` through pipelined `MINSERT`
-/// frames, striped over the connection pool.
-fn load_remote(pool: &mut ClientPool, namespace: &str, count: u64) {
+// The delivery and measurement helpers are generic over [`RemoteStore`]:
+// the attack runs unchanged over one pipelined socket or a striped pool —
+// swapping the transport is the caller's choice, not a second code path.
+
+/// Inserts `count` URLs from `namespace` through batch `MINSERT` frames.
+fn load_remote<R: RemoteStore>(remote: &mut R, namespace: &str, count: u64) {
     let generator = UrlGenerator::new(namespace);
     let urls: Vec<String> = (0..count).map(|i| generator.url(i)).collect();
-    send_batches(pool, &urls);
+    send_batches(remote, &urls);
 }
 
-/// Delivers `items` in `CHUNK`-sized `MINSERT` frames over several pooled
-/// sockets: all frames are in flight before the first response is awaited.
-fn send_batches(pool: &mut ClientPool, items: &[String]) {
-    pool.minsert_pooled(items, CHUNK).expect("pooled MINSERT");
+/// Delivers `items` as batch `MINSERT` traffic (the pool stripes the frames
+/// over several sockets, all in flight before the first response).
+fn send_batches<R: RemoteStore>(remote: &mut R, items: &[String]) {
+    remote.minsert(items).expect("remote MINSERT");
 }
 
 /// Observed false-positive rate over `PROBES` non-member URLs, measured
-/// through `MQUERY` frames striped over the pool.
-fn remote_fpp(pool: &mut ClientPool) -> f64 {
+/// through `MQUERY` frames.
+fn remote_fpp<R: RemoteStore>(remote: &mut R) -> f64 {
     let generator = UrlGenerator::new("probe-nonmember");
     let probes: Vec<String> = (0..PROBES).map(|i| generator.url(i)).collect();
-    let answers = pool.mquery_pooled(&probes, CHUNK).expect("pooled MQUERY");
+    let answers = remote.mquery(&probes).expect("remote MQUERY");
     answers.iter().filter(|&&a| a).count() as f64 / PROBES as f64
 }
 
@@ -108,10 +105,13 @@ fn main() {
     // mirror (routing and index derivation are public and key-free, and the
     // corpus is public), then craft items offline. Any seed works — an
     // unhardened store has no secrets.
-    let mirror = BloomStore::new(
-        StoreConfig::unhardened(SHARDS, CAPACITY, TARGET_FPP),
-        &mut StdRng::seed_from_u64(777),
-    );
+    let mirror = BloomStore::builder()
+        .shards(SHARDS)
+        .capacity(CAPACITY)
+        .target_fpp(TARGET_FPP)
+        .unhardened()
+        .seed(777)
+        .build();
     let corpus_generator = UrlGenerator::new("public-web");
     let corpus: Vec<String> = (0..CORPUS).map(|i| corpus_generator.url(i)).collect();
     mirror.insert_batch(&corpus);

@@ -13,9 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use evilbloom::server::{Backend, Client, Server, ServerConfig};
-use evilbloom::store::{BloomStore, StoreConfig};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use evilbloom::store::BloomStore;
 
 fn backend_from_args() -> Backend {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,10 +42,15 @@ fn main() {
     });
 
     let backend = backend_from_args();
-    let store = Arc::new(BloomStore::new(
-        StoreConfig::hardened(4, 2_000, 0.01),
-        &mut StdRng::seed_from_u64(42),
-    ));
+    let store = Arc::new(
+        BloomStore::builder()
+            .shards(4)
+            .capacity(2_000)
+            .target_fpp(0.01)
+            .hardened()
+            .seed(42)
+            .build(),
+    );
     let handle =
         Server::spawn(Arc::clone(&store), "127.0.0.1:0", ServerConfig::with_backend(backend))
             .expect("bind");
