@@ -111,7 +111,11 @@ fn main() {
     std::fs::write(&path, report.to_json().to_pretty()).expect("write report");
     println!("\nreport written to {path}");
 
-    if !metrics_overhead_gate(&report) {
+    // Evaluate both telemetry gates before exiting so a run that blows both
+    // budgets reports both, not just the first.
+    let metrics_ok = scrape_overhead_gate(&report, "metrics_scrape_ratio_median", "METRICS");
+    let trace_ok = scrape_overhead_gate(&report, "trace_scrape_ratio_median", "TRACE");
+    if !(metrics_ok && trace_ok) {
         std::process::exit(1);
     }
 
@@ -345,6 +349,7 @@ impl Suite {
             "server/query",
             "server/query_batch",
             "server/metrics_overhead",
+            "server/trace_overhead",
             "server/attack_mix",
             "server/async/query",
             "server/async/query_batch",
@@ -394,7 +399,14 @@ impl Suite {
             if self.family_selected(&format!("{prefix}query"))
                 || self.family_selected(&format!("{prefix}attack_mix"))
             {
-                self.server_workloads(&mut timings, &members, &probes, backend, prefix);
+                self.server_workloads(
+                    &mut timings,
+                    &mut observables,
+                    &members,
+                    &probes,
+                    backend,
+                    prefix,
+                );
             }
         }
         if self.family_selected("server/conn_scaling/") {
@@ -698,6 +710,7 @@ impl Suite {
     fn server_workloads(
         &self,
         out: &mut Vec<TimingRecord>,
+        observables: &mut Vec<ObservableRecord>,
         members: &[String],
         probes: &[String],
         backend: Backend,
@@ -738,26 +751,120 @@ impl Suite {
         });
 
         // Scrape-amortised telemetry cost: the query_batch traffic with one
-        // pipelined METRICS frame per SCRAPE_EVERY batches — a dashboard
-        // poller riding along with production load. The per-element cost is
-        // gated in main() at ≤1.05x of bare query_batch.
-        if prefix == "server/" {
+        // pipelined METRICS (or TRACE) frame per SCRAPE_EVERY batches — a
+        // dashboard poller riding along with production load. Measured as a
+        // PAIRED experiment: the bare and the two scraped conditions are
+        // timed in interleaved rounds (bare, metrics, trace, bare, metrics,
+        // trace, …) and the gate in main() compares median(scraped) /
+        // median(bare) against the 1.05x budget. Interleaving matters on a
+        // noisy single-core CI host: comparing two workloads measured
+        // seconds apart flakes ±10% with scheduler drift, while interleaved
+        // rounds see the same weather and the medians cancel it. Each timed
+        // unit repeats the 16-batch + scrape pattern REPS times (~15 ms) so
+        // a single scheduler preemption dents one unit by a few percent
+        // instead of half.
+        if prefix == "server/"
+            && (self.selected("server/metrics_overhead") || self.selected("server/trace_overhead"))
+        {
             const SCRAPE_EVERY: usize = 16;
-            self.time(out, "server/metrics_overhead", (SCRAPE_EVERY * batch) as u64, || {
-                for _ in 0..SCRAPE_EVERY {
-                    client.send(&Command::QueryBatch(mix.clone())).expect("queue MQUERY");
-                }
-                client.send(&Command::Metrics).expect("queue METRICS");
-                for _ in 0..SCRAPE_EVERY {
-                    match client.recv().expect("mquery response") {
-                        Response::BatchFound(answers) => assert_eq!(answers.len(), mix.len()),
-                        other => panic!("expected MFOUND, got {}", other.name()),
+            const REPS: usize = 3;
+            let elements = (REPS * SCRAPE_EVERY * batch) as u64;
+            let rounds = if self.quick { 17 } else { 31 };
+
+            // One timed unit: REPS repetitions of 16 pipelined MQUERY
+            // batches, each optionally trailed by one scrape frame
+            // (1 = METRICS, 2 = TRACE). Returns ns/element.
+            let mut burst = |scrape: u8| -> f64 {
+                let start = Instant::now();
+                for _ in 0..REPS {
+                    for _ in 0..SCRAPE_EVERY {
+                        client.send(&Command::QueryBatch(mix.clone())).expect("queue MQUERY");
+                    }
+                    match scrape {
+                        1 => client.send(&Command::Metrics).expect("queue METRICS"),
+                        2 => client.send(&Command::Trace).expect("queue TRACE"),
+                        _ => {}
+                    }
+                    for _ in 0..SCRAPE_EVERY {
+                        match client.recv().expect("mquery response") {
+                            Response::BatchFound(answers) => assert_eq!(answers.len(), mix.len()),
+                            other => panic!("expected MFOUND, got {}", other.name()),
+                        }
+                    }
+                    match scrape {
+                        1 => match client.recv().expect("metrics response") {
+                            Response::Metrics(text) => {
+                                black_box(text.len());
+                            }
+                            other => panic!("expected METRICS, got {}", other.name()),
+                        },
+                        2 => match client.recv().expect("trace response") {
+                            Response::Trace(trace) => {
+                                black_box(trace.events.len());
+                            }
+                            other => panic!("expected TRACE, got {}", other.name()),
+                        },
+                        _ => {}
                     }
                 }
-                match client.recv().expect("metrics response") {
-                    Response::Metrics(text) => text.len(),
-                    other => panic!("expected METRICS, got {}", other.name()),
+                start.elapsed().as_secs_f64() * 1e9 / elements as f64
+            };
+
+            // Warm-up round of each condition, then the interleaved rounds.
+            burst(0);
+            burst(1);
+            burst(2);
+            let mut bare = Vec::with_capacity(rounds);
+            let mut scraped_metrics = Vec::with_capacity(rounds);
+            let mut scraped_trace = Vec::with_capacity(rounds);
+            for _ in 0..rounds {
+                bare.push(burst(0));
+                scraped_metrics.push(burst(1));
+                scraped_trace.push(burst(2));
+            }
+
+            let median = |ns: &[f64]| {
+                let mut sorted = ns.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are comparable"));
+                if sorted.len() % 2 == 1 {
+                    sorted[sorted.len() / 2]
+                } else {
+                    (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
                 }
+            };
+            let paired_ratio = |scraped: &[f64]| median(scraped) / median(&bare);
+            let emit = |out: &mut Vec<TimingRecord>, id: &str, ns: &[f64]| {
+                if !self.selected(id) {
+                    return;
+                }
+                let mut sorted = ns.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are comparable"));
+                let m = Measurement {
+                    id: id.to_string(),
+                    ns_per_op_median: median(ns) * elements as f64,
+                    ns_per_op_mean: ns.iter().sum::<f64>() / ns.len() as f64 * elements as f64,
+                    ns_per_op_best: sorted[0] * elements as f64,
+                    samples: ns.len(),
+                    iters_per_sample: 1,
+                };
+                let record = TimingRecord::from_measurement(m, elements);
+                println!(
+                    "{:<32} {:>10.1} ns/op  {:>10.1} Mops/s",
+                    record.id,
+                    record.ns_per_op_median,
+                    record.ops_per_sec() / 1e6
+                );
+                out.push(record);
+            };
+            emit(out, "server/metrics_overhead", &scraped_metrics);
+            emit(out, "server/trace_overhead", &scraped_trace);
+            observables.push(ObservableRecord {
+                id: "server/scrape_overhead".to_string(),
+                metrics: vec![
+                    ("metrics_scrape_ratio_median", paired_ratio(&scraped_metrics)),
+                    ("trace_scrape_ratio_median", paired_ratio(&scraped_trace)),
+                    ("rounds", rounds as f64),
+                ],
             });
         }
         drop(client);
@@ -1012,26 +1119,33 @@ fn measured_fpp<F: evilbloom_attacks::target::TargetFilter + ?Sized>(
 }
 
 /// Telemetry must be effectively free: when the run measured both sides,
-/// `server/metrics_overhead` (pipelined `MQUERY` traffic with one `METRICS`
-/// scrape amortised over every 16 batches) may cost at most 5% more per
-/// element than bare `server/query_batch`. This is an absolute same-run
-/// budget — both numbers come from the same host seconds apart, so no
-/// calibration normalisation is needed and no baseline file is consulted.
-fn metrics_overhead_gate(report: &Report) -> bool {
-    let ns = |id: &str| report.timings.iter().find(|t| t.id == id).map(|t| t.ns_per_op_median);
-    let (Some(batch), Some(scraped)) = (ns("server/query_batch"), ns("server/metrics_overhead"))
+/// the scrape-amortised workload (`server/metrics_overhead` or
+/// `server/trace_overhead` — pipelined `MQUERY` traffic with one scrape
+/// frame amortised over every 16 batches) may cost at most 5% more per
+/// element than bare query-batch traffic. The gate reads the paired-ratio
+/// observable the scrape workload records: every measurement round times a
+/// bare 16-batch burst and the scraped bursts back-to-back and the gate
+/// value is the median of the per-round scraped/bare ratios. Pairing is
+/// what makes a hard 1.05x budget enforceable on shared CI hardware — the
+/// two sides of each ratio ran milliseconds apart under the same scheduler
+/// weather, so host noise cancels instead of flaking the gate.
+fn scrape_overhead_gate(report: &Report, key: &str, opcode: &str) -> bool {
+    let Some(ratio) = report
+        .observables
+        .iter()
+        .find(|o| o.id == "server/scrape_overhead")
+        .and_then(|o| o.metrics.iter().find(|(k, _)| *k == key).map(|&(_, v)| v))
     else {
-        return true; // --filter excluded one side; nothing to gate
+        return true; // --filter excluded the scrape workloads; nothing to gate
     };
-    let ratio = scraped / batch;
     let ok = ratio <= 1.05;
     println!(
-        "metrics overhead gate: {scraped:.1} ns/op vs {batch:.1} ns/op = {ratio:.3}x \
-         (budget 1.05x){}",
+        "{} overhead gate: paired scraped/bare burst ratio {ratio:.3}x (budget 1.05x){}",
+        opcode.to_lowercase(),
         if ok { "" } else { "  OVER BUDGET" }
     );
     if !ok {
-        eprintln!("PERF GATE: METRICS scrape overhead {ratio:.3}x exceeds the 1.05x budget");
+        eprintln!("PERF GATE: {opcode} scrape overhead {ratio:.3}x exceeds the 1.05x budget");
     }
     ok
 }
@@ -1054,6 +1168,7 @@ fn build_comparisons(timings: &[TimingRecord]) -> Vec<Comparison> {
         "server/query_batch",
         "server/metrics_overhead",
     );
+    push("trace_scrape_amortized_vs_query_batch", "server/query_batch", "server/trace_overhead");
     push("async_vs_threaded_query", "server/query", "server/async/query");
     push("async_vs_threaded_query_batch", "server/query_batch", "server/async/query_batch");
     push("async_vs_threaded_attack_mix", "server/attack_mix", "server/async/attack_mix");

@@ -20,8 +20,10 @@
 //!   [`Registry::render_merged`] for stitching several layers' registries
 //!   into one globally-sorted exposition;
 //! * [`logger`] — a tiny leveled logger filtered by the `EVILBLOOM_LOG`
-//!   environment variable (`off`/`error`/`warn`/`info`/`debug`), replacing
-//!   the scattered `eprintln!` diagnostics so tests can silence them.
+//!   environment variable (`off`/`error`/`warn`/`info`/`debug`/`trace`),
+//!   replacing the scattered `eprintln!` diagnostics so tests can silence
+//!   them; every line is prefixed with coarse uptime millis and a
+//!   subsystem tag derived from the calling crate.
 //!
 //! Everything is `std`-only and records through `&self`, so hot paths share
 //! handles (`Arc<Counter>`, `Arc<Histogram>`) without locks; the only mutex

@@ -3,13 +3,23 @@
 //! The serving stack used to scatter bare `eprintln!` diagnostics (acceptor
 //! backoff, reactor-shard failure, WAL broken-flag). This module gives them
 //! one switch: `EVILBLOOM_LOG=off` silences everything (useful in tests),
-//! `error`/`warn` (the default)/`info`/`debug` open progressively chattier
-//! tiers. Call sites use the [`log_error!`](crate::log_error),
-//! [`log_warn!`](crate::log_warn), [`log_info!`](crate::log_info) and
-//! [`log_debug!`](crate::log_debug) macros, which skip all formatting work
-//! when the level is filtered out.
+//! `error`/`warn` (the default)/`info`/`debug`/`trace` open progressively
+//! chattier tiers. Call sites use the [`log_error!`](crate::log_error),
+//! [`log_warn!`](crate::log_warn), [`log_info!`](crate::log_info),
+//! [`log_debug!`](crate::log_debug) and [`log_trace!`](crate::log_trace)
+//! macros, which skip all formatting work when the level is filtered out.
+//!
+//! Every emitted line carries a coarse uptime timestamp (milliseconds since
+//! the process first logged) and a subsystem tag derived from the calling
+//! crate, so interleaved diagnostics from the server, store and persistence
+//! layers stay attributable:
+//!
+//! ```text
+//! [    1042ms warn  server] accept failed (too many open files); backing off
+//! ```
 
 use std::sync::OnceLock;
+use std::time::Instant;
 
 /// Log severity, most severe first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -22,6 +32,8 @@ pub enum Level {
     Info,
     /// High-volume diagnostics.
     Debug,
+    /// Per-event firehose (forensic tracing).
+    Trace,
 }
 
 impl Level {
@@ -31,26 +43,49 @@ impl Level {
             Level::Warn => "warn",
             Level::Info => "info",
             Level::Debug => "debug",
+            Level::Trace => "trace",
         }
     }
 }
 
 /// The effective filter: `None` is `off`, otherwise the most verbose level
-/// still emitted. Parsed from `EVILBLOOM_LOG` once, on first use.
+/// still emitted. Parsed from `EVILBLOOM_LOG` once, on first use; an
+/// unrecognised value warns once and falls back to `warn` instead of
+/// silently changing behaviour.
 fn max_level() -> Option<Level> {
     static FILTER: OnceLock<Option<Level>> = OnceLock::new();
-    *FILTER.get_or_init(|| parse_filter(std::env::var("EVILBLOOM_LOG").ok().as_deref()))
+    *FILTER.get_or_init(|| {
+        let raw = std::env::var("EVILBLOOM_LOG").ok();
+        match parse_filter(raw.as_deref()) {
+            Ok(filter) => filter,
+            Err(unknown) => {
+                write(
+                    Level::Warn,
+                    module_path!(),
+                    format_args!("unrecognised EVILBLOOM_LOG value {unknown:?}; using \"warn\""),
+                );
+                Some(Level::Warn)
+            }
+        }
+    })
 }
 
-/// `EVILBLOOM_LOG` values, case-insensitive; unset or unrecognised values
-/// fall back to `warn` so misconfiguration never silences real warnings.
-fn parse_filter(value: Option<&str>) -> Option<Level> {
-    match value.map(str::trim).map(str::to_ascii_lowercase).as_deref() {
-        Some("off") | Some("none") => None,
-        Some("error") => Some(Level::Error),
-        Some("info") => Some(Level::Info),
-        Some("debug") => Some(Level::Debug),
-        Some("warn") | Some(_) | None => Some(Level::Warn),
+/// `EVILBLOOM_LOG` values, case-insensitive. Unset falls back to `warn`;
+/// an unrecognised value is surfaced as `Err` so [`max_level`] can warn
+/// once before applying the same fallback (misconfiguration must neither
+/// silence real warnings nor pass unnoticed).
+fn parse_filter(value: Option<&str>) -> Result<Option<Level>, String> {
+    let Some(value) = value else { return Ok(Some(Level::Warn)) };
+    match value.trim().to_ascii_lowercase().as_str() {
+        // An empty value is "set but says nothing" — treat it as unset.
+        "" => Ok(Some(Level::Warn)),
+        "off" | "none" => Ok(None),
+        "error" => Ok(Some(Level::Error)),
+        "warn" => Ok(Some(Level::Warn)),
+        "info" => Ok(Some(Level::Info)),
+        "debug" => Ok(Some(Level::Debug)),
+        "trace" => Ok(Some(Level::Trace)),
+        other => Err(other.to_string()),
     }
 }
 
@@ -60,11 +95,27 @@ pub fn enabled(level: Level) -> bool {
     max_level().is_some_and(|max| level <= max)
 }
 
-/// Emits one pre-filtered log line to stderr. Use the macros instead of
-/// calling this directly — they check [`enabled`] first so filtered-out
-/// messages never format.
-pub fn write(level: Level, args: std::fmt::Arguments<'_>) {
-    eprintln!("[{}] {}", level.as_str(), args);
+/// Milliseconds since the process first logged — a coarse shared uptime
+/// clock, enough to correlate lines without syscall-per-log cost concerns.
+fn uptime_ms() -> u128 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_millis()
+}
+
+/// Shortens a `module_path!()` to its subsystem tag: the crate name with
+/// the `evilbloom_` prefix dropped (`evilbloom_server::reactor` → `server`).
+fn subsystem(module_path: &str) -> &str {
+    let krate = module_path.split("::").next().unwrap_or(module_path);
+    krate.strip_prefix("evilbloom_").unwrap_or(krate)
+}
+
+/// Emits one pre-filtered log line to stderr, prefixed with the uptime
+/// clock, the severity and the subsystem tag derived from `module_path`
+/// (pass `module_path!()`). Use the macros instead of calling this
+/// directly — they check [`enabled`] first so filtered-out messages never
+/// format.
+pub fn write(level: Level, module_path: &str, args: std::fmt::Arguments<'_>) {
+    eprintln!("[{:>8}ms {:<5} {}] {}", uptime_ms(), level.as_str(), subsystem(module_path), args);
 }
 
 /// Logs at [`Level::Error`] with `format!` syntax.
@@ -72,7 +123,11 @@ pub fn write(level: Level, args: std::fmt::Arguments<'_>) {
 macro_rules! log_error {
     ($($arg:tt)*) => {
         if $crate::logger::enabled($crate::Level::Error) {
-            $crate::logger::write($crate::Level::Error, ::core::format_args!($($arg)*));
+            $crate::logger::write(
+                $crate::Level::Error,
+                ::core::module_path!(),
+                ::core::format_args!($($arg)*),
+            );
         }
     };
 }
@@ -82,7 +137,11 @@ macro_rules! log_error {
 macro_rules! log_warn {
     ($($arg:tt)*) => {
         if $crate::logger::enabled($crate::Level::Warn) {
-            $crate::logger::write($crate::Level::Warn, ::core::format_args!($($arg)*));
+            $crate::logger::write(
+                $crate::Level::Warn,
+                ::core::module_path!(),
+                ::core::format_args!($($arg)*),
+            );
         }
     };
 }
@@ -92,7 +151,11 @@ macro_rules! log_warn {
 macro_rules! log_info {
     ($($arg:tt)*) => {
         if $crate::logger::enabled($crate::Level::Info) {
-            $crate::logger::write($crate::Level::Info, ::core::format_args!($($arg)*));
+            $crate::logger::write(
+                $crate::Level::Info,
+                ::core::module_path!(),
+                ::core::format_args!($($arg)*),
+            );
         }
     };
 }
@@ -102,7 +165,25 @@ macro_rules! log_info {
 macro_rules! log_debug {
     ($($arg:tt)*) => {
         if $crate::logger::enabled($crate::Level::Debug) {
-            $crate::logger::write($crate::Level::Debug, ::core::format_args!($($arg)*));
+            $crate::logger::write(
+                $crate::Level::Debug,
+                ::core::module_path!(),
+                ::core::format_args!($($arg)*),
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Trace`] with `format!` syntax.
+#[macro_export]
+macro_rules! log_trace {
+    ($($arg:tt)*) => {
+        if $crate::logger::enabled($crate::Level::Trace) {
+            $crate::logger::write(
+                $crate::Level::Trace,
+                ::core::module_path!(),
+                ::core::format_args!($($arg)*),
+            );
         }
     };
 }
@@ -113,15 +194,26 @@ mod tests {
 
     #[test]
     fn filter_parsing_covers_every_tier() {
-        assert_eq!(parse_filter(Some("off")), None);
-        assert_eq!(parse_filter(Some("none")), None);
-        assert_eq!(parse_filter(Some("ERROR")), Some(Level::Error));
-        assert_eq!(parse_filter(Some(" warn ")), Some(Level::Warn));
-        assert_eq!(parse_filter(Some("info")), Some(Level::Info));
-        assert_eq!(parse_filter(Some("debug")), Some(Level::Debug));
-        // Unset and garbage both fall back to warn.
-        assert_eq!(parse_filter(None), Some(Level::Warn));
-        assert_eq!(parse_filter(Some("verbose")), Some(Level::Warn));
+        assert_eq!(parse_filter(Some("off")), Ok(None));
+        assert_eq!(parse_filter(Some("none")), Ok(None));
+        assert_eq!(parse_filter(Some("ERROR")), Ok(Some(Level::Error)));
+        assert_eq!(parse_filter(Some(" warn ")), Ok(Some(Level::Warn)));
+        assert_eq!(parse_filter(Some("info")), Ok(Some(Level::Info)));
+        assert_eq!(parse_filter(Some("debug")), Ok(Some(Level::Debug)));
+        assert_eq!(parse_filter(Some("TRACE")), Ok(Some(Level::Trace)));
+        // Unset falls back to warn silently.
+        assert_eq!(parse_filter(None), Ok(Some(Level::Warn)));
+    }
+
+    #[test]
+    fn unrecognised_values_are_surfaced_not_swallowed() {
+        // The pre-existing gap: "verbose" used to silently become `warn`.
+        // Parsing now reports the offending value (normalised) so the
+        // caller warns once before applying the same fallback.
+        assert_eq!(parse_filter(Some("verbose")), Err("verbose".to_string()));
+        assert_eq!(parse_filter(Some("  TrAcing ")), Err("tracing".to_string()));
+        // Empty counts as unset, not as garbage.
+        assert_eq!(parse_filter(Some("")), Ok(Some(Level::Warn)));
     }
 
     #[test]
@@ -129,11 +221,20 @@ mod tests {
         assert!(Level::Error < Level::Warn);
         assert!(Level::Warn < Level::Info);
         assert!(Level::Info < Level::Debug);
+        assert!(Level::Debug < Level::Trace);
+    }
+
+    #[test]
+    fn subsystem_tags_drop_the_crate_prefix() {
+        assert_eq!(subsystem("evilbloom_server::reactor"), "server");
+        assert_eq!(subsystem("evilbloom_store"), "store");
+        assert_eq!(subsystem("my_app::main"), "my_app");
     }
 
     #[test]
     fn macros_expand_without_a_use_of_internals() {
         // Compile-time check: the macros resolve through `$crate` paths.
         crate::log_debug!("never shown under the default filter: {}", 42);
+        crate::log_trace!("never shown under the default filter: {}", 43);
     }
 }

@@ -167,7 +167,7 @@ pub(crate) fn acceptor_loop(
                 AcceptAction::Idle => std::thread::sleep(idle_tick),
                 AcceptAction::Backoff => {
                     if !logged_backoff {
-                        log_warn!("evilbloom-server: accept failed ({error}); backing off");
+                        log_warn!("accept failed ({error}); backing off");
                         logged_backoff = true;
                     }
                     std::thread::sleep(poll_interval);

@@ -289,6 +289,17 @@ impl Client {
             other => unexpected("METRICS", &other),
         }
     }
+
+    /// Fetches the server's forensic trace: recent flight-recorder events,
+    /// the per-connection suspect ranking (fresh-bits-per-insert EWMAs)
+    /// and the pollution-drift timeline. Render it for humans with
+    /// [`crate::WireTrace::render`].
+    pub fn trace(&mut self) -> Result<crate::WireTrace, ClientError> {
+        match self.call(&Command::Trace)? {
+            Response::Trace(trace) => Ok(trace),
+            other => unexpected("TRACE", &other),
+        }
+    }
 }
 
 fn unexpected<T>(expected: &'static str, got: &Response) -> Result<T, ClientError> {

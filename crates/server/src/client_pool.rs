@@ -243,6 +243,15 @@ impl ClientPool {
         Ok(text)
     }
 
+    /// Fetches the server's forensic trace over one pooled connection (see
+    /// [`Client::trace`]); like a metrics scrape, it is server-global.
+    pub fn trace(&mut self) -> Result<crate::WireTrace, ClientError> {
+        let mut client = self.checkout_validated()?;
+        let trace = client.trace()?;
+        self.checkin(client);
+        Ok(trace)
+    }
+
     /// Checks out the connections a pooled call will stripe over: the pool
     /// target, but never more than there are frames to send.
     fn lanes(&mut self, frames: usize) -> Result<Vec<Client>, ClientError> {

@@ -12,24 +12,38 @@
 //! `WouldBlock`-aware flush, re-armed on `EPOLLOUT` by the reactor).
 
 use std::sync::atomic::Ordering;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+use evilbloom_metrics::log_warn;
+use evilbloom_trace::TraceEvent;
 
 use crate::metrics::op_of;
 use crate::server::Inner;
-use crate::wire::{self, Command, Response, WireSnapshot, WireStats};
+use crate::wire::{
+    self, Command, Response, WireDriftPoint, WireSnapshot, WireStats, WireSuspect, WireTrace,
+    WireTraceEvent,
+};
 
 /// Per-read chunk size used by both backends (the threaded backend reads
 /// into a pooled chunk buffer; each reactor shard owns one shared scratch
 /// buffer of this size, not one per connection).
 pub(crate) const READ_CHUNK: usize = 64 * 1024;
 
+/// Rows of the suspect ranking a `TRACE` scrape returns.
+const SUSPECT_TOP_K: usize = 8;
+
 /// Decodes and executes every complete frame in `acc`, appending response
 /// frames to `out`. Returns `false` when a protocol violation means the
 /// connection must close (the stream can no longer be trusted to be in
 /// sync); a final `ERROR` response is still emitted so the client learns
 /// why.
-pub(crate) fn drain_frames(acc: &mut Vec<u8>, out: &mut Vec<u8>, inner: &Inner) -> bool {
-    let (consumed, keep_open) = drain_frame_slice(acc, out, inner);
+pub(crate) fn drain_frames(
+    acc: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+    inner: &Inner,
+    conn_id: u64,
+) -> bool {
+    let (consumed, keep_open) = drain_frame_slice(acc, out, inner, conn_id);
     acc.drain(..consumed);
     keep_open
 }
@@ -39,7 +53,12 @@ pub(crate) fn drain_frames(acc: &mut Vec<u8>, out: &mut Vec<u8>, inner: &Inner) 
 /// what to do with the unconsumed tail. The reactor's read path uses this
 /// to serve frames straight out of the read scratch buffer, copying only a
 /// trailing partial frame into the per-connection accumulator.
-pub(crate) fn drain_frame_slice(buf: &[u8], out: &mut Vec<u8>, inner: &Inner) -> (usize, bool) {
+pub(crate) fn drain_frame_slice(
+    buf: &[u8],
+    out: &mut Vec<u8>,
+    inner: &Inner,
+    conn_id: u64,
+) -> (usize, bool) {
     let mut consumed = 0;
     let mut keep_open = true;
     loop {
@@ -51,8 +70,11 @@ pub(crate) fn drain_frame_slice(buf: &[u8], out: &mut Vec<u8>, inner: &Inner) ->
                     Ok(command) => {
                         let op = op_of(&command);
                         let started = Instant::now();
-                        emit(&execute(&command, inner), out);
-                        inner.metrics.observe_request(op, started.elapsed());
+                        let response = execute(&command, inner);
+                        let elapsed = started.elapsed();
+                        emit(&response, out);
+                        inner.metrics.observe_request(op, elapsed);
+                        record_frame(inner, conn_id, &command, &response, elapsed);
                         inner.requests_served.fetch_add(1, Ordering::Relaxed);
                     }
                     Err(err) => {
@@ -83,6 +105,74 @@ fn emit(response: &Response, out: &mut Vec<u8>) {
         Response::Error(format!("response unencodable: {err}"))
             .encode(out)
             .expect("short error response always frames");
+    }
+}
+
+/// Feeds one executed frame into the forensic layer: item-bearing commands
+/// become `batch` flight-recorder events carrying the fresh-bit yield the
+/// response reported, inserts additionally fold that yield into the
+/// per-connection suspect table (queries and deletes set no bits, so they
+/// carry no attribution signal), and any command whose execution crossed
+/// the slow-request threshold is logged at `warn` and recorded.
+fn record_frame(
+    inner: &Inner,
+    conn_id: u64,
+    command: &Command<'_>,
+    response: &Response,
+    elapsed: Duration,
+) {
+    let latency_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    let opcode = command.opcode();
+    match (command, response) {
+        (Command::Insert(_), Response::Inserted { fresh_bits }) => {
+            let fresh_bits = u64::from(*fresh_bits);
+            inner.suspects.record_batch(conn_id, 1, fresh_bits);
+            inner.recorder.record(TraceEvent::BatchExecuted {
+                conn_id,
+                opcode,
+                items: 1,
+                fresh_bits,
+                latency_ns,
+            });
+        }
+        (Command::InsertBatch(_), Response::BatchInserted { items, fresh_bits }) => {
+            let items = u64::from(*items);
+            inner.suspects.record_batch(conn_id, items, *fresh_bits);
+            inner.recorder.record(TraceEvent::BatchExecuted {
+                conn_id,
+                opcode,
+                items,
+                fresh_bits: *fresh_bits,
+                latency_ns,
+            });
+        }
+        (Command::Query(_) | Command::Delete(_), _) => {
+            inner.recorder.record(TraceEvent::BatchExecuted {
+                conn_id,
+                opcode,
+                items: 1,
+                fresh_bits: 0,
+                latency_ns,
+            });
+        }
+        (Command::QueryBatch(items) | Command::DeleteBatch(items), _) => {
+            inner.recorder.record(TraceEvent::BatchExecuted {
+                conn_id,
+                opcode,
+                items: items.len() as u64,
+                fresh_bits: 0,
+                latency_ns,
+            });
+        }
+        _ => {}
+    }
+    if elapsed >= inner.slow_request_threshold {
+        inner.recorder.record(TraceEvent::SlowRequest { conn_id, opcode, latency_ns });
+        log_warn!(
+            "slow request: conn={conn_id} op=0x{opcode:02x} took {}ms (threshold {}ms)",
+            elapsed.as_millis(),
+            inner.slow_request_threshold.as_millis()
+        );
     }
 }
 
@@ -145,14 +235,67 @@ pub(crate) fn execute(command: &Command<'_>, inner: &Inner) -> Response {
         Command::RotateBegin { shard } => match checked_shard(store, *shard) {
             Err(error) => error,
             Ok(shard) => {
-                let mut rng = inner.rotation_rng.lock().expect("rotation rng poisoned");
-                Response::Rotated { generation: store.begin_rotation_dyn(shard, &mut *rng) }
+                let generation = {
+                    let mut rng = inner.rotation_rng.lock().expect("rotation rng poisoned");
+                    store.begin_rotation_dyn(shard, &mut *rng)
+                };
+                if let Some(generation) = generation {
+                    inner
+                        .recorder
+                        .record(TraceEvent::RotationBegun { shard: shard as u64, generation });
+                }
+                Response::Rotated { generation }
             }
         },
         Command::RotateComplete { shard } => match checked_shard(store, *shard) {
             Err(error) => error,
-            Ok(shard) => Response::RotationCompleted(store.complete_rotation(shard)),
+            Ok(shard) => {
+                let dropped = store.complete_rotation(shard);
+                if dropped {
+                    inner.recorder.record(TraceEvent::RotationCompleted { shard: shard as u64 });
+                }
+                Response::RotationCompleted(dropped)
+            }
         },
+        Command::Trace => {
+            // Like `METRICS`, a trace scrape refreshes the sampled store
+            // gauges first: alarm transitions are detected (and recorded as
+            // events) at sample time, so the scrape that asks "who did
+            // this?" is also the one that notices the alarm.
+            store.sample_metrics();
+            let events = inner
+                .recorder
+                .snapshot()
+                .into_iter()
+                .map(|e| WireTraceEvent { seq: e.seq, ts_ms: e.ts_ms, event: e.event })
+                .collect();
+            let suspects = inner
+                .suspects
+                .top(SUSPECT_TOP_K)
+                .into_iter()
+                .map(|row| WireSuspect {
+                    conn_id: row.conn_id,
+                    ewma_bits_per_item: row.ewma_bits_per_item,
+                    batches: row.batches,
+                    items: row.items,
+                    fresh_bits: row.fresh_bits,
+                })
+                .collect();
+            let drift = store
+                .metrics()
+                .drift_series()
+                .into_iter()
+                .map(|(inserts, fresh_bits)| WireDriftPoint { inserts, fresh_bits })
+                .collect();
+            Response::Trace(WireTrace {
+                recorded: inner.recorder.recorded(),
+                dropped: inner.recorder.dropped(),
+                overwritten: inner.recorder.overwritten(),
+                events,
+                suspects,
+                drift,
+            })
+        }
     }
 }
 
@@ -200,6 +343,7 @@ mod state_machine {
     /// protocol-violation `ERROR` alive until it has been flushed.
     pub(crate) struct Connection {
         stream: TcpStream,
+        conn_id: u64,
         acc: Vec<u8>,
         out: Vec<u8>,
         out_pos: usize,
@@ -208,9 +352,19 @@ mod state_machine {
 
     impl Connection {
         /// Wraps an accepted stream (already set non-blocking) with pooled
-        /// buffers.
-        pub(crate) fn new(stream: TcpStream, acc: Vec<u8>, out: Vec<u8>) -> Connection {
-            Connection { stream, acc, out, out_pos: 0, closing: false }
+        /// buffers, under the forensic connection id the reactor allocated.
+        pub(crate) fn new(
+            stream: TcpStream,
+            conn_id: u64,
+            acc: Vec<u8>,
+            out: Vec<u8>,
+        ) -> Connection {
+            Connection { stream, conn_id, acc, out, out_pos: 0, closing: false }
+        }
+
+        /// The forensic connection id this connection records under.
+        pub(crate) fn conn_id(&self) -> u64 {
+            self.conn_id
         }
 
         /// Reclaims the pooled buffers when the connection closes.
@@ -259,15 +413,19 @@ mod state_machine {
                             // straight from the scratch buffer and copy
                             // only a trailing partial frame into the
                             // accumulator.
-                            let (consumed, keep_open) =
-                                drain_frame_slice(&scratch[..n], &mut self.out, inner);
+                            let (consumed, keep_open) = drain_frame_slice(
+                                &scratch[..n],
+                                &mut self.out,
+                                inner,
+                                self.conn_id,
+                            );
                             if keep_open {
                                 self.acc.extend_from_slice(&scratch[consumed..n]);
                             }
                             keep_open
                         } else {
                             self.acc.extend_from_slice(&scratch[..n]);
-                            drain_frames(&mut self.acc, &mut self.out, inner)
+                            drain_frames(&mut self.acc, &mut self.out, inner, self.conn_id)
                         };
                         if !keep_open {
                             // Protocol violation: flush the ERROR response,

@@ -17,7 +17,8 @@
 //!
 //! * [`wire`] — the protocol: versioned, length-prefixed binary frames
 //!   (`PING`/`INSERT`/`QUERY`/`MINSERT`/`MQUERY`/`DELETE`/`MDELETE`/
-//!   `STATS`/`ROTATE`), one encoder/decoder shared by both ends, panic-free
+//!   `STATS`/`ROTATE`/`METRICS`/`TRACE`), one encoder/decoder shared by
+//!   both ends, panic-free
 //!   on arbitrary input, with commands borrowing item bytes straight from
 //!   the receive buffer. `DELETE` is honoured by deletable filter families
 //!   and answered with a typed `UNSUPPORTED` elsewhere;
@@ -92,6 +93,11 @@ pub use client_pool::ClientPool;
 pub use remote::{RemoteStore, POOL_FRAME_ITEMS};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{
-    Command, Response, WireError, WireShardStats, WireSnapshot, WireStats, DEFAULT_MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    Command, Response, WireDriftPoint, WireError, WireShardStats, WireSnapshot, WireStats,
+    WireSuspect, WireTrace, WireTraceEvent, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
+
+/// The typed flight-recorder event carried inside [`WireTraceEvent`]
+/// (re-exported from `evilbloom-trace` so clients can match on it without
+/// a direct dependency).
+pub use evilbloom_trace::TraceEvent;

@@ -17,9 +17,9 @@ use evilbloom_metrics::{Counter, Gauge, Histogram, Registry};
 use crate::wire::Command;
 
 /// Wire opcodes as metric label values, indexed by [`op_of`].
-const OPS: [&str; 11] = [
+const OPS: [&str; 12] = [
     "ping", "insert", "query", "minsert", "mquery", "stats", "rotate", "snapshot", "metrics",
-    "delete", "mdelete",
+    "delete", "mdelete", "trace",
 ];
 
 /// Maps a decoded command to its slot in the per-opcode metric arrays.
@@ -36,6 +36,7 @@ pub(crate) fn op_of(command: &Command<'_>) -> usize {
         Command::Metrics => 8,
         Command::Delete(_) => 9,
         Command::DeleteBatch(_) => 10,
+        Command::Trace => 11,
     }
 }
 
@@ -183,6 +184,7 @@ mod tests {
             (Command::Metrics, 8),
             (Command::Delete(b"x"), 9),
             (Command::DeleteBatch(vec![]), 10),
+            (Command::Trace, 11),
         ] {
             let op = op_of(&command);
             assert_eq!(op, expected, "{command:?}");
@@ -193,6 +195,7 @@ mod tests {
         assert!(text.contains(r#"evilbloom_server_requests_total{op="metrics"} 1"#), "{text}");
         assert!(text.contains(r#"evilbloom_server_requests_total{op="delete"} 1"#), "{text}");
         assert!(text.contains(r#"evilbloom_server_requests_total{op="mdelete"} 1"#), "{text}");
+        assert!(text.contains(r#"evilbloom_server_requests_total{op="trace"} 1"#), "{text}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use evilbloom_metrics::{log_error, log_warn};
+use evilbloom_trace::TraceEvent;
 
 use crate::backend::acceptor_loop;
 use crate::conn::{Connection, Status, READ_CHUNK};
@@ -206,7 +207,7 @@ impl Reactor {
                     // say so — a silently missing shard would only show up
                     // as mysteriously refused connections much later.
                     if !self.inner.is_shutdown() {
-                        log_error!("evilbloom-server: reactor shard failed ({error}); exiting");
+                        log_error!("reactor shard failed ({error}); exiting");
                     }
                     break;
                 }
@@ -285,14 +286,17 @@ impl Reactor {
                 continue;
             }
             let token = raw_fd(&stream) as u64;
+            let conn_id = self.inner.next_conn_id();
             let conn = Connection::new(
                 stream,
+                conn_id,
                 self.inner.buffers.checkout(),
                 self.inner.buffers.checkout(),
             );
             let interest = desired_interest(&conn);
             if self.epoll.add(token as i32, interest, token).is_ok() {
                 self.inner.metrics.connections_opened.inc();
+                self.inner.recorder.record(TraceEvent::ConnOpened { conn_id });
                 conns.insert(token, Registered { conn, interest });
             }
         }
@@ -300,6 +304,7 @@ impl Reactor {
 
     fn close(&self, registered: Registered, token: u64) {
         self.epoll.delete(token as i32);
+        self.inner.recorder.record(TraceEvent::ConnClosed { conn_id: registered.conn.conn_id() });
         let (acc, out) = registered.conn.into_buffers();
         self.inner.buffers.checkin(acc);
         self.inner.buffers.checkin(out);
@@ -369,7 +374,7 @@ pub(crate) fn spawn(
                     }
                 }
                 if !inner.is_shutdown() {
-                    log_warn!("evilbloom-server: all reactor shards gone; stopping accept");
+                    log_warn!("all reactor shards gone; stopping accept");
                 }
                 false
             });

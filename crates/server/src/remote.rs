@@ -84,6 +84,14 @@ pub trait RemoteStore {
     ///
     /// Any [`ClientError`] from the transport or the server.
     fn metrics(&mut self) -> Result<String, ClientError>;
+
+    /// Fetches the server's forensic trace (flight-recorder events, the
+    /// per-connection suspect ranking and the drift timeline).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ClientError`] from the transport or the server.
+    fn trace(&mut self) -> Result<crate::WireTrace, ClientError>;
 }
 
 impl RemoteStore for Client {
@@ -118,6 +126,10 @@ impl RemoteStore for Client {
     fn metrics(&mut self) -> Result<String, ClientError> {
         Client::metrics(self)
     }
+
+    fn trace(&mut self) -> Result<crate::WireTrace, ClientError> {
+        Client::trace(self)
+    }
 }
 
 impl RemoteStore for ClientPool {
@@ -151,5 +163,9 @@ impl RemoteStore for ClientPool {
 
     fn metrics(&mut self) -> Result<String, ClientError> {
         ClientPool::metrics(self)
+    }
+
+    fn trace(&mut self) -> Result<crate::WireTrace, ClientError> {
+        ClientPool::trace(self)
     }
 }

@@ -37,6 +37,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use evilbloom_store::{BackendKind, ServeStore};
+use evilbloom_trace::{FlightRecorder, SuspectTable, TraceEvent};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -45,6 +46,11 @@ use crate::buffers::BufferPool;
 use crate::conn::{drain_frames, READ_CHUNK};
 use crate::metrics::ServerMetrics;
 use crate::wire::DEFAULT_MAX_FRAME_BYTES;
+
+/// Connections the suspect table tracks at once. Eviction drops the
+/// least-suspicious row, so churning connections cannot displace an
+/// attacker's evidence.
+const SUSPECT_CAPACITY: usize = 64;
 
 /// Tuning knobs of a [`Server`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +82,12 @@ pub struct ServerConfig {
     /// on the family. The served family is surfaced remotely in `STATS`
     /// and as the `evilbloom_store_backend_info` metric.
     pub store_backend: Option<BackendKind>,
+    /// Requests whose execution takes at least this long are logged at
+    /// `warn` and recorded as `slow-request` flight-recorder events.
+    pub slow_request_threshold: Duration,
+    /// Capacity of the forensic flight recorder (rounded up to a power of
+    /// two, minimum 8): how many recent events a `TRACE` scrape can replay.
+    pub trace_events: usize,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +99,8 @@ impl Default for ServerConfig {
             rotation_seed: 0x5EED_0F0D_D5EE_D545,
             poll_interval: Duration::from_millis(25),
             store_backend: None,
+            slow_request_threshold: Duration::from_millis(100),
+            trace_events: 1024,
         }
     }
 }
@@ -119,11 +133,28 @@ pub(crate) struct Inner {
     pub(crate) metrics: ServerMetrics,
     /// When the server spawned, for the uptime gauge and `STATS` field.
     pub(crate) started: Instant,
+    /// The forensic flight recorder, shared with the store (which records
+    /// alarm, fsync-stall and snapshot events into it).
+    pub(crate) recorder: Arc<FlightRecorder>,
+    /// Per-connection drift attribution: fresh-bits-per-insert EWMAs and
+    /// the top-K suspect ranking `TRACE` exposes.
+    pub(crate) suspects: SuspectTable,
+    /// Next connection id minus one; ids are allocated from 1 (0 means "no
+    /// connection" in trace events).
+    next_conn_id: AtomicU64,
+    /// See [`ServerConfig::slow_request_threshold`].
+    pub(crate) slow_request_threshold: Duration,
 }
 
 impl Inner {
     pub(crate) fn is_shutdown(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Allocates the next connection id (both backends call this per
+    /// accepted socket, so ids are unique across backends and shards).
+    pub(crate) fn next_conn_id(&self) -> u64 {
+        self.next_conn_id.fetch_add(1, Ordering::Relaxed) + 1
     }
 }
 
@@ -171,6 +202,11 @@ impl Server {
             Arc::clone(&metrics.pool_misses),
             Arc::clone(&metrics.pool_trims),
         );
+        // The recorder is shared with the store before serving starts, so
+        // store-side events (alarm trips, fsync stalls, snapshots) land in
+        // the same timeline as connection and batch events.
+        let recorder = Arc::new(FlightRecorder::new(config.trace_events));
+        store.metrics().attach_recorder(Arc::clone(&recorder));
         let inner = Arc::new(Inner {
             store,
             shutdown: AtomicBool::new(false),
@@ -181,6 +217,10 @@ impl Server {
             buffers,
             metrics,
             started: Instant::now(),
+            recorder,
+            suspects: SuspectTable::new(SUSPECT_CAPACITY),
+            next_conn_id: AtomicU64::new(0),
+            slow_request_threshold: config.slow_request_threshold,
         });
 
         match config.backend {
@@ -327,14 +367,17 @@ fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, inner: &Inner) {
 /// translate into allocator churn.
 fn handle_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
     inner.metrics.connections_opened.inc();
+    let conn_id = inner.next_conn_id();
+    inner.recorder.record(TraceEvent::ConnOpened { conn_id });
     let mut acc = inner.buffers.checkout();
     let mut out = inner.buffers.checkout();
     let mut chunk = inner.buffers.checkout();
     chunk.resize(READ_CHUNK, 0);
-    let result = serve_blocking(stream, inner, &mut acc, &mut out, &mut chunk);
+    let result = serve_blocking(stream, inner, conn_id, &mut acc, &mut out, &mut chunk);
     inner.buffers.checkin(acc);
     inner.buffers.checkin(out);
     inner.buffers.checkin(chunk);
+    inner.recorder.record(TraceEvent::ConnClosed { conn_id });
     inner.metrics.connections_closed.inc();
     result
 }
@@ -342,6 +385,7 @@ fn handle_connection(stream: TcpStream, inner: &Inner) -> io::Result<()> {
 fn serve_blocking(
     stream: TcpStream,
     inner: &Inner,
+    conn_id: u64,
     acc: &mut Vec<u8>,
     out: &mut Vec<u8>,
     chunk: &mut [u8],
@@ -357,7 +401,7 @@ fn serve_blocking(
             Ok(n) => {
                 inner.metrics.bytes_read.add(n as u64);
                 acc.extend_from_slice(&chunk[..n]);
-                let keep_open = drain_frames(acc, out, inner);
+                let keep_open = drain_frames(acc, out, inner, conn_id);
                 if !out.is_empty() {
                     writer.write_all(out)?;
                     writer.flush()?;

@@ -31,6 +31,7 @@
 //! | `0x09` | `METRICS` | — | `0x89 METRICS` (UTF-8 text exposition) |
 //! | `0x0A` | `DELETE` | item bytes | `0x8A DELETED` (`u8` was-present) |
 //! | `0x0B` | `MDELETE` | item list | `0x8B MDELETED` (`u32` count + bitmap) |
+//! | `0x0C` | `TRACE` | — | `0x8C TRACE` (flight-recorder events + suspect table + drift timeline) |
 //! | — | — | — | `0xEE ERROR` (UTF-8 message) |
 //! | — | — | — | `0xEF UNSUPPORTED` (UTF-8 message) |
 //!
@@ -52,6 +53,7 @@
 use std::io::{self, Read};
 
 use evilbloom_store::{BackendKind, StoreStats};
+use evilbloom_trace::{TraceEvent, EVENT_PAYLOAD_WORDS};
 
 /// Version byte every payload starts with. Bump on incompatible changes.
 pub const PROTOCOL_VERSION: u8 = 1;
@@ -72,6 +74,7 @@ const OP_SNAPSHOT: u8 = 0x08;
 const OP_METRICS: u8 = 0x09;
 const OP_DELETE: u8 = 0x0A;
 const OP_MDELETE: u8 = 0x0B;
+const OP_TRACE: u8 = 0x0C;
 
 const OP_PONG: u8 = 0x81;
 const OP_INSERTED: u8 = 0x82;
@@ -84,6 +87,7 @@ const OP_SNAPSHOT_REPLY: u8 = 0x88;
 const OP_METRICS_REPLY: u8 = 0x89;
 const OP_DELETED: u8 = 0x8A;
 const OP_MDELETED: u8 = 0x8B;
+const OP_TRACE_REPLY: u8 = 0x8C;
 const OP_ERROR: u8 = 0xEE;
 const OP_UNSUPPORTED: u8 = 0xEF;
 
@@ -180,6 +184,9 @@ pub enum Command<'a> {
     Delete(&'a [u8]),
     /// Batch delete; answers come back in input order as a bitmap.
     DeleteBatch(Vec<&'a [u8]>),
+    /// Fetch the server's forensic trace: recent flight-recorder events,
+    /// the per-connection suspect ranking and the drift timeline.
+    Trace,
 }
 
 impl<'a> Command<'a> {
@@ -232,6 +239,7 @@ impl<'a> Command<'a> {
                     out.push(OP_MDELETE);
                     put_items(out, items)?;
                 }
+                Command::Trace => out.push(OP_TRACE),
             }
             finish_frame(out, start)
         })();
@@ -239,6 +247,25 @@ impl<'a> Command<'a> {
             out.truncate(start);
         }
         result
+    }
+
+    /// The command's wire opcode byte, as recorded in forensic trace
+    /// events (both rotation phases share `ROTATE`).
+    pub(crate) fn opcode(&self) -> u8 {
+        match self {
+            Command::Ping => OP_PING,
+            Command::Insert(_) => OP_INSERT,
+            Command::Query(_) => OP_QUERY,
+            Command::InsertBatch(_) => OP_MINSERT,
+            Command::QueryBatch(_) => OP_MQUERY,
+            Command::Stats => OP_STATS,
+            Command::RotateBegin { .. } | Command::RotateComplete { .. } => OP_ROTATE,
+            Command::Snapshot => OP_SNAPSHOT,
+            Command::Metrics => OP_METRICS,
+            Command::Delete(_) => OP_DELETE,
+            Command::DeleteBatch(_) => OP_MDELETE,
+            Command::Trace => OP_TRACE,
+        }
     }
 
     /// Decodes a command from a frame payload (length prefix already
@@ -256,6 +283,7 @@ impl<'a> Command<'a> {
             OP_METRICS => Command::Metrics,
             OP_DELETE => Command::Delete(r.rest()),
             OP_MDELETE => Command::DeleteBatch(r.items()?),
+            OP_TRACE => Command::Trace,
             OP_ROTATE => {
                 let phase = r.u8()?;
                 let shard = r.u32()?;
@@ -317,6 +345,8 @@ pub enum Response {
     },
     /// Reply to [`Command::DeleteBatch`], answers in input order.
     BatchDeleted(Vec<bool>),
+    /// Reply to [`Command::Trace`]: the server's forensic trace.
+    Trace(WireTrace),
     /// The served filter family cannot honour the request (e.g. `DELETE`
     /// against a plain Bloom backend). Unlike [`Response::Error`] for a
     /// protocol violation, the connection stays open.
@@ -342,6 +372,7 @@ impl Response {
             Response::Metrics(_) => "METRICS",
             Response::Deleted { .. } => "DELETED",
             Response::BatchDeleted(_) => "MDELETED",
+            Response::Trace(_) => "TRACE",
             Response::Unsupported(_) => "UNSUPPORTED",
             Response::Error(_) => "ERROR",
         }
@@ -411,6 +442,10 @@ impl Response {
                     out.push(OP_MDELETED);
                     put_bitmap(out, answers)?;
                 }
+                Response::Trace(trace) => {
+                    out.push(OP_TRACE_REPLY);
+                    trace.encode(out)?;
+                }
                 Response::Unsupported(message) => {
                     out.push(OP_UNSUPPORTED);
                     out.extend_from_slice(message.as_bytes());
@@ -440,6 +475,7 @@ impl Response {
             OP_DELETED => Response::Deleted { was_present: r.flag()? },
             OP_MDELETED => Response::BatchDeleted(r.bitmap()?),
             OP_STATS_REPLY => Response::Stats(WireStats::decode(&mut r)?),
+            OP_TRACE_REPLY => Response::Trace(WireTrace::decode(&mut r)?),
             OP_SNAPSHOT_REPLY => Response::Snapshotted(WireSnapshot {
                 seq: r.u64()?,
                 wal_seq: r.u64()?,
@@ -672,6 +708,247 @@ impl WireStats {
             uptime_secs,
             backend,
         })
+    }
+}
+
+/// One flight-recorder event as it travels over the wire, with its position
+/// in the recorder's history and its coarse uptime timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireTraceEvent {
+    /// The event's position in the recorder's history (monotonic across
+    /// ring wraps).
+    pub seq: u64,
+    /// Milliseconds since the recorder was built.
+    pub ts_ms: u64,
+    /// The recorded event.
+    pub event: TraceEvent,
+}
+
+/// One row of the per-connection suspect ranking on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireSuspect {
+    /// The suspected connection.
+    pub conn_id: u64,
+    /// Its fresh-bits-per-inserted-item EWMA — the suspicion score. Honest
+    /// connections decay toward `k·(1−fill)`; crafted batches pin at `k`.
+    pub ewma_bits_per_item: f64,
+    /// Insert batches observed on the connection.
+    pub batches: u64,
+    /// Total items it inserted.
+    pub items: u64,
+    /// Total fresh bits those inserts set.
+    pub fresh_bits: u64,
+}
+
+/// One `(inserts, fresh_bits)` sample of the store's drift timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireDriftPoint {
+    /// Cumulative items inserted at sample time.
+    pub inserts: u64,
+    /// Cumulative fresh bits set at sample time.
+    pub fresh_bits: u64,
+}
+
+/// The server's forensic trace as it travels over the wire: flight-recorder
+/// events, the suspect ranking and the drift timeline.
+///
+/// The suspect and drift sections are an appended, strictly layered tail
+/// (like the [`WireStats`] tail fields): decoders read them only when
+/// present, so a frame that stops after the event list decodes with empty
+/// tables instead of erroring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTrace {
+    /// Events ever recorded (including overwritten and dropped ones).
+    pub recorded: u64,
+    /// Events lost to recorder write contention.
+    pub dropped: u64,
+    /// Events that scrolled out of the ring, overwritten by newer ones.
+    pub overwritten: u64,
+    /// The retained events, oldest first.
+    pub events: Vec<WireTraceEvent>,
+    /// The top-K suspect ranking, most suspicious first.
+    pub suspects: Vec<WireSuspect>,
+    /// The recent drift timeline, oldest sample first.
+    pub drift: Vec<WireDriftPoint>,
+}
+
+/// Encoded size of one event record: seq + timestamp + kind byte + payload.
+const TRACE_EVENT_BYTES: usize = 8 + 8 + 1 + 8 * EVENT_PAYLOAD_WORDS;
+/// Encoded size of one suspect row.
+const TRACE_SUSPECT_BYTES: usize = 8 + 8 + 8 + 8 + 8;
+/// Encoded size of one drift sample.
+const TRACE_DRIFT_BYTES: usize = 8 + 8;
+
+impl WireTrace {
+    fn encode(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        out.extend_from_slice(&self.recorded.to_le_bytes());
+        out.extend_from_slice(&self.dropped.to_le_bytes());
+        out.extend_from_slice(&self.overwritten.to_le_bytes());
+        out.extend_from_slice(&wire_count("event count", self.events.len())?.to_le_bytes());
+        for event in &self.events {
+            out.extend_from_slice(&event.seq.to_le_bytes());
+            out.extend_from_slice(&event.ts_ms.to_le_bytes());
+            let (kind, payload) = event.event.to_raw();
+            out.push(kind);
+            for word in payload {
+                out.extend_from_slice(&word.to_le_bytes());
+            }
+        }
+        // Appended tail sections, strictly layered: the suspect table rides
+        // after the event list, the drift timeline only ever after a full
+        // suspect table. Decoders treat an absent section as empty.
+        out.extend_from_slice(&wire_count("suspect count", self.suspects.len())?.to_le_bytes());
+        for suspect in &self.suspects {
+            out.extend_from_slice(&suspect.conn_id.to_le_bytes());
+            out.extend_from_slice(&suspect.ewma_bits_per_item.to_bits().to_le_bytes());
+            out.extend_from_slice(&suspect.batches.to_le_bytes());
+            out.extend_from_slice(&suspect.items.to_le_bytes());
+            out.extend_from_slice(&suspect.fresh_bits.to_le_bytes());
+        }
+        out.extend_from_slice(&wire_count("drift count", self.drift.len())?.to_le_bytes());
+        for point in &self.drift {
+            out.extend_from_slice(&point.inserts.to_le_bytes());
+            out.extend_from_slice(&point.fresh_bits.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let recorded = r.u64()?;
+        let dropped = r.u64()?;
+        let overwritten = r.u64()?;
+        let count = r.u32()? as usize;
+        if count > r.remaining() / TRACE_EVENT_BYTES {
+            return Err(WireError::Malformed("event count exceeds frame"));
+        }
+        let mut events = Vec::with_capacity(count);
+        for _ in 0..count {
+            let seq = r.u64()?;
+            let ts_ms = r.u64()?;
+            let kind = r.u8()?;
+            let mut payload = [0u64; EVENT_PAYLOAD_WORDS];
+            for word in &mut payload {
+                *word = r.u64()?;
+            }
+            let event = TraceEvent::from_raw(kind, payload)
+                .ok_or(WireError::Malformed("unknown trace event kind"))?;
+            events.push(WireTraceEvent { seq, ts_ms, event });
+        }
+        // Version-tolerant tails: a frame that ends after the event list is
+        // a server predating the suspect table (empty, not malformed); one
+        // that ends after the suspects predates the drift timeline.
+        let mut suspects = Vec::new();
+        if r.remaining() >= 4 {
+            let count = r.u32()? as usize;
+            if count > r.remaining() / TRACE_SUSPECT_BYTES {
+                return Err(WireError::Malformed("suspect count exceeds frame"));
+            }
+            for _ in 0..count {
+                suspects.push(WireSuspect {
+                    conn_id: r.u64()?,
+                    ewma_bits_per_item: r.f64()?,
+                    batches: r.u64()?,
+                    items: r.u64()?,
+                    fresh_bits: r.u64()?,
+                });
+            }
+        }
+        let mut drift = Vec::new();
+        if r.remaining() >= 4 {
+            let count = r.u32()? as usize;
+            if count > r.remaining() / TRACE_DRIFT_BYTES {
+                return Err(WireError::Malformed("drift count exceeds frame"));
+            }
+            for _ in 0..count {
+                drift.push(WireDriftPoint { inserts: r.u64()?, fresh_bits: r.u64()? });
+            }
+        }
+        Ok(WireTrace { recorded, dropped, overwritten, events, suspects, drift })
+    }
+
+    /// Renders the trace as a deterministic text exposition: the retained
+    /// events, the suspect table and the drift timeline, in a fixed layout
+    /// an operator can diff between scrapes.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== evilbloom trace: recorded={} dropped={} overwritten={} retained={} ==",
+            self.recorded,
+            self.dropped,
+            self.overwritten,
+            self.events.len(),
+        );
+        out.push_str("-- events (oldest first) --\n");
+        for e in &self.events {
+            let _ = write!(out, "[{:>8}ms] #{:<6} {:<15}", e.ts_ms, e.seq, e.event.tag());
+            let _ = match e.event {
+                TraceEvent::ConnOpened { conn_id } | TraceEvent::ConnClosed { conn_id } => {
+                    writeln!(out, " conn={conn_id}")
+                }
+                TraceEvent::BatchExecuted { conn_id, opcode, items, fresh_bits, latency_ns } => {
+                    writeln!(
+                        out,
+                        " conn={conn_id} op={} items={items} fresh_bits={fresh_bits} \
+                         latency_ns={latency_ns}",
+                        op_name(opcode)
+                    )
+                }
+                TraceEvent::AlarmTripped { shard } => writeln!(out, " shard={shard}"),
+                TraceEvent::RotationBegun { shard, generation } => {
+                    writeln!(out, " shard={shard} generation={generation}")
+                }
+                TraceEvent::RotationCompleted { shard } => writeln!(out, " shard={shard}"),
+                TraceEvent::WalFsyncStall { latency_ns } => {
+                    writeln!(out, " latency_ns={latency_ns}")
+                }
+                TraceEvent::SnapshotTaken { seq, bytes } => {
+                    writeln!(out, " seq={seq} bytes={bytes}")
+                }
+                TraceEvent::SlowRequest { conn_id, opcode, latency_ns } => {
+                    writeln!(out, " conn={conn_id} op={} latency_ns={latency_ns}", op_name(opcode))
+                }
+            };
+        }
+        out.push_str("-- suspects (fresh-bits-per-insert EWMA, rank order) --\n");
+        for (rank, s) in self.suspects.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "#{} conn={} ewma={:.3} batches={} items={} fresh_bits={}",
+                rank + 1,
+                s.conn_id,
+                s.ewma_bits_per_item,
+                s.batches,
+                s.items,
+                s.fresh_bits,
+            );
+        }
+        out.push_str("-- drift timeline (inserts, fresh_bits) --\n");
+        for p in &self.drift {
+            let _ = writeln!(out, "({}, {})", p.inserts, p.fresh_bits);
+        }
+        out
+    }
+}
+
+/// Human-readable command name for a wire opcode (used by the trace
+/// exposition; unknown opcodes — from a newer server — render as `?`).
+fn op_name(op: u8) -> &'static str {
+    match op {
+        OP_PING => "PING",
+        OP_INSERT => "INSERT",
+        OP_QUERY => "QUERY",
+        OP_MINSERT => "MINSERT",
+        OP_MQUERY => "MQUERY",
+        OP_STATS => "STATS",
+        OP_ROTATE => "ROTATE",
+        OP_SNAPSHOT => "SNAPSHOT",
+        OP_METRICS => "METRICS",
+        OP_DELETE => "DELETE",
+        OP_MDELETE => "MDELETE",
+        OP_TRACE => "TRACE",
+        _ => "?",
     }
 }
 
@@ -1086,6 +1363,175 @@ mod tests {
             Response::decode(&frame[4..]),
             Err(WireError::Malformed("unknown backend code in stats"))
         );
+    }
+
+    fn sample_trace() -> WireTrace {
+        WireTrace {
+            recorded: 40,
+            dropped: 1,
+            overwritten: 8,
+            events: vec![
+                WireTraceEvent { seq: 32, ts_ms: 5, event: TraceEvent::ConnOpened { conn_id: 5 } },
+                WireTraceEvent {
+                    seq: 33,
+                    ts_ms: 6,
+                    event: TraceEvent::BatchExecuted {
+                        conn_id: 5,
+                        opcode: 0x04,
+                        items: 100,
+                        fresh_bits: 693,
+                        latency_ns: 42_000,
+                    },
+                },
+                WireTraceEvent { seq: 34, ts_ms: 9, event: TraceEvent::AlarmTripped { shard: 2 } },
+                WireTraceEvent {
+                    seq: 35,
+                    ts_ms: 11,
+                    event: TraceEvent::RotationBegun { shard: 2, generation: 1 },
+                },
+                WireTraceEvent {
+                    seq: 36,
+                    ts_ms: 12,
+                    event: TraceEvent::SlowRequest { conn_id: 3, opcode: 0x06, latency_ns: 9 },
+                },
+            ],
+            suspects: vec![
+                WireSuspect {
+                    conn_id: 5,
+                    ewma_bits_per_item: 6.93,
+                    batches: 6,
+                    items: 600,
+                    fresh_bits: 4160,
+                },
+                WireSuspect {
+                    conn_id: 2,
+                    ewma_bits_per_item: 2.05,
+                    batches: 5,
+                    items: 500,
+                    fresh_bits: 1100,
+                },
+            ],
+            drift: vec![
+                WireDriftPoint { inserts: 100, fresh_bits: 693 },
+                WireDriftPoint { inserts: 200, fresh_bits: 1290 },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_roundtrips() {
+        roundtrip_response(&Response::Trace(sample_trace()));
+        roundtrip_response(&Response::Trace(WireTrace {
+            recorded: 0,
+            dropped: 0,
+            overwritten: 0,
+            events: vec![],
+            suspects: vec![],
+            drift: vec![],
+        }));
+        roundtrip_command(&Command::Trace);
+    }
+
+    #[test]
+    fn trace_without_the_suspect_tail_decodes_with_empty_tables() {
+        // Version tolerance: a frame that stops after the event list (a
+        // server predating the suspect table and drift timeline) decodes
+        // with empty tables, not an error.
+        let trace = sample_trace();
+        let mut frame = Vec::new();
+        Response::Trace(trace.clone()).encode(&mut frame).expect("encodes");
+        let tail = 4 + trace.suspects.len() * (8 + 8 + 8 + 8 + 8) + 4 + trace.drift.len() * (8 + 8);
+        frame.truncate(frame.len() - tail);
+        let len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        match Response::decode(&frame[4..]).expect("tail-less trace decodes") {
+            Response::Trace(decoded) => {
+                assert_eq!(decoded.events, trace.events);
+                assert_eq!(decoded.recorded, trace.recorded);
+                assert!(decoded.suspects.is_empty());
+                assert!(decoded.drift.is_empty());
+            }
+            other => panic!("expected TRACE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_without_the_drift_tail_decodes_with_an_empty_timeline() {
+        let trace = sample_trace();
+        let mut frame = Vec::new();
+        Response::Trace(trace.clone()).encode(&mut frame).expect("encodes");
+        let tail = 4 + trace.drift.len() * (8 + 8);
+        frame.truncate(frame.len() - tail);
+        let len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        match Response::decode(&frame[4..]).expect("drift-less trace decodes") {
+            Response::Trace(decoded) => {
+                assert_eq!(decoded.suspects, trace.suspects);
+                assert!(decoded.drift.is_empty());
+            }
+            other => panic!("expected TRACE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_trace_event_kinds_are_rejected() {
+        let trace = WireTrace {
+            recorded: 1,
+            dropped: 0,
+            overwritten: 0,
+            events: vec![WireTraceEvent {
+                seq: 0,
+                ts_ms: 0,
+                event: TraceEvent::ConnOpened { conn_id: 1 },
+            }],
+            suspects: vec![],
+            drift: vec![],
+        };
+        let mut frame = Vec::new();
+        Response::Trace(trace).encode(&mut frame).expect("encodes");
+        // The kind byte sits after the length prefix (4), version + opcode
+        // (2), three u64 counters (24), the event count (4) and the event's
+        // seq + ts (16).
+        frame[4 + 2 + 24 + 4 + 16] = 0xFE;
+        assert_eq!(
+            Response::decode(&frame[4..]),
+            Err(WireError::Malformed("unknown trace event kind"))
+        );
+    }
+
+    #[test]
+    fn hostile_trace_counts_are_rejected_before_allocation() {
+        // An event count the body cannot hold.
+        let mut payload = vec![PROTOCOL_VERSION, OP_TRACE_REPLY];
+        payload.extend_from_slice(&[0u8; 24]); // recorded/dropped/overwritten
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&[0; 16]);
+        assert_eq!(
+            Response::decode(&payload),
+            Err(WireError::Malformed("event count exceeds frame"))
+        );
+        // A suspect count the tail cannot hold.
+        let mut payload = vec![PROTOCOL_VERSION, OP_TRACE_REPLY];
+        payload.extend_from_slice(&[0u8; 24]);
+        payload.extend_from_slice(&0u32.to_le_bytes()); // no events
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        payload.extend_from_slice(&[0; 8]);
+        assert_eq!(
+            Response::decode(&payload),
+            Err(WireError::Malformed("suspect count exceeds frame"))
+        );
+    }
+
+    #[test]
+    fn trace_render_is_deterministic_and_names_the_suspect() {
+        let rendered = sample_trace().render();
+        assert_eq!(rendered, sample_trace().render());
+        assert!(rendered.contains("recorded=40 dropped=1 overwritten=8 retained=5"), "{rendered}");
+        assert!(rendered.contains("#1 conn=5 ewma=6.930"), "{rendered}");
+        assert!(rendered.contains("op=MINSERT"), "{rendered}");
+        assert!(rendered.contains("alarm"), "{rendered}");
+        assert!(rendered.contains("rotate-begin"), "{rendered}");
+        assert!(rendered.contains("(200, 1290)"), "{rendered}");
     }
 
     #[test]

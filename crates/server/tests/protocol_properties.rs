@@ -3,7 +3,10 @@
 //! panic — of truncated and corrupted frames.
 
 use evilbloom_server::wire::{frame_bounds, DEFAULT_MAX_FRAME_BYTES};
-use evilbloom_server::{Command, Response, WireShardStats, WireSnapshot, WireStats};
+use evilbloom_server::{
+    Command, Response, TraceEvent, WireDriftPoint, WireShardStats, WireSnapshot, WireStats,
+    WireSuspect, WireTrace, WireTraceEvent,
+};
 use evilbloom_store::BackendKind;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -34,11 +37,12 @@ enum OwnedCommand {
     RotateComplete(u32),
     Snapshot,
     Metrics,
+    Trace,
 }
 
 impl OwnedCommand {
     fn random(rng: &mut StdRng) -> Self {
-        match rng.gen_range(0u32..12) {
+        match rng.gen_range(0u32..13) {
             0 => OwnedCommand::Ping,
             1 => OwnedCommand::Insert(random_item(rng)),
             2 => OwnedCommand::Query(random_item(rng)),
@@ -50,6 +54,7 @@ impl OwnedCommand {
             8 => OwnedCommand::Metrics,
             9 => OwnedCommand::Delete(random_item(rng)),
             10 => OwnedCommand::DeleteBatch(random_items(rng)),
+            11 => OwnedCommand::Trace,
             _ => OwnedCommand::RotateComplete(rng.gen_range(0u64..1 << 32) as u32),
         }
     }
@@ -74,6 +79,7 @@ impl OwnedCommand {
             OwnedCommand::RotateComplete(shard) => Command::RotateComplete { shard: *shard },
             OwnedCommand::Snapshot => Command::Snapshot,
             OwnedCommand::Metrics => Command::Metrics,
+            OwnedCommand::Trace => Command::Trace,
         }
     }
 }
@@ -100,8 +106,62 @@ fn random_backend(rng: &mut StdRng) -> BackendKind {
     }
 }
 
+fn random_trace_event(rng: &mut StdRng) -> TraceEvent {
+    match rng.gen_range(0u32..9) {
+        0 => TraceEvent::ConnOpened { conn_id: rng.next_u64() },
+        1 => TraceEvent::ConnClosed { conn_id: rng.next_u64() },
+        2 => TraceEvent::BatchExecuted {
+            conn_id: rng.next_u64(),
+            opcode: rng.gen_range(0u64..256) as u8,
+            items: rng.next_u64(),
+            fresh_bits: rng.next_u64(),
+            latency_ns: rng.next_u64(),
+        },
+        3 => TraceEvent::AlarmTripped { shard: rng.next_u64() },
+        4 => TraceEvent::RotationBegun { shard: rng.next_u64(), generation: rng.next_u64() },
+        5 => TraceEvent::RotationCompleted { shard: rng.next_u64() },
+        6 => TraceEvent::WalFsyncStall { latency_ns: rng.next_u64() },
+        7 => TraceEvent::SnapshotTaken { seq: rng.next_u64(), bytes: rng.next_u64() },
+        _ => TraceEvent::SlowRequest {
+            conn_id: rng.next_u64(),
+            opcode: rng.gen_range(0u64..256) as u8,
+            latency_ns: rng.next_u64(),
+        },
+    }
+}
+
+fn random_trace(rng: &mut StdRng) -> WireTrace {
+    let events = rng.gen_range(0usize..12);
+    let suspects = rng.gen_range(0usize..6);
+    let drift = rng.gen_range(0usize..10);
+    WireTrace {
+        recorded: rng.next_u64(),
+        dropped: rng.next_u64(),
+        overwritten: rng.next_u64(),
+        events: (0..events)
+            .map(|_| WireTraceEvent {
+                seq: rng.next_u64(),
+                ts_ms: rng.next_u64(),
+                event: random_trace_event(rng),
+            })
+            .collect(),
+        suspects: (0..suspects)
+            .map(|_| WireSuspect {
+                conn_id: rng.next_u64(),
+                ewma_bits_per_item: rng.gen_range(0.0f64..16.0),
+                batches: rng.next_u64(),
+                items: rng.next_u64(),
+                fresh_bits: rng.next_u64(),
+            })
+            .collect(),
+        drift: (0..drift)
+            .map(|_| WireDriftPoint { inserts: rng.next_u64(), fresh_bits: rng.next_u64() })
+            .collect(),
+    }
+}
+
 fn random_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0u32..14) {
+    match rng.gen_range(0u32..15) {
         0 => Response::Pong,
         1 => Response::Inserted { fresh_bits: rng.gen_range(0u64..1 << 32) as u32 },
         2 => Response::Found(rng.gen_range(0u32..2) == 1),
@@ -152,6 +212,7 @@ fn random_response(rng: &mut StdRng) -> Response {
             let message: String = (0..len).map(|_| rng.gen_range(b' '..b'~') as char).collect();
             Response::Unsupported(message)
         }
+        13 => Response::Trace(random_trace(rng)),
         _ => {
             let len = rng.gen_range(0usize..48);
             let message: String = (0..len).map(|_| rng.gen_range(b' '..b'~') as char).collect();
@@ -239,13 +300,15 @@ fn truncated_response_frames_are_rejected_or_self_consistent() {
                     let mut reencoded = Vec::new();
                     reinterpreted.encode(&mut reencoded).expect("encodes");
                     let re = payload(&reencoded);
-                    // One deliberate exception to byte-identity: a STATS
-                    // payload cut exactly before its appended
-                    // generation/uptime/backend tail (or before just the
-                    // backend byte) is an older wire layout, which version
-                    // tolerance decodes (fields read as 0 / Bloom);
-                    // re-encoding restores the missing tail bytes as zeros
-                    // (Bloom's backend code is 0).
+                    // One deliberate exception to byte-identity: version
+                    // tolerance. A STATS payload cut exactly before its
+                    // appended generation/uptime/backend tail (or before
+                    // just the backend byte) is an older wire layout, which
+                    // decodes with the fields read as 0 / Bloom; likewise a
+                    // TRACE payload cut before its suspect and/or drift
+                    // tails decodes with empty tables. Re-encoding restores
+                    // each missing tail as zeros (Bloom's backend code is
+                    // 0; an empty table is a zero count).
                     let compat_tail_restored = re.len() > cut
                         && re[..cut] == body[..cut]
                         && re[cut..].iter().all(|&b| b == 0);

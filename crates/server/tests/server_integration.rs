@@ -816,3 +816,95 @@ fn metrics_expose_the_served_family() {
     );
     handle.shutdown();
 }
+
+/// A `TRACE` scrape on either backend surfaces the forensic layer
+/// end-to-end: conn-open and batch events in the flight recorder, the
+/// inserting connection in the suspect ranking (with its fresh-bits EWMA),
+/// slow-request events under a zero threshold, and a deterministic text
+/// rendering.
+#[test]
+fn trace_scrape_surfaces_events_and_suspects() {
+    for backend in backends() {
+        let store = Arc::new(
+            BloomStore::builder().shards(4).capacity(4_000).target_fpp(0.01).seed(42).build(),
+        );
+        // A zero threshold classifies every request as slow, so the test
+        // exercises the slow-request path deterministically.
+        let mut config = ServerConfig::with_backend(backend);
+        config.slow_request_threshold = Duration::ZERO;
+        let handle = Server::spawn(store, "127.0.0.1:0", config).expect("bind loopback");
+
+        let mut client = Client::connect(handle.local_addr()).expect("connect");
+        let members: Vec<String> = (0..100).map(|i| format!("trace-{i}")).collect();
+        let outcome = client.insert_batch(&members).expect("minsert");
+        assert!(outcome.fresh_bits > 0);
+        client.query_batch(&members).expect("mquery");
+
+        let trace = client.trace().expect("trace");
+        assert!(trace.recorded > 0, "{backend}: recorder saw nothing");
+        let events: Vec<_> = trace.events.iter().map(|e| &e.event).collect();
+        assert!(
+            events.iter().any(|e| matches!(e, evilbloom_server::TraceEvent::ConnOpened { .. })),
+            "{backend}: no conn-open event in {events:?}"
+        );
+        let insert_event = events
+            .iter()
+            .find_map(|e| match e {
+                evilbloom_server::TraceEvent::BatchExecuted {
+                    conn_id, items, fresh_bits, ..
+                } if *fresh_bits > 0 => Some((*conn_id, *items, *fresh_bits)),
+                _ => None,
+            })
+            .expect("a batch event carrying fresh bits");
+        assert_eq!(insert_event.1, 100, "{backend}");
+        assert_eq!(insert_event.2, outcome.fresh_bits, "{backend}");
+        assert!(
+            events.iter().any(|e| matches!(e, evilbloom_server::TraceEvent::SlowRequest { .. })),
+            "{backend}: zero threshold produced no slow-request event"
+        );
+        // Sequence numbers come back oldest-first and strictly increasing.
+        assert!(trace.events.windows(2).all(|w| w[0].seq < w[1].seq), "{backend}");
+
+        // The inserting connection tops the (one-row) suspect ranking, its
+        // EWMA seeded at the observed fresh-bits-per-item rate.
+        assert_eq!(trace.suspects.len(), 1, "{backend}: {:?}", trace.suspects);
+        assert_eq!(trace.suspects[0].conn_id, insert_event.0, "{backend}");
+        assert_eq!(trace.suspects[0].items, 100, "{backend}");
+        let expected_rate = outcome.fresh_bits as f64 / 100.0;
+        assert!(
+            (trace.suspects[0].ewma_bits_per_item - expected_rate).abs() < 1e-9,
+            "{backend}: ewma {} != seeded rate {expected_rate}",
+            trace.suspects[0].ewma_bits_per_item
+        );
+
+        // The scrape itself samples the store, so the drift timeline has at
+        // least one point covering the inserts above.
+        assert!(!trace.drift.is_empty(), "{backend}: empty drift timeline");
+        assert_eq!(trace.drift.last().unwrap().inserts, 100, "{backend}");
+
+        let text = trace.render();
+        assert!(text.contains("== evilbloom trace:"), "{text}");
+        assert!(text.contains("slow-request"), "{text}");
+        assert!(text.contains("-- suspects"), "{text}");
+
+        drop(client);
+        handle.shutdown();
+    }
+}
+
+/// `TRACE` is also reachable through a pool and the `RemoteStore` trait.
+#[test]
+fn pooled_trace_scrape_round_trips() {
+    use evilbloom_server::RemoteStore;
+
+    let (handle, _store) = spawn_on(Backend::Threaded, true, 2);
+    let mut pool = ClientPool::connect(handle.local_addr(), 2).expect("pool");
+    pool.minsert(&["pooled-a", "pooled-b"]).expect("minsert");
+    let trace = RemoteStore::trace(&mut pool).expect("trace");
+    assert!(trace.recorded > 0);
+    assert!(trace.events.iter().any(|e| {
+        matches!(e.event, evilbloom_server::TraceEvent::BatchExecuted { fresh_bits, .. } if fresh_bits > 0)
+    }));
+    drop(pool);
+    handle.shutdown();
+}

@@ -22,10 +22,11 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use evilbloom_filters::BackendKind;
 use evilbloom_metrics::{Counter, Gauge, Histogram, Registry};
+use evilbloom_trace::{FlightRecorder, TraceEvent};
 
 use crate::stats::StoreStats;
 
@@ -67,6 +68,10 @@ pub struct StoreMetrics {
     last_alarm: Vec<AtomicBool>,
     /// Recent `(inserts, fresh_bits)` scrape samples.
     drift: Mutex<VecDeque<(u64, u64)>>,
+    /// Flight recorder for storage-side forensic events (alarm edges, WAL
+    /// fsync stalls, snapshots). Attached once by whoever owns a recorder —
+    /// in practice the server at spawn; unattached stores record nothing.
+    recorder: OnceLock<Arc<FlightRecorder>>,
 
     // Persist layer. Registered here so the names exist (at zero) even on
     // stores that never attach persistence.
@@ -157,8 +162,30 @@ impl StoreMetrics {
             shard_fill,
             last_alarm: (0..shards).map(|_| AtomicBool::new(false)).collect(),
             drift: Mutex::new(VecDeque::with_capacity(DRIFT_WINDOW)),
+            recorder: OnceLock::new(),
             registry: r,
         }
+    }
+
+    /// Attaches a flight recorder; storage-side events (alarm edges, WAL
+    /// fsync stalls, snapshots) are recorded into it from now on. Only the
+    /// first attach wins — later calls are ignored, so a store shared by
+    /// several servers keeps one coherent event stream.
+    pub fn attach_recorder(&self, recorder: Arc<FlightRecorder>) {
+        let _ = self.recorder.set(recorder);
+    }
+
+    /// Records a forensic event if a recorder is attached; free otherwise.
+    pub(crate) fn record_event(&self, event: TraceEvent) {
+        if let Some(recorder) = self.recorder.get() {
+            recorder.record(event);
+        }
+    }
+
+    /// The recent `(inserts, fresh_bits)` scrape samples, oldest first —
+    /// the drift timeline a `TRACE` exposition replays.
+    pub fn drift_series(&self) -> Vec<(u64, u64)> {
+        self.drift.lock().expect("drift window mutex poisoned").iter().copied().collect()
     }
 
     /// The registry holding every store- and persist-layer metric (merge it
@@ -183,6 +210,9 @@ impl StoreMetrics {
             if let Some(last) = self.last_alarm.get(shard.shard) {
                 if last.swap(shard.pollution_alarm, Ordering::Relaxed) != shard.pollution_alarm {
                     self.alarm_transitions.inc();
+                    if shard.pollution_alarm {
+                        self.record_event(TraceEvent::AlarmTripped { shard: shard.shard as u64 });
+                    }
                 }
             }
         }

@@ -76,10 +76,17 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use evilbloom_filters::{BackendKind, FilterBackend};
-use evilbloom_metrics::log_warn;
+use evilbloom_metrics::{log_info, log_warn};
+use evilbloom_trace::TraceEvent;
 
 use crate::metrics::StoreMetrics;
 use crate::store::BloomStore;
+
+/// Group-commit fsyncs at or above this latency are forensically notable:
+/// on any healthy disk a data fsync lands well under this, so crossing it
+/// means the device stalled — exactly the confounder to rule out when a
+/// latency spike coincides with an attack window.
+const WAL_FSYNC_STALL_NS: u64 = 20_000_000;
 
 /// How the write-ahead log trades durability against insert latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -456,7 +463,7 @@ impl WalWriter {
     /// the gauge flips, and the operator hears about it immediately (the
     /// next snapshot additionally fails with [`PersistError::WalBroken`]).
     fn mark_broken(&self, state: &mut WalState, error: &io::Error) {
-        log_warn!("evilbloom-store: write-ahead log broken ({error}); appends disabled");
+        log_warn!("write-ahead log broken ({error}); appends disabled");
         self.metrics.wal_broken.set(1.0);
         state.broken = Some(error.to_string());
     }
@@ -509,7 +516,13 @@ impl WalWriter {
                 if self.sync == SyncPolicy::GroupCommit {
                     let fsync_started = Instant::now();
                     file.sync_data()?;
-                    self.metrics.wal_fsync_ns.record(fsync_started.elapsed().as_nanos() as u64);
+                    let fsync_ns = fsync_started.elapsed().as_nanos() as u64;
+                    self.metrics.wal_fsync_ns.record(fsync_ns);
+                    if fsync_ns >= WAL_FSYNC_STALL_NS {
+                        self.metrics
+                            .record_event(TraceEvent::WalFsyncStall { latency_ns: fsync_ns });
+                        log_info!("wal fsync stalled for {}ms", fsync_ns / 1_000_000);
+                    }
                 }
                 Ok(())
             });
@@ -813,6 +826,7 @@ impl StorePersistence {
         self.prune(seq, wal_seq);
         self.metrics.snapshot_ns.record(started.elapsed().as_nanos() as u64);
         self.metrics.snapshot_bytes.add(out.len() as u64);
+        self.metrics.record_event(TraceEvent::SnapshotTaken { seq, bytes: out.len() as u64 });
         Ok(SnapshotInfo {
             seq,
             wal_seq,

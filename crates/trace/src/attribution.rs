@@ -1,0 +1,210 @@
+//! Per-connection drift attribution: bits-per-insert EWMAs and a top-K
+//! suspect ranking.
+//!
+//! The signal comes straight from the paper's analysis. An honest insert
+//! into a filter at fill ratio `p` sets about `k·(1−p)` fresh bits — the
+//! expected number of its `k` indexes that land on zero bits — so honest
+//! connections' rates *decay* as the filter fills. A chosen-insertion
+//! adversary crafts items whose indexes avoid already-set bits, so every
+//! crafted insert yields close to `k` fresh bits no matter the fill: its
+//! connection's EWMA pins at `k` and rises to the top of the ranking.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Default EWMA smoothing factor: heavy enough that a handful of crafted
+/// batches pins the estimate near `k`, light enough that one noisy batch
+/// does not convict an honest connection.
+pub const DEFAULT_EWMA_ALPHA: f64 = 0.3;
+
+/// One connection's accumulated drift evidence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConnDrift {
+    /// The connection this row attributes to.
+    pub conn_id: u64,
+    /// Insert batches observed (single inserts count as batches of one).
+    pub batches: u64,
+    /// Total items inserted.
+    pub items: u64,
+    /// Total fresh bits those inserts set.
+    pub fresh_bits: u64,
+    /// Exponentially weighted moving average of fresh bits per inserted
+    /// item — the suspicion score.
+    pub ewma_bits_per_item: f64,
+}
+
+/// Tracks bits-per-insert EWMAs per connection and ranks the suspects.
+///
+/// Bounded: when full, admitting a new connection evicts the current
+/// least-suspicious row, so an attacker cannot grow server memory by
+/// churning connections — and cannot evict itself, since its row holds the
+/// highest score.
+pub struct SuspectTable {
+    alpha: f64,
+    capacity: usize,
+    rows: Mutex<HashMap<u64, ConnDrift>>,
+}
+
+impl SuspectTable {
+    /// Builds a table holding at most `capacity` connections (minimum 1),
+    /// smoothing with [`DEFAULT_EWMA_ALPHA`].
+    pub fn new(capacity: usize) -> SuspectTable {
+        SuspectTable::with_alpha(capacity, DEFAULT_EWMA_ALPHA)
+    }
+
+    /// Builds a table with an explicit smoothing factor in `(0, 1]`.
+    pub fn with_alpha(capacity: usize, alpha: f64) -> SuspectTable {
+        let alpha = if alpha > 0.0 && alpha <= 1.0 { alpha } else { DEFAULT_EWMA_ALPHA };
+        SuspectTable { alpha, capacity: capacity.max(1), rows: Mutex::new(HashMap::new()) }
+    }
+
+    /// Folds one insert batch into `conn_id`'s row. Batches with zero items
+    /// carry no rate information and are ignored.
+    pub fn record_batch(&self, conn_id: u64, items: u64, fresh_bits: u64) {
+        if items == 0 {
+            return;
+        }
+        let rate = fresh_bits as f64 / items as f64;
+        let mut rows = self.rows.lock().expect("suspect table poisoned");
+        if let Some(row) = rows.get_mut(&conn_id) {
+            row.batches += 1;
+            row.items += items;
+            row.fresh_bits += fresh_bits;
+            row.ewma_bits_per_item =
+                self.alpha * rate + (1.0 - self.alpha) * row.ewma_bits_per_item;
+            return;
+        }
+        if rows.len() >= self.capacity {
+            // Evict the least-suspicious row (lowest EWMA; highest conn_id
+            // breaks ties, so older evidence survives longer).
+            let victim = rows
+                .values()
+                .min_by(|a, b| {
+                    a.ewma_bits_per_item
+                        .total_cmp(&b.ewma_bits_per_item)
+                        .then(b.conn_id.cmp(&a.conn_id))
+                })
+                .map(|row| row.conn_id);
+            if let Some(victim) = victim {
+                rows.remove(&victim);
+            }
+        }
+        // The first batch seeds the EWMA at its own rate: an unseeded
+        // average starting from 0 would under-score an attacker's opening
+        // volley by exactly the factor the ranking depends on.
+        rows.insert(
+            conn_id,
+            ConnDrift { conn_id, batches: 1, items, fresh_bits, ewma_bits_per_item: rate },
+        );
+    }
+
+    /// The `k` most suspicious connections, highest EWMA first; ties break
+    /// toward the lower conn_id so the ranking is deterministic.
+    pub fn top(&self, k: usize) -> Vec<ConnDrift> {
+        let rows = self.rows.lock().expect("suspect table poisoned");
+        let mut ranked: Vec<ConnDrift> = rows.values().copied().collect();
+        ranked.sort_unstable_by(|a, b| {
+            b.ewma_bits_per_item.total_cmp(&a.ewma_bits_per_item).then(a.conn_id.cmp(&b.conn_id))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// One connection's row, if tracked.
+    pub fn get(&self, conn_id: u64) -> Option<ConnDrift> {
+        self.rows.lock().expect("suspect table poisoned").get(&conn_id).copied()
+    }
+
+    /// Connections currently tracked.
+    pub fn len(&self) -> usize {
+        self.rows.lock().expect("suspect table poisoned").len()
+    }
+
+    /// Whether no connection has inserted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for SuspectTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SuspectTable")
+            .field("alpha", &self.alpha)
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_batch_seeds_the_ewma_at_its_own_rate() {
+        let table = SuspectTable::new(16);
+        table.record_batch(1, 100, 400);
+        let row = table.get(1).unwrap();
+        assert_eq!(row.batches, 1);
+        assert!((row.ewma_bits_per_item - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crafted_batches_outrank_decaying_honest_traffic() {
+        let k = 7.0;
+        let table = SuspectTable::new(16);
+        // Honest connections: fresh-bit yield decays as the filter fills.
+        for conn in 1..=4u64 {
+            for batch in 0..6u64 {
+                let fill = 0.1 * (batch as f64 + 1.0);
+                let fresh = (100.0 * k * (1.0 - fill)) as u64;
+                table.record_batch(conn, 100, fresh);
+            }
+        }
+        // The attacker pins at k fresh bits per item throughout.
+        for _ in 0..6 {
+            table.record_batch(5, 100, (100.0 * k) as u64);
+        }
+        let top = table.top(3);
+        assert_eq!(top[0].conn_id, 5);
+        assert!((top[0].ewma_bits_per_item - k).abs() < 1e-9);
+        assert!(top[0].ewma_bits_per_item > top[1].ewma_bits_per_item + 1.0);
+    }
+
+    #[test]
+    fn ranking_ties_break_toward_the_lower_conn_id() {
+        let table = SuspectTable::new(16);
+        table.record_batch(9, 10, 40);
+        table.record_batch(2, 10, 40);
+        table.record_batch(5, 10, 40);
+        let top: Vec<u64> = table.top(10).iter().map(|r| r.conn_id).collect();
+        assert_eq!(top, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn eviction_removes_the_least_suspicious_row_and_spares_the_attacker() {
+        let table = SuspectTable::new(3);
+        table.record_batch(1, 10, 70); // the "attacker": 7.0 bits/item
+        table.record_batch(2, 10, 30);
+        table.record_batch(3, 10, 20);
+        table.record_batch(4, 10, 50); // evicts conn 3 (rate 2.0)
+        assert_eq!(table.len(), 3);
+        assert!(table.get(3).is_none());
+        assert_eq!(table.top(1)[0].conn_id, 1);
+    }
+
+    #[test]
+    fn zero_item_batches_are_ignored() {
+        let table = SuspectTable::new(4);
+        table.record_batch(1, 0, 0);
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn top_is_stable_across_calls() {
+        let table = SuspectTable::new(8);
+        table.record_batch(3, 10, 55);
+        table.record_batch(1, 10, 55);
+        assert_eq!(table.top(5), table.top(5));
+    }
+}

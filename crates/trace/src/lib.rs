@@ -1,0 +1,33 @@
+//! Attack forensics for evilbloom: a flight recorder and a drift table.
+//!
+//! The store's aggregate telemetry (`evilbloom-metrics`) answers *whether* a
+//! chosen-insertion attack is under way — shard alarms trip, the
+//! bits-per-insert gauge pins at `k`. This crate answers the two follow-up
+//! questions an operator actually asks: **who** is doing it, and **what
+//! exactly happened**:
+//!
+//! - [`FlightRecorder`] — a lock-free, fixed-capacity ring buffer of typed
+//!   [`TraceEvent`]s (connection lifecycle, executed batches with their
+//!   fresh-bit yield, pollution alarms, rotations, WAL fsync stalls,
+//!   snapshots, slow requests) with coarse monotonic timestamps,
+//!   overwrite-oldest semantics and an exact dropped-events counter.
+//! - [`SuspectTable`] — per-connection bits-per-insert EWMAs. Honest clients
+//!   decay toward `k·(1−fill)` as the filter fills; the paper's crafted
+//!   batches keep setting `k` fresh bits each, so an attacking connection
+//!   pins at `k` and surfaces at rank 1 in [`SuspectTable::top`].
+//!
+//! Like `evilbloom-metrics`, this crate has **zero dependencies** and sits
+//! below every other crate: the store records storage-side events into an
+//! attached recorder, the server records wire-side events and feeds the
+//! drift table, and the `TRACE` opcode exposes both over the wire.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod attribution;
+mod event;
+mod recorder;
+
+pub use attribution::{ConnDrift, SuspectTable, DEFAULT_EWMA_ALPHA};
+pub use event::{TraceEvent, EVENT_PAYLOAD_WORDS};
+pub use recorder::{FlightRecorder, RecordedEvent};

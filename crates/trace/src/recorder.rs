@@ -1,0 +1,254 @@
+//! The lock-free flight recorder: a fixed-capacity ring of seqlocked slots.
+//!
+//! Writers never block and never allocate: [`FlightRecorder::record`] claims
+//! the next slot with one `fetch_add`, publishes the event through a per-slot
+//! sequence word, and overwrites the oldest retained event once the ring
+//! wraps. Slot claims are strictly exclusive — a writer that finds its slot
+//! mid-write (an older writer is stalled there, or the ring lapped it and a
+//! newer writer owns the slot) gives the event up and counts it in
+//! [`FlightRecorder::dropped`] rather than spinning or scribbling over a
+//! concurrent write. Under forensic load the freshest events are the
+//! valuable ones, and the counter keeps the accounting exact.
+//!
+//! Readers ([`FlightRecorder::snapshot`]) are wait-free and lossy by design:
+//! a slot whose sequence word changes mid-read is torn and skipped. The
+//! sequence protocol is the classic seqlock, per slot: event `n` writes
+//! `2n+1` while mutating and `2n+2` once stable, so a stable word is even
+//! and uniquely identifies which event the slot holds.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::event::{TraceEvent, EVENT_PAYLOAD_WORDS};
+
+/// One event as read back out of the recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordedEvent {
+    /// The event's position in the recorder's history (0-based, monotonic
+    /// across wraps).
+    pub seq: u64,
+    /// Coarse uptime timestamp: milliseconds since the recorder was built.
+    pub ts_ms: u64,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+struct Slot {
+    /// Seqlock word: 0 = never written, `2n+1` = event `n` being written,
+    /// `2n+2` = event `n` stable.
+    seq: AtomicU64,
+    ts_ms: AtomicU64,
+    kind: AtomicU64,
+    payload: [AtomicU64; EVENT_PAYLOAD_WORDS],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            ts_ms: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            payload: [const { AtomicU64::new(0) }; EVENT_PAYLOAD_WORDS],
+        }
+    }
+}
+
+/// A lock-free, fixed-capacity ring buffer of [`TraceEvent`]s with
+/// overwrite-oldest semantics.
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    mask: u64,
+    head: AtomicU64,
+    dropped: AtomicU64,
+    epoch: Instant,
+}
+
+impl FlightRecorder {
+    /// Smallest ring the recorder will build.
+    pub const MIN_CAPACITY: usize = 8;
+
+    /// Builds a recorder retaining at least `capacity` events (rounded up to
+    /// the next power of two, minimum [`FlightRecorder::MIN_CAPACITY`]).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(Self::MIN_CAPACITY).next_power_of_two();
+        let slots: Vec<Slot> = (0..capacity).map(|_| Slot::empty()).collect();
+        FlightRecorder {
+            slots: slots.into_boxed_slice(),
+            mask: capacity as u64 - 1,
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Events the ring retains once full.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Coarse uptime clock: milliseconds since the recorder was built.
+    pub fn uptime_ms(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Total events ever recorded (including ones since overwritten or
+    /// dropped).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Events lost to writer contention: a slot stolen by a lapping writer
+    /// costs exactly one increment, on the loser's side.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Events that scrolled out of the ring because newer ones overwrote
+    /// them.
+    pub fn overwritten(&self) -> u64 {
+        self.recorded().saturating_sub(self.capacity() as u64)
+    }
+
+    /// Records one event; never blocks. An event whose slot cannot be
+    /// claimed exclusively (an older writer is stalled mid-write there, or
+    /// the ring already lapped past it) is abandoned and counted in
+    /// [`FlightRecorder::dropped`].
+    pub fn record(&self, event: TraceEvent) {
+        let n = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(n & self.mask) as usize];
+        let writing = 2 * n + 1;
+        // Claim the slot for event `n`. Sequence words only grow, so one at
+        // or past our own `writing` value means a lapping writer (event
+        // `n + capacity·j`) already owns the slot; an odd one means an
+        // older writer is still mid-write. Claiming in either case would
+        // let two writers scribble over the same payload words, so the
+        // event is dropped and counted instead.
+        let mut current = slot.seq.load(Ordering::Relaxed);
+        loop {
+            if current >= writing || current % 2 == 1 {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            match slot.seq.compare_exchange_weak(
+                current,
+                writing,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+        // The claim is exclusive — every competing writer bails on the odd
+        // word above — so these stores race only with readers, which the
+        // sequence re-check in `snapshot` handles.
+        let (kind, payload) = event.to_raw();
+        slot.ts_ms.store(self.uptime_ms(), Ordering::Relaxed);
+        slot.kind.store(u64::from(kind), Ordering::Relaxed);
+        for (cell, word) in slot.payload.iter().zip(payload) {
+            cell.store(word, Ordering::Relaxed);
+        }
+        slot.seq.store(writing + 1, Ordering::Release);
+    }
+
+    /// Reads the retained events, oldest first. Wait-free; slots that are
+    /// mid-write (or whose raw form fails to decode) are skipped rather
+    /// than waited on, so a snapshot taken under write load may be shorter
+    /// than the ring.
+    pub fn snapshot(&self) -> Vec<RecordedEvent> {
+        let mut events = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || before % 2 == 1 {
+                continue; // Never written, or a write is in flight.
+            }
+            let ts_ms = slot.ts_ms.load(Ordering::Relaxed);
+            let kind = slot.kind.load(Ordering::Relaxed);
+            let mut payload = [0u64; EVENT_PAYLOAD_WORDS];
+            for (word, cell) in payload.iter_mut().zip(&slot.payload) {
+                *word = cell.load(Ordering::Relaxed);
+            }
+            // Order the field loads before the validity re-check: an
+            // unchanged sequence word proves no writer touched the slot
+            // between the two loads, so the fields are a consistent set.
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != before {
+                continue; // Torn: a writer claimed the slot mid-read.
+            }
+            let Ok(kind) = u8::try_from(kind) else { continue };
+            let Some(event) = TraceEvent::from_raw(kind, payload) else { continue };
+            events.push(RecordedEvent { seq: before / 2 - 1, ts_ms, event });
+        }
+        events.sort_unstable_by_key(|e| e.seq);
+        events
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        assert_eq!(FlightRecorder::new(0).capacity(), FlightRecorder::MIN_CAPACITY);
+        assert_eq!(FlightRecorder::new(100).capacity(), 128);
+        assert_eq!(FlightRecorder::new(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn single_writer_snapshot_is_exact_and_ordered() {
+        let recorder = FlightRecorder::new(64);
+        for i in 0..50u64 {
+            recorder.record(TraceEvent::ConnOpened { conn_id: i });
+        }
+        assert_eq!(recorder.recorded(), 50);
+        assert_eq!(recorder.dropped(), 0);
+        assert_eq!(recorder.overwritten(), 0);
+        let events = recorder.snapshot();
+        assert_eq!(events.len(), 50);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.event, TraceEvent::ConnOpened { conn_id: i as u64 });
+        }
+    }
+
+    #[test]
+    fn wrapping_overwrites_the_oldest_events() {
+        let recorder = FlightRecorder::new(16);
+        for i in 0..100u64 {
+            recorder.record(TraceEvent::ConnClosed { conn_id: i });
+        }
+        assert_eq!(recorder.recorded(), 100);
+        assert_eq!(recorder.dropped(), 0);
+        assert_eq!(recorder.overwritten(), 100 - 16);
+        let events = recorder.snapshot();
+        assert_eq!(events.len(), 16);
+        for (i, e) in events.iter().enumerate() {
+            let expected = 100 - 16 + i as u64;
+            assert_eq!(e.seq, expected);
+            assert_eq!(e.event, TraceEvent::ConnClosed { conn_id: expected });
+        }
+    }
+
+    #[test]
+    fn timestamps_are_monotonic_within_a_snapshot() {
+        let recorder = FlightRecorder::new(32);
+        for i in 0..32u64 {
+            recorder.record(TraceEvent::AlarmTripped { shard: i });
+        }
+        let events = recorder.snapshot();
+        for pair in events.windows(2) {
+            assert!(pair[0].ts_ms <= pair[1].ts_ms);
+        }
+    }
+}

@@ -252,16 +252,14 @@ fn main() {
     );
 
     for wire in backends() {
-        let (unhardened, hardened) =
-            pollution_drift("counting", wire, counting_store);
+        let (unhardened, hardened) = pollution_drift("counting", wire, counting_store);
         assert!(
             unhardened >= 3.0,
             "counting drift must be measurable over TCP (got {unhardened:.2}x)"
         );
         assert!(hardened <= 1.35, "hardened counting must stay ~1.0x (got {hardened:.2}x)");
 
-        let (unhardened, hardened) =
-            pollution_drift("scalable", wire, scalable_store);
+        let (unhardened, hardened) = pollution_drift("scalable", wire, scalable_store);
         assert!(
             unhardened >= 3.0,
             "scalable drift must be measurable over TCP (got {unhardened:.2}x)"
