@@ -1,0 +1,476 @@
+//! # evilbloom-fault
+//!
+//! Deterministic, seeded fault injection for the evilbloom serving stack.
+//!
+//! Production code is instrumented with **named fault points** — one
+//! [`check`] call at each I/O site that can realistically fail (WAL append,
+//! WAL fsync, snapshot write, socket read, socket write, accept). When no
+//! plan is armed, a fault point is a single relaxed atomic load and an
+//! immediate return: cheap enough to leave compiled into release binaries
+//! (the perf lab's `server/fault_hooks_overhead` experiment gates this).
+//!
+//! A chaos run arms a [`FaultPlan`]: a list of rules, each binding a
+//! [`FaultPoint`] and a trigger (exact nth hit, every-nth hit, or a seeded
+//! per-hit probability) to a [`FaultAction`] — an injected I/O error, a
+//! short write, or artificial latency. Hit counters and the probability
+//! stream are deterministic functions of `(point, nth-hit, seed)`, so a
+//! chaos schedule **replays exactly**: the same plan against the same
+//! workload injects the same faults at the same operations.
+//!
+//! The registry is process-global (the instrumented sites sit behind
+//! `&self` deep in the store and server and cannot thread a handle).
+//! [`arm`] therefore returns an RAII [`ArmedPlan`] guard that holds an
+//! exclusive session lock — concurrent tests serialize instead of
+//! corrupting each other's schedules — and disarms on drop.
+//!
+//! Like `evilbloom-metrics` and `evilbloom-trace`, this crate has **zero
+//! dependencies** (the probability stream uses an inline splitmix64).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+/// A named instrumentation site in the serving stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// Buffering a record into the write-ahead log.
+    WalAppend,
+    /// The WAL group-commit `write` + `fsync` pair.
+    WalFsync,
+    /// Writing or renaming a snapshot file.
+    SnapshotWrite,
+    /// Reading from an accepted client socket.
+    SocketRead,
+    /// Writing to an accepted client socket.
+    SocketWrite,
+    /// Accepting a new connection.
+    Accept,
+}
+
+impl FaultPoint {
+    /// Every fault point, in a fixed order (stable across releases so
+    /// recorded plans replay).
+    pub const ALL: [FaultPoint; 6] = [
+        FaultPoint::WalAppend,
+        FaultPoint::WalFsync,
+        FaultPoint::SnapshotWrite,
+        FaultPoint::SocketRead,
+        FaultPoint::SocketWrite,
+        FaultPoint::Accept,
+    ];
+
+    /// Stable lowercase name (used in injected error messages and docs).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::WalAppend => "wal-append",
+            FaultPoint::WalFsync => "wal-fsync",
+            FaultPoint::SnapshotWrite => "snapshot-write",
+            FaultPoint::SocketRead => "socket-read",
+            FaultPoint::SocketWrite => "socket-write",
+            FaultPoint::Accept => "accept",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::WalAppend => 0,
+            FaultPoint::WalFsync => 1,
+            FaultPoint::SnapshotWrite => 2,
+            FaultPoint::SocketRead => 3,
+            FaultPoint::SocketWrite => 4,
+            FaultPoint::Accept => 5,
+        }
+    }
+}
+
+impl core::fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What an armed rule injects when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The operation fails with an injected [`std::io::Error`].
+    Error,
+    /// A write is truncated to roughly half its buffer (callers must
+    /// handle partial writes; reads treat this as [`FaultAction::Error`]).
+    ShortWrite,
+    /// The operation succeeds after an artificial stall.
+    Latency(Duration),
+}
+
+/// When a rule fires, counted in per-point hits since the plan was armed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Trigger {
+    /// Exactly the `n`-th hit (1-based) of the point.
+    Nth(u64),
+    /// Every `n`-th hit of the point.
+    EveryNth(u64),
+    /// Each hit independently, with probability `p` drawn from the plan's
+    /// seeded stream (per-mille, so the trigger stays `Eq`).
+    PerMille(u16),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Rule {
+    trigger: Trigger,
+    action: FaultAction,
+}
+
+/// A deterministic, replayable schedule of faults.
+///
+/// Build with the fluent methods, then [`arm`] it:
+///
+/// ```
+/// use evilbloom_fault::{self as fault, FaultPlan, FaultPoint};
+/// use std::time::Duration;
+///
+/// let plan = FaultPlan::new(42)
+///     .fail_nth(FaultPoint::WalFsync, 3)
+///     .delay_every(FaultPoint::SocketRead, 10, Duration::from_millis(1));
+/// let _chaos = fault::arm(plan);
+/// assert!(fault::check(FaultPoint::WalFsync).is_none()); // hit 1
+/// assert!(fault::check(FaultPoint::WalFsync).is_none()); // hit 2
+/// assert!(fault::check(FaultPoint::WalFsync).is_some()); // hit 3 fires
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<(FaultPoint, Rule)>,
+}
+
+impl FaultPlan {
+    /// An empty plan whose probabilistic triggers draw from a splitmix64
+    /// stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, rules: Vec::new() }
+    }
+
+    fn rule(mut self, point: FaultPoint, trigger: Trigger, action: FaultAction) -> Self {
+        self.rules.push((point, Rule { trigger, action }));
+        self
+    }
+
+    /// Injects an I/O error on exactly the `nth` hit (1-based) of `point`.
+    pub fn fail_nth(self, point: FaultPoint, nth: u64) -> Self {
+        self.rule(point, Trigger::Nth(nth), FaultAction::Error)
+    }
+
+    /// Injects an I/O error on every `every`-th hit of `point`.
+    pub fn fail_every(self, point: FaultPoint, every: u64) -> Self {
+        self.rule(point, Trigger::EveryNth(every.max(1)), FaultAction::Error)
+    }
+
+    /// Injects an I/O error on each hit of `point` independently with
+    /// probability `per_mille`/1000, drawn from the plan's seeded stream.
+    pub fn fail_per_mille(self, point: FaultPoint, per_mille: u16) -> Self {
+        self.rule(point, Trigger::PerMille(per_mille.min(1000)), FaultAction::Error)
+    }
+
+    /// Truncates the write on exactly the `nth` hit (1-based) of `point`.
+    pub fn short_write_nth(self, point: FaultPoint, nth: u64) -> Self {
+        self.rule(point, Trigger::Nth(nth), FaultAction::ShortWrite)
+    }
+
+    /// Truncates the write on every `every`-th hit of `point`.
+    pub fn short_write_every(self, point: FaultPoint, every: u64) -> Self {
+        self.rule(point, Trigger::EveryNth(every.max(1)), FaultAction::ShortWrite)
+    }
+
+    /// Stalls exactly the `nth` hit (1-based) of `point` for `delay`.
+    pub fn delay_nth(self, point: FaultPoint, nth: u64, delay: Duration) -> Self {
+        self.rule(point, Trigger::Nth(nth), FaultAction::Latency(delay))
+    }
+
+    /// Stalls every `every`-th hit of `point` for `delay`.
+    pub fn delay_every(self, point: FaultPoint, every: u64, delay: Duration) -> Self {
+        self.rule(point, Trigger::EveryNth(every.max(1)), FaultAction::Latency(delay))
+    }
+
+    /// Number of rules in the plan.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the plan has no rules (arming it still counts hits).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+const POINTS: usize = FaultPoint::ALL.len();
+
+struct ArmedState {
+    /// Rules grouped per point; first matching rule wins.
+    rules: [Vec<Rule>; POINTS],
+    /// Hits per point since arming.
+    hits: [u64; POINTS],
+    /// Faults actually injected per point since arming.
+    injected: [u64; POINTS],
+    /// splitmix64 state for the probabilistic triggers.
+    rng: u64,
+}
+
+/// Fast-path flag: fault points pay one relaxed load when nothing is armed.
+static ARMED: AtomicBool = AtomicBool::new(false);
+/// Armed schedule; only locked after the `ARMED` fast path passes (or by
+/// the arm/disarm and introspection paths themselves).
+static STATE: Mutex<Option<ArmedState>> = Mutex::new(None);
+/// Session lock serializing concurrent chaos runs in one process.
+static SESSION: Mutex<()> = Mutex::new(());
+
+fn state() -> MutexGuard<'static, Option<ArmedState>> {
+    // The armed state holds no invariants a panic can break mid-update;
+    // recover from poisoning instead of cascading.
+    STATE.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// RAII guard for an armed [`FaultPlan`]: holds the process-wide chaos
+/// session (concurrent [`arm`] calls block) and disarms on drop.
+#[must_use = "dropping the guard immediately disarms the plan"]
+pub struct ArmedPlan {
+    _session: MutexGuard<'static, ()>,
+}
+
+impl Drop for ArmedPlan {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::SeqCst);
+        *state() = None;
+    }
+}
+
+impl core::fmt::Debug for ArmedPlan {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ArmedPlan").finish_non_exhaustive()
+    }
+}
+
+/// Arms `plan` process-wide and returns the guard that keeps it armed.
+///
+/// Blocks until any previously armed plan is dropped, so tests that inject
+/// faults serialize instead of interleaving their schedules.
+pub fn arm(plan: FaultPlan) -> ArmedPlan {
+    let session = SESSION.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut rules: [Vec<Rule>; POINTS] = Default::default();
+    for (point, rule) in plan.rules {
+        rules[point.index()].push(rule);
+    }
+    *state() = Some(ArmedState { rules, hits: [0; POINTS], injected: [0; POINTS], rng: plan.seed });
+    ARMED.store(true, Ordering::SeqCst);
+    ArmedPlan { _session: session }
+}
+
+/// Whether a plan is currently armed.
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Hits a fault point recorded since arming (0 when disarmed). Test and
+/// harness introspection — not part of the hot path.
+pub fn hits(point: FaultPoint) -> u64 {
+    state().as_ref().map_or(0, |s| s.hits[point.index()])
+}
+
+/// Faults actually injected at a point since arming (0 when disarmed).
+pub fn injected(point: FaultPoint) -> u64 {
+    state().as_ref().map_or(0, |s| s.injected[point.index()])
+}
+
+/// Sebastiano Vigna's splitmix64 step — the whole PRNG this crate needs.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fault-point hook: records a hit and returns the action to inject,
+/// or `None` (the overwhelmingly common case).
+///
+/// When nothing is armed this is one relaxed atomic load — the cost the
+/// `server/fault_hooks_overhead` perf gate bounds.
+#[inline]
+pub fn check(point: FaultPoint) -> Option<FaultAction> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    check_armed(point)
+}
+
+#[cold]
+fn check_armed(point: FaultPoint) -> Option<FaultAction> {
+    let mut guard = state();
+    let state = guard.as_mut()?;
+    let index = point.index();
+    state.hits[index] += 1;
+    let hit = state.hits[index];
+    // Split borrows: the rule scan needs `rules` while the probabilistic
+    // trigger steps `rng`.
+    let ArmedState { rules, injected, rng, .. } = state;
+    for rule in &rules[index] {
+        let fires = match rule.trigger {
+            Trigger::Nth(n) => hit == n,
+            Trigger::EveryNth(n) => hit.is_multiple_of(n),
+            Trigger::PerMille(p) => splitmix64(rng) % 1000 < u64::from(p),
+        };
+        if fires {
+            injected[index] += 1;
+            return Some(rule.action);
+        }
+    }
+    None
+}
+
+/// The injected error every failing fault point returns (message carries
+/// the point name, so observed errors attribute to their schedule entry).
+pub fn injected_error(point: FaultPoint) -> std::io::Error {
+    std::io::Error::other(format!("injected fault at {}", point.name()))
+}
+
+/// Hook for operations with no partial-success mode (reads, fsync,
+/// accept, rename): sleeps out latency faults, maps [`FaultAction::Error`]
+/// *and* [`FaultAction::ShortWrite`] to an injected error.
+#[inline]
+pub fn check_io(point: FaultPoint) -> std::io::Result<()> {
+    match check(point) {
+        None => Ok(()),
+        Some(FaultAction::Latency(delay)) => {
+            std::thread::sleep(delay);
+            Ok(())
+        }
+        Some(FaultAction::Error) | Some(FaultAction::ShortWrite) => Err(injected_error(point)),
+    }
+}
+
+/// Hook for writes of `len` bytes: returns how many bytes the caller may
+/// hand to the OS. Short writes truncate to half the buffer (≥ 1), errors
+/// inject, latency sleeps then allows the full write.
+#[inline]
+pub fn check_write(point: FaultPoint, len: usize) -> std::io::Result<usize> {
+    match check(point) {
+        None => Ok(len),
+        Some(FaultAction::Latency(delay)) => {
+            std::thread::sleep(delay);
+            Ok(len)
+        }
+        Some(FaultAction::Error) => Err(injected_error(point)),
+        Some(FaultAction::ShortWrite) => Ok((len / 2).max(1).min(len)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_points_report_nothing() {
+        let _chaos = arm(FaultPlan::new(0)); // serialize with other tests
+        drop(_chaos);
+        assert!(!armed());
+        for point in FaultPoint::ALL {
+            assert_eq!(check(point), None);
+            assert_eq!(hits(point), 0);
+        }
+    }
+
+    #[test]
+    fn nth_hit_fires_exactly_once() {
+        let _chaos = arm(FaultPlan::new(7).fail_nth(FaultPoint::WalFsync, 3));
+        assert!(armed());
+        let fired: Vec<bool> = (0..6).map(|_| check(FaultPoint::WalFsync).is_some()).collect();
+        assert_eq!(fired, [false, false, true, false, false, false]);
+        assert_eq!(hits(FaultPoint::WalFsync), 6);
+        assert_eq!(injected(FaultPoint::WalFsync), 1);
+        // Other points are untouched.
+        assert_eq!(check(FaultPoint::SocketRead), None);
+    }
+
+    #[test]
+    fn every_nth_fires_periodically() {
+        let _chaos = arm(FaultPlan::new(7).short_write_every(FaultPoint::SocketWrite, 4));
+        let fired: Vec<bool> = (0..12).map(|_| check(FaultPoint::SocketWrite).is_some()).collect();
+        assert_eq!(fired.iter().filter(|&&f| f).count(), 3);
+        assert!(fired[3] && fired[7] && fired[11]);
+    }
+
+    #[test]
+    fn probabilistic_trigger_replays_exactly_under_a_seed() {
+        let run = |seed: u64| -> Vec<bool> {
+            let _chaos = arm(FaultPlan::new(seed).fail_per_mille(FaultPoint::Accept, 250));
+            (0..200).map(|_| check(FaultPoint::Accept).is_some()).collect()
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        let c = run(43);
+        assert_ne!(a, c, "different seeds must diverge");
+        let rate = a.iter().filter(|&&f| f).count();
+        assert!((20..80).contains(&rate), "~25% of 200 hits, got {rate}");
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::new(1)
+            .delay_nth(FaultPoint::WalAppend, 2, Duration::from_nanos(1))
+            .fail_nth(FaultPoint::WalAppend, 2);
+        let _chaos = arm(plan);
+        assert_eq!(check(FaultPoint::WalAppend), None);
+        assert_eq!(
+            check(FaultPoint::WalAppend),
+            Some(FaultAction::Latency(Duration::from_nanos(1)))
+        );
+    }
+
+    #[test]
+    fn check_io_maps_actions() {
+        let plan = FaultPlan::new(1)
+            .fail_nth(FaultPoint::SnapshotWrite, 1)
+            .short_write_nth(FaultPoint::SnapshotWrite, 2)
+            .delay_nth(FaultPoint::SnapshotWrite, 3, Duration::from_nanos(1));
+        let _chaos = arm(plan);
+        let err = check_io(FaultPoint::SnapshotWrite).unwrap_err();
+        assert!(err.to_string().contains("injected fault at snapshot-write"), "{err}");
+        assert!(check_io(FaultPoint::SnapshotWrite).is_err(), "short write is an error for io ops");
+        assert!(check_io(FaultPoint::SnapshotWrite).is_ok(), "latency resolves to success");
+        assert!(check_io(FaultPoint::SnapshotWrite).is_ok(), "no further rules");
+    }
+
+    #[test]
+    fn check_write_truncates_short_writes() {
+        let plan = FaultPlan::new(1)
+            .short_write_nth(FaultPoint::SocketWrite, 1)
+            .short_write_nth(FaultPoint::SocketWrite, 2)
+            .fail_nth(FaultPoint::SocketWrite, 3);
+        let _chaos = arm(plan);
+        assert_eq!(check_write(FaultPoint::SocketWrite, 100).unwrap(), 50);
+        assert_eq!(check_write(FaultPoint::SocketWrite, 1).unwrap(), 1);
+        assert!(check_write(FaultPoint::SocketWrite, 100).is_err());
+        assert_eq!(check_write(FaultPoint::SocketWrite, 100).unwrap(), 100);
+    }
+
+    #[test]
+    fn dropping_the_guard_disarms_and_resets() {
+        {
+            let _chaos = arm(FaultPlan::new(9).fail_every(FaultPoint::SocketRead, 1));
+            assert!(check(FaultPoint::SocketRead).is_some());
+            assert_eq!(hits(FaultPoint::SocketRead), 1);
+        }
+        assert!(!armed());
+        assert_eq!(hits(FaultPoint::SocketRead), 0);
+        assert_eq!(check(FaultPoint::SocketRead), None);
+    }
+
+    #[test]
+    fn point_names_are_stable_and_distinct() {
+        let names: std::collections::BTreeSet<&str> =
+            FaultPoint::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), FaultPoint::ALL.len());
+        assert_eq!(FaultPoint::WalFsync.to_string(), "wal-fsync");
+    }
+}

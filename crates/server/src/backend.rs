@@ -155,7 +155,15 @@ pub(crate) fn acceptor_loop(
     let idle_tick = poll_interval.min(Duration::from_millis(2));
     let mut logged_backoff = false;
     while !inner.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
+        // Fault-injection point: a chaos plan can make accept() itself fail
+        // (the socket, if one was pending, is dropped — the peer sees a
+        // reset), exercising the same classify-and-back-off path a real
+        // EMFILE storm takes.
+        let accepted = match evilbloom_fault::check_io(evilbloom_fault::FaultPoint::Accept) {
+            Ok(()) => listener.accept(),
+            Err(injected) => Err(injected),
+        };
+        match accepted {
             Ok((stream, _peer)) => {
                 logged_backoff = false;
                 if !deliver(stream) {

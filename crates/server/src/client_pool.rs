@@ -16,22 +16,46 @@
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs};
 
-use crate::client::{Client, ClientError};
+use crate::client::{Client, ClientConfig, ClientError};
 use crate::wire::{Command, Response, WireError};
+
+/// Health counters for one [`ClientPool`] (monotonic since `connect`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolHealth {
+    /// Pooled connections that failed the checkout liveness probe and
+    /// were dropped.
+    pub dead_dropped: u64,
+    /// Fresh connections dialled to replace dead ones (eager replacement
+    /// plus the replacement dial inside a validated checkout).
+    pub replacements: u64,
+}
 
 /// A pool of connections to one server, with checkout/checkin reuse,
 /// dead-connection replacement, and pipelined pooled batch helpers.
 pub struct ClientPool {
     addr: SocketAddr,
+    config: ClientConfig,
     idle: Vec<Client>,
     target: usize,
+    health: PoolHealth,
 }
 
 impl ClientPool {
     /// Resolves `addr` and eagerly dials `target` connections (the pool's
     /// steady-state size; `checkout` dials extra ones on demand and
-    /// `checkin` drops extras beyond it).
+    /// `checkin` drops extras beyond it). Uses [`ClientConfig::default`]
+    /// deadlines; see [`ClientPool::connect_with`] to tune them.
     pub fn connect(addr: impl ToSocketAddrs, target: usize) -> io::Result<ClientPool> {
+        ClientPool::connect_with(addr, target, ClientConfig::default())
+    }
+
+    /// Like [`ClientPool::connect`], with explicit connect/request
+    /// deadlines for every dial the pool ever makes.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        target: usize,
+        config: ClientConfig,
+    ) -> io::Result<ClientPool> {
         let addr = addr
             .to_socket_addrs()?
             .next()
@@ -39,9 +63,9 @@ impl ClientPool {
         let target = target.max(1);
         let mut idle = Vec::with_capacity(target);
         for _ in 0..target {
-            idle.push(Client::connect(addr)?);
+            idle.push(Client::connect_with(addr, &config)?);
         }
-        Ok(ClientPool { addr, idle, target })
+        Ok(ClientPool { addr, config, idle, target, health: PoolHealth::default() })
     }
 
     /// The server address every pooled connection dials.
@@ -54,6 +78,15 @@ impl ClientPool {
         self.idle.len()
     }
 
+    /// Dead-connection counters: probes failed, replacements dialled.
+    pub fn health(&self) -> PoolHealth {
+        self.health
+    }
+
+    fn dial(&self) -> io::Result<Client> {
+        Client::connect_with(self.addr, &self.config)
+    }
+
     /// Checks a connection out of the pool, dialing a fresh one when the
     /// pool is empty. The connection is handed over as-is (no liveness
     /// probe); use [`ClientPool::checkout_validated`] after a server may
@@ -61,23 +94,58 @@ impl ClientPool {
     pub fn checkout(&mut self) -> io::Result<Client> {
         match self.idle.pop() {
             Some(client) => Ok(client),
-            None => Client::connect(self.addr),
+            None => self.dial(),
         }
     }
 
     /// Like [`ClientPool::checkout`], but pings the pooled connection
     /// first: a dead one (server restarted, idle timeout, reset) is dropped
-    /// and replaced with a fresh dial instead of surfacing as a confusing
-    /// mid-request transport error.
+    /// and **eagerly replaced** with a fresh dial instead of surfacing as a
+    /// confusing mid-request transport error. Replacements are counted in
+    /// [`ClientPool::health`], so operators can see churn (a steadily
+    /// climbing `replacements` means the server keeps resetting idle
+    /// connections).
     pub fn checkout_validated(&mut self) -> io::Result<Client> {
-        while let Some(mut client) = self.idle.pop() {
-            if client.ping().is_ok() {
-                return Ok(client);
+        let mut dead = 0u64;
+        let live = loop {
+            match self.idle.pop() {
+                Some(mut client) => {
+                    if client.ping().is_ok() {
+                        break Some(client);
+                    }
+                    // Dead connection: drop it and keep probing the pool.
+                    dead += 1;
+                }
+                None => break None,
             }
-            // Dead connection: drop it; the dial below (or a later checkin)
-            // replaces it.
+        };
+        self.health.dead_dropped += dead;
+        // Eagerly refill what the probe culled, so the next checkout does
+        // not pay the same dial latency again. Best-effort: if the server
+        // is down, the failed dials are not worth surfacing here — the
+        // caller's own dial below will report the condition.
+        for _ in 0..dead {
+            if self.idle.len() >= self.target {
+                break;
+            }
+            match self.dial() {
+                Ok(fresh) => {
+                    self.idle.push(fresh);
+                    self.health.replacements += 1;
+                }
+                Err(_) => break,
+            }
         }
-        Client::connect(self.addr)
+        match live {
+            Some(client) => Ok(client),
+            None => {
+                let client = self.dial()?;
+                if dead > 0 {
+                    self.health.replacements += 1;
+                }
+                Ok(client)
+            }
+        }
     }
 
     /// Returns a connection to the pool. Connections beyond the target size

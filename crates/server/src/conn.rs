@@ -17,6 +17,8 @@ use std::time::{Duration, Instant};
 use evilbloom_metrics::log_warn;
 use evilbloom_trace::TraceEvent;
 
+use evilbloom_store::WriteRefusal;
+
 use crate::metrics::op_of;
 use crate::server::Inner;
 use crate::wire::{
@@ -181,15 +183,31 @@ fn record_frame(
 /// visit each shard lock exactly once per frame.
 pub(crate) fn execute(command: &Command<'_>, inner: &Inner) -> Response {
     let store = inner.store.as_ref();
+    // Maps a typed write refusal from the serving layer onto the wire:
+    // degraded read-only mode becomes DEGRADED (retryable after a repair
+    // snapshot; counted), a capability refusal stays UNSUPPORTED. Both
+    // leave the connection open.
+    let refused = |refusal: WriteRefusal| match refusal {
+        WriteRefusal::Degraded(reason) => {
+            inner.metrics.degraded_refusals.inc();
+            Response::Degraded(format!("store is in degraded read-only mode: {reason}"))
+        }
+        WriteRefusal::Unsupported(op) => Response::Unsupported(op.to_string()),
+    };
     match command {
         Command::Ping => Response::Pong,
-        Command::Insert(item) => Response::Inserted { fresh_bits: store.insert(item) },
+        Command::Insert(item) => match store.insert(item) {
+            Ok(fresh_bits) => Response::Inserted { fresh_bits },
+            Err(refusal) => refused(refusal),
+        },
         Command::Query(item) => Response::Found(store.contains(item)),
         Command::InsertBatch(items) => match wire::wire_count("batch item count", items.len()) {
-            Ok(count) => {
-                let outcome = store.insert_batch(items);
-                Response::BatchInserted { items: count, fresh_bits: outcome.fresh_bits }
-            }
+            Ok(count) => match store.insert_batch(items) {
+                Ok(outcome) => {
+                    Response::BatchInserted { items: count, fresh_bits: outcome.fresh_bits }
+                }
+                Err(refusal) => refused(refusal),
+            },
             Err(err) => Response::Error(format!("protocol error: {err}")),
         },
         Command::QueryBatch(items) => Response::BatchFound(store.query_batch(items)),
@@ -199,15 +217,16 @@ pub(crate) fn execute(command: &Command<'_>, inner: &Inner) -> Response {
         // tripping a protocol error.
         Command::Delete(item) => match store.remove(item) {
             Ok(was_present) => Response::Deleted { was_present },
-            Err(err) => Response::Unsupported(err.to_string()),
+            Err(refusal) => refused(refusal),
         },
         Command::DeleteBatch(items) => match store.remove_batch(items) {
             Ok(answers) => Response::BatchDeleted(answers),
-            Err(err) => Response::Unsupported(err.to_string()),
+            Err(refusal) => refused(refusal),
         },
         Command::Stats => {
             let uptime = inner.started.elapsed().as_secs();
-            match WireStats::from_stats(&store.stats(), store.is_hardened(), uptime) {
+            let degraded = store.degraded().is_some();
+            match WireStats::from_stats(&store.stats(), store.is_hardened(), uptime, degraded) {
                 Ok(stats) => Response::Stats(stats),
                 Err(err) => Response::Error(format!("stats unencodable: {err}")),
             }
@@ -318,6 +337,9 @@ pub(crate) use state_machine::{Connection, Status};
 mod state_machine {
     use std::io::{self, Read, Write};
     use std::net::TcpStream;
+    use std::time::{Duration, Instant};
+
+    use evilbloom_fault::{self as fault, FaultPoint};
 
     use super::{drain_frame_slice, drain_frames, Inner};
 
@@ -348,6 +370,10 @@ mod state_machine {
         out: Vec<u8>,
         out_pos: usize,
         closing: bool,
+        /// When the connection first hit the pending-write high-water mark
+        /// without draining since — the slow-consumer eviction clock.
+        /// Cleared whenever a flush makes progress.
+        stalled_since: Option<Instant>,
     }
 
     impl Connection {
@@ -359,7 +385,15 @@ mod state_machine {
             acc: Vec<u8>,
             out: Vec<u8>,
         ) -> Connection {
-            Connection { stream, conn_id, acc, out, out_pos: 0, closing: false }
+            Connection {
+                stream,
+                conn_id,
+                acc,
+                out,
+                out_pos: 0,
+                closing: false,
+                stalled_since: None,
+            }
         }
 
         /// The forensic connection id this connection records under.
@@ -390,10 +424,21 @@ mod state_machine {
             self.pending_out() > 0
         }
 
+        /// How long this connection has been pinned at the pending-write
+        /// high-water mark without the peer draining anything. `None` while
+        /// healthy. The reactor evicts connections stalled past the
+        /// configured slow-consumer grace period.
+        pub(crate) fn stalled_for(&self, now: Instant) -> Option<Duration> {
+            self.stalled_since.map(|since| now.saturating_duration_since(since))
+        }
+
         /// Readable readiness: read until `WouldBlock` (or the backpressure
         /// high-water mark), execute every complete frame, flush.
         pub(crate) fn on_readable(&mut self, scratch: &mut [u8], inner: &Inner) -> Status {
             loop {
+                if fault::check_io(FaultPoint::SocketRead).is_err() {
+                    return Status::Closed;
+                }
                 match self.stream.read(scratch) {
                     Ok(0) => {
                         // EOF. The peer may have half-closed (shutdown of
@@ -434,8 +479,13 @@ mod state_machine {
                             break;
                         }
                         if !self.wants_read() {
-                            // Backpressure: pending writes first.
+                            // Backpressure: pending writes first. Start the
+                            // slow-consumer clock; a flush that makes
+                            // progress resets it.
                             inner.metrics.reactor_backpressure.inc();
+                            if self.stalled_since.is_none() {
+                                self.stalled_since = Some(Instant::now());
+                            }
                             break;
                         }
                         if n < scratch.len() {
@@ -454,11 +504,17 @@ mod state_machine {
         /// frames): write pending response bytes until done or `WouldBlock`.
         pub(crate) fn flush(&mut self, inner: &Inner) -> Status {
             while self.out_pos < self.out.len() {
+                if fault::check_io(FaultPoint::SocketWrite).is_err() {
+                    return Status::Closed;
+                }
                 match self.stream.write(&self.out[self.out_pos..]) {
                     Ok(0) => return Status::Closed,
                     Ok(n) => {
                         inner.metrics.bytes_written.add(n as u64);
                         self.out_pos += n;
+                        // The peer is draining again: restart the
+                        // slow-consumer grace period.
+                        self.stalled_since = None;
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Status::Open,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => {}

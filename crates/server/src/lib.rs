@@ -37,8 +37,14 @@
 //! * [`client`] — typed helpers plus explicit [`Client::send`] /
 //!   [`Client::recv`] pipelining;
 //! * [`client_pool`] — [`ClientPool`]: checkout/checkin connection reuse
-//!   with dead-connection replacement, and pooled pipelined batch helpers
-//!   that stripe one logical batch over several sockets;
+//!   with probed dead-connection replacement (counted in
+//!   [`PoolHealth`]), and pooled pipelined batch helpers that stripe one
+//!   logical batch over several sockets;
+//! * [`retry`] — the seeded decorrelated-jitter backoff schedule
+//!   ([`RetryPolicy`]/[`Backoff`]) behind [`ResilientClient`]: connect +
+//!   per-request deadlines ([`ClientConfig`]), bounded idempotency-aware
+//!   retries, typed `BUSY`/`DEGRADED` refusals surfaced as
+//!   [`ClientError`] variants;
 //! * [`remote`] — [`RemoteStore`]: the one trait both `Client` and
 //!   `ClientPool` implement, so attack drivers and bench workloads are
 //!   generic over a single connection vs a pool.
@@ -84,13 +90,15 @@ mod metrics;
 #[cfg(target_os = "linux")]
 mod reactor;
 pub mod remote;
+pub mod retry;
 pub mod server;
 pub mod wire;
 
 pub use backend::{fd_soft_limit, loopback_connection_budget, Backend};
-pub use client::{Client, ClientError, RemoteBatchOutcome};
-pub use client_pool::ClientPool;
+pub use client::{Client, ClientConfig, ClientError, RemoteBatchOutcome, ResilientClient};
+pub use client_pool::{ClientPool, PoolHealth};
 pub use remote::{RemoteStore, POOL_FRAME_ITEMS};
+pub use retry::{Backoff, RetryPolicy};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{
     Command, Response, WireDriftPoint, WireError, WireShardStats, WireSnapshot, WireStats,

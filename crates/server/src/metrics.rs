@@ -57,6 +57,14 @@ pub(crate) struct ServerMetrics {
     pub(crate) connections_closed: Arc<Counter>,
     /// Frames rejected as protocol violations (the connection closes).
     pub(crate) protocol_errors: Arc<Counter>,
+    /// Connections refused with a `BUSY` frame by admission control
+    /// (threaded backend: the acceptor→worker queue was at its bound).
+    pub(crate) busy_rejections: Arc<Counter>,
+    /// Connections evicted after sitting at the pending-write high-water
+    /// mark past the slow-consumer grace period (async backend).
+    pub(crate) slow_consumer_evictions: Arc<Counter>,
+    /// Writes refused because the store is in degraded read-only mode.
+    pub(crate) degraded_refusals: Arc<Counter>,
     /// Seconds since the server spawned (refreshed at each scrape).
     pub(crate) uptime_seconds: Arc<Gauge>,
     /// `epoll_wait` returns across all reactor shards (async backend).
@@ -118,6 +126,18 @@ impl ServerMetrics {
             protocol_errors: r.counter(
                 "evilbloom_server_protocol_errors_total",
                 "Frames rejected as protocol violations",
+            ),
+            busy_rejections: r.counter(
+                "evilbloom_server_busy_rejections_total",
+                "Connections refused with a BUSY frame by admission control",
+            ),
+            slow_consumer_evictions: r.counter(
+                "evilbloom_server_slow_consumer_evictions_total",
+                "Connections evicted after stalling at the write high-water mark",
+            ),
+            degraded_refusals: r.counter(
+                "evilbloom_server_degraded_refusals_total",
+                "Writes refused while the store is in degraded read-only mode",
             ),
             uptime_seconds: r.gauge(
                 "evilbloom_server_uptime_seconds",
@@ -208,6 +228,9 @@ mod tests {
             "evilbloom_reactor_backpressure_total 0",
             "evilbloom_bufferpool_hits_total 0",
             "evilbloom_server_uptime_seconds 0",
+            "evilbloom_server_busy_rejections_total 0",
+            "evilbloom_server_slow_consumer_evictions_total 0",
+            "evilbloom_server_degraded_refusals_total 0",
         ] {
             assert!(text.contains(name), "missing {name:?} in:\n{text}");
         }

@@ -25,7 +25,7 @@ use std::os::unix::net::UnixStream;
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use evilbloom_metrics::{log_error, log_warn};
 use evilbloom_trace::TraceEvent;
@@ -258,6 +258,7 @@ impl Reactor {
             // A handoff can race the previous wake drain; sweep the channel
             // even on a timeout tick so no accepted socket waits forever.
             self.register_incoming(&mut conns);
+            self.evict_slow_consumers(&mut conns);
         }
         // Shutdown: close every connection this shard owns.
         for (token, registered) in conns.drain() {
@@ -299,6 +300,34 @@ impl Reactor {
                 self.inner.recorder.record(TraceEvent::ConnOpened { conn_id });
                 conns.insert(token, Registered { conn, interest });
             }
+        }
+    }
+
+    /// Graceful degradation under overload: a peer that lets its pending
+    /// responses sit at the high-water mark past the grace period is
+    /// holding server buffers hostage — evict it so the memory serves
+    /// peers that are still reading. Runs once per poll tick; the sweep is
+    /// O(connections), bounded by the same fd budget that bounds them.
+    fn evict_slow_consumers(&self, conns: &mut HashMap<u64, Registered>) {
+        let grace = self.inner.slow_consumer_grace;
+        if grace.is_zero() {
+            return;
+        }
+        let now = Instant::now();
+        let stalled: Vec<u64> = conns
+            .iter()
+            .filter(|(_, r)| r.conn.stalled_for(now).is_some_and(|d| d >= grace))
+            .map(|(&token, _)| token)
+            .collect();
+        for token in stalled {
+            let registered = conns.remove(&token).expect("present");
+            log_warn!(
+                "evicting slow consumer conn={} ({}ms past the write high-water mark)",
+                registered.conn.conn_id(),
+                grace.as_millis()
+            );
+            self.inner.metrics.slow_consumer_evictions.inc();
+            self.close(registered, token);
         }
     }
 

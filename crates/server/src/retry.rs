@@ -1,0 +1,179 @@
+//! Seeded retry/backoff schedule for the resilient client.
+//!
+//! The schedule is *decorrelated jitter* (the AWS architecture-blog
+//! variant): each delay is drawn uniformly from `[base, prev * 3]` and
+//! clamped to `[base, cap]`, so consecutive retries spread out without
+//! the thundering-herd synchronisation of plain exponential backoff.
+//! The RNG is seeded explicitly, which makes the whole schedule a pure
+//! function of `(policy, seed)` — chaos runs and property tests replay
+//! it exactly.
+//!
+//! [`RetryPolicy`] is the declarative half (how many retries, the delay
+//! window, whether non-idempotent writes may be replayed);
+//! [`Backoff`] is the stateful iterator the client drives.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Declarative retry budget for [`crate::client::ResilientClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of *retries* after the first attempt. `0` disables
+    /// retrying entirely (one attempt, errors surface immediately).
+    pub max_retries: u32,
+    /// Lower bound (and first value) of the backoff window.
+    pub base: Duration,
+    /// Upper clamp for any single delay.
+    pub cap: Duration,
+    /// Seed for the jitter RNG: the same `(policy, seed)` pair always
+    /// produces the same delay schedule.
+    pub seed: u64,
+    /// Whether non-idempotent mutations (`MINSERT`/`MDELETE` and their
+    /// single-item forms) may be replayed after a connection-level
+    /// failure. Off by default: a write whose ack was lost may or may
+    /// not have been applied, and replaying it double-counts on
+    /// counting filters.
+    pub retry_writes: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base: Duration::from_millis(10),
+            cap: Duration::from_secs(1),
+            seed: 0x5eed_b10b,
+            retry_writes: false,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries; errors surface on the first failure.
+    pub fn none() -> Self {
+        Self { max_retries: 0, ..Self::default() }
+    }
+
+    /// Returns the same policy with writes opted in to retrying.
+    /// See [`RetryPolicy::retry_writes`] for why this is explicit.
+    pub fn retrying_writes(mut self) -> Self {
+        self.retry_writes = true;
+        self
+    }
+
+    /// Starts a fresh backoff schedule for one logical request.
+    pub fn backoff(&self) -> Backoff {
+        Backoff {
+            remaining: self.max_retries,
+            base: self.base.max(Duration::from_nanos(1)),
+            cap: self.cap.max(self.base),
+            prev: self.base.max(Duration::from_nanos(1)),
+            rng: StdRng::seed_from_u64(self.seed),
+        }
+    }
+}
+
+/// Stateful decorrelated-jitter schedule produced by
+/// [`RetryPolicy::backoff`]. Yields at most `max_retries` delays, each
+/// within `[base, cap]`.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    remaining: u32,
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// Next delay to sleep before the following attempt, or `None` once
+    /// the retry budget is spent.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let base = duration_nanos(self.base);
+        let cap = duration_nanos(self.cap);
+        let upper = duration_nanos(self.prev).saturating_mul(3).clamp(base, cap);
+        // The vendored rand shim only offers exclusive ranges.
+        let picked =
+            if upper <= base { base } else { self.rng.gen_range(base..upper.saturating_add(1)) };
+        self.prev = Duration::from_nanos(picked);
+        Some(self.prev)
+    }
+
+    /// Retries left in the budget.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+}
+
+fn duration_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+            seed: 42,
+            retry_writes: false,
+        }
+    }
+
+    #[test]
+    fn the_schedule_is_a_pure_function_of_policy_and_seed() {
+        let mut a = policy().backoff();
+        let mut b = policy().backoff();
+        for _ in 0..8 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+        assert_eq!(a.next_delay(), None);
+        assert_eq!(b.next_delay(), None);
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let mut a = policy().backoff();
+        let mut b = RetryPolicy { seed: 43, ..policy() }.backoff();
+        let delays_a: Vec<_> = std::iter::from_fn(|| a.next_delay()).collect();
+        let delays_b: Vec<_> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_ne!(delays_a, delays_b);
+    }
+
+    #[test]
+    fn every_delay_stays_inside_the_base_cap_window() {
+        for seed in 0..64 {
+            let p = RetryPolicy { seed, ..policy() };
+            let mut backoff = p.backoff();
+            while let Some(delay) = backoff.next_delay() {
+                assert!(delay >= p.base, "seed {seed}: {delay:?} below base");
+                assert!(delay <= p.cap, "seed {seed}: {delay:?} above cap");
+            }
+        }
+    }
+
+    #[test]
+    fn the_attempt_budget_is_bounded() {
+        let mut backoff = policy().backoff();
+        let mut yielded = 0;
+        while backoff.next_delay().is_some() {
+            yielded += 1;
+            assert!(yielded <= 8, "backoff yielded more delays than max_retries");
+        }
+        assert_eq!(yielded, 8);
+    }
+
+    #[test]
+    fn zero_retries_yields_nothing() {
+        assert_eq!(RetryPolicy::none().backoff().next_delay(), None);
+    }
+}

@@ -30,12 +30,13 @@
 
 use std::io::{self, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use evilbloom_fault::{self as fault, FaultPoint};
 use evilbloom_store::{BackendKind, ServeStore};
 use evilbloom_trace::{FlightRecorder, SuspectTable, TraceEvent};
 use rand::rngs::StdRng;
@@ -45,7 +46,7 @@ use crate::backend::{acceptor_loop, Backend};
 use crate::buffers::BufferPool;
 use crate::conn::{drain_frames, READ_CHUNK};
 use crate::metrics::ServerMetrics;
-use crate::wire::DEFAULT_MAX_FRAME_BYTES;
+use crate::wire::{Response, DEFAULT_MAX_FRAME_BYTES};
 
 /// Connections the suspect table tracks at once. Eviction drops the
 /// least-suspicious row, so churning connections cannot displace an
@@ -88,6 +89,20 @@ pub struct ServerConfig {
     /// Capacity of the forensic flight recorder (rounded up to a power of
     /// two, minimum 8): how many recent events a `TRACE` scrape can replay.
     pub trace_events: usize,
+    /// Admission control for the threaded backend: the most connections
+    /// allowed to sit accepted-but-unclaimed in the acceptor→worker queue.
+    /// Past it the acceptor answers a typed `BUSY` frame (with the
+    /// [`ServerConfig::busy_retry_after`] hint) and closes, instead of
+    /// queueing without bound behind a saturated worker pool. `0` disables
+    /// the bound.
+    pub max_pending_conns: usize,
+    /// The retry-after hint carried in `BUSY` responses.
+    pub busy_retry_after: Duration,
+    /// Graceful degradation for the async backend: a connection pinned at
+    /// the pending-write high-water mark (the peer stopped reading its
+    /// responses) for longer than this grace period is evicted, freeing its
+    /// buffers instead of holding them hostage indefinitely.
+    pub slow_consumer_grace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +116,9 @@ impl Default for ServerConfig {
             store_backend: None,
             slow_request_threshold: Duration::from_millis(100),
             trace_events: 1024,
+            max_pending_conns: 1024,
+            busy_retry_after: Duration::from_millis(100),
+            slow_consumer_grace: Duration::from_secs(5),
         }
     }
 }
@@ -144,6 +162,10 @@ pub(crate) struct Inner {
     next_conn_id: AtomicU64,
     /// See [`ServerConfig::slow_request_threshold`].
     pub(crate) slow_request_threshold: Duration,
+    /// See [`ServerConfig::busy_retry_after`].
+    pub(crate) busy_retry_after: Duration,
+    /// See [`ServerConfig::slow_consumer_grace`].
+    pub(crate) slow_consumer_grace: Duration,
 }
 
 impl Inner {
@@ -221,6 +243,8 @@ impl Server {
             suspects: SuspectTable::new(SUSPECT_CAPACITY),
             next_conn_id: AtomicU64::new(0),
             slow_request_threshold: config.slow_request_threshold,
+            busy_retry_after: config.busy_retry_after,
+            slow_consumer_grace: config.slow_consumer_grace,
         });
 
         match config.backend {
@@ -261,11 +285,17 @@ fn spawn_threaded(
     listener.set_nonblocking(true)?;
     let (tx, rx) = channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
+    // Admission control: connections sitting accepted-but-unclaimed in the
+    // worker queue. The acceptor increments before sending, a worker
+    // decrements when it claims the connection; past the configured bound
+    // the acceptor answers BUSY and closes instead of queueing.
+    let pending = Arc::new(AtomicUsize::new(0));
     let mut threads: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|_| {
             let rx = Arc::clone(&rx);
             let inner = Arc::clone(inner);
-            std::thread::spawn(move || worker_loop(&rx, &inner))
+            let pending = Arc::clone(&pending);
+            std::thread::spawn(move || worker_loop(&rx, &inner, &pending))
         })
         .collect();
 
@@ -278,6 +308,7 @@ fn spawn_threaded(
     let acceptor = {
         let inner = Arc::clone(inner);
         let poll_interval = config.poll_interval;
+        let max_pending = config.max_pending_conns;
         std::thread::spawn(move || {
             acceptor_loop(&listener, &inner, poll_interval, |stream| {
                 // Whether accepted sockets inherit non-blocking mode is
@@ -286,7 +317,16 @@ fn spawn_threaded(
                 if stream.set_nonblocking(false).is_err() {
                     return true; // drop this socket, keep accepting
                 }
-                tx.send(stream).is_ok()
+                if max_pending > 0 && pending.load(Ordering::Acquire) >= max_pending {
+                    reject_busy(stream, &inner);
+                    return true;
+                }
+                pending.fetch_add(1, Ordering::AcqRel);
+                if tx.send(stream).is_err() {
+                    pending.fetch_sub(1, Ordering::AcqRel);
+                    return false;
+                }
+                true
             });
         })
     };
@@ -348,16 +388,35 @@ impl Drop for ServerHandle {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, inner: &Inner) {
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, inner: &Inner, pending: &AtomicUsize) {
     loop {
         // Hold the lock only for the dequeue, never while serving.
         let stream = match rx.lock().expect("worker queue poisoned").recv() {
             Ok(stream) => stream,
             Err(_) => break, // acceptor gone: shutdown
         };
+        // Claimed: the connection no longer counts against admission.
+        pending.fetch_sub(1, Ordering::AcqRel);
         // A connection failing (peer reset, protocol abuse) must not take
         // the worker with it.
         drop(handle_connection(stream, inner));
+    }
+}
+
+/// Answers an over-admission connection with a typed `BUSY` frame (so the
+/// client backs off for the hinted interval instead of interpreting the
+/// close as a server fault) and drops it. Best-effort with a short write
+/// timeout: the acceptor must never block behind a rejected peer.
+fn reject_busy(stream: TcpStream, inner: &Inner) {
+    inner.metrics.busy_rejections.inc();
+    let retry_after_ms = u32::try_from(inner.busy_retry_after.as_millis()).unwrap_or(u32::MAX);
+    let mut frame = Vec::with_capacity(16);
+    let busy = Response::Busy { retry_after_ms };
+    if busy.encode(&mut frame).is_ok()
+        && stream.set_write_timeout(Some(Duration::from_millis(50))).is_ok()
+    {
+        let mut stream = stream;
+        drop(stream.write_all(&frame));
     }
 }
 
@@ -396,6 +455,7 @@ fn serve_blocking(
     let mut writer = BufWriter::new(stream);
 
     loop {
+        fault::check_io(FaultPoint::SocketRead)?;
         match reader.read(chunk) {
             Ok(0) => break,
             Ok(n) => {
@@ -403,6 +463,16 @@ fn serve_blocking(
                 acc.extend_from_slice(&chunk[..n]);
                 let keep_open = drain_frames(acc, out, inner, conn_id);
                 if !out.is_empty() {
+                    // An injected short write flushes a truncated response
+                    // and drops the connection mid-frame — the client-side
+                    // resilience path this exercises must treat it as a
+                    // connection error, never a silently-short answer.
+                    let n = fault::check_write(FaultPoint::SocketWrite, out.len())?;
+                    if n < out.len() {
+                        writer.write_all(&out[..n])?;
+                        writer.flush()?;
+                        return Err(fault::injected_error(FaultPoint::SocketWrite));
+                    }
                     writer.write_all(out)?;
                     writer.flush()?;
                     inner.metrics.bytes_written.add(out.len() as u64);

@@ -34,11 +34,16 @@
 //! | `0x0C` | `TRACE` | — | `0x8C TRACE` (flight-recorder events + suspect table + drift timeline) |
 //! | — | — | — | `0xEE ERROR` (UTF-8 message) |
 //! | — | — | — | `0xEF UNSUPPORTED` (UTF-8 message) |
+//! | — | — | — | `0xED BUSY` (`u32` retry-after hint, ms) |
+//! | — | — | — | `0xEC DEGRADED` (UTF-8 reason) |
 //!
 //! `DELETE`/`MDELETE` are honoured only by deletable filter families
 //! (counting backends); elsewhere the server answers `UNSUPPORTED` — a typed
 //! capability refusal that, unlike `ERROR` on a protocol violation, leaves
-//! the connection open.
+//! the connection open. `BUSY` (admission control tripped; retry after the
+//! hinted backoff) and `DEGRADED` (the store's WAL broke, writes are
+//! refused until a snapshot repairs it — queries still serve) are typed
+//! refusals of the same kind: the connection stays open.
 //!
 //! An *item list* is a `u32` count followed by `count` entries of `u32`
 //! length then bytes. The `MFOUND` bitmap packs answer `i` into bit `i % 8`
@@ -90,6 +95,8 @@ const OP_MDELETED: u8 = 0x8B;
 const OP_TRACE_REPLY: u8 = 0x8C;
 const OP_ERROR: u8 = 0xEE;
 const OP_UNSUPPORTED: u8 = 0xEF;
+const OP_BUSY: u8 = 0xED;
+const OP_DEGRADED: u8 = 0xEC;
 
 const ROTATE_BEGIN: u8 = 0;
 const ROTATE_COMPLETE: u8 = 1;
@@ -351,6 +358,17 @@ pub enum Response {
     /// against a plain Bloom backend). Unlike [`Response::Error`] for a
     /// protocol violation, the connection stays open.
     Unsupported(String),
+    /// The server is overloaded (admission control tripped): retry after
+    /// roughly the hinted backoff. A typed, retryable refusal — the
+    /// connection (when one was admitted at all) stays open.
+    Busy {
+        /// How long the client should wait before retrying, milliseconds.
+        retry_after_ms: u32,
+    },
+    /// The store is in degraded read-only mode (its WAL broke): the write
+    /// was refused, queries still serve. Carries the operator-facing reason.
+    /// The connection stays open; a successful `SNAPSHOT` repairs the store.
+    Degraded(String),
     /// The server could not serve the request (protocol violation, shard
     /// out of range, …). Protocol violations also close the connection.
     Error(String),
@@ -374,6 +392,8 @@ impl Response {
             Response::BatchDeleted(_) => "MDELETED",
             Response::Trace(_) => "TRACE",
             Response::Unsupported(_) => "UNSUPPORTED",
+            Response::Busy { .. } => "BUSY",
+            Response::Degraded(_) => "DEGRADED",
             Response::Error(_) => "ERROR",
         }
     }
@@ -450,6 +470,14 @@ impl Response {
                     out.push(OP_UNSUPPORTED);
                     out.extend_from_slice(message.as_bytes());
                 }
+                Response::Busy { retry_after_ms } => {
+                    out.push(OP_BUSY);
+                    out.extend_from_slice(&retry_after_ms.to_le_bytes());
+                }
+                Response::Degraded(reason) => {
+                    out.push(OP_DEGRADED);
+                    out.extend_from_slice(reason.as_bytes());
+                }
                 Response::Error(message) => {
                     out.push(OP_ERROR);
                     out.extend_from_slice(message.as_bytes());
@@ -507,6 +535,11 @@ impl Response {
                 String::from_utf8(r.rest().to_vec())
                     .map_err(|_| WireError::Malformed("unsupported message is not UTF-8"))?,
             ),
+            OP_BUSY => Response::Busy { retry_after_ms: r.u32()? },
+            OP_DEGRADED => Response::Degraded(
+                String::from_utf8(r.rest().to_vec())
+                    .map_err(|_| WireError::Malformed("degraded reason is not UTF-8"))?,
+            ),
             OP_ERROR => Response::Error(
                 String::from_utf8(r.rest().to_vec())
                     .map_err(|_| WireError::Malformed("error message is not UTF-8"))?,
@@ -558,6 +591,10 @@ pub struct WireStats {
     /// Filter family the store serves. Decodes as [`BackendKind::Bloom`]
     /// from servers predating the backend selector.
     pub backend: BackendKind,
+    /// Whether the store is in degraded read-only mode (WAL broken, writes
+    /// refused until a snapshot repairs it). Decodes as `false` from servers
+    /// predating degraded mode.
+    pub degraded: bool,
 }
 
 /// One shard's health snapshot on the wire.
@@ -594,6 +631,7 @@ impl WireStats {
         stats: &StoreStats,
         hardened: bool,
         uptime_secs: u64,
+        degraded: bool,
     ) -> Result<Self, WireError> {
         Ok(WireStats {
             hardened,
@@ -604,6 +642,7 @@ impl WireStats {
             generation: stats.shards.iter().map(|s| s.generation).max().unwrap_or(0),
             uptime_secs,
             backend: stats.backend,
+            degraded,
             shards: stats
                 .shards
                 .iter()
@@ -644,10 +683,12 @@ impl WireStats {
         // the shard array) and new decoders (which read the tail when it is
         // present) both stay compatible. The backend byte rides after the
         // generation/uptime pair, appended by servers with the backend
-        // selector.
+        // selector; the degraded flag rides after the backend byte, appended
+        // by servers with degraded read-only mode.
         out.extend_from_slice(&self.generation.to_le_bytes());
         out.extend_from_slice(&self.uptime_secs.to_le_bytes());
         out.push(self.backend.code());
+        out.push(u8::from(self.degraded));
         Ok(())
     }
 
@@ -684,18 +725,20 @@ impl WireStats {
         // layered — the backend byte only ever rides after a full
         // generation/uptime pair (it was introduced later), so a lone stray
         // byte after the shard array is trailing garbage, not a backend code.
-        let (generation, uptime_secs, backend) = if r.remaining() >= 16 {
+        let (generation, uptime_secs, backend, degraded) = if r.remaining() >= 16 {
             let generation = r.u64()?;
             let uptime_secs = r.u64()?;
-            let backend = if r.remaining() >= 1 {
-                BackendKind::from_code(r.u8()?)
-                    .ok_or(WireError::Malformed("unknown backend code in stats"))?
+            let (backend, degraded) = if r.remaining() >= 1 {
+                let backend = BackendKind::from_code(r.u8()?)
+                    .ok_or(WireError::Malformed("unknown backend code in stats"))?;
+                let degraded = if r.remaining() >= 1 { r.flag()? } else { false };
+                (backend, degraded)
             } else {
-                BackendKind::Bloom
+                (BackendKind::Bloom, false)
             };
-            (generation, uptime_secs, backend)
+            (generation, uptime_secs, backend, degraded)
         } else {
-            (0, 0, BackendKind::Bloom)
+            (0, 0, BackendKind::Bloom, false)
         };
         Ok(WireStats {
             hardened,
@@ -707,6 +750,7 @@ impl WireStats {
             generation,
             uptime_secs,
             backend,
+            degraded,
         })
     }
 }
@@ -908,6 +952,12 @@ impl WireTrace {
                 }
                 TraceEvent::SlowRequest { conn_id, opcode, latency_ns } => {
                     writeln!(out, " conn={conn_id} op={} latency_ns={latency_ns}", op_name(opcode))
+                }
+                TraceEvent::DegradedEntered { wal_seq } => {
+                    writeln!(out, " wal_seq={wal_seq}")
+                }
+                TraceEvent::DegradedExited { snapshot_seq } => {
+                    writeln!(out, " snapshot_seq={snapshot_seq}")
                 }
             };
         }
@@ -1222,6 +1272,12 @@ mod tests {
         roundtrip_response(&Response::Unsupported(
             "the bloom backend does not support delete".to_string(),
         ));
+        roundtrip_response(&Response::Busy { retry_after_ms: 0 });
+        roundtrip_response(&Response::Busy { retry_after_ms: 25_000 });
+        roundtrip_response(&Response::Degraded(String::new()));
+        roundtrip_response(&Response::Degraded(
+            "store is in degraded read-only mode: injected fault at wal-fsync".to_string(),
+        ));
         roundtrip_response(&Response::Error("shard 9 out of range".to_string()));
         roundtrip_response(&Response::Metrics(String::new()));
         roundtrip_response(&Response::Metrics(
@@ -1250,6 +1306,7 @@ mod tests {
             generation: 3,
             uptime_secs: 7200,
             backend: BackendKind::Counting,
+            degraded: true,
             shards: vec![
                 WireShardStats {
                     generation: 3,
@@ -1292,13 +1349,14 @@ mod tests {
             generation: 11,
             uptime_secs: 300,
             backend: BackendKind::Scalable,
+            degraded: true,
             shards: vec![],
         };
         let mut frame = Vec::new();
         Response::Stats(stats.clone()).encode(&mut frame).expect("encodes");
-        // Strip the 17-byte tail (16 + backend byte) and patch the length
-        // prefix, recreating the pre-field wire image.
-        frame.truncate(frame.len() - 17);
+        // Strip the 18-byte tail (16 + backend byte + degraded flag) and
+        // patch the length prefix, recreating the pre-field wire image.
+        frame.truncate(frame.len() - 18);
         let len = (frame.len() - 4) as u32;
         frame[..4].copy_from_slice(&len.to_le_bytes());
         match Response::decode(&frame[4..]).expect("old layout decodes") {
@@ -1306,6 +1364,7 @@ mod tests {
                 assert_eq!(decoded.generation, 0);
                 assert_eq!(decoded.uptime_secs, 0);
                 assert_eq!(decoded.backend, BackendKind::Bloom);
+                assert!(!decoded.degraded);
                 assert_eq!(decoded.total_inserted, stats.total_inserted);
             }
             other => panic!("expected STATS, got {other:?}"),
@@ -1315,7 +1374,7 @@ mod tests {
     #[test]
     fn stats_without_the_backend_byte_decode_as_bloom() {
         // A server with the generation/uptime tail but not yet the backend
-        // byte: strip only the last byte.
+        // byte (nor the degraded flag layered after it): strip both.
         let stats = WireStats {
             hardened: true,
             total_inserted: 4,
@@ -1325,6 +1384,39 @@ mod tests {
             generation: 2,
             uptime_secs: 60,
             backend: BackendKind::Counting,
+            degraded: true,
+            shards: vec![],
+        };
+        let mut frame = Vec::new();
+        Response::Stats(stats).encode(&mut frame).expect("encodes");
+        frame.truncate(frame.len() - 2);
+        let len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        match Response::decode(&frame[4..]).expect("tail-less layout decodes") {
+            Response::Stats(decoded) => {
+                assert_eq!(decoded.backend, BackendKind::Bloom);
+                assert!(!decoded.degraded);
+                assert_eq!(decoded.generation, 2);
+                assert_eq!(decoded.uptime_secs, 60);
+            }
+            other => panic!("expected STATS, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_without_the_degraded_flag_decode_as_healthy() {
+        // A server with the backend byte but predating degraded mode: strip
+        // only the degraded flag.
+        let stats = WireStats {
+            hardened: true,
+            total_inserted: 4,
+            mean_fill: 0.1,
+            max_estimated_fpp: 0.002,
+            alarms: 0,
+            generation: 2,
+            uptime_secs: 60,
+            backend: BackendKind::Counting,
+            degraded: true,
             shards: vec![],
         };
         let mut frame = Vec::new();
@@ -1332,11 +1424,10 @@ mod tests {
         frame.truncate(frame.len() - 1);
         let len = (frame.len() - 4) as u32;
         frame[..4].copy_from_slice(&len.to_le_bytes());
-        match Response::decode(&frame[4..]).expect("tail-less layout decodes") {
+        match Response::decode(&frame[4..]).expect("flag-less layout decodes") {
             Response::Stats(decoded) => {
-                assert_eq!(decoded.backend, BackendKind::Bloom);
-                assert_eq!(decoded.generation, 2);
-                assert_eq!(decoded.uptime_secs, 60);
+                assert_eq!(decoded.backend, BackendKind::Counting);
+                assert!(!decoded.degraded);
             }
             other => panic!("expected STATS, got {other:?}"),
         }
@@ -1353,12 +1444,14 @@ mod tests {
             generation: 0,
             uptime_secs: 0,
             backend: BackendKind::Bloom,
+            degraded: false,
             shards: vec![],
         };
         let mut frame = Vec::new();
         Response::Stats(stats).encode(&mut frame).expect("encodes");
-        let last = frame.len() - 1;
-        frame[last] = 0x7F;
+        // The backend byte sits just before the trailing degraded flag.
+        let backend_at = frame.len() - 2;
+        frame[backend_at] = 0x7F;
         assert_eq!(
             Response::decode(&frame[4..]),
             Err(WireError::Malformed("unknown backend code in stats"))
@@ -1607,11 +1700,11 @@ mod tests {
             alarms: u32::MAX as usize + 1,
         };
         assert_eq!(
-            WireStats::from_stats(&stats, false, 0),
+            WireStats::from_stats(&stats, false, 0, false),
             Err(WireError::TooLarge { what: "alarm count", value: u64::from(u32::MAX) + 1 })
         );
         let fits = StoreStats { alarms: u32::MAX as usize, ..stats };
-        assert_eq!(WireStats::from_stats(&fits, false, 0).expect("fits").alarms, u32::MAX);
+        assert_eq!(WireStats::from_stats(&fits, false, 0, false).expect("fits").alarms, u32::MAX);
     }
 
     #[test]

@@ -63,8 +63,15 @@ fn dead_connections_are_replaced_on_validated_checkout() {
     assert_eq!(pool.idle(), 2, "two stale connections are pooled");
     let mut client = pool.checkout_validated().expect("replacement");
     client.ping().expect("the replacement connection reaches the restarted server");
-    assert_eq!(pool.idle(), 0, "both dead connections were discarded");
-    pool.checkin(client);
+    // Eager replacement: both dead connections were discarded and the pool
+    // refilled itself to target in the same checkout, on top of the fresh
+    // connection handed to the caller.
+    assert_eq!(pool.idle(), 2, "the pool replaced its dead connections eagerly");
+    let health = pool.health();
+    assert_eq!(health.dead_dropped, 2, "both stale connections failed the probe");
+    assert_eq!(health.replacements, 3, "two eager refills plus the handed-out dial");
+    pool.checkin(client); // beyond target: dropped
+    assert_eq!(pool.idle(), 2);
     restarted.shutdown();
 }
 

@@ -161,7 +161,7 @@ fn random_trace(rng: &mut StdRng) -> WireTrace {
 }
 
 fn random_response(rng: &mut StdRng) -> Response {
-    match rng.gen_range(0u32..15) {
+    match rng.gen_range(0u32..17) {
         0 => Response::Pong,
         1 => Response::Inserted { fresh_bits: rng.gen_range(0u64..1 << 32) as u32 },
         2 => Response::Found(rng.gen_range(0u32..2) == 1),
@@ -184,6 +184,7 @@ fn random_response(rng: &mut StdRng) -> Response {
                 generation: rng.next_u64(),
                 uptime_secs: rng.next_u64(),
                 backend: random_backend(rng),
+                degraded: rng.gen_range(0u32..2) == 1,
                 shards: (0..shards).map(|_| random_shard_stats(rng)).collect(),
             })
         }
@@ -213,6 +214,12 @@ fn random_response(rng: &mut StdRng) -> Response {
             Response::Unsupported(message)
         }
         13 => Response::Trace(random_trace(rng)),
+        14 => Response::Busy { retry_after_ms: rng.gen_range(0u64..1 << 32) as u32 },
+        15 => {
+            let len = rng.gen_range(0usize..48);
+            let reason: String = (0..len).map(|_| rng.gen_range(b' '..b'~') as char).collect();
+            Response::Degraded(reason)
+        }
         _ => {
             let len = rng.gen_range(0usize..48);
             let message: String = (0..len).map(|_| rng.gen_range(b' '..b'~') as char).collect();

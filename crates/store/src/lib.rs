@@ -91,7 +91,7 @@ pub use metrics::StoreMetrics;
 pub use persist::{
     PersistConfig, PersistError, RecoveryReport, SnapshotInfo, StorePersistence, SyncPolicy,
 };
-pub use serve::ServeStore;
+pub use serve::{ServeStore, WriteRefusal};
 pub use shard::{Generation, Shard};
 pub use stats::{pollution_alarm, ShardStats, StoreStats, ALARM_MIN_INSERTIONS};
 pub use store::{

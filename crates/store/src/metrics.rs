@@ -77,6 +77,9 @@ pub struct StoreMetrics {
     // stores that never attach persistence.
     /// 1 when the WAL has broken (appends disabled), else 0.
     pub(crate) wal_broken: Arc<Gauge>,
+    /// 1 while the store is in degraded read-only mode (WAL broken, writes
+    /// refused); cleared by the snapshot that repairs the log.
+    pub(crate) degraded: Arc<Gauge>,
     /// Commit wait per logged insert: append to durable-under-policy.
     pub(crate) wal_append_ns: Arc<Histogram>,
     /// `fsync` latency paid by group-commit flush leaders.
@@ -140,6 +143,11 @@ impl StoreMetrics {
             wal_broken: r.gauge(
                 "evilbloom_persist_wal_broken",
                 "1 once a WAL write has failed and appends are disabled",
+            ),
+            degraded: r.gauge(
+                "evilbloom_store_degraded",
+                "1 while the store is in degraded read-only mode (writes refused until a \
+                 snapshot repairs the WAL)",
             ),
             wal_append_ns: r.histogram(
                 "evilbloom_persist_wal_append_ns",

@@ -75,6 +75,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
+use evilbloom_fault::{self as fault, FaultPoint};
 use evilbloom_filters::{BackendKind, FilterBackend};
 use evilbloom_metrics::{log_info, log_warn};
 use evilbloom_trace::TraceEvent;
@@ -167,8 +168,9 @@ pub enum PersistError {
     UnsupportedBackend(BackendKind),
     /// Recovery found no valid snapshot in the directory.
     NoSnapshot,
-    /// A previous WAL write failed; the log is no longer trustworthy and
-    /// appends have been disabled. Carries the original error text.
+    /// A previous WAL write failed; the log is no longer trustworthy,
+    /// appends have been disabled and the store is in degraded read-only
+    /// mode until a snapshot repairs it. Carries the original error text.
     WalBroken(String),
     /// The store already has persistence attached.
     AlreadyPersistent,
@@ -460,11 +462,18 @@ impl WalWriter {
     }
 
     /// Records the first unrecoverable write error: appends become no-ops,
-    /// the gauge flips, and the operator hears about it immediately (the
-    /// next snapshot additionally fails with [`PersistError::WalBroken`]).
+    /// the gauges flip, the degraded-mode entry event lands in the flight
+    /// recorder, and the operator hears about it immediately. The store is
+    /// now in degraded read-only mode — the serve layer refuses writes —
+    /// until a successful snapshot repairs the log ([`WalWriter::repair`]).
     fn mark_broken(&self, state: &mut WalState, error: &io::Error) {
-        log_warn!("write-ahead log broken ({error}); appends disabled");
+        if state.broken.is_some() {
+            return;
+        }
+        log_warn!("write-ahead log broken ({error}); degraded read-only mode entered");
         self.metrics.wal_broken.set(1.0);
+        self.metrics.degraded.set(1.0);
+        self.metrics.record_event(TraceEvent::DegradedEntered { wal_seq: state.seq });
         state.broken = Some(error.to_string());
     }
 
@@ -474,6 +483,10 @@ impl WalWriter {
     fn append(&self, record: impl FnOnce(&mut Vec<u8>)) -> Option<u64> {
         let mut s = self.state.lock().expect("wal lock poisoned");
         if s.broken.is_some() {
+            return None;
+        }
+        if let Err(e) = fault::check_io(FaultPoint::WalAppend) {
+            self.mark_broken(&mut s, &e);
             return None;
         }
         record(&mut s.buf);
@@ -512,6 +525,7 @@ impl WalWriter {
             let file = s.file.try_clone();
             drop(s);
             let result = file.and_then(|mut file| {
+                fault::check_io(FaultPoint::WalFsync)?;
                 file.write_all(&buf)?;
                 if self.sync == SyncPolicy::GroupCommit {
                     let fsync_started = Instant::now();
@@ -559,6 +573,7 @@ impl WalWriter {
         let buf = std::mem::take(&mut s.buf);
         let upto = s.next_lsn - 1;
         let result = (|| {
+            fault::check_io(FaultPoint::WalFsync)?;
             s.file.write_all(&buf)?;
             s.file.sync_data()?;
             let seq = s.seq + 1;
@@ -590,6 +605,60 @@ impl WalWriter {
 
     fn broken(&self) -> Option<String> {
         self.state.lock().expect("wal lock poisoned").broken.clone()
+    }
+
+    /// Repairs a broken log: discards the unwritable buffer (every record
+    /// in it was applied in memory *before* being appended, so the snapshot
+    /// about to be taken captures its effects) and switches appends to a
+    /// fresh segment `seq + 1`. The broken flag is deliberately **left
+    /// set** — the caller clears it via [`WalWriter::heal`] only once the
+    /// covering snapshot has published, so a crash between repair and
+    /// publish keeps the store refusing writes instead of silently logging
+    /// into a segment no snapshot names.
+    fn repair(&self) -> Result<u64, PersistError> {
+        let mut s = self.state.lock().expect("wal lock poisoned");
+        while s.flushing {
+            s = self.flushed.wait(s).expect("wal lock poisoned");
+        }
+        let seq = s.seq + 1;
+        let result = (|| {
+            fault::check_io(FaultPoint::WalFsync)?;
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(wal_path(&self.dir, seq))?;
+            file.write_all(&wal_header(seq))?;
+            file.sync_data()?;
+            Ok::<File, io::Error>(file)
+        })();
+        match result {
+            Ok(file) => {
+                s.file = file;
+                s.seq = seq;
+                s.buf.clear();
+                let upto = s.next_lsn - 1;
+                s.written_lsn = upto;
+                s.durable_lsn = upto;
+                self.flushed.notify_all();
+                Ok(seq)
+            }
+            Err(e) => Err(PersistError::Io(e)),
+        }
+    }
+
+    /// Clears the broken flag (and its gauges) after a successful repair
+    /// snapshot. Returns whether the log was actually broken.
+    fn heal(&self) -> bool {
+        let mut s = self.state.lock().expect("wal lock poisoned");
+        if s.broken.take().is_some() {
+            self.metrics.wal_broken.set(0.0);
+            self.metrics.degraded.set(0.0);
+            self.flushed.notify_all();
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -667,8 +736,8 @@ impl StorePersistence {
     }
 
     /// The first WAL write error, if the log has broken. Appends are
-    /// disabled once set; the next snapshot surfaces it as
-    /// [`PersistError::WalBroken`].
+    /// disabled once set (the store is in degraded read-only mode); the
+    /// next successful snapshot repairs the log and clears it.
     pub fn wal_error(&self) -> Option<String> {
         self.wal.as_ref().and_then(WalWriter::broken)
     }
@@ -765,13 +834,15 @@ impl StorePersistence {
     ) -> Result<SnapshotInfo, PersistError> {
         let started = Instant::now();
         let _serialised = self.snapshot_lock.lock().expect("snapshot lock poisoned");
-        if let Some(e) = self.wal_error() {
-            return Err(PersistError::WalBroken(e));
-        }
         // 1. Rotate the WAL first: every record in the segments this closes
         //    was appended after its insert was applied, so the bit copy
-        //    below is guaranteed to contain it.
+        //    below is guaranteed to contain it. A *broken* WAL is repaired
+        //    instead — appends switch to a fresh segment and this snapshot
+        //    captures the applied-but-unlogged state; degraded mode (the
+        //    broken flag) only clears once the snapshot has published.
+        let was_broken = self.wal_error().is_some();
         let wal_seq = match &self.wal {
+            Some(wal) if was_broken => wal.repair()?,
             Some(wal) => wal.rotate()?,
             None => 0,
         };
@@ -815,6 +886,7 @@ impl StorePersistence {
         // 3. Publish atomically: tmp + fsync + rename, then prune.
         let final_path = snapshot_path(&self.dir, seq);
         let tmp_path = self.dir.join(format!("snapshot-{seq}.tmp"));
+        fault::check_io(FaultPoint::SnapshotWrite)?;
         let mut file = File::create(&tmp_path)?;
         file.write_all(&out)?;
         file.sync_all()?;
@@ -827,6 +899,13 @@ impl StorePersistence {
         self.metrics.snapshot_ns.record(started.elapsed().as_nanos() as u64);
         self.metrics.snapshot_bytes.add(out.len() as u64);
         self.metrics.record_event(TraceEvent::SnapshotTaken { seq, bytes: out.len() as u64 });
+        if was_broken {
+            if let Some(wal) = &self.wal {
+                wal.heal();
+            }
+            self.metrics.record_event(TraceEvent::DegradedExited { snapshot_seq: seq });
+            log_info!("snapshot {seq} repaired the write-ahead log; degraded mode exited");
+        }
         Ok(SnapshotInfo {
             seq,
             wal_seq,

@@ -12,6 +12,16 @@
 //! every family honours it: non-deletable backends answer with the same
 //! typed [`UnsupportedOp`] the generic store raises, which the server maps
 //! to its `Unsupported` response rather than a connection error.
+//!
+//! ## Degraded read-only mode
+//!
+//! Writes through this trait are **durability-checked**: when the store's
+//! WAL has broken ([`BloomStore::degraded`]) they are refused with
+//! [`WriteRefusal::Degraded`] *before* touching the shards, and a write
+//! whose own commit broke the WAL is refused *after* applying — the item
+//! may be in memory, but the caller must not acknowledge it as durable
+//! (at-least-once, never silent loss). Queries are unaffected. Degraded
+//! mode exits on the next successful [`ServeStore::snapshot_to_disk`].
 
 use rand::RngCore;
 
@@ -22,6 +32,37 @@ use crate::persist::{PersistError, SnapshotInfo};
 use crate::stats::StoreStats;
 use crate::store::{BatchOutcome, BloomStore, UnsupportedOp};
 
+/// A typed write refusal from the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteRefusal {
+    /// The store is in degraded read-only mode (its WAL broke); carries the
+    /// original write error. Queries still serve; a successful snapshot
+    /// repairs the log and lifts the refusal.
+    Degraded(String),
+    /// The filter family cannot perform the operation (e.g. deletion on a
+    /// plain Bloom backend).
+    Unsupported(UnsupportedOp),
+}
+
+impl core::fmt::Display for WriteRefusal {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WriteRefusal::Degraded(e) => {
+                write!(f, "store is in degraded read-only mode: {e}")
+            }
+            WriteRefusal::Unsupported(op) => op.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for WriteRefusal {}
+
+impl From<UnsupportedOp> for WriteRefusal {
+    fn from(op: UnsupportedOp) -> Self {
+        WriteRefusal::Unsupported(op)
+    }
+}
+
 /// Every operation a wire server performs on a store, object-safe so the
 /// backend family can be chosen at runtime.
 ///
@@ -30,13 +71,23 @@ use crate::store::{BatchOutcome, BloomStore, UnsupportedOp};
 /// rotation semantics) is identical through either interface.
 pub trait ServeStore: Send + Sync {
     /// Inserts one item; returns the number of fresh cells it set.
-    fn insert(&self, item: &[u8]) -> u32;
+    ///
+    /// # Errors
+    ///
+    /// [`WriteRefusal::Degraded`] while the store is in degraded read-only
+    /// mode, or if this very write broke the WAL (applied in memory but not
+    /// durably logged — do not acknowledge it).
+    fn insert(&self, item: &[u8]) -> Result<u32, WriteRefusal>;
 
     /// Membership query.
     fn contains(&self, item: &[u8]) -> bool;
 
     /// Batch insert; each shard is visited once.
-    fn insert_batch(&self, items: &[&[u8]]) -> BatchOutcome;
+    ///
+    /// # Errors
+    ///
+    /// [`WriteRefusal::Degraded`]; see [`ServeStore::insert`].
+    fn insert_batch(&self, items: &[&[u8]]) -> Result<BatchOutcome, WriteRefusal>;
 
     /// Batch membership query; answers in input order.
     fn query_batch(&self, items: &[&[u8]]) -> Vec<bool>;
@@ -45,15 +96,21 @@ pub trait ServeStore: Send + Sync {
     ///
     /// # Errors
     ///
-    /// [`UnsupportedOp`] on families without deletion.
-    fn remove(&self, item: &[u8]) -> Result<bool, UnsupportedOp>;
+    /// [`WriteRefusal::Unsupported`] on families without deletion,
+    /// [`WriteRefusal::Degraded`] while degraded.
+    fn remove(&self, item: &[u8]) -> Result<bool, WriteRefusal>;
 
     /// Batch removal; answers in input order.
     ///
     /// # Errors
     ///
-    /// [`UnsupportedOp`] on families without deletion.
-    fn remove_batch(&self, items: &[&[u8]]) -> Result<Vec<bool>, UnsupportedOp>;
+    /// [`WriteRefusal::Unsupported`] on families without deletion,
+    /// [`WriteRefusal::Degraded`] while degraded.
+    fn remove_batch(&self, items: &[&[u8]]) -> Result<Vec<bool>, WriteRefusal>;
+
+    /// Why the store is in degraded read-only mode, if it is (the original
+    /// WAL write error).
+    fn degraded(&self) -> Option<String>;
 
     /// Health snapshot (per-shard fill, fpp estimates, pollution alarms).
     fn stats(&self) -> StoreStats;
@@ -94,29 +151,56 @@ pub trait ServeStore: Send + Sync {
     fn snapshot_to_disk(&self) -> Result<SnapshotInfo, PersistError>;
 }
 
+/// The degraded-mode write guard: checked before a write is applied (the
+/// common refusal) and again after it committed (this very write may have
+/// broken the WAL — applied in memory, but never acknowledge it as
+/// durable).
+fn write_guard<B: FilterBackend>(store: &BloomStore<B>) -> Result<(), WriteRefusal> {
+    match store.degraded() {
+        Some(reason) => Err(WriteRefusal::Degraded(reason)),
+        None => Ok(()),
+    }
+}
+
 impl<B: FilterBackend> ServeStore for BloomStore<B> {
-    fn insert(&self, item: &[u8]) -> u32 {
-        BloomStore::insert(self, item)
+    fn insert(&self, item: &[u8]) -> Result<u32, WriteRefusal> {
+        write_guard(self)?;
+        let fresh = BloomStore::insert(self, item);
+        write_guard(self)?;
+        Ok(fresh)
     }
 
     fn contains(&self, item: &[u8]) -> bool {
         BloomStore::contains(self, item)
     }
 
-    fn insert_batch(&self, items: &[&[u8]]) -> BatchOutcome {
-        BloomStore::insert_batch(self, items)
+    fn insert_batch(&self, items: &[&[u8]]) -> Result<BatchOutcome, WriteRefusal> {
+        write_guard(self)?;
+        let outcome = BloomStore::insert_batch(self, items);
+        write_guard(self)?;
+        Ok(outcome)
     }
 
     fn query_batch(&self, items: &[&[u8]]) -> Vec<bool> {
         BloomStore::query_batch(self, items)
     }
 
-    fn remove(&self, item: &[u8]) -> Result<bool, UnsupportedOp> {
-        BloomStore::remove(self, item)
+    fn remove(&self, item: &[u8]) -> Result<bool, WriteRefusal> {
+        write_guard(self)?;
+        let was_present = BloomStore::remove(self, item)?;
+        write_guard(self)?;
+        Ok(was_present)
     }
 
-    fn remove_batch(&self, items: &[&[u8]]) -> Result<Vec<bool>, UnsupportedOp> {
-        BloomStore::remove_batch(self, items)
+    fn remove_batch(&self, items: &[&[u8]]) -> Result<Vec<bool>, WriteRefusal> {
+        write_guard(self)?;
+        let answers = BloomStore::remove_batch(self, items)?;
+        write_guard(self)?;
+        Ok(answers)
+    }
+
+    fn degraded(&self) -> Option<String> {
+        BloomStore::degraded(self)
     }
 
     fn stats(&self) -> StoreStats {
@@ -189,9 +273,12 @@ mod tests {
     #[test]
     fn every_family_serves_through_the_trait_object() {
         for (name, store) in all_backends() {
-            assert_eq!(store.insert(b"one"), store.stats().shards[0].k.max(1), "{name}");
+            assert!(store.degraded().is_none(), "{name}");
+            let fresh = store.insert(b"one").expect("healthy store accepts writes");
+            assert_eq!(fresh, store.stats().shards[0].k.max(1), "{name}");
             assert!(store.contains(b"one"), "{name}");
-            let outcome = store.insert_batch(&[b"two".as_slice(), b"three"]);
+            let outcome =
+                store.insert_batch(&[b"two".as_slice(), b"three"]).expect("healthy store");
             assert_eq!(outcome.items, 2, "{name}");
             assert_eq!(
                 store.query_batch(&[b"one".as_slice(), b"two", b"absent-xyz"])[..2],
@@ -208,10 +295,10 @@ mod tests {
             let result = store.remove(b"one");
             match store.backend_kind() {
                 BackendKind::Counting => assert!(result.is_ok(), "{name}"),
-                kind => {
-                    let err = result.unwrap_err();
-                    assert_eq!(err.backend, kind, "{name}");
-                }
+                kind => match result.unwrap_err() {
+                    WriteRefusal::Unsupported(err) => assert_eq!(err.backend, kind, "{name}"),
+                    refusal => panic!("{name}: expected Unsupported, got {refusal:?}"),
+                },
             }
         }
     }
@@ -219,7 +306,7 @@ mod tests {
     #[test]
     fn rotation_through_the_trait_object() {
         for (name, store) in all_backends() {
-            store.insert(b"old");
+            store.insert(b"old").expect("healthy store");
             let mut rng = StdRng::seed_from_u64(5);
             for shard in 0..store.shard_count() {
                 assert_eq!(store.begin_rotation_dyn(shard, &mut rng), Some(1), "{name}");

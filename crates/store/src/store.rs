@@ -455,8 +455,9 @@ impl<B: FilterBackend> BloomStore<B> {
     /// log *after* it is applied, while the shard read lock is still held
     /// (log order matches generation order); the durability wait then
     /// happens outside the lock via group commit. A broken WAL never fails
-    /// an insert — appends become no-ops and the error surfaces on the next
-    /// snapshot ([`PersistError::WalBroken`]).
+    /// an insert *through this method* — appends become no-ops — but the
+    /// store is then degraded ([`BloomStore::degraded`]) and the serving
+    /// layer refuses writes until a snapshot repairs the log.
     pub fn insert(&self, item: &[u8]) -> u32 {
         let shard = self.route(item);
         let (fresh, lsn) = self.shards[shard].with_generations(|active, _| {
@@ -731,14 +732,28 @@ impl<B: FilterBackend> BloomStore<B> {
     /// [`crate::persist`] for the safety argument) and prunes superseded
     /// snapshot and WAL files.
     ///
+    /// On a store in degraded read-only mode (broken WAL) a successful
+    /// snapshot doubles as the **repair path**: the WAL switches to a fresh
+    /// segment, the snapshot captures every applied-but-unlogged effect,
+    /// and degraded mode exits.
+    ///
     /// # Errors
     ///
     /// [`PersistError::NotPersistent`] without an attached persistence
-    /// layer, [`PersistError::WalBroken`] if a previous WAL write failed,
-    /// or [`PersistError::Io`] on filesystem failure.
+    /// layer, or [`PersistError::Io`] on filesystem failure (after which a
+    /// degraded store stays degraded).
     pub fn snapshot_to_disk(&self) -> Result<SnapshotInfo, PersistError> {
         let persistence = self.persistence.as_ref().ok_or(PersistError::NotPersistent)?;
         persistence.snapshot(self)
+    }
+
+    /// Why the store is in degraded read-only mode, if it is: the original
+    /// WAL write error. A degraded store still answers queries, but the
+    /// serving layer refuses writes (see
+    /// [`crate::serve::ServeStore::insert`]) until a successful
+    /// [`BloomStore::snapshot_to_disk`] repairs the log.
+    pub fn degraded(&self) -> Option<String> {
+        self.persistence.as_ref().and_then(|p| p.wal_error())
     }
 
     /// Rebuilds a store from a persistence directory: loads the newest

@@ -590,3 +590,70 @@ fn recovery_prunes_superseded_files() {
     assert_eq!(snapshots, 1, "old snapshots are pruned");
     assert_eq!(wal_segments(dir.path()).len(), 1, "rotated-out segments are pruned");
 }
+
+#[test]
+fn wal_break_enters_degraded_mode_and_snapshot_repairs_it() {
+    use evilbloom_fault::{self as fault, FaultPlan, FaultPoint};
+    use evilbloom_store::{ServeStore, WriteRefusal};
+
+    let dir = TempDir::new("degraded");
+    let mut store = unhardened_store();
+    store.enable_persistence(&PersistConfig::fsync(dir.path())).expect("enable");
+    store.insert(b"acked-before-break");
+
+    let _chaos = fault::arm(FaultPlan::new(1).fail_nth(FaultPoint::WalFsync, 1));
+    // This write's own group-commit flush fails: the WAL breaks, the store
+    // enters degraded read-only mode, and the serve layer refuses to
+    // acknowledge the write (it is applied in memory but not durable).
+    let refusal = ServeStore::insert(&store, b"limbo").unwrap_err();
+    assert!(matches!(refusal, WriteRefusal::Degraded(_)), "{refusal:?}");
+    assert!(store.degraded().is_some());
+    let exposition = store.metrics().registry().render();
+    assert!(exposition.contains("evilbloom_store_degraded 1"), "{exposition}");
+    assert!(exposition.contains("evilbloom_persist_wal_broken 1"), "{exposition}");
+
+    // Reads still serve; fresh writes are refused before they apply.
+    assert!(store.contains(b"acked-before-break"));
+    let refusal = ServeStore::insert(&store, b"refused").unwrap_err();
+    assert!(matches!(refusal, WriteRefusal::Degraded(_)), "{refusal:?}");
+    assert!(!store.contains(b"refused"), "a refused write must not apply");
+
+    // A successful snapshot is the repair path: fresh WAL segment, state
+    // captured, degraded mode exited.
+    store.snapshot_to_disk().expect("repair snapshot");
+    assert!(store.degraded().is_none());
+    let exposition = store.metrics().registry().render();
+    assert!(exposition.contains("evilbloom_store_degraded 0"), "{exposition}");
+    ServeStore::insert(&store, b"acked-after-repair").expect("healthy again");
+
+    // Crash-shaped recovery: every acknowledged write survives, including
+    // pre-break ones whose segment the repair superseded.
+    let (recovered, _) = recover(&PersistConfig::fsync(dir.path())).expect("recover");
+    assert!(recovered.contains(b"acked-before-break"));
+    assert!(recovered.contains(b"acked-after-repair"));
+    assert!(recovered.degraded().is_none());
+}
+
+#[test]
+fn failed_repair_snapshot_keeps_the_store_degraded() {
+    use evilbloom_fault::{self as fault, FaultPlan, FaultPoint};
+    use evilbloom_store::{ServeStore, WriteRefusal};
+
+    let dir = TempDir::new("degraded-stuck");
+    let mut store = unhardened_store();
+    store.enable_persistence(&PersistConfig::fsync(dir.path())).expect("enable");
+
+    let plan =
+        FaultPlan::new(2).fail_nth(FaultPoint::WalFsync, 1).fail_nth(FaultPoint::SnapshotWrite, 1);
+    let _chaos = fault::arm(plan);
+    assert!(ServeStore::insert(&store, b"breaks-the-wal").is_err());
+    // The repair rotates to a fresh segment, but the snapshot write itself
+    // fails: the store must stay degraded (no half-repaired limbo).
+    assert!(store.snapshot_to_disk().is_err());
+    assert!(store.degraded().is_some());
+    let refusal = ServeStore::insert(&store, b"still-refused").unwrap_err();
+    assert!(matches!(refusal, WriteRefusal::Degraded(_)), "{refusal:?}");
+    // The next attempt (fault exhausted) succeeds and exits degraded mode.
+    store.snapshot_to_disk().expect("second repair attempt");
+    assert!(store.degraded().is_none());
+}

@@ -78,6 +78,18 @@ pub enum TraceEvent {
         /// How long executing it took.
         latency_ns: u64,
     },
+    /// The store entered degraded read-only mode: a WAL write failed, so
+    /// writes are refused until a snapshot repairs the log.
+    DegradedEntered {
+        /// WAL segment sequence that broke.
+        wal_seq: u64,
+    },
+    /// The store exited degraded mode: a snapshot captured the applied
+    /// state and the WAL switched to a fresh segment.
+    DegradedExited {
+        /// Sequence of the snapshot that repaired the log.
+        snapshot_seq: u64,
+    },
 }
 
 const KIND_CONN_OPENED: u8 = 1;
@@ -89,6 +101,8 @@ const KIND_ROTATION_COMPLETED: u8 = 6;
 const KIND_WAL_FSYNC_STALL: u8 = 7;
 const KIND_SNAPSHOT_TAKEN: u8 = 8;
 const KIND_SLOW_REQUEST: u8 = 9;
+const KIND_DEGRADED_ENTERED: u8 = 10;
+const KIND_DEGRADED_EXITED: u8 = 11;
 
 impl TraceEvent {
     /// Flattens the event to its raw `(kind, payload)` form.
@@ -114,6 +128,12 @@ impl TraceEvent {
             }
             TraceEvent::SlowRequest { conn_id, opcode, latency_ns } => {
                 (KIND_SLOW_REQUEST, [conn_id, u64::from(opcode), latency_ns, 0, 0])
+            }
+            TraceEvent::DegradedEntered { wal_seq } => {
+                (KIND_DEGRADED_ENTERED, [wal_seq, 0, 0, 0, 0])
+            }
+            TraceEvent::DegradedExited { snapshot_seq } => {
+                (KIND_DEGRADED_EXITED, [snapshot_seq, 0, 0, 0, 0])
             }
         }
     }
@@ -141,6 +161,8 @@ impl TraceEvent {
             KIND_SLOW_REQUEST => {
                 TraceEvent::SlowRequest { conn_id: a, opcode: u8::try_from(b).ok()?, latency_ns: c }
             }
+            KIND_DEGRADED_ENTERED => TraceEvent::DegradedEntered { wal_seq: a },
+            KIND_DEGRADED_EXITED => TraceEvent::DegradedExited { snapshot_seq: a },
             _ => return None,
         })
     }
@@ -157,6 +179,8 @@ impl TraceEvent {
             TraceEvent::WalFsyncStall { .. } => "fsync-stall",
             TraceEvent::SnapshotTaken { .. } => "snapshot",
             TraceEvent::SlowRequest { .. } => "slow-request",
+            TraceEvent::DegradedEntered { .. } => "degraded-enter",
+            TraceEvent::DegradedExited { .. } => "degraded-exit",
         }
     }
 }
@@ -182,6 +206,8 @@ mod tests {
             TraceEvent::WalFsyncStall { latency_ns: 25_000_000 },
             TraceEvent::SnapshotTaken { seq: 900, bytes: 65_536 },
             TraceEvent::SlowRequest { conn_id: 5, opcode: 0x07, latency_ns: 200_000_000 },
+            TraceEvent::DegradedEntered { wal_seq: 12 },
+            TraceEvent::DegradedExited { snapshot_seq: 13 },
         ]
     }
 
@@ -196,7 +222,7 @@ mod tests {
     #[test]
     fn unknown_kinds_decode_to_none() {
         assert_eq!(TraceEvent::from_raw(0, [0; 5]), None);
-        assert_eq!(TraceEvent::from_raw(10, [1, 2, 3, 4, 5]), None);
+        assert_eq!(TraceEvent::from_raw(12, [1, 2, 3, 4, 5]), None);
         assert_eq!(TraceEvent::from_raw(0xFF, [0; 5]), None);
     }
 

@@ -22,6 +22,7 @@
 //! | [`core`] | `evilbloom-core` | deployment assessment and hardened-filter builder |
 //! | [`store`] | `evilbloom-store` | sharded lock-free concurrent serving layer: keyed routing, key rotation, pollution alarms |
 //! | [`server`] | `evilbloom-server` | TCP serving layer: length-prefixed wire protocol, threaded server, pipelining client |
+//! | [`fault`] | `evilbloom-fault` | deterministic seeded fault injection: named fault points, replayable chaos schedules |
 //!
 //! ## Quick start
 //!
@@ -43,6 +44,7 @@
 pub use evilbloom_analysis as analysis;
 pub use evilbloom_attacks as attacks;
 pub use evilbloom_core as core;
+pub use evilbloom_fault as fault;
 pub use evilbloom_filters as filters;
 pub use evilbloom_hashes as hashes;
 pub use evilbloom_server as server;
